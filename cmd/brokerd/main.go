@@ -1,0 +1,128 @@
+// Command brokerd serves the uptime-optimized brokerage over HTTP —
+// the "as-a-service" deployment of the paper's framework (Figure 2).
+//
+// Usage:
+//
+//	brokerd [-addr :8080] [-quiet]
+//
+// Routes:
+//
+//	GET  /healthz                   liveness
+//	POST /v1/recommendations        run the brokerage on a request
+//	GET  /v1/catalog/technologies   list HA mechanisms
+//	GET  /v1/catalog/providers      list clouds and rate cards
+//	GET  /v1/params                 parameter estimate for provider+class
+//	POST /v1/observations           ingest telemetry
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"uptimebroker/internal/broker"
+	"uptimebroker/internal/catalog"
+	"uptimebroker/internal/httpapi"
+	"uptimebroker/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "brokerd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("brokerd", flag.ContinueOnError)
+	var (
+		addr          = fs.String("addr", ":8080", "listen address")
+		quiet         = fs.Bool("quiet", false, "disable request logging")
+		telemetryFile = fs.String("telemetry-file", "", "path to persist the telemetry database across restarts")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var logger *log.Logger
+	if !*quiet {
+		logger = log.New(os.Stderr, "brokerd ", log.LstdFlags|log.Lmicroseconds)
+	}
+
+	cat := catalog.Default()
+	store := telemetry.NewStore()
+	if *telemetryFile != "" {
+		switch err := store.LoadFile(*telemetryFile); {
+		case err == nil:
+			if logger != nil {
+				logger.Printf("loaded telemetry snapshot from %s (%d buckets)", *telemetryFile, len(store.Buckets()))
+			}
+		case errors.Is(err, os.ErrNotExist):
+			if logger != nil {
+				logger.Printf("no telemetry snapshot at %s; starting fresh", *telemetryFile)
+			}
+		default:
+			return err
+		}
+	}
+	engine, err := broker.New(cat, broker.TelemetryParams{
+		Store:            store,
+		Fallback:         broker.CatalogParams{Catalog: cat},
+		MinExposureYears: 1,
+	})
+	if err != nil {
+		return err
+	}
+	server, err := httpapi.NewServer(engine, store, logger)
+	if err != nil {
+		return err
+	}
+
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           server,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	// Graceful shutdown on SIGINT/SIGTERM.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		if logger != nil {
+			logger.Printf("listening on %s", *addr)
+		}
+		errCh <- httpServer.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpServer.Shutdown(shutdownCtx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		if *telemetryFile != "" {
+			if err := store.SaveFile(*telemetryFile); err != nil {
+				return err
+			}
+			if logger != nil {
+				logger.Printf("saved telemetry snapshot to %s", *telemetryFile)
+			}
+		}
+		return nil
+	}
+}

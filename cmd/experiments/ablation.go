@@ -1,0 +1,110 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"uptimebroker/internal/broker"
+	"uptimebroker/internal/cost"
+	"uptimebroker/internal/failsim"
+)
+
+// runAblation quantifies the design choices DESIGN.md calls out:
+//
+//  1. dropping the failover term F_s from the uptime model (Equation 3),
+//  2. dropping the expected-penalty term from the TCO (Equation 5), and
+//  3. the independence assumption, stressed with common-cause shocks.
+//
+// For each ablation it reports the decision the crippled model makes
+// versus the full model's.
+func runAblation(reps, years int, seed int64) error {
+	header("ABLATION — What each model term buys (and what correlation costs)")
+	engine, err := newEngine()
+	if err != nil {
+		return err
+	}
+	req := broker.CaseStudy()
+	problem, err := engine.Compile(req)
+	if err != nil {
+		return err
+	}
+	rec, err := engine.Recommend(req)
+	if err != nil {
+		return err
+	}
+
+	// --- Ablation 1: no failover term (uptime = 1 - B_s only). -------
+	fmt.Println("\n[1] uptime model without the failover term F_s (Eq. 3):")
+	w := newTable()
+	fmt.Fprintln(w, "option\tfull uptime %\tno-Fs uptime %\tTCO full\tTCO no-Fs")
+	bestFull, bestAblated := 0, 0
+	var bestFullTCO, bestAblatedTCO cost.Money
+	for _, card := range rec.Cards {
+		sys, err := systemForCard(problem, card)
+		if err != nil {
+			return err
+		}
+		noFs := 1 - sys.Breakdown()
+		tcoNoFs := cost.Compute(card.HACost, req.SLA, noFs).Total()
+		fmt.Fprintf(w, "#%d\t%.4f\t%.4f\t%s\t%s\n",
+			card.Option, card.Uptime*100, noFs*100, card.TCO, tcoNoFs)
+		if bestFull == 0 || card.TCO < bestFullTCO {
+			bestFull, bestFullTCO = card.Option, card.TCO
+		}
+		if bestAblated == 0 || tcoNoFs < bestAblatedTCO {
+			bestAblated, bestAblatedTCO = card.Option, tcoNoFs
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("decision: full model picks #%d, no-Fs model picks #%d — the failover\n", bestFull, bestAblated)
+	fmt.Println("term mostly discounts aggressive clustering (ESX's 15-minute failovers).")
+
+	// --- Ablation 2: no penalty term in the TCO. ----------------------
+	fmt.Println("\n[2] TCO without the expected-penalty term (Eq. 5 second addend):")
+	cheapest := rec.Cards[0]
+	for _, card := range rec.Cards {
+		if card.HACost < cheapest.HACost {
+			cheapest = card
+		}
+	}
+	fmt.Printf("cost-only optimization always picks option #%d (%s, C_HA %s) —\n",
+		cheapest.Option, cheapest.Label(), cheapest.HACost)
+	fmt.Printf("the full model picks #%d because the penalty coupling prices risk;\n", rec.BestOption)
+	fmt.Println("without it the broker degenerates into \"buy nothing\".")
+
+	// --- Ablation 3: independence assumption under shocks. ------------
+	fmt.Println("\n[3] independence assumption vs common-cause shocks (Section IV threat):")
+	asIs := rec.Cards[rec.AsIsOption-1]
+	sys, err := systemForCard(problem, asIs)
+	if err != nil {
+		return err
+	}
+	analytic := sys.Uptime()
+	w = newTable()
+	fmt.Fprintln(w, "shocks/cluster/yr\tanalytic %\tsimulated %\t95% CI ±\tmodel error pp")
+	for _, rate := range []float64{0, 2, 6, 12} {
+		est, err := failsim.Run(context.Background(), failsim.Config{
+			System:        sys,
+			Horizon:       time.Duration(years) * 365 * 24 * time.Hour,
+			Replications:  reps,
+			Seed:          seed + int64(rate*10),
+			ShocksPerYear: rate,
+			ShockRepair:   2 * time.Hour,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%.0f\t%.4f\t%.4f\t%.4f\t%+.4f\n",
+			rate, analytic*100, est.Uptime*100, est.CI95()*100, (analytic-est.Uptime)*100)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("the analytic prediction is exact without correlation and optimistic")
+	fmt.Println("once shocks couple node failures — the error a broker's long-horizon")
+	fmt.Println("telemetry (which observes shocks as inflated P_i) absorbs in practice.")
+	return nil
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"uptimebroker/internal/availability"
+	"uptimebroker/internal/cost"
+	"uptimebroker/internal/optimize"
+)
+
+// runGreedy compares the exhaustive optimizer against the greedy
+// hill-climbing heuristic a practitioner without the paper's framework
+// would use — the baseline that motivates global search.
+func runGreedy(seed int64) error {
+	header("GREEDY — Exhaustive optimum vs greedy hill-climbing baseline")
+
+	rng := rand.New(rand.NewSource(seed))
+	const trials = 400
+	var (
+		optimalHits int
+		gapSum      float64
+		gapMax      float64
+		evalsGreedy int
+		evalsExact  int
+	)
+	for i := 0; i < trials; i++ {
+		p := randomInstance(rng)
+		ex, err := p.Exhaustive()
+		if err != nil {
+			return err
+		}
+		gr, err := p.Greedy()
+		if err != nil {
+			return err
+		}
+		evalsExact += ex.Evaluated
+		evalsGreedy += gr.Evaluated
+
+		exTCO := float64(ex.Best.TCO.Total())
+		grTCO := float64(gr.Best.TCO.Total())
+		if grTCO <= exTCO {
+			optimalHits++
+			continue
+		}
+		gap := (grTCO - exTCO) / exTCO
+		gapSum += gap
+		if gap > gapMax {
+			gapMax = gap
+		}
+	}
+
+	fmt.Printf("random instances:      %d (seed %d)\n", trials, seed)
+	fmt.Printf("greedy found optimum:  %d (%.1f%%)\n", optimalHits, 100*float64(optimalHits)/trials)
+	missed := trials - optimalHits
+	if missed > 0 {
+		fmt.Printf("when suboptimal:       mean gap %.2f%%, worst gap %.2f%%\n",
+			100*gapSum/float64(missed), 100*gapMax)
+	}
+	fmt.Printf("evaluations:           greedy %d vs exhaustive %d (%.1fx cheaper)\n",
+		evalsGreedy, evalsExact, float64(evalsExact)/float64(evalsGreedy))
+	fmt.Println("\nreading: greedy is cheap and usually right, but penalty economics")
+	fmt.Println("are non-separable across components, so it stalls in local optima —")
+	fmt.Println("the paper's exhaustive/pruned search buys certified optimality.")
+	return nil
+}
+
+// randomInstance mirrors the optimizer tests' random family: 2-5
+// components, 2-4 variants each, SLA 90-99.9%, penalties to $500/h.
+func randomInstance(rng *rand.Rand) *optimize.Problem {
+	n := 2 + rng.Intn(4)
+	comps := make([]optimize.ComponentChoices, n)
+	for i := range comps {
+		k := 2 + rng.Intn(3)
+		active := 1 + rng.Intn(3)
+		down := 0.002 + rng.Float64()*0.03
+		variants := make([]optimize.Variant, k)
+		variants[0] = optimize.Variant{
+			Label:   "none",
+			Cluster: availability.Cluster{Name: "c", Nodes: active, Tolerated: 0, NodeDown: down},
+		}
+		prev := cost.Money(0)
+		for v := 1; v < k; v++ {
+			prev += cost.Dollars(float64(50 + rng.Intn(2500)))
+			variants[v] = optimize.Variant{
+				Label: fmt.Sprintf("ha%d", v),
+				Cluster: availability.Cluster{
+					Name: "c", Nodes: active + v, Tolerated: v, NodeDown: down,
+					FailuresPerYear: rng.Float64() * 8,
+					Failover:        time.Duration(rng.Intn(20)) * time.Minute,
+				},
+				MonthlyCost: prev,
+			}
+		}
+		comps[i] = optimize.ComponentChoices{Name: fmt.Sprintf("c%d", i), Variants: variants}
+	}
+	return &optimize.Problem{
+		Components: comps,
+		SLA: cost.SLA{
+			UptimePercent: 90 + rng.Float64()*9.9,
+			Penalty:       cost.Penalty{PerHour: cost.Dollars(float64(1 + rng.Intn(500)))},
+		},
+	}
+}

@@ -1,0 +1,74 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation (and the extra validation experiments DESIGN.md
+// defines) from the reproduction codebase.
+//
+// Usage:
+//
+//	experiments [-run all|fig1|options|summary|slasweep|complexity|validate|future|hybrid] [-reps N] [-years N] [-seed N]
+//
+// The experiment IDs map to DESIGN.md §3:
+//
+//	fig1        Figure 1: the case-study topology
+//	options     Figures 3–9: all eight solution option cards
+//	summary     Figure 10: TCO summary, recommendation, savings
+//	slasweep    Equation 5/6 behaviour across SLA and penalty levels
+//	complexity  Section III.C: exhaustive vs pruned search effort
+//	validate    analytic U_s vs Monte-Carlo simulation per option
+//	future      Section V: extended HA catalog on the five-tier system
+//	hybrid      the same workload quoted across all three clouds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		which = fs.String("run", "all", "experiment to run (all, fig1, options, summary, slasweep, complexity, validate, future, hybrid)")
+		reps  = fs.Int("reps", 64, "Monte-Carlo replications for -run validate")
+		years = fs.Int("years", 10, "simulated years per replication for -run validate")
+		seed  = fs.Int64("seed", 20170611, "Monte-Carlo seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	runners := map[string]func() error{
+		"fig1":       runFig1,
+		"options":    runOptions,
+		"summary":    runSummary,
+		"slasweep":   runSLASweep,
+		"complexity": runComplexity,
+		"validate":   func() error { return runValidate(*reps, *years, *seed) },
+		"future":     runFuture,
+		"hybrid":     runHybrid,
+		"ablation":   func() error { return runAblation(*reps, *years, *seed) },
+		"lifecycle":  func() error { return runLifecycle(*seed) },
+		"greedy":     func() error { return runGreedy(*seed) },
+	}
+	order := []string{"fig1", "options", "summary", "slasweep", "complexity", "validate", "future", "hybrid", "ablation", "lifecycle", "greedy"}
+
+	if *which == "all" {
+		for _, name := range order {
+			if err := runners[name](); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		return nil
+	}
+	runner, ok := runners[*which]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", *which)
+	}
+	return runner()
+}

@@ -1,0 +1,325 @@
+// Command uptimectl is the CLI client for a running brokerd.
+//
+// Usage:
+//
+//	uptimectl -server http://localhost:8080 <subcommand> [flags]
+//
+// Subcommands:
+//
+//	recommend   submit a recommendation request (-topology file.json or
+//	            -casestudy; -local -format text|markdown|csv runs the
+//	            brokerage in-process)
+//	pareto      print the cost × uptime frontier for a request
+//	scenarios   list the built-in scenario library, or -run NAME one
+//	catalog     list the HA technologies and providers
+//	params      show the parameter estimate for -provider and -class
+//	observe     submit one telemetry observation
+//	health      check service liveness
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"uptimebroker/internal/broker"
+	"uptimebroker/internal/catalog"
+	"uptimebroker/internal/httpapi"
+	"uptimebroker/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "uptimectl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("uptimectl", flag.ContinueOnError)
+	var (
+		server  = fs.String("server", "http://127.0.0.1:8080", "brokerd base URL")
+		timeout = fs.Duration("timeout", 30*time.Second, "request timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("missing subcommand (recommend, catalog, params, observe, health)")
+	}
+
+	client, err := httpapi.NewClient(*server, nil)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	switch rest[0] {
+	case "recommend":
+		return cmdRecommend(ctx, client, rest[1:])
+	case "pareto":
+		return cmdPareto(ctx, client, rest[1:])
+	case "catalog":
+		return cmdCatalog(ctx, client)
+	case "scenarios":
+		return cmdScenarios(ctx, client, rest[1:])
+	case "params":
+		return cmdParams(ctx, client, rest[1:])
+	case "observe":
+		return cmdObserve(ctx, client, rest[1:])
+	case "health":
+		if err := client.Health(ctx); err != nil {
+			return err
+		}
+		fmt.Println("ok")
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q", rest[0])
+	}
+}
+
+// loadRequest resolves the request from -casestudy / -topology flags.
+func loadRequest(topologyPath string, caseStudy bool) (httpapi.RecommendationRequest, error) {
+	switch {
+	case caseStudy:
+		return caseStudyRequest(), nil
+	case topologyPath != "":
+		var req httpapi.RecommendationRequest
+		data, err := os.ReadFile(topologyPath)
+		if err != nil {
+			return req, fmt.Errorf("reading topology: %w", err)
+		}
+		if err := json.Unmarshal(data, &req); err != nil {
+			return req, fmt.Errorf("parsing topology: %w", err)
+		}
+		return req, nil
+	default:
+		return httpapi.RecommendationRequest{}, fmt.Errorf("need -topology FILE or -casestudy")
+	}
+}
+
+func cmdRecommend(ctx context.Context, client *httpapi.Client, args []string) error {
+	fs := flag.NewFlagSet("recommend", flag.ContinueOnError)
+	var (
+		topologyPath = fs.String("topology", "", "path to a recommendation request JSON file")
+		caseStudy    = fs.Bool("casestudy", false, "use the paper's built-in case study request")
+		local        = fs.Bool("local", false, "run the brokerage in-process instead of calling a server")
+		format       = fs.String("format", "text", "output format with -local: text, markdown or csv")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	req, err := loadRequest(*topologyPath, *caseStudy)
+	if err != nil {
+		return err
+	}
+
+	if *local {
+		return recommendLocal(req, *format)
+	}
+	resp, err := client.Recommend(ctx, req)
+	if err != nil {
+		return err
+	}
+	return printRecommendation(resp)
+}
+
+// recommendLocal runs the default in-process engine and renders via
+// the report package.
+func recommendLocal(req httpapi.RecommendationRequest, format string) error {
+	cat := catalog.Default()
+	engine, err := broker.New(cat, broker.CatalogParams{Catalog: cat})
+	if err != nil {
+		return err
+	}
+	rec, err := engine.Recommend(req.ToBroker())
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "text":
+		return report.Text(os.Stdout, rec)
+	case "markdown":
+		return report.Markdown(os.Stdout, rec)
+	case "csv":
+		return report.CSV(os.Stdout, rec)
+	default:
+		return fmt.Errorf("unknown format %q (text, markdown, csv)", format)
+	}
+}
+
+func cmdPareto(ctx context.Context, client *httpapi.Client, args []string) error {
+	fs := flag.NewFlagSet("pareto", flag.ContinueOnError)
+	var (
+		topologyPath = fs.String("topology", "", "path to a recommendation request JSON file")
+		caseStudy    = fs.Bool("casestudy", false, "use the paper's built-in case study request")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	req, err := loadRequest(*topologyPath, *caseStudy)
+	if err != nil {
+		return err
+	}
+	front, err := client.Pareto(ctx, req)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "option\tHA selection\tC_HA $/mo\tuptime %")
+	for _, c := range front {
+		fmt.Fprintf(w, "#%d\t%s\t%.2f\t%.4f\n", c.Option, c.Label, c.HACostUSD, c.UptimePercent)
+	}
+	return w.Flush()
+}
+
+func printRecommendation(resp httpapi.RecommendationResponse) error {
+	fmt.Printf("system %q on %s — SLA %.2f%%\n\n", resp.System, resp.Provider, resp.SLAPercent)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "option\tHA selection\tC_HA $/mo\tuptime %\tpenalty $/mo\tTCO $/mo\tmeets SLA")
+	for _, c := range resp.Cards {
+		marker := ""
+		if c.Option == resp.BestOption {
+			marker = " *"
+		}
+		fmt.Fprintf(w, "#%d%s\t%s\t%.2f\t%.4f\t%.2f\t%.2f\t%v\n",
+			c.Option, marker, c.Label, c.HACostUSD, c.UptimePercent, c.PenaltyUSD, c.TCOUSD, c.MeetsSLA)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("\nrecommended: option #%d", resp.BestOption)
+	if resp.MinRiskOption > 0 {
+		fmt.Printf("   min-risk: option #%d", resp.MinRiskOption)
+	}
+	if resp.AsIsOption > 0 {
+		fmt.Printf("   as-is: option #%d (savings %.1f%%)", resp.AsIsOption, resp.SavingsPercent)
+	}
+	fmt.Println()
+	return nil
+}
+
+func cmdCatalog(ctx context.Context, client *httpapi.Client) error {
+	techs, err := client.Technologies(ctx)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "id\tlayer\tmode\tstandby\tfailover s\tinfra $/mo\tlabor h/mo")
+	for _, t := range techs {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%d\t%.0f\t%.0f+%.0f/standby\t%.0f\n",
+			t.ID, t.Layer, t.Mode, t.StandbyNodes, t.FailoverSeconds,
+			t.InfraFixedUSD, t.InfraPerStandbyUSD, t.LaborHoursPerMonth)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	providers, err := client.Providers(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "provider\tdisplay name\tlabor $/h\tinfra multiplier")
+	for _, p := range providers {
+		fmt.Fprintf(w, "%s\t%s\t%.0f\t%.2f\n", p.Name, p.DisplayName, p.LaborRateUSD, p.InfraMultiplier)
+	}
+	return w.Flush()
+}
+
+func cmdScenarios(ctx context.Context, client *httpapi.Client, args []string) error {
+	fs := flag.NewFlagSet("scenarios", flag.ContinueOnError)
+	var (
+		provider = fs.String("provider", "", "provider to place scenarios on (default: reference cloud)")
+		run      = fs.String("run", "", "run the brokerage on the named scenario instead of listing")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *run != "" {
+		resp, err := client.ScenarioRecommendation(ctx, *run, *provider)
+		if err != nil {
+			return err
+		}
+		return printRecommendation(resp)
+	}
+
+	scenarios, err := client.Scenarios(ctx, *provider)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "name\tcomponents\tSLA %\tpenalty $/h\tdescription")
+	for _, sc := range scenarios {
+		fmt.Fprintf(w, "%s\t%d\t%.1f\t%.0f\t%s\n",
+			sc.Name, sc.Components, sc.SLAPercent, sc.PenaltyPerHourUSD, sc.Description)
+	}
+	return w.Flush()
+}
+
+func cmdParams(ctx context.Context, client *httpapi.Client, args []string) error {
+	fs := flag.NewFlagSet("params", flag.ContinueOnError)
+	var (
+		provider = fs.String("provider", "", "provider name")
+		class    = fs.String("class", "", "component class")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *provider == "" || *class == "" {
+		return fmt.Errorf("params needs -provider and -class")
+	}
+	p, err := client.Params(ctx, *provider, *class)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s/%s (source: %s)\n", p.Provider, p.Class, p.Source)
+	fmt.Printf("  P (down probability):  %.6f\n", p.Down)
+	fmt.Printf("  f (failures/year):     %.2f\n", p.FailuresPerYear)
+	if p.FailoverSeconds > 0 {
+		fmt.Printf("  t (mean failover):     %.0fs (p95 %.0fs)\n", p.FailoverSeconds, p.FailoverP95Seconds)
+	}
+	if p.ExposureYears > 0 {
+		fmt.Printf("  exposure:              %.1f node-years\n", p.ExposureYears)
+	}
+	return nil
+}
+
+func cmdObserve(ctx context.Context, client *httpapi.Client, args []string) error {
+	fs := flag.NewFlagSet("observe", flag.ContinueOnError)
+	var (
+		provider = fs.String("provider", "", "provider name")
+		class    = fs.String("class", "", "component class")
+		kind     = fs.String("kind", "", "outage, failover or exposure")
+		seconds  = fs.Float64("seconds", 0, "observation magnitude in seconds")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	obs := httpapi.Observation{Provider: *provider, Class: *class, Kind: *kind, Seconds: *seconds}
+	if err := client.Observe(ctx, obs); err != nil {
+		return err
+	}
+	fmt.Println("recorded")
+	return nil
+}
+
+// caseStudyRequest is the wire form of the paper's case study.
+func caseStudyRequest() httpapi.RecommendationRequest {
+	cs := broker.CaseStudy()
+	return httpapi.RecommendationRequest{
+		Base:              cs.Base,
+		SLAPercent:        cs.SLA.UptimePercent,
+		PenaltyPerHourUSD: cs.SLA.Penalty.PerHour.Dollars(),
+		AsIs:              map[string]string(cs.AsIs),
+		AllowedTechs:      cs.AllowedTechs,
+	}
+}

@@ -1,0 +1,114 @@
+// Chaosestate runs the complete brokered-service lifecycle on the
+// simulated hybrid estate without touching the analytic simulator at
+// all: an estate is provisioned onto a simulated cloud, a seeded chaos
+// monkey subjects it to years of failures whose true rates differ from
+// the broker's catalog beliefs, the cloud's monitoring records every
+// outage into the telemetry store, and the brokerage re-optimizes on
+// what was actually observed.
+//
+// Run with:
+//
+//	go run ./examples/chaosestate
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"uptimebroker"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cat := uptimebroker.DefaultCatalog()
+	store := uptimebroker.NewTelemetryStore()
+	clock := uptimebroker.NewVirtualClock(time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC))
+
+	fleet, err := uptimebroker.DefaultFleetWithClock(cat, store, clock)
+	if err != nil {
+		return err
+	}
+	cloud, err := fleet.Cloud(uptimebroker.ProviderSoftLayerSim)
+	if err != nil {
+		return err
+	}
+
+	// Provision the three-tier estate (no HA yet — we are measuring the
+	// base components).
+	dep, err := fleet.Deploy(context.Background(), uptimebroker.ThreeTier(uptimebroker.ProviderSoftLayerSim), nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("provisioned %d resources on %s, bill %s/month\n",
+		dep.NodeCount(), dep.Provider, dep.MonthlyInfraCost())
+
+	// The estate's true reliability contradicts the catalog: compute is
+	// far flakier than assumed, storage far better.
+	truth := map[string]uptimebroker.NodeParams{
+		"vm.virtualized": {Down: 0.025, FailuresPerYear: 20},
+		"disk.block":     {Down: 0.0005, FailuresPerYear: 1},
+		"net.gateway":    {Down: 0.0005, FailuresPerYear: 1},
+	}
+	monkey, err := uptimebroker.NewChaosMonkey(cloud, clock, truth, 61)
+	if err != nil {
+		return err
+	}
+
+	// Ten years of operation, one year at a time.
+	totalOutages := 0
+	for year := 0; year < 10; year++ {
+		outages, err := monkey.Run(365 * 24 * time.Hour)
+		if err != nil {
+			return err
+		}
+		totalOutages += outages
+	}
+	fmt.Printf("chaos injected %d outages over 10 simulated years\n\n", totalOutages)
+
+	vm, err := store.Estimate(uptimebroker.ProviderSoftLayerSim, "vm.virtualized")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("observed vm.virtualized: P=%.4f, f=%.1f/yr (catalog believed P=0.0055, f=5)\n",
+		vm.Node.Down, vm.Node.FailuresPerYear)
+
+	// Recommend with catalog priors vs with the observed reality.
+	prior, err := uptimebroker.NewEngine(cat, uptimebroker.CatalogParams{Catalog: cat})
+	if err != nil {
+		return err
+	}
+	learned, err := uptimebroker.NewEngine(cat, uptimebroker.TelemetryParams{
+		Store:            store,
+		Fallback:         uptimebroker.CatalogParams{Catalog: cat},
+		MinExposureYears: 5,
+	})
+	if err != nil {
+		return err
+	}
+
+	before, err := prior.Recommend(uptimebroker.CaseStudy())
+	if err != nil {
+		return err
+	}
+	after, err := learned.Recommend(uptimebroker.CaseStudy())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\non catalog priors:   option #%d (%s) at %s/month\n",
+		before.BestOption, before.Best().Label(), before.Best().TCO)
+	fmt.Printf("on observed estate:  option #%d (%s) at %s/month\n",
+		after.BestOption, after.Best().Label(), after.Best().TCO)
+
+	if err := fleet.Teardown(dep); err != nil {
+		return err
+	}
+	fmt.Println("\nestate torn down; the monitoring-to-recommendation loop is closed.")
+	return nil
+}

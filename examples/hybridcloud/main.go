@@ -1,0 +1,112 @@
+// Hybridcloud shows the broker's cross-cloud vantage point: the same
+// three-tier workload is quoted against every provider in the hybrid
+// portfolio, the cheapest total offer wins, and the winning plan is
+// then provisioned onto the simulated cloud, with the resulting
+// infrastructure bill printed.
+//
+// Run with:
+//
+//	go run ./examples/hybridcloud
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"uptimebroker"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cat := uptimebroker.DefaultCatalog()
+	engine, err := uptimebroker.NewEngine(cat, uptimebroker.CatalogParams{Catalog: cat})
+	if err != nil {
+		return err
+	}
+
+	providers := []string{
+		uptimebroker.ProviderSoftLayerSim,
+		uptimebroker.ProviderNimbus,
+		uptimebroker.ProviderStratus,
+	}
+
+	fmt.Println("== Quoting the three-tier workload across the portfolio ==")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "provider\tbest option\tuptime %\tTCO/mo")
+
+	var (
+		bestProvider string
+		bestCard     uptimebroker.OptionCard
+		bestSet      bool
+	)
+	for _, provider := range providers {
+		req := uptimebroker.Request{
+			Base: uptimebroker.ThreeTier(provider),
+			SLA: uptimebroker.SLA{
+				UptimePercent: 98,
+				Penalty:       uptimebroker.Penalty{PerHour: uptimebroker.Dollars(100)},
+			},
+		}
+		rec, err := engine.Recommend(req)
+		if err != nil {
+			return err
+		}
+		card := rec.Best()
+		fmt.Fprintf(w, "%s\t#%d %s\t%.4f\t%s\n", provider, card.Option, card.Label(), card.Uptime*100, card.TCO)
+		if !bestSet || card.TCO < bestCard.TCO {
+			bestProvider, bestCard, bestSet = provider, card, true
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("\nwinner: %s with option #%d (%s) at %s/month HA TCO\n",
+		bestProvider, bestCard.Option, bestCard.Label(), bestCard.TCO)
+
+	// Provision the winning plan onto the simulated hybrid estate.
+	fleet, err := uptimebroker.DefaultFleet(cat, nil)
+	if err != nil {
+		return err
+	}
+	standby := make(map[string]int)
+	for _, choice := range bestCard.Choices {
+		if choice.TechID == "" {
+			continue
+		}
+		tech, err := cat.Technology(choice.TechID)
+		if err != nil {
+			return err
+		}
+		standby[choice.Component] = tech.StandbyNodes
+	}
+	dep, err := fleet.Deploy(context.Background(), uptimebroker.ThreeTier(bestProvider), standby)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\n== Deployed to %s ==\n", dep.Provider)
+	w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "component\tresources\tfirst resource ID")
+	for _, comp := range uptimebroker.ThreeTier(bestProvider).Components {
+		rs := dep.Resources[comp.Name]
+		fmt.Fprintf(w, "%s\t%d\t%s\n", comp.Name, len(rs), rs[0].ID)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("total nodes: %d, monthly infrastructure bill: %s\n", dep.NodeCount(), dep.MonthlyInfraCost())
+
+	if err := fleet.Teardown(dep); err != nil {
+		return err
+	}
+	fmt.Println("deployment torn down")
+	return nil
+}

@@ -1,0 +1,82 @@
+package availability
+
+import (
+	"math"
+	"sort"
+)
+
+// Contribution attributes system downtime to a single cluster. The
+// attribution answers the operator question "which layer should be
+// clustered next": it reports how much breakdown probability and
+// failover downtime each cluster injects into the serial chain.
+type Contribution struct {
+	// Name is the cluster name.
+	Name string
+
+	// Breakdown is the cluster's own breakdown probability
+	// (1 - UpProbability), the driver of its B_s share.
+	Breakdown float64
+
+	// Failover is the cluster's term of F_s: expected failover downtime
+	// fraction conditioned on all other clusters being healthy.
+	Failover float64
+
+	// Total is Breakdown + Failover, the cluster's standalone downtime
+	// injection. Because the serial composition is multiplicative the
+	// per-cluster Totals do not sum exactly to the system D_s, but their
+	// ordering identifies the dominant risk.
+	Total float64
+}
+
+// Attribution returns one Contribution per cluster, sorted by
+// descending Total so the dominant downtime source comes first. Ties
+// are broken by cluster name for determinism.
+func (s System) Attribution() []Contribution {
+	out := make([]Contribution, 0, len(s.Clusters))
+	for i, c := range s.Clusters {
+		fo := c.failoverMinutesPerYear() / MinutesPerYear
+		if fo != 0 {
+			for j, other := range s.Clusters {
+				if j == i {
+					continue
+				}
+				fo *= other.activeUpProbability()
+			}
+		}
+		br := c.BreakdownProbability()
+		out = append(out, Contribution{
+			Name:      c.Name,
+			Breakdown: br,
+			Failover:  fo,
+			Total:     br + fo,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Nines converts an uptime fraction to the conventional "number of
+// nines" scale, -log10(1 - uptime): 0.99 -> 2, 0.999 -> 3, and so on.
+// The result is capped at 16 (beyond float64 resolution); uptime <= 0
+// returns 0.
+func Nines(uptime float64) float64 {
+	if uptime >= 1 {
+		return 16
+	}
+	if uptime <= 0 {
+		return 0
+	}
+	n := -math.Log10(1 - uptime)
+	if n > 16 {
+		return 16
+	}
+	if n < 0 {
+		return 0
+	}
+	return n
+}

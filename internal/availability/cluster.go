@@ -1,0 +1,191 @@
+package availability
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// MinutesPerYear is δ in the paper: the number of minutes in a
+// (non-leap) year, used to normalize failover downtime to a fraction.
+const MinutesPerYear = 525600.0
+
+// HoursPerMonth is δ/(12·60): the number of hours in one month under
+// the paper's convention, used to convert downtime fractions to monthly
+// slippage hours (Equation 5).
+const HoursPerMonth = MinutesPerYear / (12 * 60)
+
+// Cluster describes one k-redundancy cluster C_i in a serial system.
+//
+// The zero value is not valid; construct a Cluster with all fields set
+// and check Validate before use.
+type Cluster struct {
+	// Name identifies the cluster in reports (for example "compute").
+	Name string
+
+	// Nodes is K_i, the total number of nodes in the cluster.
+	Nodes int
+
+	// Tolerated is K̂_i, the maximum number of simultaneously failed
+	// nodes the HA infrastructure can absorb. Tolerated = 0 means any
+	// node outage is a cluster breakdown. It must satisfy
+	// 0 <= Tolerated < Nodes so that at least one node is active.
+	Tolerated int
+
+	// NodeDown is P_i, the steady-state probability that an individual
+	// node is down. It must lie in [0, 1).
+	NodeDown float64
+
+	// FailuresPerYear is f_i, the average number of failures a single
+	// node experiences in a year.
+	FailuresPerYear float64
+
+	// Failover is t_i, the latency during which the cluster is
+	// unavailable while a standby node takes over after an active-node
+	// outage. It is zero for clusters without HA (a node outage then
+	// surfaces as breakdown, not failover).
+	Failover time.Duration
+}
+
+// Validate reports whether the cluster parameters are internally
+// consistent. It returns nil when they are.
+func (c Cluster) Validate() error {
+	switch {
+	case c.Nodes < 1:
+		return fmt.Errorf("cluster %q: Nodes = %d, must be >= 1", c.Name, c.Nodes)
+	case c.Tolerated < 0:
+		return fmt.Errorf("cluster %q: Tolerated = %d, must be >= 0", c.Name, c.Tolerated)
+	case c.Tolerated >= c.Nodes:
+		return fmt.Errorf("cluster %q: Tolerated = %d, must be < Nodes = %d", c.Name, c.Tolerated, c.Nodes)
+	case c.NodeDown < 0 || c.NodeDown >= 1:
+		return fmt.Errorf("cluster %q: NodeDown = %v, must be in [0, 1)", c.Name, c.NodeDown)
+	case c.FailuresPerYear < 0:
+		return fmt.Errorf("cluster %q: FailuresPerYear = %v, must be >= 0", c.Name, c.FailuresPerYear)
+	case c.Failover < 0:
+		return fmt.Errorf("cluster %q: Failover = %v, must be >= 0", c.Name, c.Failover)
+	}
+	return nil
+}
+
+// Active returns K_i - K̂_i, the number of nodes that must be (and, in
+// steady state, are) active for the cluster to be operational.
+func (c Cluster) Active() int { return c.Nodes - c.Tolerated }
+
+// UpProbability returns the probability that the cluster is not broken
+// down: at least K_i - K̂_i of its K_i nodes are up,
+//
+//	Σ_{j=K_i-K̂_i}^{K_i} C(K_i, j) (1-P_i)^j P_i^{K_i-j}.
+func (c Cluster) UpProbability() float64 {
+	return binomialUpperTail(c.Nodes, c.Nodes-c.Tolerated, 1-c.NodeDown)
+}
+
+// BreakdownProbability returns 1 - UpProbability: the probability that
+// more than K̂_i nodes are simultaneously down.
+func (c Cluster) BreakdownProbability() float64 {
+	return 1 - c.UpProbability()
+}
+
+// failoverMinutesPerYear returns f_i · t_i · (K_i - K̂_i): the expected
+// minutes per year the cluster spends in failover transitions, before
+// conditioning on the health of the other clusters (Equation 3).
+//
+// Clusters with Tolerated == 0 have no standby to fail over to, so the
+// term is zero regardless of Failover.
+func (c Cluster) failoverMinutesPerYear() float64 {
+	if c.Tolerated == 0 {
+		return 0
+	}
+	return c.FailuresPerYear * c.Failover.Minutes() * float64(c.Active())
+}
+
+// activeUpProbability returns (1-P_i)^(K_i-K̂_i): the probability that
+// every currently active node in the cluster is up. It is the per-
+// cluster factor of P(X_i) in Equation 3.
+func (c Cluster) activeUpProbability() float64 {
+	return powInt(1-c.NodeDown, c.Active())
+}
+
+// ErrNoClusters is returned by System.Validate for a system with no
+// clusters; the serial-composition model is undefined on it.
+var ErrNoClusters = errors.New("availability: system has no clusters")
+
+// System is a serial combination of clusters: it is up exactly when
+// every cluster is up and none is mid-failover.
+type System struct {
+	Clusters []Cluster
+}
+
+// Validate checks every cluster and the system shape.
+func (s System) Validate() error {
+	if len(s.Clusters) == 0 {
+		return ErrNoClusters
+	}
+	for _, c := range s.Clusters {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Breakdown returns B_s (Equation 2): the probability that at least one
+// cluster has more than its tolerated number of nodes down.
+func (s System) Breakdown() float64 {
+	up := 1.0
+	for _, c := range s.Clusters {
+		up *= c.UpProbability()
+	}
+	return 1 - up
+}
+
+// FailoverDowntime returns F_s (Equation 3): the expected downtime
+// fraction due to failover transitions, summed over clusters, each term
+// weighted by the probability that every active node in every other
+// cluster is up.
+func (s System) FailoverDowntime() float64 {
+	total := 0.0
+	for i, c := range s.Clusters {
+		term := c.failoverMinutesPerYear() / MinutesPerYear
+		if term == 0 {
+			continue
+		}
+		for j, other := range s.Clusters {
+			if j == i {
+				continue
+			}
+			term *= other.activeUpProbability()
+		}
+		total += term
+	}
+	return total
+}
+
+// Downtime returns D_s = B_s + F_s (Equation 1), clamped to [0, 1].
+// The two downtime sources are treated as mutually exclusive per the
+// paper; clamping guards against pathological parameter combinations
+// where the approximation exceeds certainty.
+func (s System) Downtime() float64 {
+	d := s.Breakdown() + s.FailoverDowntime()
+	if d < 0 {
+		return 0
+	}
+	if d > 1 {
+		return 1
+	}
+	return d
+}
+
+// Uptime returns U_s = 1 - D_s (Equation 4).
+func (s System) Uptime() float64 { return 1 - s.Downtime() }
+
+// DowntimeMinutesPerYear converts the downtime fraction to expected
+// minutes of unavailability per year.
+func (s System) DowntimeMinutesPerYear() float64 {
+	return s.Downtime() * MinutesPerYear
+}
+
+// DowntimeHoursPerMonth converts the downtime fraction to expected
+// hours of unavailability per month, the unit penalty clauses use.
+func (s System) DowntimeHoursPerMonth() float64 {
+	return s.Downtime() * HoursPerMonth
+}

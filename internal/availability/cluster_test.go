@@ -1,0 +1,217 @@
+package availability
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestClusterValidate(t *testing.T) {
+	valid := Cluster{Name: "c", Nodes: 4, Tolerated: 1, NodeDown: 0.01, FailuresPerYear: 4, Failover: 15 * time.Minute}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid cluster rejected: %v", err)
+	}
+
+	tests := []struct {
+		name    string
+		mutate  func(*Cluster)
+		wantSub string
+	}{
+		{"zero nodes", func(c *Cluster) { c.Nodes = 0 }, "Nodes"},
+		{"negative nodes", func(c *Cluster) { c.Nodes = -3 }, "Nodes"},
+		{"negative tolerated", func(c *Cluster) { c.Tolerated = -1 }, "Tolerated"},
+		{"tolerated equals nodes", func(c *Cluster) { c.Tolerated = c.Nodes }, "Tolerated"},
+		{"tolerated above nodes", func(c *Cluster) { c.Tolerated = c.Nodes + 1 }, "Tolerated"},
+		{"negative down prob", func(c *Cluster) { c.NodeDown = -0.1 }, "NodeDown"},
+		{"down prob one", func(c *Cluster) { c.NodeDown = 1 }, "NodeDown"},
+		{"negative failures", func(c *Cluster) { c.FailuresPerYear = -1 }, "FailuresPerYear"},
+		{"negative failover", func(c *Cluster) { c.Failover = -time.Minute }, "Failover"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := valid
+			tt.mutate(&c)
+			err := c.Validate()
+			if err == nil {
+				t.Fatalf("Validate() = nil, want error mentioning %q", tt.wantSub)
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Fatalf("Validate() = %q, want mention of %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestClusterUpProbabilitySingleNode(t *testing.T) {
+	// A 1-node cluster with no tolerance is up exactly when the node is.
+	c := Cluster{Name: "solo", Nodes: 1, Tolerated: 0, NodeDown: 0.02}
+	if got, want := c.UpProbability(), 0.98; !almostEqual(got, want, 1e-15) {
+		t.Fatalf("UpProbability() = %v, want %v", got, want)
+	}
+	if got, want := c.BreakdownProbability(), 0.02; !almostEqual(got, want, 1e-15) {
+		t.Fatalf("BreakdownProbability() = %v, want %v", got, want)
+	}
+}
+
+func TestClusterUpProbabilityRAID1(t *testing.T) {
+	// RAID-1: 2 mirrored disks, 1 tolerated failure. Up unless both are
+	// down: 1 - P^2.
+	p := 0.02
+	c := Cluster{Name: "raid1", Nodes: 2, Tolerated: 1, NodeDown: p}
+	want := 1 - p*p
+	if got := c.UpProbability(); !almostEqual(got, want, 1e-15) {
+		t.Fatalf("UpProbability() = %v, want %v", got, want)
+	}
+}
+
+func TestClusterUpProbability3Plus1(t *testing.T) {
+	// The paper's ESX example: K=4, K̂=1. Up when >= 3 of 4 nodes are up:
+	// (1-P)^4 + 4 (1-P)^3 P.
+	p := 0.01
+	q := 1 - p
+	c := Cluster{Name: "esx", Nodes: 4, Tolerated: 1, NodeDown: p}
+	want := math.Pow(q, 4) + 4*math.Pow(q, 3)*p
+	if got := c.UpProbability(); !almostEqual(got, want, 1e-15) {
+		t.Fatalf("UpProbability() = %v, want %v", got, want)
+	}
+}
+
+func TestClusterUpProbabilityZeroDown(t *testing.T) {
+	c := Cluster{Name: "perfect", Nodes: 5, Tolerated: 2, NodeDown: 0}
+	if got := c.UpProbability(); got != 1 {
+		t.Fatalf("UpProbability() = %v, want exactly 1", got)
+	}
+}
+
+func TestClusterActive(t *testing.T) {
+	c := Cluster{Nodes: 4, Tolerated: 1}
+	if got := c.Active(); got != 3 {
+		t.Fatalf("Active() = %d, want 3", got)
+	}
+}
+
+func TestSystemValidate(t *testing.T) {
+	if err := (System{}).Validate(); err != ErrNoClusters {
+		t.Fatalf("empty system Validate() = %v, want ErrNoClusters", err)
+	}
+	s := System{Clusters: []Cluster{{Name: "bad", Nodes: 0}}}
+	if err := s.Validate(); err == nil {
+		t.Fatal("system with invalid cluster passed Validate")
+	}
+	good := System{Clusters: []Cluster{{Name: "ok", Nodes: 2, Tolerated: 1, NodeDown: 0.01}}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid system rejected: %v", err)
+	}
+}
+
+func TestSystemBreakdownSerial(t *testing.T) {
+	// Two single-node clusters in series: B_s = 1 - (1-P1)(1-P2).
+	s := System{Clusters: []Cluster{
+		{Name: "a", Nodes: 1, NodeDown: 0.1},
+		{Name: "b", Nodes: 1, NodeDown: 0.2},
+	}}
+	want := 1 - 0.9*0.8
+	if got := s.Breakdown(); !almostEqual(got, want, 1e-15) {
+		t.Fatalf("Breakdown() = %v, want %v", got, want)
+	}
+}
+
+func TestSystemFailoverNoHA(t *testing.T) {
+	// Clusters without tolerated failures contribute no failover
+	// downtime even if a failover time is (mis)configured.
+	s := System{Clusters: []Cluster{
+		{Name: "a", Nodes: 3, Tolerated: 0, NodeDown: 0.01, FailuresPerYear: 10, Failover: time.Hour},
+	}}
+	if got := s.FailoverDowntime(); got != 0 {
+		t.Fatalf("FailoverDowntime() = %v, want 0 for K̂=0", got)
+	}
+}
+
+func TestSystemFailoverSingleCluster(t *testing.T) {
+	// One HA cluster alone: F_s = f·t·(K-K̂)/δ with no conditioning term.
+	c := Cluster{Name: "c", Nodes: 4, Tolerated: 1, NodeDown: 0.01, FailuresPerYear: 4, Failover: 15 * time.Minute}
+	s := System{Clusters: []Cluster{c}}
+	want := 4 * 15 * 3 / MinutesPerYear
+	if got := s.FailoverDowntime(); !almostEqual(got, want, 1e-15) {
+		t.Fatalf("FailoverDowntime() = %v, want %v", got, want)
+	}
+}
+
+func TestSystemFailoverConditioning(t *testing.T) {
+	// Equation 3: each cluster's failover term is weighted by
+	// Π_{j≠i}(1-P_j)^{K_j-K̂_j}.
+	c1 := Cluster{Name: "c1", Nodes: 2, Tolerated: 1, NodeDown: 0.1, FailuresPerYear: 2, Failover: 10 * time.Minute}
+	c2 := Cluster{Name: "c2", Nodes: 3, Tolerated: 0, NodeDown: 0.05}
+	s := System{Clusters: []Cluster{c1, c2}}
+
+	// Only c1 has a failover term; it is conditioned on c2's 3 active
+	// nodes all being up.
+	want := (2 * 10 * 1 / MinutesPerYear) * math.Pow(0.95, 3)
+	if got := s.FailoverDowntime(); !almostEqual(got, want, 1e-15) {
+		t.Fatalf("FailoverDowntime() = %v, want %v", got, want)
+	}
+}
+
+func TestSystemDowntimeComposition(t *testing.T) {
+	s := System{Clusters: []Cluster{
+		{Name: "a", Nodes: 2, Tolerated: 1, NodeDown: 0.02, FailuresPerYear: 3, Failover: 5 * time.Minute},
+		{Name: "b", Nodes: 1, NodeDown: 0.01},
+	}}
+	if got, want := s.Downtime(), s.Breakdown()+s.FailoverDowntime(); !almostEqual(got, want, 1e-15) {
+		t.Fatalf("Downtime() = %v, want Bs+Fs = %v", got, want)
+	}
+	if got, want := s.Uptime(), 1-s.Downtime(); !almostEqual(got, want, 1e-15) {
+		t.Fatalf("Uptime() = %v, want %v", got, want)
+	}
+}
+
+func TestSystemDowntimeClamped(t *testing.T) {
+	// An absurd failover time can push Bs+Fs past 1; Downtime clamps.
+	s := System{Clusters: []Cluster{
+		{Name: "a", Nodes: 2, Tolerated: 1, NodeDown: 0.5, FailuresPerYear: 1e6, Failover: 24 * time.Hour},
+	}}
+	if got := s.Downtime(); got != 1 {
+		t.Fatalf("Downtime() = %v, want clamp to 1", got)
+	}
+	if got := s.Uptime(); got != 0 {
+		t.Fatalf("Uptime() = %v, want 0", got)
+	}
+}
+
+func TestDowntimeUnitConversions(t *testing.T) {
+	s := System{Clusters: []Cluster{{Name: "a", Nodes: 1, NodeDown: 0.01}}}
+	d := s.Downtime()
+	if got, want := s.DowntimeMinutesPerYear(), d*MinutesPerYear; !almostEqual(got, want, 1e-9) {
+		t.Fatalf("DowntimeMinutesPerYear() = %v, want %v", got, want)
+	}
+	if got, want := s.DowntimeHoursPerMonth(), d*HoursPerMonth; !almostEqual(got, want, 1e-9) {
+		t.Fatalf("DowntimeHoursPerMonth() = %v, want %v", got, want)
+	}
+	// Sanity: 1% downtime ≈ 7.3 hours/month under δ = 525600.
+	if got := s.DowntimeHoursPerMonth(); !almostEqual(got, 7.3, 1e-9) {
+		t.Fatalf("1%% downtime = %v h/month, want 7.3", got)
+	}
+}
+
+func TestAddingStandbyImprovesCaseStudyShape(t *testing.T) {
+	// Moving a 3-active-node compute tier from no-HA (K=3, K̂=0) to the
+	// paper's 3+1 ESX cluster (K=4, K̂=1) must cut breakdown probability
+	// by orders of magnitude even after paying failover downtime.
+	noHA := System{Clusters: []Cluster{
+		{Name: "compute", Nodes: 3, Tolerated: 0, NodeDown: 0.005, FailuresPerYear: 5},
+	}}
+	withHA := System{Clusters: []Cluster{
+		{Name: "compute", Nodes: 4, Tolerated: 1, NodeDown: 0.005, FailuresPerYear: 5, Failover: 15 * time.Minute},
+	}}
+	if noHA.Downtime() <= withHA.Downtime() {
+		t.Fatalf("HA did not help: noHA=%v withHA=%v", noHA.Downtime(), withHA.Downtime())
+	}
+	if ratio := noHA.Downtime() / withHA.Downtime(); ratio < 10 {
+		t.Fatalf("HA improvement ratio = %v, want >= 10x", ratio)
+	}
+}

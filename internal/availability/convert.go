@@ -1,0 +1,74 @@
+package availability
+
+import (
+	"fmt"
+	"time"
+)
+
+// NodeParams are the per-node reliability inputs of the model: the
+// steady-state down probability P and the failure frequency f. The
+// broker's telemetry layer estimates them from raw outage observations;
+// this file provides the standard renewal-theory conversions between
+// (MTBF, MTTR) and (P, f).
+type NodeParams struct {
+	// Down is P: the fraction of time the node is unavailable.
+	Down float64
+
+	// FailuresPerYear is f: how many failures the node sees per year.
+	FailuresPerYear float64
+}
+
+// FromMTBF derives NodeParams from a mean time between failures and a
+// mean time to repair. In the alternating-renewal model,
+//
+//	P = MTTR / (MTBF + MTTR)
+//	f = minutes-per-year / (MTBF + MTTR)
+//
+// Both durations must be positive except that a zero MTTR yields a
+// perfectly available node that still fails (and instantly recovers)
+// f times per year.
+func FromMTBF(mtbf, mttr time.Duration) (NodeParams, error) {
+	if mtbf <= 0 {
+		return NodeParams{}, fmt.Errorf("availability: MTBF = %v, must be > 0", mtbf)
+	}
+	if mttr < 0 {
+		return NodeParams{}, fmt.Errorf("availability: MTTR = %v, must be >= 0", mttr)
+	}
+	cycle := mtbf.Minutes() + mttr.Minutes()
+	return NodeParams{
+		Down:            mttr.Minutes() / cycle,
+		FailuresPerYear: MinutesPerYear / cycle,
+	}, nil
+}
+
+// MTBF inverts FromMTBF: it recovers the mean time between failures
+// implied by the params. It returns 0 when FailuresPerYear is 0 (a node
+// that never fails has no defined cycle).
+func (p NodeParams) MTBF() time.Duration {
+	if p.FailuresPerYear <= 0 {
+		return 0
+	}
+	cycleMinutes := MinutesPerYear / p.FailuresPerYear
+	return time.Duration((1 - p.Down) * cycleMinutes * float64(time.Minute))
+}
+
+// MTTR inverts FromMTBF: it recovers the mean time to repair implied by
+// the params, 0 when the node never fails.
+func (p NodeParams) MTTR() time.Duration {
+	if p.FailuresPerYear <= 0 {
+		return 0
+	}
+	cycleMinutes := MinutesPerYear / p.FailuresPerYear
+	return time.Duration(p.Down * cycleMinutes * float64(time.Minute))
+}
+
+// Validate reports whether the params are usable in the model.
+func (p NodeParams) Validate() error {
+	if p.Down < 0 || p.Down >= 1 {
+		return fmt.Errorf("availability: Down = %v, must be in [0, 1)", p.Down)
+	}
+	if p.FailuresPerYear < 0 {
+		return fmt.Errorf("availability: FailuresPerYear = %v, must be >= 0", p.FailuresPerYear)
+	}
+	return nil
+}

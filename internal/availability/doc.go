@@ -1,0 +1,24 @@
+// Package availability implements the probabilistic uptime model of
+// Venkateswaran & Sarkar, "Uptime-Optimized Cloud Architecture as a
+// Brokered Service" (DSN 2017), Section II.B.
+//
+// A cloud-hosted system S is modeled as a serial combination of n
+// clusters. Each cluster C_i follows the k-redundancy model: it has K_i
+// nodes of which at most K̂_i may be down before the cluster breaks down
+// beyond immediate recovery. While the cluster survives a node outage,
+// it is briefly unavailable for the failover time t_i.
+//
+// The model composes two mutually exclusive downtime sources:
+//
+//	D_s = B_s + F_s            (Equation 1)
+//
+// where B_s is the probability that at least one cluster has broken
+// down (more than K̂_i simultaneous node outages, Equation 2) and F_s is
+// the expected fraction of time lost to failover transitions while every
+// other cluster is healthy (Equation 3). System uptime is U_s = 1 - D_s
+// (Equation 4).
+//
+// All probabilities are dimensionless fractions in [0, 1]. Durations use
+// time.Duration; rates are expressed per year with δ = 525 600 minutes
+// per year as in the paper.
+package availability

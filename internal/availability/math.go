@@ -1,0 +1,67 @@
+package availability
+
+// binomialUpperTail returns Σ_{j=m}^{n} C(n, j) q^j (1-q)^(n-j): the
+// probability that a Binomial(n, q) variable is at least m. In the
+// cluster model q is the per-node up probability and m the required
+// number of active nodes.
+//
+// The terms are accumulated from j = n downward with an iteratively
+// maintained binomial coefficient, which is exact in float64 for the
+// cluster sizes that occur in practice (n well below 1000).
+func binomialUpperTail(n, m int, q float64) float64 {
+	if m <= 0 {
+		return 1
+	}
+	if m > n {
+		return 0
+	}
+	p := 1 - q
+	// term_j = C(n, j) q^j p^(n-j), starting at j = n.
+	term := powInt(q, n)
+	sum := term
+	if q == 0 {
+		// All mass is at j = 0; the tail from m >= 1 is empty.
+		return 0
+	}
+	for j := n - 1; j >= m; j-- {
+		// C(n, j) = C(n, j+1) * (j+1) / (n-j); shift one q to p.
+		term *= float64(j+1) / float64(n-j) * p / q
+		sum += term
+	}
+	if sum > 1 {
+		return 1
+	}
+	return sum
+}
+
+// powInt returns x^k for integer k >= 0 by binary exponentiation. It
+// avoids math.Pow's transcendental path for the small integer exponents
+// the model uses, and is exact for k == 0 and k == 1.
+func powInt(x float64, k int) float64 {
+	result := 1.0
+	for k > 0 {
+		if k&1 == 1 {
+			result *= x
+		}
+		x *= x
+		k >>= 1
+	}
+	return result
+}
+
+// binomial returns C(n, k) as a float64 using the multiplicative
+// formula. It is used by tests and by the attribution report; callers
+// must keep n small enough (< 1030) that the result fits a float64.
+func binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	result := 1.0
+	for i := 1; i <= k; i++ {
+		result *= float64(n-k+i) / float64(i)
+	}
+	return result
+}

@@ -1,0 +1,164 @@
+package availability
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomialUpperTailEdges(t *testing.T) {
+	tests := []struct {
+		name    string
+		n, m    int
+		q       float64
+		want    float64
+		withinT float64
+	}{
+		{"m zero is certain", 5, 0, 0.3, 1, 0},
+		{"m negative is certain", 5, -2, 0.3, 1, 0},
+		{"m above n impossible", 5, 6, 0.99, 0, 0},
+		{"all must be up", 3, 3, 0.9, 0.729, 1e-15},
+		{"q zero, need one", 4, 1, 0, 0, 0},
+		{"q one, need all", 4, 4, 1, 1, 0},
+		{"single trial", 1, 1, 0.42, 0.42, 1e-15},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := binomialUpperTail(tt.n, tt.m, tt.q)
+			if math.Abs(got-tt.want) > tt.withinT {
+				t.Fatalf("binomialUpperTail(%d, %d, %v) = %v, want %v", tt.n, tt.m, tt.q, got, tt.want)
+			}
+		})
+	}
+}
+
+// naiveTail is an independent reference implementation using the
+// explicit binomial coefficient formula.
+func naiveTail(n, m int, q float64) float64 {
+	if m < 0 {
+		m = 0
+	}
+	sum := 0.0
+	for j := m; j <= n; j++ {
+		sum += binomial(n, j) * math.Pow(q, float64(j)) * math.Pow(1-q, float64(n-j))
+	}
+	return sum
+}
+
+func TestBinomialUpperTailMatchesNaive(t *testing.T) {
+	for n := 1; n <= 12; n++ {
+		for m := 0; m <= n; m++ {
+			for _, q := range []float64{0.001, 0.1, 0.5, 0.9, 0.999} {
+				got := binomialUpperTail(n, m, q)
+				want := naiveTail(n, m, q)
+				if math.Abs(got-want) > 1e-12 {
+					t.Fatalf("binomialUpperTail(%d, %d, %v) = %v, naive = %v", n, m, q, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBinomialUpperTailMonotoneInM(t *testing.T) {
+	// Requiring more successes can never raise the probability.
+	n, q := 8, 0.95
+	prev := 2.0
+	for m := 0; m <= n; m++ {
+		cur := binomialUpperTail(n, m, q)
+		if cur > prev+1e-15 {
+			t.Fatalf("tail increased at m=%d: %v > %v", m, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestBinomialUpperTailMonotoneInQ(t *testing.T) {
+	err := quick.Check(func(nRaw, mRaw uint8, q1, q2 float64) bool {
+		n := int(nRaw%10) + 1
+		m := int(mRaw) % (n + 1)
+		q1 = clamp01(q1)
+		q2 = clamp01(q2)
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		return binomialUpperTail(n, m, q1) <= binomialUpperTail(n, m, q2)+1e-12
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clamp01(x float64) float64 {
+	x = math.Abs(x)
+	x -= math.Floor(x)
+	return x
+}
+
+func TestPowInt(t *testing.T) {
+	tests := []struct {
+		x    float64
+		k    int
+		want float64
+	}{
+		{2, 0, 1},
+		{2, 1, 2},
+		{2, 10, 1024},
+		{0.5, 3, 0.125},
+		{0, 0, 1},
+		{0, 5, 0},
+		{-3, 3, -27},
+		{-3, 2, 9},
+	}
+	for _, tt := range tests {
+		if got := powInt(tt.x, tt.k); got != tt.want {
+			t.Fatalf("powInt(%v, %d) = %v, want %v", tt.x, tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestPowIntMatchesMathPow(t *testing.T) {
+	err := quick.Check(func(xRaw float64, kRaw uint8) bool {
+		x := clamp01(xRaw)
+		k := int(kRaw % 30)
+		got := powInt(x, k)
+		want := math.Pow(x, float64(k))
+		return math.Abs(got-want) <= 1e-12*math.Max(1, math.Abs(want))
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinomialCoefficient(t *testing.T) {
+	tests := []struct {
+		n, k int
+		want float64
+	}{
+		{0, 0, 1},
+		{4, 0, 1},
+		{4, 4, 1},
+		{4, 2, 6},
+		{10, 3, 120},
+		{10, 7, 120},
+		{5, -1, 0},
+		{5, 6, 0},
+		{52, 5, 2598960},
+	}
+	for _, tt := range tests {
+		if got := binomial(tt.n, tt.k); got != tt.want {
+			t.Fatalf("binomial(%d, %d) = %v, want %v", tt.n, tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestBinomialPascalIdentity(t *testing.T) {
+	for n := 2; n <= 30; n++ {
+		for k := 1; k < n; k++ {
+			lhs := binomial(n, k)
+			rhs := binomial(n-1, k-1) + binomial(n-1, k)
+			if math.Abs(lhs-rhs) > 1e-6*lhs {
+				t.Fatalf("Pascal identity failed at (%d, %d): %v vs %v", n, k, lhs, rhs)
+			}
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package availability
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// randomCluster derives a valid cluster from raw quick-check inputs.
+func randomCluster(rng *rand.Rand) Cluster {
+	nodes := 1 + rng.Intn(8)
+	return Cluster{
+		Name:            "c",
+		Nodes:           nodes,
+		Tolerated:       rng.Intn(nodes),
+		NodeDown:        rng.Float64() * 0.5,
+		FailuresPerYear: rng.Float64() * 20,
+		Failover:        time.Duration(rng.Intn(30)) * time.Minute,
+	}
+}
+
+func randomSystem(rng *rand.Rand) System {
+	n := 1 + rng.Intn(5)
+	cs := make([]Cluster, n)
+	for i := range cs {
+		cs[i] = randomCluster(rng)
+	}
+	return System{Clusters: cs}
+}
+
+func TestPropertyUptimeInUnitInterval(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		s := randomSystem(rand.New(rand.NewSource(seed)))
+		u := s.Uptime()
+		return u >= 0 && u <= 1
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMoreToleranceNeverHurtsBreakdown(t *testing.T) {
+	// Raising K̂ (with K fixed) weakly increases cluster up probability.
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCluster(rng)
+		if c.Tolerated >= c.Nodes-1 {
+			c.Tolerated = c.Nodes - 2
+			if c.Tolerated < 0 {
+				return true // K=1 cluster cannot gain tolerance
+			}
+		}
+		more := c
+		more.Tolerated++
+		return more.UpProbability() >= c.UpProbability()-1e-12
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyWorseNodesNeverHelp(t *testing.T) {
+	// Raising P_i weakly decreases system uptime (failover terms shrink
+	// only via other clusters; the breakdown term dominates).
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomSystem(rng)
+		idx := rng.Intn(len(s.Clusters))
+
+		worse := System{Clusters: append([]Cluster(nil), s.Clusters...)}
+		bump := (1 - worse.Clusters[idx].NodeDown) * rng.Float64() * 0.5
+		worse.Clusters[idx].NodeDown += bump
+
+		// Compare the breakdown component, which is the monotone part of
+		// the model. (F_s can shrink when P grows because the paper
+		// conditions on other clusters being healthy.)
+		return worse.Breakdown() >= s.Breakdown()-1e-12
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySerialNeverBeatsBestCluster(t *testing.T) {
+	// A serial chain is at most as available as its weakest link, and
+	// breakdown-wise at least as bad as any single cluster.
+	err := quick.Check(func(seed int64) bool {
+		s := randomSystem(rand.New(rand.NewSource(seed)))
+		sysUp := 1 - s.Breakdown()
+		for _, c := range s.Clusters {
+			if sysUp > c.UpProbability()+1e-12 {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyAttributionCoversAllClusters(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		s := randomSystem(rand.New(rand.NewSource(seed)))
+		attr := s.Attribution()
+		if len(attr) != len(s.Clusters) {
+			return false
+		}
+		// Sorted descending by Total.
+		for i := 1; i < len(attr); i++ {
+			if attr[i].Total > attr[i-1].Total {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMTBFRoundTrip(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mtbf := time.Duration(1+rng.Intn(10000)) * time.Hour
+		mttr := time.Duration(rng.Intn(600)) * time.Minute
+		p, err := FromMTBF(mtbf, mttr)
+		if err != nil {
+			return false
+		}
+		if err := p.Validate(); err != nil {
+			return false
+		}
+		// Round-trip within a minute of resolution.
+		backMTBF, backMTTR := p.MTBF(), p.MTTR()
+		return durationClose(backMTBF, mtbf, time.Minute) && durationClose(backMTTR, mttr, time.Minute)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func durationClose(a, b, tol time.Duration) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+func TestNines(t *testing.T) {
+	tests := []struct {
+		uptime float64
+		want   float64
+		tol    float64
+	}{
+		{0.9, 1, 1e-9},
+		{0.99, 2, 1e-9},
+		{0.999, 3, 1e-9},
+		{0.99999, 5, 1e-9},
+		{1, 16, 0},
+		{1.5, 16, 0},
+		{0, 0, 0},
+		{-0.2, 0, 0},
+	}
+	for _, tt := range tests {
+		if got := Nines(tt.uptime); !almostEqual(got, tt.want, tt.tol) {
+			t.Fatalf("Nines(%v) = %v, want %v", tt.uptime, got, tt.want)
+		}
+	}
+}
+
+func TestFromMTBFErrors(t *testing.T) {
+	if _, err := FromMTBF(0, time.Minute); err == nil {
+		t.Fatal("FromMTBF(0, ...) should fail")
+	}
+	if _, err := FromMTBF(time.Hour, -time.Minute); err == nil {
+		t.Fatal("FromMTBF(..., negative) should fail")
+	}
+	p, err := FromMTBF(99*time.Hour, time.Hour)
+	if err != nil {
+		t.Fatalf("FromMTBF: %v", err)
+	}
+	if !almostEqual(p.Down, 0.01, 1e-12) {
+		t.Fatalf("Down = %v, want 0.01", p.Down)
+	}
+}
+
+func TestNodeParamsValidate(t *testing.T) {
+	bad := []NodeParams{{Down: -0.1}, {Down: 1}, {Down: 0.5, FailuresPerYear: -1}}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("Validate(%+v) = nil, want error", p)
+		}
+	}
+	if err := (NodeParams{Down: 0.01, FailuresPerYear: 5}).Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	zero := NodeParams{}
+	if zero.MTBF() != 0 || zero.MTTR() != 0 {
+		t.Fatal("zero-failure params should have zero MTBF/MTTR")
+	}
+}

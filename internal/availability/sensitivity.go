@@ -1,0 +1,89 @@
+package availability
+
+// SensitivityRow reports how strongly system downtime responds to one
+// cluster's parameters — the "where should the next HA dollar go"
+// signal an architect reads before picking permutations to try.
+type SensitivityRow struct {
+	// Name is the cluster name.
+	Name string
+
+	// DowntimePerNodeDown is ∂D_s/∂P_i: the marginal system downtime
+	// per unit of node down-probability, estimated by central
+	// difference.
+	DowntimePerNodeDown float64
+
+	// DowntimePerFailoverMinute is ∂D_s/∂t_i in downtime fraction per
+	// minute of failover latency; zero for clusters without standby.
+	DowntimePerFailoverMinute float64
+}
+
+// sensitivityStep is the relative perturbation for the central
+// differences; small enough for locality, large enough for float64
+// significance at the downtime magnitudes the model produces.
+const sensitivityStep = 1e-6
+
+// Sensitivity returns one row per cluster, in cluster order.
+func (s System) Sensitivity() []SensitivityRow {
+	rows := make([]SensitivityRow, len(s.Clusters))
+	for i := range s.Clusters {
+		rows[i] = SensitivityRow{
+			Name:                      s.Clusters[i].Name,
+			DowntimePerNodeDown:       s.derivNodeDown(i),
+			DowntimePerFailoverMinute: s.derivFailover(i),
+		}
+	}
+	return rows
+}
+
+// derivNodeDown estimates ∂D_s/∂P_i by central difference, clamping
+// the perturbed probability into [0, 1).
+func (s System) derivNodeDown(i int) float64 {
+	base := s.Clusters[i].NodeDown
+	h := sensitivityStep
+	lo, hi := base-h, base+h
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= 1 {
+		hi = base
+	}
+	if hi <= lo {
+		return 0
+	}
+	up := s.withNodeDown(i, hi).Downtime()
+	down := s.withNodeDown(i, lo).Downtime()
+	return (up - down) / (hi - lo)
+}
+
+// derivFailover estimates ∂D_s/∂t_i. Analytically the failover term is
+// linear in t_i, so the derivative is exact: the cluster's conditioned
+// failover coefficient per minute.
+func (s System) derivFailover(i int) float64 {
+	c := s.Clusters[i]
+	if c.Tolerated == 0 {
+		return 0
+	}
+	coeff := c.FailuresPerYear * float64(c.Active()) / MinutesPerYear
+	for j, other := range s.Clusters {
+		if j == i {
+			continue
+		}
+		coeff *= other.activeUpProbability()
+	}
+	return coeff
+}
+
+// withNodeDown returns a copy of the system with cluster i's NodeDown
+// replaced.
+func (s System) withNodeDown(i int, p float64) System {
+	clusters := append([]Cluster(nil), s.Clusters...)
+	clusters[i].NodeDown = p
+	return System{Clusters: clusters}
+}
+
+// WeakestLink returns the cluster injecting the most downtime (the
+// head of the Attribution ordering). It panics on an empty system;
+// validate first.
+func (s System) WeakestLink() Contribution {
+	return s.Attribution()[0]
+}

@@ -1,0 +1,132 @@
+// Package broker implements the uptime-aware brokerage service of the
+// paper's Section II.C (Figure 2): given a base cloud solution
+// architecture, an uptime SLA with its slippage penalty, and the
+// broker's cross-cloud knowledge (catalog rate cards plus telemetry
+// parameter estimates), it models every HA-enabled permutation of the
+// base architecture, prices each one's monthly TCO per Equation 5, and
+// recommends the minimum-TCO topology per Equation 6.
+package broker
+
+import (
+	"fmt"
+
+	"uptimebroker/internal/availability"
+	"uptimebroker/internal/catalog"
+	"uptimebroker/internal/cost"
+	"uptimebroker/internal/telemetry"
+	"uptimebroker/internal/topology"
+)
+
+// ParamSource resolves node reliability parameters for a (provider,
+// component class) pair — the P_i and f_i of the model.
+type ParamSource interface {
+	NodeParams(provider, class string) (availability.NodeParams, error)
+}
+
+// CatalogParams is a ParamSource backed by the catalog's long-term
+// provider defaults.
+type CatalogParams struct {
+	Catalog *catalog.Catalog
+}
+
+// NodeParams implements ParamSource.
+func (c CatalogParams) NodeParams(provider, class string) (availability.NodeParams, error) {
+	return c.Catalog.DefaultNodeParams(provider, class)
+}
+
+// TelemetryParams is a ParamSource that prefers fresh telemetry
+// estimates and falls back to another source (typically the catalog)
+// when a bucket has insufficient observation behind it.
+type TelemetryParams struct {
+	// Store supplies the live estimates.
+	Store *telemetry.Store
+
+	// Fallback answers when the store has no usable estimate.
+	Fallback ParamSource
+
+	// MinExposureYears is the minimum node-years of observation an
+	// estimate needs before it overrides the fallback.
+	MinExposureYears float64
+}
+
+// NodeParams implements ParamSource.
+func (t TelemetryParams) NodeParams(provider, class string) (availability.NodeParams, error) {
+	if t.Store != nil {
+		if params, err := t.Store.Estimate(provider, class); err == nil && params.ExposureYears >= t.MinExposureYears {
+			return params.Node, nil
+		}
+	}
+	if t.Fallback == nil {
+		return availability.NodeParams{}, fmt.Errorf("broker: no telemetry and no fallback for %s/%s", provider, class)
+	}
+	return t.Fallback.NodeParams(provider, class)
+}
+
+// Plan maps component names to HA technology IDs; a missing or empty
+// entry means no HA for that component. It describes either an
+// incumbent ("as-is") deployment or a recommended one.
+type Plan map[string]string
+
+// Request is what a customer (or the provider acting for one) submits
+// to the brokerage: the inputs enumerated in Section II.C.
+type Request struct {
+	// Base is the base cloud solution architecture.
+	Base topology.System
+
+	// SLA is the contractual uptime target and slippage penalty.
+	SLA cost.SLA
+
+	// AsIs optionally describes the incumbent ad-hoc HA strategy; when
+	// present the recommendation reports the savings against it (the
+	// paper's Figure 10 comparison).
+	AsIs Plan
+
+	// AllowedTechs optionally restricts the HA choices per component to
+	// the named technology IDs; nil means every catalog technology for
+	// the component's layer is in play. The case study restricts each
+	// layer to its single classic mechanism, giving k = 2.
+	AllowedTechs map[string][]string
+}
+
+// Validate reports whether the request is well-formed (catalog
+// consistency is checked during compilation).
+func (r Request) Validate() error {
+	if err := r.Base.Validate(); err != nil {
+		return fmt.Errorf("broker: %w", err)
+	}
+	if err := r.SLA.Validate(); err != nil {
+		return fmt.Errorf("broker: %w", err)
+	}
+	for name := range r.AsIs {
+		if _, ok := r.Base.Component(name); !ok {
+			return fmt.Errorf("broker: as-is plan names unknown component %q", name)
+		}
+	}
+	for name := range r.AllowedTechs {
+		if _, ok := r.Base.Component(name); !ok {
+			return fmt.Errorf("broker: allowed-techs names unknown component %q", name)
+		}
+	}
+	return nil
+}
+
+// Engine is the brokerage service core.
+type Engine struct {
+	catalog *catalog.Catalog
+	params  ParamSource
+}
+
+// New builds an engine over a catalog and a parameter source.
+func New(cat *catalog.Catalog, params ParamSource) (*Engine, error) {
+	if cat == nil {
+		return nil, fmt.Errorf("broker: nil catalog")
+	}
+	if params == nil {
+		return nil, fmt.Errorf("broker: nil parameter source")
+	}
+	return &Engine{catalog: cat, params: params}, nil
+}
+
+// Catalog exposes the engine's catalog for read-only use by the HTTP
+// layer.
+func (e *Engine) Catalog() *catalog.Catalog { return e.catalog }

@@ -1,0 +1,39 @@
+package broker
+
+import "sort"
+
+// ParetoCards filters option cards to the cost × uptime frontier: a
+// card survives unless some other card offers at least the uptime for
+// at most the HA cost (with one strict improvement). The frontier is
+// the menu for customers negotiating SLA terms rather than accepting
+// the single TCO optimum; it is returned sorted by ascending HA cost.
+func ParetoCards(cards []OptionCard) []OptionCard {
+	if len(cards) == 0 {
+		return nil
+	}
+	sorted := append([]OptionCard(nil), cards...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].HACost != sorted[j].HACost {
+			return sorted[i].HACost < sorted[j].HACost
+		}
+		return sorted[i].Uptime > sorted[j].Uptime
+	})
+	var front []OptionCard
+	bestUptime := -1.0
+	for _, c := range sorted {
+		if c.Uptime > bestUptime {
+			front = append(front, c)
+			bestUptime = c.Uptime
+		}
+	}
+	return front
+}
+
+// Pareto runs the brokerage and returns only the frontier cards.
+func (e *Engine) Pareto(req Request) ([]OptionCard, error) {
+	rec, err := e.Recommend(req)
+	if err != nil {
+		return nil, err
+	}
+	return ParetoCards(rec.Cards), nil
+}

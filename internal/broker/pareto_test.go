@@ -1,0 +1,88 @@
+package broker
+
+import (
+	"testing"
+
+	"uptimebroker/internal/cost"
+)
+
+func TestParetoCardsCaseStudy(t *testing.T) {
+	e := newTestEngine(t)
+	front, err := e.Pareto(CaseStudy())
+	if err != nil {
+		t.Fatalf("Pareto: %v", err)
+	}
+	if len(front) == 0 {
+		t.Fatal("empty frontier")
+	}
+
+	// Frontier invariants: strictly increasing cost and uptime.
+	for i := 1; i < len(front); i++ {
+		if front[i].HACost <= front[i-1].HACost {
+			t.Fatalf("frontier cost not increasing: %v then %v", front[i-1].HACost, front[i].HACost)
+		}
+		if front[i].Uptime <= front[i-1].Uptime {
+			t.Fatalf("frontier uptime not increasing: %v then %v", front[i-1].Uptime, front[i].Uptime)
+		}
+	}
+
+	// The cheapest card (no HA) and the highest-uptime card (full HA)
+	// are always on the frontier.
+	if front[0].HACost != 0 {
+		t.Fatalf("frontier should start at $0, got %v", front[0].HACost)
+	}
+	last := front[len(front)-1]
+	if last.Label() != "compute=esx-ha,storage=raid1,network=dual-gateway" {
+		t.Fatalf("frontier should end at full HA, got %q", last.Label())
+	}
+
+	// Option #2 (network-only, $900 for less uptime than #3's $350) is
+	// dominated and must be absent.
+	for _, c := range front {
+		if c.Label() == "network=dual-gateway" {
+			t.Fatal("dominated option #2 on the frontier")
+		}
+	}
+}
+
+func TestParetoCardsNoDominatedSurvivor(t *testing.T) {
+	e := newTestEngine(t)
+	rec, err := e.Recommend(CaseStudy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := ParetoCards(rec.Cards)
+	for _, f := range front {
+		for _, c := range rec.Cards {
+			if c.HACost <= f.HACost && c.Uptime > f.Uptime && c.HACost < f.HACost {
+				t.Fatalf("frontier card #%d dominated by #%d", f.Option, c.Option)
+			}
+		}
+	}
+}
+
+func TestParetoCardsEmpty(t *testing.T) {
+	if got := ParetoCards(nil); got != nil {
+		t.Fatalf("ParetoCards(nil) = %v", got)
+	}
+}
+
+func TestParetoCardsTieOnCost(t *testing.T) {
+	cards := []OptionCard{
+		{Option: 1, HACost: cost.Dollars(100), Uptime: 0.97},
+		{Option: 2, HACost: cost.Dollars(100), Uptime: 0.99},
+	}
+	front := ParetoCards(cards)
+	if len(front) != 1 || front[0].Option != 2 {
+		t.Fatalf("tie on cost should keep only the higher uptime: %+v", front)
+	}
+}
+
+func TestParetoPropagatesErrors(t *testing.T) {
+	e := newTestEngine(t)
+	bad := CaseStudy()
+	bad.Base.Provider = "ghost"
+	if _, err := e.Pareto(bad); err == nil {
+		t.Fatal("Pareto should propagate compile errors")
+	}
+}

@@ -1,0 +1,296 @@
+package broker
+
+import (
+	"fmt"
+	"sort"
+
+	"uptimebroker/internal/cost"
+	"uptimebroker/internal/optimize"
+)
+
+// Choice is one component's HA selection within an option card.
+type Choice struct {
+	// Component is the component name.
+	Component string `json:"component"`
+
+	// TechID is the chosen HA technology ("" = no HA).
+	TechID string `json:"tech_id,omitempty"`
+}
+
+// OptionCard is one fully priced solution option — the content of the
+// paper's Figures 3 through 9 (one card per HA permutation).
+type OptionCard struct {
+	// Option is the 1-based option number in the paper's presentation
+	// order: ascending number of clustered components, lexicographic
+	// within a level. The case study's option #1 is "no HA anywhere",
+	// #8 is "HA everywhere".
+	Option int `json:"option"`
+
+	// Choices is the per-component HA selection.
+	Choices []Choice `json:"choices"`
+
+	// HACost is C_HA: the monthly infrastructure + labor cost of the
+	// selected redundancy.
+	HACost cost.Money `json:"ha_cost"`
+
+	// Uptime is the expected uptime fraction U_s.
+	Uptime float64 `json:"uptime"`
+
+	// SlippageHours is the expected hours per month below the SLA.
+	SlippageHours float64 `json:"slippage_hours"`
+
+	// Penalty is the expected monthly slippage payout.
+	Penalty cost.Money `json:"penalty"`
+
+	// TCO is HACost + Penalty (Equation 5).
+	TCO cost.Money `json:"tco"`
+
+	// MeetsSLA reports whether expected uptime reaches the target.
+	MeetsSLA bool `json:"meets_sla"`
+}
+
+// Label renders the card's HA selection compactly, e.g.
+// "storage=raid1" or "none".
+func (c OptionCard) Label() string {
+	s := ""
+	for _, ch := range c.Choices {
+		if ch.TechID == "" {
+			continue
+		}
+		if s != "" {
+			s += ","
+		}
+		s += ch.Component + "=" + ch.TechID
+	}
+	if s == "" {
+		return NoHALabel
+	}
+	return s
+}
+
+// Plan converts the card's choices into a Plan.
+func (c OptionCard) Plan() Plan {
+	p := make(Plan, len(c.Choices))
+	for _, ch := range c.Choices {
+		if ch.TechID != "" {
+			p[ch.Component] = ch.TechID
+		}
+	}
+	return p
+}
+
+// SearchStats reports how much work the Section III.C pruned search
+// saved relative to exhaustive enumeration.
+type SearchStats struct {
+	// SpaceSize is k^n, the total number of permutations.
+	SpaceSize int `json:"space_size"`
+
+	// Evaluated is how many permutations the pruned search priced.
+	Evaluated int `json:"evaluated"`
+
+	// Skipped is how many permutations were clipped as supersets of an
+	// SLA-meeting permutation.
+	Skipped int `json:"skipped"`
+}
+
+// Recommendation is the brokerage's answer: every option card plus the
+// two recommendations the paper derives (minimum TCO, and minimum
+// slippage risk) and the savings against the incumbent.
+type Recommendation struct {
+	// System is the base architecture's name.
+	System string `json:"system"`
+
+	// Provider is the hosting cloud.
+	Provider string `json:"provider"`
+
+	// SLA echoes the contractual target.
+	SLA cost.SLA `json:"sla"`
+
+	// Cards lists every solution option in presentation order.
+	Cards []OptionCard `json:"cards"`
+
+	// BestOption is the 1-based option number with minimum TCO —
+	// Equation 6's OptCh, the broker's recommendation.
+	BestOption int `json:"best_option"`
+
+	// MinRiskOption is the 1-based option number of the cheapest card
+	// whose expected uptime meets the SLA (zero expected penalty), or 0
+	// when no card meets the SLA. This is the paper's "if the
+	// possibility of slippage penalty is to be minimized" alternative.
+	MinRiskOption int `json:"min_risk_option"`
+
+	// AsIsOption is the 1-based option number matching the request's
+	// incumbent plan, or 0 when no as-is plan was supplied.
+	AsIsOption int `json:"as_is_option"`
+
+	// SavingsFraction is 1 − TCO(best)/TCO(as-is), or 0 without an
+	// as-is plan. The case study reports ≈ 0.62.
+	SavingsFraction float64 `json:"savings_fraction"`
+
+	// Search reports the pruned-search effort statistics.
+	Search SearchStats `json:"search"`
+}
+
+// Card returns the 1-based option card.
+func (r *Recommendation) Card(option int) (OptionCard, error) {
+	if option < 1 || option > len(r.Cards) {
+		return OptionCard{}, fmt.Errorf("broker: option %d out of range [1, %d]", option, len(r.Cards))
+	}
+	return r.Cards[option-1], nil
+}
+
+// Best returns the minimum-TCO card.
+func (r *Recommendation) Best() OptionCard { return r.Cards[r.BestOption-1] }
+
+// Recommend runs the full brokerage flow for one request.
+func (e *Engine) Recommend(req Request) (*Recommendation, error) {
+	c, err := e.compile(req)
+	if err != nil {
+		return nil, err
+	}
+
+	// Price every option (the paper's figures show all of them), and
+	// run the pruned search for the effort statistics; their optima
+	// must agree, which the optimize package's tests guarantee.
+	cands, err := c.problem.All()
+	if err != nil {
+		return nil, err
+	}
+	pruned, err := c.problem.Pruned()
+	if err != nil {
+		return nil, err
+	}
+
+	cards := make([]OptionCard, len(cands))
+	order := make([]int, len(cands))
+	for i := range cands {
+		order[i] = i
+	}
+	// Paper presentation order: by number of clustered components, then
+	// lexicographically by assignment.
+	sort.Slice(order, func(x, y int) bool {
+		a, b := cands[order[x]].Assignment, cands[order[y]].Assignment
+		ha, hb := haCount(a), haCount(b)
+		if ha != hb {
+			return ha < hb
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return a[i] < b[i]
+			}
+		}
+		return false
+	})
+
+	asIsAssignment, err := c.assignmentForPlan(req.AsIs)
+	if err != nil {
+		return nil, err
+	}
+
+	rec := &Recommendation{
+		System:   req.Base.Name,
+		Provider: req.Base.Provider,
+		SLA:      req.SLA,
+		Cards:    cards,
+		Search: SearchStats{
+			SpaceSize: c.problem.SpaceSize(),
+			Evaluated: pruned.Evaluated,
+			Skipped:   pruned.Skipped,
+		},
+	}
+
+	bestIdx, minRiskIdx := -1, -1
+	for pos, idx := range order {
+		cand := cands[idx]
+		card := OptionCard{
+			Option:        pos + 1,
+			Choices:       c.choicesFor(cand.Assignment),
+			HACost:        cand.TCO.HA,
+			Uptime:        cand.Uptime,
+			SlippageHours: req.SLA.SlippageHoursPerMonth(cand.Uptime),
+			Penalty:       cand.TCO.ExpectedPenalty,
+			TCO:           cand.TCO.Total(),
+			MeetsSLA:      cand.MeetsSLA(req.SLA),
+		}
+		cards[pos] = card
+
+		if bestIdx < 0 || card.TCO < cards[bestIdx].TCO {
+			bestIdx = pos
+		}
+		if card.MeetsSLA && (minRiskIdx < 0 || card.HACost < cards[minRiskIdx].HACost) {
+			minRiskIdx = pos
+		}
+		if asIsAssignment != nil && sameAssignment(cand.Assignment, asIsAssignment) {
+			rec.AsIsOption = pos + 1
+		}
+	}
+
+	rec.BestOption = bestIdx + 1
+	if minRiskIdx >= 0 {
+		rec.MinRiskOption = minRiskIdx + 1
+	}
+	if rec.AsIsOption > 0 {
+		asIs := cards[rec.AsIsOption-1]
+		if asIs.TCO > 0 {
+			rec.SavingsFraction = 1 - float64(cards[bestIdx].TCO)/float64(asIs.TCO)
+		}
+	}
+	return rec, nil
+}
+
+// choicesFor maps an assignment back to component/tech pairs.
+func (c *compiled) choicesFor(a optimize.Assignment) []Choice {
+	out := make([]Choice, len(a))
+	for i, v := range a {
+		out[i] = Choice{Component: c.names[i], TechID: c.techIDs[i][v]}
+	}
+	return out
+}
+
+// assignmentForPlan converts a Plan into an assignment, or nil for a
+// nil plan. Unknown technology IDs (not among the component's variants)
+// are an error: the incumbent must be expressible in the option space
+// to be comparable.
+func (c *compiled) assignmentForPlan(p Plan) (optimize.Assignment, error) {
+	if p == nil {
+		return nil, nil
+	}
+	a := make(optimize.Assignment, len(c.names))
+	for i, name := range c.names {
+		want := p[name]
+		found := false
+		for v, id := range c.techIDs[i] {
+			if id == want {
+				a[i] = v
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("broker: as-is plan uses %q on %q, which is not among the allowed options", want, name)
+		}
+	}
+	return a, nil
+}
+
+func haCount(a optimize.Assignment) int {
+	n := 0
+	for _, v := range a {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func sameAssignment(a, b optimize.Assignment) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

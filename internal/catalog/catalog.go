@@ -1,0 +1,310 @@
+// Package catalog is the broker's knowledge of what can be bought: the
+// HA technologies that can be attached to each infrastructure layer
+// (with their redundancy semantics, failover latency and monthly cost
+// structure) and the cloud providers with their rate cards and default
+// component reliability parameters.
+//
+// In the paper the broker maintains this database by virtue of its
+// "vantage point above clouds" (Section II.C): rate-carded prices C_HA,
+// and P_i, f_i, t_i across IaaS components across clouds. The live
+// estimation side of that database is package telemetry; the catalog
+// holds the priced mechanisms and the long-term defaults.
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"uptimebroker/internal/availability"
+	"uptimebroker/internal/cost"
+	"uptimebroker/internal/topology"
+)
+
+// StandbyMode classifies how ready a standby node is, which drives the
+// failover latency the paper describes (hot, warm or cold standby).
+type StandbyMode int
+
+// Standby modes start at 1 so the zero value is invalid.
+const (
+	StandbyUnknown StandbyMode = iota
+	StandbyHot
+	StandbyWarm
+	StandbyCold
+)
+
+var standbyNames = map[StandbyMode]string{
+	StandbyHot:  "hot",
+	StandbyWarm: "warm",
+	StandbyCold: "cold",
+}
+
+// String returns the lower-case mode name.
+func (m StandbyMode) String() string {
+	if n, ok := standbyNames[m]; ok {
+		return n
+	}
+	return "unknown"
+}
+
+// Valid reports whether m is a known standby mode.
+func (m StandbyMode) Valid() bool {
+	_, ok := standbyNames[m]
+	return ok
+}
+
+// MarshalJSON encodes the mode as its string name.
+func (m StandbyMode) MarshalJSON() ([]byte, error) {
+	if !m.Valid() {
+		return nil, fmt.Errorf("catalog: cannot marshal unknown standby mode %d", int(m))
+	}
+	return json.Marshal(m.String())
+}
+
+// UnmarshalJSON decodes the mode from its string name.
+func (m *StandbyMode) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("catalog: standby mode must be a string: %w", err)
+	}
+	for mode, name := range standbyNames {
+		if name == strings.ToLower(strings.TrimSpace(s)) {
+			*m = mode
+			return nil
+		}
+	}
+	return fmt.Errorf("catalog: unknown standby mode %q", s)
+}
+
+// HATechnology is one redundancy mechanism the broker can engineer into
+// a cluster: it adds StandbyNodes standby nodes (raising K̂ by the same
+// amount) at a given monthly price, and imposes the technology's
+// failover latency when it absorbs an outage.
+type HATechnology struct {
+	// ID is the stable identifier, e.g. "esx-ha".
+	ID string `json:"id"`
+
+	// Name is the human-readable mechanism name.
+	Name string `json:"name"`
+
+	// Layer is the infrastructure layer the mechanism applies to.
+	Layer topology.Layer `json:"layer"`
+
+	// StandbyNodes is how many standby nodes the mechanism adds; the
+	// cluster tolerates the same number of simultaneous failures (K̂).
+	StandbyNodes int `json:"standby_nodes"`
+
+	// Mode is the readiness of the standby nodes.
+	Mode StandbyMode `json:"mode"`
+
+	// Failover is t_i: detection + bring-up + takeover latency during
+	// which the cluster is unavailable.
+	Failover time.Duration `json:"failover_ns"`
+
+	// InfraFixed is the provider-independent monthly base price of the
+	// mechanism (licensing, cluster management), before the provider's
+	// infrastructure multiplier.
+	InfraFixed cost.Money `json:"infra_fixed"`
+
+	// InfraPerStandby is the monthly price per standby node, before the
+	// provider multiplier.
+	InfraPerStandby cost.Money `json:"infra_per_standby"`
+
+	// LaborHoursPerMonth is the operational effort to deploy and
+	// sustain the mechanism, billed at the provider's labor rate.
+	LaborHoursPerMonth float64 `json:"labor_hours_per_month"`
+}
+
+// Validate reports whether the technology definition is well-formed.
+func (t HATechnology) Validate() error {
+	switch {
+	case strings.TrimSpace(t.ID) == "":
+		return fmt.Errorf("catalog: technology has empty ID")
+	case strings.TrimSpace(t.Name) == "":
+		return fmt.Errorf("catalog: technology %q has empty name", t.ID)
+	case !t.Layer.Valid():
+		return fmt.Errorf("catalog: technology %q: invalid layer", t.ID)
+	case t.StandbyNodes < 1:
+		return fmt.Errorf("catalog: technology %q: StandbyNodes = %d, must be >= 1", t.ID, t.StandbyNodes)
+	case !t.Mode.Valid():
+		return fmt.Errorf("catalog: technology %q: invalid standby mode", t.ID)
+	case t.Failover < 0:
+		return fmt.Errorf("catalog: technology %q: negative failover", t.ID)
+	case t.InfraFixed < 0 || t.InfraPerStandby < 0:
+		return fmt.Errorf("catalog: technology %q: negative infrastructure price", t.ID)
+	case t.LaborHoursPerMonth < 0:
+		return fmt.Errorf("catalog: technology %q: negative labor hours", t.ID)
+	}
+	return nil
+}
+
+// MonthlyCost prices the mechanism on a provider: infrastructure scaled
+// by the provider's multiplier plus labor at the provider's rate. This
+// is the per-component contribution to C_HA in Equation 5.
+func (t HATechnology) MonthlyCost(rc RateCard) cost.Money {
+	infra := t.InfraFixed + t.InfraPerStandby.Mul(int64(t.StandbyNodes))
+	return infra.MulFloat(rc.InfraMultiplier) + cost.Labor(t.LaborHoursPerMonth, rc.LaborRate)
+}
+
+// RateCard is a provider's commercial profile.
+type RateCard struct {
+	// LaborRate is the hourly rate for managed-service labor.
+	LaborRate cost.Money `json:"labor_rate"`
+
+	// InfraMultiplier scales catalog base infrastructure prices to the
+	// provider's price level (1.0 = the reference provider).
+	InfraMultiplier float64 `json:"infra_multiplier"`
+}
+
+// Validate reports whether the rate card is usable.
+func (rc RateCard) Validate() error {
+	if rc.LaborRate < 0 {
+		return fmt.Errorf("catalog: negative labor rate")
+	}
+	if rc.InfraMultiplier <= 0 {
+		return fmt.Errorf("catalog: infra multiplier %v, must be > 0", rc.InfraMultiplier)
+	}
+	return nil
+}
+
+// Provider describes one cloud in the broker's hybrid portfolio.
+type Provider struct {
+	// Name is the stable identifier, e.g. "softlayer-sim".
+	Name string `json:"name"`
+
+	// DisplayName is the human-readable provider name.
+	DisplayName string `json:"display_name"`
+
+	// RateCard is the provider's commercial profile.
+	RateCard RateCard `json:"rate_card"`
+
+	// NodeDefaults maps component classes to the broker's long-term
+	// default reliability parameters on this provider, used when the
+	// telemetry store has no fresher estimate.
+	NodeDefaults map[string]availability.NodeParams `json:"node_defaults"`
+}
+
+// Validate reports whether the provider definition is well-formed.
+func (p Provider) Validate() error {
+	if strings.TrimSpace(p.Name) == "" {
+		return fmt.Errorf("catalog: provider has empty name")
+	}
+	if err := p.RateCard.Validate(); err != nil {
+		return fmt.Errorf("catalog: provider %q: %w", p.Name, err)
+	}
+	for class, params := range p.NodeDefaults {
+		if err := params.Validate(); err != nil {
+			return fmt.Errorf("catalog: provider %q, class %q: %w", p.Name, class, err)
+		}
+	}
+	return nil
+}
+
+// Catalog is the broker's priced inventory of HA technologies and
+// providers. It is safe to share read-only after construction; mutation
+// methods are not synchronized.
+type Catalog struct {
+	techs     map[string]HATechnology
+	providers map[string]Provider
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		techs:     make(map[string]HATechnology),
+		providers: make(map[string]Provider),
+	}
+}
+
+// AddTechnology registers a technology, rejecting duplicates and
+// invalid definitions.
+func (c *Catalog) AddTechnology(t HATechnology) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if _, exists := c.techs[t.ID]; exists {
+		return fmt.Errorf("catalog: duplicate technology %q", t.ID)
+	}
+	c.techs[t.ID] = t
+	return nil
+}
+
+// Technology returns the technology with the given ID.
+func (c *Catalog) Technology(id string) (HATechnology, error) {
+	t, ok := c.techs[id]
+	if !ok {
+		return HATechnology{}, fmt.Errorf("catalog: unknown technology %q", id)
+	}
+	return t, nil
+}
+
+// TechnologiesForLayer returns all technologies applicable to a layer,
+// sorted by ID for determinism.
+func (c *Catalog) TechnologiesForLayer(l topology.Layer) []HATechnology {
+	var out []HATechnology
+	for _, t := range c.techs {
+		if t.Layer == l {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Technologies returns every registered technology sorted by ID.
+func (c *Catalog) Technologies() []HATechnology {
+	out := make([]HATechnology, 0, len(c.techs))
+	for _, t := range c.techs {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// AddProvider registers a provider, rejecting duplicates and invalid
+// definitions.
+func (c *Catalog) AddProvider(p Provider) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if _, exists := c.providers[p.Name]; exists {
+		return fmt.Errorf("catalog: duplicate provider %q", p.Name)
+	}
+	c.providers[p.Name] = p
+	return nil
+}
+
+// Provider returns the provider with the given name.
+func (c *Catalog) Provider(name string) (Provider, error) {
+	p, ok := c.providers[name]
+	if !ok {
+		return Provider{}, fmt.Errorf("catalog: unknown provider %q", name)
+	}
+	return p, nil
+}
+
+// Providers returns every registered provider sorted by name.
+func (c *Catalog) Providers() []Provider {
+	out := make([]Provider, 0, len(c.providers))
+	for _, p := range c.providers {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// DefaultNodeParams returns the broker's default reliability parameters
+// for a component class on a provider.
+func (c *Catalog) DefaultNodeParams(provider, class string) (availability.NodeParams, error) {
+	p, err := c.Provider(provider)
+	if err != nil {
+		return availability.NodeParams{}, err
+	}
+	params, ok := p.NodeDefaults[class]
+	if !ok {
+		return availability.NodeParams{}, fmt.Errorf("catalog: provider %q has no defaults for class %q", provider, class)
+	}
+	return params, nil
+}

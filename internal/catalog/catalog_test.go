@@ -1,0 +1,292 @@
+package catalog
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"uptimebroker/internal/cost"
+	"uptimebroker/internal/topology"
+)
+
+func validTech() HATechnology {
+	return HATechnology{
+		ID:                 "test-ha",
+		Name:               "Test HA",
+		Layer:              topology.LayerCompute,
+		StandbyNodes:       1,
+		Mode:               StandbyHot,
+		Failover:           5 * time.Minute,
+		InfraFixed:         cost.Dollars(100),
+		InfraPerStandby:    cost.Dollars(50),
+		LaborHoursPerMonth: 2,
+	}
+}
+
+func TestStandbyModeString(t *testing.T) {
+	tests := []struct {
+		m    StandbyMode
+		want string
+	}{
+		{StandbyHot, "hot"},
+		{StandbyWarm, "warm"},
+		{StandbyCold, "cold"},
+		{StandbyUnknown, "unknown"},
+		{StandbyMode(17), "unknown"},
+	}
+	for _, tt := range tests {
+		if got := tt.m.String(); got != tt.want {
+			t.Fatalf("StandbyMode(%d).String() = %q, want %q", int(tt.m), got, tt.want)
+		}
+	}
+}
+
+func TestStandbyModeJSON(t *testing.T) {
+	for m := range standbyNames {
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", m, err)
+		}
+		var back StandbyMode
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if back != m {
+			t.Fatalf("round trip %v -> %s -> %v", m, data, back)
+		}
+	}
+	if _, err := json.Marshal(StandbyUnknown); err == nil {
+		t.Fatal("marshaling unknown mode should fail")
+	}
+	var m StandbyMode
+	if err := json.Unmarshal([]byte(`"tepid"`), &m); err == nil {
+		t.Fatal("unmarshaling bogus mode should fail")
+	}
+	if err := json.Unmarshal([]byte(`3`), &m); err == nil {
+		t.Fatal("unmarshaling non-string mode should fail")
+	}
+}
+
+func TestHATechnologyValidate(t *testing.T) {
+	if err := validTech().Validate(); err != nil {
+		t.Fatalf("valid tech rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*HATechnology)
+	}{
+		{"empty id", func(h *HATechnology) { h.ID = " " }},
+		{"empty name", func(h *HATechnology) { h.Name = "" }},
+		{"bad layer", func(h *HATechnology) { h.Layer = topology.LayerUnknown }},
+		{"zero standby", func(h *HATechnology) { h.StandbyNodes = 0 }},
+		{"bad mode", func(h *HATechnology) { h.Mode = StandbyUnknown }},
+		{"negative failover", func(h *HATechnology) { h.Failover = -time.Second }},
+		{"negative fixed", func(h *HATechnology) { h.InfraFixed = -1 }},
+		{"negative per-standby", func(h *HATechnology) { h.InfraPerStandby = -1 }},
+		{"negative labor", func(h *HATechnology) { h.LaborHoursPerMonth = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			h := validTech()
+			tt.mutate(&h)
+			if err := h.Validate(); err == nil {
+				t.Fatal("Validate() = nil, want error")
+			}
+		})
+	}
+}
+
+func TestMonthlyCost(t *testing.T) {
+	h := validTech() // fixed $100 + $50/standby, 2h labor
+	rc := RateCard{LaborRate: cost.Dollars(30), InfraMultiplier: 1.0}
+	if got, want := h.MonthlyCost(rc), cost.Dollars(100+50+60); got != want {
+		t.Fatalf("MonthlyCost = %v, want %v", got, want)
+	}
+
+	// Multiplier scales only infrastructure, not labor.
+	rc = RateCard{LaborRate: cost.Dollars(30), InfraMultiplier: 2.0}
+	if got, want := h.MonthlyCost(rc), cost.Dollars(300+60); got != want {
+		t.Fatalf("MonthlyCost x2 = %v, want %v", got, want)
+	}
+
+	// Two standby nodes double the per-standby term.
+	h.StandbyNodes = 2
+	rc.InfraMultiplier = 1.0
+	if got, want := h.MonthlyCost(rc), cost.Dollars(100+100+60); got != want {
+		t.Fatalf("MonthlyCost 2 standby = %v, want %v", got, want)
+	}
+}
+
+func TestCaseStudyTechCosts(t *testing.T) {
+	// The calibrated case-study rate card (DESIGN.md §4): compute HA
+	// $1,800/month, storage HA $350, network HA $900 on the reference
+	// provider.
+	c := Default()
+	p, err := c.Provider(ProviderSoftLayerSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		id   string
+		want cost.Money
+	}{
+		{TechESXHA, cost.Dollars(1800)},
+		{TechRAID1, cost.Dollars(350)},
+		{TechDualGateway, cost.Dollars(900)},
+	}
+	for _, tt := range tests {
+		tech, err := c.Technology(tt.id)
+		if err != nil {
+			t.Fatalf("Technology(%q): %v", tt.id, err)
+		}
+		if got := tech.MonthlyCost(p.RateCard); got != tt.want {
+			t.Fatalf("MonthlyCost(%q) = %v, want %v", tt.id, got, tt.want)
+		}
+	}
+}
+
+func TestCatalogTechnologyRegistry(t *testing.T) {
+	c := New()
+	if err := c.AddTechnology(validTech()); err != nil {
+		t.Fatalf("AddTechnology: %v", err)
+	}
+	if err := c.AddTechnology(validTech()); err == nil {
+		t.Fatal("duplicate AddTechnology should fail")
+	}
+	bad := validTech()
+	bad.ID = ""
+	if err := c.AddTechnology(bad); err == nil {
+		t.Fatal("invalid AddTechnology should fail")
+	}
+	if _, err := c.Technology("test-ha"); err != nil {
+		t.Fatalf("Technology: %v", err)
+	}
+	if _, err := c.Technology("nope"); err == nil {
+		t.Fatal("unknown Technology should fail")
+	}
+}
+
+func TestCatalogProviderRegistry(t *testing.T) {
+	c := New()
+	p := Provider{Name: "p1", RateCard: RateCard{LaborRate: cost.Dollars(10), InfraMultiplier: 1}}
+	if err := c.AddProvider(p); err != nil {
+		t.Fatalf("AddProvider: %v", err)
+	}
+	if err := c.AddProvider(p); err == nil {
+		t.Fatal("duplicate AddProvider should fail")
+	}
+	if err := c.AddProvider(Provider{Name: ""}); err == nil {
+		t.Fatal("invalid AddProvider should fail")
+	}
+	if err := c.AddProvider(Provider{Name: "p2", RateCard: RateCard{InfraMultiplier: 0}}); err == nil {
+		t.Fatal("zero multiplier should fail")
+	}
+	if _, err := c.Provider("p1"); err != nil {
+		t.Fatalf("Provider: %v", err)
+	}
+	if _, err := c.Provider("ghost"); err == nil {
+		t.Fatal("unknown Provider should fail")
+	}
+}
+
+func TestDefaultCatalogShape(t *testing.T) {
+	c := Default()
+
+	// Three providers at distinct price points.
+	providers := c.Providers()
+	if len(providers) != 3 {
+		t.Fatalf("Providers() = %d, want 3", len(providers))
+	}
+	for i := 1; i < len(providers); i++ {
+		if providers[i-1].Name >= providers[i].Name {
+			t.Fatal("Providers() not sorted by name")
+		}
+	}
+
+	// The case study layer coverage: at least 2 compute, 4 storage and
+	// 2 network technologies (case study + future work).
+	counts := map[topology.Layer]int{}
+	for _, tech := range c.Technologies() {
+		counts[tech.Layer]++
+	}
+	if counts[topology.LayerCompute] < 2 {
+		t.Fatalf("compute technologies = %d, want >= 2", counts[topology.LayerCompute])
+	}
+	if counts[topology.LayerStorage] < 4 {
+		t.Fatalf("storage technologies = %d, want >= 4", counts[topology.LayerStorage])
+	}
+	if counts[topology.LayerNetwork] < 2 {
+		t.Fatalf("network technologies = %d, want >= 2", counts[topology.LayerNetwork])
+	}
+	if counts[topology.LayerMiddleware] < 1 {
+		t.Fatalf("middleware technologies = %d, want >= 1", counts[topology.LayerMiddleware])
+	}
+
+	// Layer filter agrees with the full listing.
+	for _, l := range []topology.Layer{topology.LayerCompute, topology.LayerStorage, topology.LayerNetwork} {
+		for _, tech := range c.TechnologiesForLayer(l) {
+			if tech.Layer != l {
+				t.Fatalf("TechnologiesForLayer(%v) returned %q at layer %v", l, tech.ID, tech.Layer)
+			}
+		}
+	}
+}
+
+func TestDefaultNodeParams(t *testing.T) {
+	c := Default()
+	params, err := c.DefaultNodeParams(ProviderSoftLayerSim, topology.ClassBlockVolume)
+	if err != nil {
+		t.Fatalf("DefaultNodeParams: %v", err)
+	}
+	if params.Down != 0.02 {
+		t.Fatalf("block volume Down = %v, want 0.02 (case-study calibration)", params.Down)
+	}
+	if _, err := c.DefaultNodeParams("ghost", topology.ClassBlockVolume); err == nil {
+		t.Fatal("unknown provider should fail")
+	}
+	if _, err := c.DefaultNodeParams(ProviderSoftLayerSim, "class.bogus"); err == nil {
+		t.Fatal("unknown class should fail")
+	}
+}
+
+func TestProviderReliabilityOrdering(t *testing.T) {
+	// The premium provider must beat the reference, which must beat the
+	// budget provider, for every shared component class.
+	c := Default()
+	ref, _ := c.Provider(ProviderSoftLayerSim)
+	budget, _ := c.Provider(ProviderNimbus)
+	premium, _ := c.Provider(ProviderStratus)
+	for class, refParams := range ref.NodeDefaults {
+		b, ok := budget.NodeDefaults[class]
+		if !ok {
+			t.Fatalf("budget provider missing class %q", class)
+		}
+		p, ok := premium.NodeDefaults[class]
+		if !ok {
+			t.Fatalf("premium provider missing class %q", class)
+		}
+		if !(p.Down < refParams.Down && refParams.Down < b.Down) {
+			t.Fatalf("class %q: Down ordering violated: premium %v, ref %v, budget %v",
+				class, p.Down, refParams.Down, b.Down)
+		}
+	}
+}
+
+func TestTechnologyJSONRoundTrip(t *testing.T) {
+	tech := validTech()
+	data, err := json.Marshal(tech)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if !strings.Contains(string(data), `"hot"`) {
+		t.Fatalf("marshaled tech should name its standby mode: %s", data)
+	}
+	var back HATechnology
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back != tech {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, tech)
+	}
+}

@@ -1,0 +1,204 @@
+package catalog
+
+import (
+	"time"
+
+	"uptimebroker/internal/availability"
+	"uptimebroker/internal/cost"
+	"uptimebroker/internal/topology"
+)
+
+// Well-known technology IDs seeded by Default. The first three are the
+// mechanisms of the paper's case study (hypervisor clustering, RAID-1,
+// dual clustered gateways); the rest are the future-work strategies
+// from Section V.
+const (
+	TechESXHA       = "esx-ha"       // hypervisor-level compute clustering
+	TechOSCluster   = "os-cluster"   // OS clustering for compute (future work)
+	TechRAID1       = "raid1"        // mirrored storage
+	TechSDS         = "sds"          // software-defined storage replication (future work)
+	TechClusteredFS = "clustered-fs" // clustered file system (future work)
+	TechMultipath   = "multipath"    // storage I/O multipathing (future work)
+	TechDualGateway = "dual-gateway" // dual clustered gateways
+	TechBGPDual     = "bgp-dual"     // BGP over dual circuits (future work)
+	TechMWFailover  = "mw-failover"  // middleware failover pair
+)
+
+// Well-known provider names seeded by Default. ProviderSoftLayerSim is
+// the reference provider whose rate card and reliability defaults are
+// calibrated to reproduce the paper's case study; the other two give
+// the broker a hybrid portfolio to arbitrate across.
+const (
+	ProviderSoftLayerSim = "softlayer-sim"
+	ProviderNimbus       = "nimbus"
+	ProviderStratus      = "stratus"
+)
+
+// Default returns the catalog the simulated broker ships with: the case
+// study mechanisms priced so the paper's numbers reproduce, the
+// future-work mechanisms from Section V, and three providers at
+// different price/reliability points.
+func Default() *Catalog {
+	c := New()
+
+	for _, t := range defaultTechnologies() {
+		if err := c.AddTechnology(t); err != nil {
+			panic("catalog: invalid built-in technology: " + err.Error())
+		}
+	}
+	for _, p := range defaultProviders() {
+		if err := c.AddProvider(p); err != nil {
+			panic("catalog: invalid built-in provider: " + err.Error())
+		}
+	}
+	return c
+}
+
+func defaultTechnologies() []HATechnology {
+	return []HATechnology{
+		{
+			ID:                 TechESXHA,
+			Name:               "Hypervisor HA cluster (ESX-style, N+1 hot standby)",
+			Layer:              topology.LayerCompute,
+			StandbyNodes:       1,
+			Mode:               StandbyHot,
+			Failover:           15 * time.Minute,
+			InfraFixed:         cost.Dollars(300),
+			InfraPerStandby:    cost.Dollars(900),
+			LaborHoursPerMonth: 20,
+		},
+		{
+			ID:                 TechOSCluster,
+			Name:               "OS-level failover cluster (warm standby)",
+			Layer:              topology.LayerCompute,
+			StandbyNodes:       1,
+			Mode:               StandbyWarm,
+			Failover:           4 * time.Minute,
+			InfraFixed:         cost.Dollars(450),
+			InfraPerStandby:    cost.Dollars(950),
+			LaborHoursPerMonth: 26,
+		},
+		{
+			ID:                 TechRAID1,
+			Name:               "RAID-1 mirrored volumes",
+			Layer:              topology.LayerStorage,
+			StandbyNodes:       1,
+			Mode:               StandbyHot,
+			Failover:           time.Minute,
+			InfraFixed:         cost.Dollars(50),
+			InfraPerStandby:    cost.Dollars(150),
+			LaborHoursPerMonth: 5,
+		},
+		{
+			ID:                 TechSDS,
+			Name:               "Software-defined storage, 2-way replication",
+			Layer:              topology.LayerStorage,
+			StandbyNodes:       2,
+			Mode:               StandbyHot,
+			Failover:           30 * time.Second,
+			InfraFixed:         cost.Dollars(250),
+			InfraPerStandby:    cost.Dollars(180),
+			LaborHoursPerMonth: 12,
+		},
+		{
+			ID:                 TechClusteredFS,
+			Name:               "Clustered file system",
+			Layer:              topology.LayerStorage,
+			StandbyNodes:       1,
+			Mode:               StandbyWarm,
+			Failover:           2 * time.Minute,
+			InfraFixed:         cost.Dollars(180),
+			InfraPerStandby:    cost.Dollars(140),
+			LaborHoursPerMonth: 9,
+		},
+		{
+			ID:                 TechMultipath,
+			Name:               "Storage I/O multipathing",
+			Layer:              topology.LayerStorage,
+			StandbyNodes:       1,
+			Mode:               StandbyHot,
+			Failover:           5 * time.Second,
+			InfraFixed:         cost.Dollars(90),
+			InfraPerStandby:    cost.Dollars(60),
+			LaborHoursPerMonth: 4,
+		},
+		{
+			ID:                 TechDualGateway,
+			Name:               "Dual clustered gateways",
+			Layer:              topology.LayerNetwork,
+			StandbyNodes:       1,
+			Mode:               StandbyHot,
+			Failover:           2 * time.Minute,
+			InfraFixed:         cost.Dollars(160),
+			InfraPerStandby:    cost.Dollars(500),
+			LaborHoursPerMonth: 8,
+		},
+		{
+			ID:                 TechBGPDual,
+			Name:               "BGP over dual circuits",
+			Layer:              topology.LayerNetwork,
+			StandbyNodes:       1,
+			Mode:               StandbyHot,
+			Failover:           30 * time.Second,
+			InfraFixed:         cost.Dollars(420),
+			InfraPerStandby:    cost.Dollars(640),
+			LaborHoursPerMonth: 11,
+		},
+		{
+			ID:                 TechMWFailover,
+			Name:               "Middleware failover pair (self-healing)",
+			Layer:              topology.LayerMiddleware,
+			StandbyNodes:       1,
+			Mode:               StandbyWarm,
+			Failover:           3 * time.Minute,
+			InfraFixed:         cost.Dollars(120),
+			InfraPerStandby:    cost.Dollars(380),
+			LaborHoursPerMonth: 10,
+		},
+	}
+}
+
+func defaultProviders() []Provider {
+	return []Provider{
+		{
+			Name:        ProviderSoftLayerSim,
+			DisplayName: "SoftLayer (simulated)",
+			RateCard:    RateCard{LaborRate: cost.Dollars(30), InfraMultiplier: 1.0},
+			NodeDefaults: map[string]availability.NodeParams{
+				// Calibrated to the paper's case study; see DESIGN.md §4.
+				topology.ClassVirtualMachine: {Down: 0.0055, FailuresPerYear: 5},
+				topology.ClassBareMetal:      {Down: 0.0030, FailuresPerYear: 3},
+				topology.ClassBlockVolume:    {Down: 0.0200, FailuresPerYear: 3},
+				topology.ClassObjectStore:    {Down: 0.0080, FailuresPerYear: 2},
+				topology.ClassGateway:        {Down: 0.0146, FailuresPerYear: 4},
+				topology.ClassLoadBalancer:   {Down: 0.0090, FailuresPerYear: 4},
+			},
+		},
+		{
+			Name:        ProviderNimbus,
+			DisplayName: "Nimbus Cloud (budget tier)",
+			RateCard:    RateCard{LaborRate: cost.Dollars(25), InfraMultiplier: 0.85},
+			NodeDefaults: map[string]availability.NodeParams{
+				topology.ClassVirtualMachine: {Down: 0.0090, FailuresPerYear: 8},
+				topology.ClassBareMetal:      {Down: 0.0055, FailuresPerYear: 5},
+				topology.ClassBlockVolume:    {Down: 0.0280, FailuresPerYear: 5},
+				topology.ClassObjectStore:    {Down: 0.0120, FailuresPerYear: 3},
+				topology.ClassGateway:        {Down: 0.0210, FailuresPerYear: 6},
+				topology.ClassLoadBalancer:   {Down: 0.0140, FailuresPerYear: 6},
+			},
+		},
+		{
+			Name:        ProviderStratus,
+			DisplayName: "Stratus Cloud (premium tier)",
+			RateCard:    RateCard{LaborRate: cost.Dollars(42), InfraMultiplier: 1.30},
+			NodeDefaults: map[string]availability.NodeParams{
+				topology.ClassVirtualMachine: {Down: 0.0028, FailuresPerYear: 3},
+				topology.ClassBareMetal:      {Down: 0.0016, FailuresPerYear: 2},
+				topology.ClassBlockVolume:    {Down: 0.0095, FailuresPerYear: 2},
+				topology.ClassObjectStore:    {Down: 0.0040, FailuresPerYear: 1},
+				topology.ClassGateway:        {Down: 0.0070, FailuresPerYear: 2},
+				topology.ClassLoadBalancer:   {Down: 0.0045, FailuresPerYear: 2},
+			},
+		},
+	}
+}

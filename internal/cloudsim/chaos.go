@@ -1,0 +1,148 @@
+package cloudsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"uptimebroker/internal/availability"
+)
+
+// VirtualClock is a manually driven time source for simulated
+// operation. It is safe for concurrent use.
+type VirtualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewVirtualClock starts a clock at the given instant.
+func NewVirtualClock(start time.Time) *VirtualClock {
+	return &VirtualClock{now: start}
+}
+
+// Now returns the current virtual time; pass this method as the
+// cloud's WithClock option.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Set advances the clock to t; the clock never moves backward.
+func (c *VirtualClock) Set(t time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.After(c.now) {
+		c.now = t
+	}
+}
+
+// ChaosMonkey drives failure injection against one cloud over virtual
+// time, with per-class reliability ground truth. Replaying an epoch
+// produces exactly the outage history a monitoring pipeline would
+// observe, which the cloud (when wired WithTelemetry) records into the
+// broker's parameter database.
+type ChaosMonkey struct {
+	cloud *Cloud
+	clock *VirtualClock
+	rates map[string]availability.NodeParams
+	rng   *rand.Rand
+}
+
+// NewChaosMonkey builds a chaos driver. rates maps component classes
+// to their generative parameters; classes without an entry never fail.
+func NewChaosMonkey(cloud *Cloud, clock *VirtualClock, rates map[string]availability.NodeParams, seed int64) (*ChaosMonkey, error) {
+	if cloud == nil {
+		return nil, fmt.Errorf("cloudsim: nil cloud")
+	}
+	if clock == nil {
+		return nil, fmt.Errorf("cloudsim: nil clock")
+	}
+	for class, p := range rates {
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("cloudsim: chaos rates for %q: %w", class, err)
+		}
+	}
+	return &ChaosMonkey{
+		cloud: cloud,
+		clock: clock,
+		rates: rates,
+		rng:   rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// chaosEvent is one scheduled injection.
+type chaosEvent struct {
+	at     time.Duration // offset from epoch start
+	id     string
+	repair bool
+}
+
+// Run simulates one epoch of operation: it samples alternating-renewal
+// outage histories for every running rated resource, injects them in
+// time order, repairs anything still down at the epoch end, and books
+// the epoch's exposure. It returns the number of outages injected.
+func (m *ChaosMonkey) Run(epoch time.Duration) (int, error) {
+	if epoch <= 0 {
+		return 0, fmt.Errorf("cloudsim: epoch %v, must be > 0", epoch)
+	}
+
+	start := m.clock.Now()
+	var events []chaosEvent
+	for _, r := range m.cloud.List() {
+		if r.State != StateRunning {
+			continue
+		}
+		params, rated := m.rates[r.Class]
+		if !rated || params.FailuresPerYear <= 0 {
+			continue
+		}
+		mtbf := params.MTBF()
+		mttr := params.MTTR()
+
+		t := time.Duration(m.rng.ExpFloat64() * float64(mtbf))
+		for t < epoch {
+			events = append(events, chaosEvent{at: t, id: r.ID})
+			down := time.Duration(m.rng.ExpFloat64() * float64(mttr))
+			repairAt := t + down
+			if repairAt > epoch {
+				repairAt = epoch
+			}
+			events = append(events, chaosEvent{at: repairAt, id: r.ID, repair: true})
+			t = repairAt + time.Duration(m.rng.ExpFloat64()*float64(mtbf))
+		}
+	}
+
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		// Repair before the same resource's next failure at equal times.
+		return events[i].repair && !events[j].repair
+	})
+
+	outages := 0
+	for _, ev := range events {
+		m.clock.Set(start.Add(ev.at))
+		if ev.repair {
+			if err := m.cloud.Repair(ev.id); err != nil {
+				return outages, fmt.Errorf("cloudsim: chaos repair: %w", err)
+			}
+			continue
+		}
+		if err := m.cloud.InjectFailure(ev.id); err != nil {
+			return outages, fmt.Errorf("cloudsim: chaos failure: %w", err)
+		}
+		outages++
+	}
+
+	m.clock.Set(start.Add(epoch))
+	if m.cloud.store != nil {
+		if err := m.cloud.BookExposure(epoch); err != nil {
+			return outages, err
+		}
+	}
+	return outages, nil
+}

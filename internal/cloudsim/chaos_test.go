@@ -1,0 +1,162 @@
+package cloudsim
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"uptimebroker/internal/availability"
+	"uptimebroker/internal/telemetry"
+	"uptimebroker/internal/topology"
+)
+
+func TestNewChaosMonkeyValidation(t *testing.T) {
+	clock := NewVirtualClock(time.Unix(0, 0))
+	cloud, _ := NewCloud("c", testBook(), WithClock(clock.Now))
+
+	if _, err := NewChaosMonkey(nil, clock, nil, 1); err == nil {
+		t.Fatal("nil cloud should fail")
+	}
+	if _, err := NewChaosMonkey(cloud, nil, nil, 1); err == nil {
+		t.Fatal("nil clock should fail")
+	}
+	bad := map[string]availability.NodeParams{"vm.virtualized": {Down: -1}}
+	if _, err := NewChaosMonkey(cloud, clock, bad, 1); err == nil {
+		t.Fatal("invalid rates should fail")
+	}
+}
+
+func TestVirtualClockMonotone(t *testing.T) {
+	clock := NewVirtualClock(time.Unix(100, 0))
+	clock.Set(time.Unix(50, 0)) // backward: ignored
+	if got := clock.Now(); !got.Equal(time.Unix(100, 0)) {
+		t.Fatalf("clock moved backward to %v", got)
+	}
+	clock.Set(time.Unix(200, 0))
+	if got := clock.Now(); !got.Equal(time.Unix(200, 0)) {
+		t.Fatalf("clock = %v, want 200", got)
+	}
+}
+
+func TestChaosRunRejectsBadEpoch(t *testing.T) {
+	clock := NewVirtualClock(time.Unix(0, 0))
+	cloud, _ := NewCloud("c", testBook(), WithClock(clock.Now))
+	m, err := NewChaosMonkey(cloud, clock, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(0); err == nil {
+		t.Fatal("zero epoch should fail")
+	}
+}
+
+func TestChaosEstimatesConvergeToGroundTruth(t *testing.T) {
+	// The full loop: provision an estate, run chaos for many simulated
+	// years, and check the telemetry estimates recover the configured
+	// ground truth.
+	clock := NewVirtualClock(time.Unix(1_000_000, 0))
+	store := telemetry.NewStore()
+	cloud, err := NewCloud("sim", testBook(), WithClock(clock.Now), WithTelemetry(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		if _, err := cloud.Provision(ctx, Spec{Class: topology.ClassVirtualMachine}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	truth := availability.NodeParams{Down: 0.01, FailuresPerYear: 12}
+	monkey, err := NewChaosMonkey(cloud, clock,
+		map[string]availability.NodeParams{topology.ClassVirtualMachine: truth}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 20 years × 10 nodes = 200 node-years, ~2400 outages.
+	outages, err := monkey.Run(20 * 365 * 24 * time.Hour)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if outages < 1500 {
+		t.Fatalf("outages = %d, expected ≈ 2400", outages)
+	}
+
+	est, err := store.Estimate("sim", topology.ClassVirtualMachine)
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	if rel := math.Abs(est.Node.Down-truth.Down) / truth.Down; rel > 0.15 {
+		t.Fatalf("estimated Down %v vs truth %v (rel %v)", est.Node.Down, truth.Down, rel)
+	}
+	if rel := math.Abs(est.Node.FailuresPerYear-truth.FailuresPerYear) / truth.FailuresPerYear; rel > 0.1 {
+		t.Fatalf("estimated f %v vs truth %v (rel %v)", est.Node.FailuresPerYear, truth.FailuresPerYear, rel)
+	}
+	if est.ExposureYears < 199 || est.ExposureYears > 201 {
+		t.Fatalf("exposure = %v, want ≈ 200", est.ExposureYears)
+	}
+
+	// All resources must be back in running state (epoch-end repairs).
+	for _, r := range cloud.List() {
+		if r.State != StateRunning {
+			t.Fatalf("resource %s left %s after chaos", r.ID, r.State)
+		}
+	}
+}
+
+func TestChaosSkipsUnratedAndTerminated(t *testing.T) {
+	clock := NewVirtualClock(time.Unix(0, 0))
+	store := telemetry.NewStore()
+	cloud, _ := NewCloud("sim", testBook(), WithClock(clock.Now), WithTelemetry(store))
+	ctx := context.Background()
+
+	unrated, _ := cloud.Provision(ctx, Spec{Class: topology.ClassGateway})
+	doomed, _ := cloud.Provision(ctx, Spec{Class: topology.ClassVirtualMachine})
+	if err := cloud.Terminate(doomed.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	monkey, err := NewChaosMonkey(cloud, clock, map[string]availability.NodeParams{
+		topology.ClassVirtualMachine: {Down: 0.05, FailuresPerYear: 50},
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outages, err := monkey.Run(365 * 24 * time.Hour)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if outages != 0 {
+		t.Fatalf("outages = %d, want 0 (only unrated/terminated resources)", outages)
+	}
+	if got, _ := cloud.Get(unrated.ID); got.State != StateRunning {
+		t.Fatalf("unrated resource state = %v", got.State)
+	}
+}
+
+func TestChaosDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) int {
+		clock := NewVirtualClock(time.Unix(0, 0))
+		store := telemetry.NewStore()
+		cloud, _ := NewCloud("sim", testBook(), WithClock(clock.Now), WithTelemetry(store))
+		for i := 0; i < 4; i++ {
+			_, _ = cloud.Provision(context.Background(), Spec{Class: topology.ClassVirtualMachine})
+		}
+		monkey, err := NewChaosMonkey(cloud, clock, map[string]availability.NodeParams{
+			topology.ClassVirtualMachine: {Down: 0.02, FailuresPerYear: 12},
+		}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := monkey.Run(2 * 365 * 24 * time.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	if run(5) != run(5) {
+		t.Fatal("same seed, different outage counts")
+	}
+}

@@ -1,0 +1,319 @@
+// Package cloudsim is an in-process stand-in for the hybrid IaaS
+// estate the paper's broker provisions into (IBM SoftLayer in the case
+// study). Each Cloud exposes a minimal control plane — provision,
+// terminate, inspect, bill — plus failure injection, and can feed a
+// telemetry.Store so the broker's parameter database grows out of
+// observed (simulated) operations exactly as Section II.C describes.
+//
+// The substitution is documented in DESIGN.md §5: the availability and
+// TCO models only consume reliability parameters and rate cards, so an
+// in-process provider exercises the same code paths as a live cloud
+// while remaining reproducible.
+package cloudsim
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"uptimebroker/internal/cost"
+	"uptimebroker/internal/telemetry"
+)
+
+// ResourceKind classifies provisionable resources.
+type ResourceKind int
+
+// Resource kinds start at 1 so the zero value is invalid.
+const (
+	KindUnknown ResourceKind = iota
+	KindInstance
+	KindVolume
+	KindGateway
+)
+
+// String returns the lower-case kind name.
+func (k ResourceKind) String() string {
+	switch k {
+	case KindInstance:
+		return "instance"
+	case KindVolume:
+		return "volume"
+	case KindGateway:
+		return "gateway"
+	default:
+		return "unknown"
+	}
+}
+
+// KindForClass infers the resource kind from a component class name
+// ("vm.*" are instances, "disk.*" volumes, "net.*" gateways).
+func KindForClass(class string) ResourceKind {
+	switch {
+	case strings.HasPrefix(class, "vm."):
+		return KindInstance
+	case strings.HasPrefix(class, "disk."):
+		return KindVolume
+	case strings.HasPrefix(class, "net."):
+		return KindGateway
+	default:
+		return KindUnknown
+	}
+}
+
+// ResourceState tracks a resource's lifecycle.
+type ResourceState int
+
+// Resource states start at 1 so the zero value is invalid.
+const (
+	StateUnknown ResourceState = iota
+	StateRunning
+	StateFailed
+	StateTerminated
+)
+
+// String returns the lower-case state name.
+func (s ResourceState) String() string {
+	switch s {
+	case StateRunning:
+		return "running"
+	case StateFailed:
+		return "failed"
+	case StateTerminated:
+		return "terminated"
+	default:
+		return "unknown"
+	}
+}
+
+// Spec requests one resource.
+type Spec struct {
+	// Class is the component class, e.g. "vm.virtualized"; it
+	// determines both the kind and the price.
+	Class string
+
+	// Label tags the resource with its role, e.g. "compute/node-2".
+	Label string
+}
+
+// Resource is one provisioned entity.
+type Resource struct {
+	ID           string
+	Provider     string
+	Kind         ResourceKind
+	Class        string
+	Label        string
+	State        ResourceState
+	MonthlyPrice cost.Money
+	CreatedAt    time.Time
+	FailedAt     time.Time // zero unless State == StateFailed
+}
+
+// PriceBook maps component classes to monthly unit prices on one cloud.
+type PriceBook map[string]cost.Money
+
+// Cloud simulates one provider's control plane. It is safe for
+// concurrent use.
+type Cloud struct {
+	name   string
+	prices PriceBook
+	now    func() time.Time
+	store  *telemetry.Store // optional outage sink
+
+	mu        sync.Mutex
+	resources map[string]*Resource
+	nextID    int
+}
+
+// Option configures a Cloud.
+type Option func(*Cloud)
+
+// WithClock injects a time source; tests use a fake clock to make
+// outage durations deterministic.
+func WithClock(now func() time.Time) Option {
+	return func(c *Cloud) { c.now = now }
+}
+
+// WithTelemetry wires outage observations into a telemetry store.
+func WithTelemetry(store *telemetry.Store) Option {
+	return func(c *Cloud) { c.store = store }
+}
+
+// NewCloud builds a cloud with the given price book.
+func NewCloud(name string, prices PriceBook, opts ...Option) (*Cloud, error) {
+	if strings.TrimSpace(name) == "" {
+		return nil, fmt.Errorf("cloudsim: empty cloud name")
+	}
+	if len(prices) == 0 {
+		return nil, fmt.Errorf("cloudsim: cloud %q has an empty price book", name)
+	}
+	for class, p := range prices {
+		if KindForClass(class) == KindUnknown {
+			return nil, fmt.Errorf("cloudsim: cloud %q: class %q has no known kind", name, class)
+		}
+		if p < 0 {
+			return nil, fmt.Errorf("cloudsim: cloud %q: class %q has negative price", name, class)
+		}
+	}
+	c := &Cloud{
+		name:      name,
+		prices:    prices,
+		now:       time.Now,
+		resources: make(map[string]*Resource),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// Name returns the provider name.
+func (c *Cloud) Name() string { return c.name }
+
+// Provision creates one resource. It honors context cancellation so
+// orchestration layers can time-bound provisioning waves.
+func (c *Cloud) Provision(ctx context.Context, spec Spec) (Resource, error) {
+	if err := ctx.Err(); err != nil {
+		return Resource{}, fmt.Errorf("cloudsim: provision canceled: %w", err)
+	}
+	price, ok := c.prices[spec.Class]
+	if !ok {
+		return Resource{}, fmt.Errorf("cloudsim: cloud %q does not offer class %q", c.name, spec.Class)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	r := &Resource{
+		ID:           fmt.Sprintf("%s-%s-%06d", c.name, KindForClass(spec.Class), c.nextID),
+		Provider:     c.name,
+		Kind:         KindForClass(spec.Class),
+		Class:        spec.Class,
+		Label:        spec.Label,
+		State:        StateRunning,
+		MonthlyPrice: price,
+		CreatedAt:    c.now(),
+	}
+	c.resources[r.ID] = r
+	return *r, nil
+}
+
+// Terminate retires a resource; terminated resources stop billing.
+func (c *Cloud) Terminate(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.resources[id]
+	if !ok {
+		return fmt.Errorf("cloudsim: unknown resource %q", id)
+	}
+	if r.State == StateTerminated {
+		return fmt.Errorf("cloudsim: resource %q already terminated", id)
+	}
+	r.State = StateTerminated
+	return nil
+}
+
+// Get returns a snapshot of one resource.
+func (c *Cloud) Get(id string) (Resource, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.resources[id]
+	if !ok {
+		return Resource{}, false
+	}
+	return *r, true
+}
+
+// List returns snapshots of all resources sorted by ID.
+func (c *Cloud) List() []Resource {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Resource, 0, len(c.resources))
+	for _, r := range c.resources {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// MonthlyBill sums the prices of all non-terminated resources.
+func (c *Cloud) MonthlyBill() cost.Money {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total cost.Money
+	for _, r := range c.resources {
+		if r.State != StateTerminated {
+			total += r.MonthlyPrice
+		}
+	}
+	return total
+}
+
+// InjectFailure marks a running resource failed. The outage lasts until
+// Repair.
+func (c *Cloud) InjectFailure(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.resources[id]
+	if !ok {
+		return fmt.Errorf("cloudsim: unknown resource %q", id)
+	}
+	if r.State != StateRunning {
+		return fmt.Errorf("cloudsim: resource %q is %s, cannot fail", id, r.State)
+	}
+	r.State = StateFailed
+	r.FailedAt = c.now()
+	return nil
+}
+
+// Repair returns a failed resource to service and, when a telemetry
+// store is attached, records the outage under (provider, class).
+func (c *Cloud) Repair(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.resources[id]
+	if !ok {
+		return fmt.Errorf("cloudsim: unknown resource %q", id)
+	}
+	if r.State != StateFailed {
+		return fmt.Errorf("cloudsim: resource %q is %s, cannot repair", id, r.State)
+	}
+	outage := c.now().Sub(r.FailedAt)
+	r.State = StateRunning
+	r.FailedAt = time.Time{}
+	if c.store != nil {
+		if err := c.store.RecordOutage(c.name, r.Class, outage); err != nil {
+			return fmt.Errorf("cloudsim: recording outage: %w", err)
+		}
+	}
+	return nil
+}
+
+// BookExposure records node-time for every non-terminated resource
+// over the given observation window into the attached telemetry store.
+// Operators call it periodically (or once per simulated epoch) so
+// estimates have a denominator.
+func (c *Cloud) BookExposure(window time.Duration) error {
+	if c.store == nil {
+		return fmt.Errorf("cloudsim: cloud %q has no telemetry store", c.name)
+	}
+	if window <= 0 {
+		return fmt.Errorf("cloudsim: exposure window %v, must be > 0", window)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	perClass := make(map[string]int)
+	for _, r := range c.resources {
+		if r.State != StateTerminated {
+			perClass[r.Class]++
+		}
+	}
+	for class, n := range perClass {
+		if err := c.store.RecordExposure(c.name, class, time.Duration(n)*window); err != nil {
+			return fmt.Errorf("cloudsim: booking exposure: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,383 @@
+package cloudsim
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"uptimebroker/internal/catalog"
+	"uptimebroker/internal/cost"
+	"uptimebroker/internal/telemetry"
+	"uptimebroker/internal/topology"
+)
+
+func testBook() PriceBook {
+	return PriceBook{
+		topology.ClassVirtualMachine: cost.Dollars(100),
+		topology.ClassBlockVolume:    cost.Dollars(50),
+		topology.ClassGateway:        cost.Dollars(200),
+	}
+}
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(d)
+}
+
+func TestKindForClass(t *testing.T) {
+	tests := []struct {
+		class string
+		want  ResourceKind
+	}{
+		{"vm.virtualized", KindInstance},
+		{"vm.baremetal", KindInstance},
+		{"disk.block", KindVolume},
+		{"net.gateway", KindGateway},
+		{"fpga.attached", KindUnknown},
+		{"", KindUnknown},
+	}
+	for _, tt := range tests {
+		if got := KindForClass(tt.class); got != tt.want {
+			t.Fatalf("KindForClass(%q) = %v, want %v", tt.class, got, tt.want)
+		}
+	}
+}
+
+func TestKindAndStateStrings(t *testing.T) {
+	if KindInstance.String() != "instance" || KindVolume.String() != "volume" ||
+		KindGateway.String() != "gateway" || KindUnknown.String() != "unknown" {
+		t.Fatal("kind strings wrong")
+	}
+	if StateRunning.String() != "running" || StateFailed.String() != "failed" ||
+		StateTerminated.String() != "terminated" || StateUnknown.String() != "unknown" {
+		t.Fatal("state strings wrong")
+	}
+}
+
+func TestNewCloudValidation(t *testing.T) {
+	if _, err := NewCloud("", testBook()); err == nil {
+		t.Fatal("empty name should fail")
+	}
+	if _, err := NewCloud("c", PriceBook{}); err == nil {
+		t.Fatal("empty price book should fail")
+	}
+	if _, err := NewCloud("c", PriceBook{"quantum.qpu": cost.Dollars(1)}); err == nil {
+		t.Fatal("unknown class kind should fail")
+	}
+	if _, err := NewCloud("c", PriceBook{topology.ClassGateway: -1}); err == nil {
+		t.Fatal("negative price should fail")
+	}
+}
+
+func TestProvisionLifecycle(t *testing.T) {
+	c, err := NewCloud("testcloud", testBook())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	r, err := c.Provision(ctx, Spec{Class: topology.ClassVirtualMachine, Label: "web/active-0"})
+	if err != nil {
+		t.Fatalf("Provision: %v", err)
+	}
+	if r.State != StateRunning || r.Kind != KindInstance {
+		t.Fatalf("resource = %+v", r)
+	}
+	if !strings.HasPrefix(r.ID, "testcloud-instance-") {
+		t.Fatalf("ID = %q", r.ID)
+	}
+	if r.MonthlyPrice != cost.Dollars(100) {
+		t.Fatalf("price = %v", r.MonthlyPrice)
+	}
+
+	got, ok := c.Get(r.ID)
+	if !ok || got.ID != r.ID {
+		t.Fatalf("Get = %+v, %v", got, ok)
+	}
+	if _, ok := c.Get("ghost"); ok {
+		t.Fatal("Get(ghost) should miss")
+	}
+
+	if err := c.Terminate(r.ID); err != nil {
+		t.Fatalf("Terminate: %v", err)
+	}
+	if err := c.Terminate(r.ID); err == nil {
+		t.Fatal("double Terminate should fail")
+	}
+	if err := c.Terminate("ghost"); err == nil {
+		t.Fatal("Terminate(ghost) should fail")
+	}
+	if bill := c.MonthlyBill(); bill != 0 {
+		t.Fatalf("bill after terminate = %v, want 0", bill)
+	}
+}
+
+func TestProvisionUnknownClassAndCancel(t *testing.T) {
+	c, _ := NewCloud("c", testBook())
+	if _, err := c.Provision(context.Background(), Spec{Class: "disk.tape"}); err == nil {
+		t.Fatal("unknown class should fail")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Provision(ctx, Spec{Class: topology.ClassGateway}); err == nil {
+		t.Fatal("canceled provision should fail")
+	}
+}
+
+func TestMonthlyBillSumsRunningAndFailed(t *testing.T) {
+	c, _ := NewCloud("c", testBook())
+	ctx := context.Background()
+	a, _ := c.Provision(ctx, Spec{Class: topology.ClassVirtualMachine})
+	_, _ = c.Provision(ctx, Spec{Class: topology.ClassBlockVolume})
+
+	if bill := c.MonthlyBill(); bill != cost.Dollars(150) {
+		t.Fatalf("bill = %v, want $150", bill)
+	}
+	// A failed resource still bills (it is provisioned, just down).
+	if err := c.InjectFailure(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	if bill := c.MonthlyBill(); bill != cost.Dollars(150) {
+		t.Fatalf("bill with failure = %v, want $150", bill)
+	}
+}
+
+func TestFailureRepairTelemetry(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1_000_000, 0)}
+	store := telemetry.NewStore()
+	c, err := NewCloud("sim", testBook(), WithClock(clk.Now), WithTelemetry(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := c.Provision(context.Background(), Spec{Class: topology.ClassBlockVolume})
+
+	if err := c.Repair(r.ID); err == nil {
+		t.Fatal("repairing a running resource should fail")
+	}
+	if err := c.InjectFailure(r.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InjectFailure(r.ID); err == nil {
+		t.Fatal("failing a failed resource should fail")
+	}
+
+	clk.Advance(90 * time.Minute)
+	if err := c.Repair(r.ID); err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+
+	// Exposure: 1 volume observed for 30 days.
+	if err := c.BookExposure(30 * 24 * time.Hour); err != nil {
+		t.Fatalf("BookExposure: %v", err)
+	}
+	params, err := store.Estimate("sim", topology.ClassBlockVolume)
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	wantDown := 1.5 / (30 * 24) // 1.5h down over 720h observed
+	if diff := params.Node.Down - wantDown; diff < -1e-12 || diff > 1e-12 {
+		t.Fatalf("estimated Down = %v, want %v", params.Node.Down, wantDown)
+	}
+	if params.Failures != 1 {
+		t.Fatalf("Failures = %d, want 1", params.Failures)
+	}
+}
+
+func TestBookExposureErrors(t *testing.T) {
+	c, _ := NewCloud("c", testBook())
+	if err := c.BookExposure(time.Hour); err == nil {
+		t.Fatal("BookExposure without store should fail")
+	}
+	store := telemetry.NewStore()
+	c2, _ := NewCloud("c2", testBook(), WithTelemetry(store))
+	if err := c2.BookExposure(0); err == nil {
+		t.Fatal("zero window should fail")
+	}
+}
+
+func TestInjectFailureUnknown(t *testing.T) {
+	c, _ := NewCloud("c", testBook())
+	if err := c.InjectFailure("nope"); err == nil {
+		t.Fatal("unknown resource should fail")
+	}
+	if err := c.Repair("nope"); err == nil {
+		t.Fatal("unknown resource should fail")
+	}
+}
+
+func TestFleetBasics(t *testing.T) {
+	a, _ := NewCloud("a", testBook())
+	b, _ := NewCloud("b", testBook())
+	f, err := NewFleet(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFleet(a, a); err == nil {
+		t.Fatal("duplicate clouds should fail")
+	}
+	names := f.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names = %v", names)
+	}
+	if _, err := f.Cloud("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Cloud("z"); err == nil {
+		t.Fatal("unknown cloud should fail")
+	}
+}
+
+func TestFleetDeploy(t *testing.T) {
+	a, _ := NewCloud("prov", testBook())
+	f, _ := NewFleet(a)
+	sys := topology.ThreeTier("prov")
+	ctx := context.Background()
+
+	// HA on storage only (the paper's recommended option #3): one
+	// standby volume.
+	dep, err := f.Deploy(ctx, sys, map[string]int{"storage": 1})
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	if dep.NodeCount() != 3+2+1 {
+		t.Fatalf("NodeCount = %d, want 6", dep.NodeCount())
+	}
+	if got := len(dep.Resources["storage"]); got != 2 {
+		t.Fatalf("storage resources = %d, want 2", got)
+	}
+	// 3 VMs + 2 volumes + 1 gateway at test-book prices.
+	want := cost.Dollars(3*100 + 2*50 + 200)
+	if got := dep.MonthlyInfraCost(); got != want {
+		t.Fatalf("MonthlyInfraCost = %v, want %v", got, want)
+	}
+	if bill := a.MonthlyBill(); bill != want {
+		t.Fatalf("cloud bill = %v, want %v", bill, want)
+	}
+
+	if err := f.Teardown(dep); err != nil {
+		t.Fatalf("Teardown: %v", err)
+	}
+	if bill := a.MonthlyBill(); bill != 0 {
+		t.Fatalf("bill after teardown = %v, want 0", bill)
+	}
+}
+
+func TestFleetDeployValidation(t *testing.T) {
+	a, _ := NewCloud("prov", testBook())
+	f, _ := NewFleet(a)
+	ctx := context.Background()
+
+	bad := topology.ThreeTier("prov")
+	bad.Components = nil
+	if _, err := f.Deploy(ctx, bad, nil); err == nil {
+		t.Fatal("invalid system should fail")
+	}
+	if _, err := f.Deploy(ctx, topology.ThreeTier("elsewhere"), nil); err == nil {
+		t.Fatal("unknown provider should fail")
+	}
+	if _, err := f.Deploy(ctx, topology.ThreeTier("prov"), map[string]int{"storage": -1}); err == nil {
+		t.Fatal("negative standby should fail")
+	}
+	if _, err := f.Deploy(ctx, topology.ThreeTier("prov"), map[string]int{"gpu": 1}); err == nil {
+		t.Fatal("unknown component in plan should fail")
+	}
+}
+
+func TestFleetDeployRollsBackOnFailure(t *testing.T) {
+	// A cloud that cannot price gateways fails mid-deploy; earlier
+	// resources must be torn down.
+	book := PriceBook{
+		topology.ClassVirtualMachine: cost.Dollars(100),
+		topology.ClassBlockVolume:    cost.Dollars(50),
+	}
+	a, _ := NewCloud("prov", book)
+	f, _ := NewFleet(a)
+	if _, err := f.Deploy(context.Background(), topology.ThreeTier("prov"), nil); err == nil {
+		t.Fatal("deploy should fail on unpriced gateway class")
+	}
+	if bill := a.MonthlyBill(); bill != 0 {
+		t.Fatalf("partial deploy left bill = %v, want 0 after rollback", bill)
+	}
+}
+
+func TestDefaultFleetMatchesCatalog(t *testing.T) {
+	cat := catalog.Default()
+	f, err := DefaultFleet(cat)
+	if err != nil {
+		t.Fatalf("DefaultFleet: %v", err)
+	}
+	names := f.Names()
+	if len(names) != 3 {
+		t.Fatalf("fleet size = %d, want 3", len(names))
+	}
+
+	// Premium cloud prices must exceed the reference for every class.
+	ref, _ := f.Cloud(catalog.ProviderSoftLayerSim)
+	prem, _ := f.Cloud(catalog.ProviderStratus)
+	ctx := context.Background()
+	r1, err := ref.Provision(ctx, Spec{Class: topology.ClassVirtualMachine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := prem.Provision(ctx, Spec{Class: topology.ClassVirtualMachine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.MonthlyPrice <= r1.MonthlyPrice {
+		t.Fatalf("premium price %v <= reference %v", r2.MonthlyPrice, r1.MonthlyPrice)
+	}
+}
+
+func TestCloudConcurrentUse(t *testing.T) {
+	store := telemetry.NewStore()
+	c, _ := NewCloud("c", testBook(), WithTelemetry(store))
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				r, err := c.Provision(ctx, Spec{Class: topology.ClassVirtualMachine})
+				if err != nil {
+					t.Errorf("Provision: %v", err)
+					return
+				}
+				if err := c.InjectFailure(r.ID); err != nil {
+					t.Errorf("InjectFailure: %v", err)
+					return
+				}
+				if err := c.Repair(r.ID); err != nil {
+					t.Errorf("Repair: %v", err)
+					return
+				}
+				if err := c.Terminate(r.ID); err != nil {
+					t.Errorf("Terminate: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(c.List()); got != 400 {
+		t.Fatalf("List len = %d, want 400", got)
+	}
+	if bill := c.MonthlyBill(); bill != 0 {
+		t.Fatalf("bill = %v, want 0", bill)
+	}
+}

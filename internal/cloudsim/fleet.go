@@ -1,0 +1,186 @@
+package cloudsim
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"uptimebroker/internal/catalog"
+	"uptimebroker/internal/cost"
+	"uptimebroker/internal/topology"
+)
+
+// Fleet is the hybrid estate: the set of clouds the broker can place a
+// workload on.
+type Fleet struct {
+	clouds map[string]*Cloud
+}
+
+// NewFleet assembles a fleet from clouds with unique names.
+func NewFleet(clouds ...*Cloud) (*Fleet, error) {
+	f := &Fleet{clouds: make(map[string]*Cloud, len(clouds))}
+	for _, c := range clouds {
+		if _, dup := f.clouds[c.Name()]; dup {
+			return nil, fmt.Errorf("cloudsim: duplicate cloud %q", c.Name())
+		}
+		f.clouds[c.Name()] = c
+	}
+	return f, nil
+}
+
+// Cloud returns the named cloud.
+func (f *Fleet) Cloud(name string) (*Cloud, error) {
+	c, ok := f.clouds[name]
+	if !ok {
+		return nil, fmt.Errorf("cloudsim: unknown cloud %q", name)
+	}
+	return c, nil
+}
+
+// Names returns the fleet's cloud names, sorted.
+func (f *Fleet) Names() []string {
+	out := make([]string, 0, len(f.clouds))
+	for n := range f.clouds {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Deployment records what a deployed system occupies on a cloud.
+type Deployment struct {
+	// System is the deployed base architecture's name.
+	System string
+
+	// Provider is the hosting cloud.
+	Provider string
+
+	// Resources maps component name to the resources backing it
+	// (active nodes first, then standby nodes).
+	Resources map[string][]Resource
+}
+
+// MonthlyInfraCost sums the deployment's resource prices.
+func (d Deployment) MonthlyInfraCost() cost.Money {
+	var total cost.Money
+	for _, rs := range d.Resources {
+		for _, r := range rs {
+			total += r.MonthlyPrice
+		}
+	}
+	return total
+}
+
+// NodeCount returns the total resources provisioned.
+func (d Deployment) NodeCount() int {
+	n := 0
+	for _, rs := range d.Resources {
+		n += len(rs)
+	}
+	return n
+}
+
+// Deploy provisions a base architecture onto its provider, adding the
+// standby nodes the HA plan prescribes: standby[componentName] extra
+// nodes of the component's class (0 or missing = no HA). On any
+// provisioning error the partial deployment is torn down.
+func (f *Fleet) Deploy(ctx context.Context, sys topology.System, standby map[string]int) (Deployment, error) {
+	if err := sys.Validate(); err != nil {
+		return Deployment{}, fmt.Errorf("cloudsim: %w", err)
+	}
+	cloud, err := f.Cloud(sys.Provider)
+	if err != nil {
+		return Deployment{}, err
+	}
+	for name, extra := range standby {
+		if extra < 0 {
+			return Deployment{}, fmt.Errorf("cloudsim: component %q: negative standby count %d", name, extra)
+		}
+		if _, ok := sys.Component(name); !ok {
+			return Deployment{}, fmt.Errorf("cloudsim: standby plan names unknown component %q", name)
+		}
+	}
+
+	dep := Deployment{
+		System:    sys.Name,
+		Provider:  sys.Provider,
+		Resources: make(map[string][]Resource, len(sys.Components)),
+	}
+	teardown := func() {
+		for _, rs := range dep.Resources {
+			for _, r := range rs {
+				// Best effort; terminated-twice is impossible here and
+				// unknown IDs cannot occur.
+				_ = cloud.Terminate(r.ID)
+			}
+		}
+	}
+
+	for _, comp := range sys.Components {
+		total := comp.ActiveNodes + standby[comp.Name]
+		for i := 0; i < total; i++ {
+			role := "active"
+			if i >= comp.ActiveNodes {
+				role = "standby"
+			}
+			r, err := cloud.Provision(ctx, Spec{
+				Class: comp.EffectiveClass(),
+				Label: fmt.Sprintf("%s/%s/%s-%d", sys.Name, comp.Name, role, i),
+			})
+			if err != nil {
+				teardown()
+				return Deployment{}, fmt.Errorf("cloudsim: provisioning %q node %d: %w", comp.Name, i, err)
+			}
+			dep.Resources[comp.Name] = append(dep.Resources[comp.Name], r)
+		}
+	}
+	return dep, nil
+}
+
+// Teardown terminates every resource of a deployment.
+func (f *Fleet) Teardown(dep Deployment) error {
+	cloud, err := f.Cloud(dep.Provider)
+	if err != nil {
+		return err
+	}
+	for _, rs := range dep.Resources {
+		for _, r := range rs {
+			if err := cloud.Terminate(r.ID); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// basePriceBook is the reference per-class monthly unit pricing; each
+// provider scales it by its catalog infrastructure multiplier, so
+// catalog rate cards and simulated bills stay consistent.
+var basePriceBook = PriceBook{
+	topology.ClassVirtualMachine: cost.Dollars(220),
+	topology.ClassBareMetal:      cost.Dollars(540),
+	topology.ClassBlockVolume:    cost.Dollars(95),
+	topology.ClassObjectStore:    cost.Dollars(60),
+	topology.ClassGateway:        cost.Dollars(310),
+	topology.ClassLoadBalancer:   cost.Dollars(180),
+}
+
+// DefaultFleet builds one cloud per catalog provider, pricing the base
+// book through each provider's infrastructure multiplier, all wired to
+// the given telemetry store (which may be nil) and clock options.
+func DefaultFleet(cat *catalog.Catalog, opts ...Option) (*Fleet, error) {
+	providers := cat.Providers()
+	clouds := make([]*Cloud, 0, len(providers))
+	for _, p := range providers {
+		book := make(PriceBook, len(basePriceBook))
+		for class, price := range basePriceBook {
+			book[class] = price.MulFloat(p.RateCard.InfraMultiplier)
+		}
+		c, err := NewCloud(p.Name, book, opts...)
+		if err != nil {
+			return nil, err
+		}
+		clouds = append(clouds, c)
+	}
+	return NewFleet(clouds...)
+}

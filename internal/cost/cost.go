@@ -1,0 +1,157 @@
+// Package cost implements the total-cost-of-ownership model of the
+// paper's Equation 5: monthly TCO is the cost to implement and sustain
+// the proposed HA plus the expected SLA-slippage penalty,
+//
+//	TCO = C_HA + max(0, U_SLA/100 − U_s) · δ/(12·60) · SP
+//
+// where SP is the contractual penalty per hour of unavailability beyond
+// the SLA and δ/(12·60) converts a downtime fraction to hours per
+// month.
+//
+// Money is represented as integer micro-dollars so that rate cards,
+// penalties and roll-ups compose without floating-point drift.
+package cost
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"uptimebroker/internal/availability"
+)
+
+// Money is an amount in micro-dollars (1e-6 USD). The integer
+// representation keeps arithmetic exact across the additions and
+// comparisons the optimizer performs; conversion to float happens only
+// at formatting boundaries.
+type Money int64
+
+// MicroPerDollar is the scaling factor between Money and dollars.
+const MicroPerDollar = 1_000_000
+
+// Dollars converts a dollar amount to Money, rounding to the nearest
+// micro-dollar.
+func Dollars(d float64) Money {
+	return Money(math.Round(d * MicroPerDollar))
+}
+
+// Cents converts an integer cent amount to Money exactly.
+func Cents(c int64) Money { return Money(c * MicroPerDollar / 100) }
+
+// Dollars returns the amount as a float64 dollar value.
+func (m Money) Dollars() float64 { return float64(m) / MicroPerDollar }
+
+// Mul scales the amount by an integer factor.
+func (m Money) Mul(n int64) Money { return m * Money(n) }
+
+// MulFloat scales the amount by a float factor, rounding to the nearest
+// micro-dollar. It is used for expected-value computations (probability
+// × penalty), where the result is inherently an estimate.
+func (m Money) MulFloat(f float64) Money {
+	return Money(math.Round(float64(m) * f))
+}
+
+// String renders the amount as dollars with two decimal places and a
+// thousands separator, e.g. "$2,790.00" or "-$12.50".
+func (m Money) String() string {
+	neg := m < 0
+	if neg {
+		m = -m
+	}
+	cents := (int64(m) + MicroPerDollar/200) / (MicroPerDollar / 100) // round to cents
+	whole := cents / 100
+	frac := cents % 100
+
+	digits := strconv.FormatInt(whole, 10)
+	var b strings.Builder
+	if neg {
+		b.WriteByte('-')
+	}
+	b.WriteByte('$')
+	for i, r := range digits {
+		if i > 0 && (len(digits)-i)%3 == 0 {
+			b.WriteByte(',')
+		}
+		b.WriteRune(r)
+	}
+	fmt.Fprintf(&b, ".%02d", frac)
+	return b.String()
+}
+
+// Penalty describes a contractual slippage clause: SP dollars per hour
+// of system unavailability beyond the agreed SLA.
+type Penalty struct {
+	// PerHour is SP, the charge per hour of slippage.
+	PerHour Money
+}
+
+// SLA is an uptime service-level agreement.
+type SLA struct {
+	// UptimePercent is U_SLA as stipulated in the contract, e.g. 98 for
+	// "98% uptime".
+	UptimePercent float64
+
+	// Penalty is the slippage clause attached to the SLA.
+	Penalty Penalty
+}
+
+// Validate reports whether the SLA is well-formed.
+func (s SLA) Validate() error {
+	if s.UptimePercent <= 0 || s.UptimePercent > 100 {
+		return fmt.Errorf("cost: SLA uptime %v%%, must be in (0, 100]", s.UptimePercent)
+	}
+	if s.Penalty.PerHour < 0 {
+		return fmt.Errorf("cost: penalty %v per hour, must be >= 0", s.Penalty.PerHour)
+	}
+	return nil
+}
+
+// Target returns the SLA as an uptime fraction in (0, 1].
+func (s SLA) Target() float64 { return s.UptimePercent / 100 }
+
+// SlippageHoursPerMonth returns the expected hours per month by which
+// the given uptime falls short of the SLA:
+// max(0, U_SLA/100 − U_s) · δ/(12·60). A system meeting the SLA slips
+// zero hours.
+func (s SLA) SlippageHoursPerMonth(uptime float64) float64 {
+	gap := s.Target() - uptime
+	if gap <= 0 {
+		return 0
+	}
+	return gap * availability.HoursPerMonth
+}
+
+// ExpectedPenaltyPerMonth applies the penalty clause to the expected
+// slippage (the second term of Equation 5).
+func (s SLA) ExpectedPenaltyPerMonth(uptime float64) Money {
+	return s.Penalty.PerHour.MulFloat(s.SlippageHoursPerMonth(uptime))
+}
+
+// TCO is the monthly total cost of ownership of one HA-enabled solution
+// option.
+type TCO struct {
+	// HA is C_HA: monthly infrastructure plus labor cost of the chosen
+	// redundancy.
+	HA Money
+
+	// ExpectedPenalty is the expected monthly slippage payout.
+	ExpectedPenalty Money
+}
+
+// Total returns HA + ExpectedPenalty.
+func (t TCO) Total() Money { return t.HA + t.ExpectedPenalty }
+
+// Compute evaluates Equation 5 for one candidate deployment.
+func Compute(haCost Money, sla SLA, uptime float64) TCO {
+	return TCO{
+		HA:              haCost,
+		ExpectedPenalty: sla.ExpectedPenaltyPerMonth(uptime),
+	}
+}
+
+// Labor converts a monthly effort in hours at an hourly rate into
+// Money. The paper's case study uses $30/hour.
+func Labor(hoursPerMonth float64, hourlyRate Money) Money {
+	return hourlyRate.MulFloat(hoursPerMonth)
+}

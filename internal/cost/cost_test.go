@@ -1,0 +1,183 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"uptimebroker/internal/availability"
+)
+
+func TestDollarsRoundTrip(t *testing.T) {
+	tests := []float64{0, 1, 0.01, 2790, 100.5, -12.5, 1e6}
+	for _, d := range tests {
+		m := Dollars(d)
+		if got := m.Dollars(); math.Abs(got-d) > 1e-6 {
+			t.Fatalf("Dollars(%v).Dollars() = %v", d, got)
+		}
+	}
+}
+
+func TestCents(t *testing.T) {
+	if got, want := Cents(250), Dollars(2.50); got != want {
+		t.Fatalf("Cents(250) = %d, want %d", got, want)
+	}
+	if got, want := Cents(-99), Dollars(-0.99); got != want {
+		t.Fatalf("Cents(-99) = %d, want %d", got, want)
+	}
+}
+
+func TestMoneyString(t *testing.T) {
+	tests := []struct {
+		m    Money
+		want string
+	}{
+		{Dollars(0), "$0.00"},
+		{Dollars(1), "$1.00"},
+		{Dollars(2790), "$2,790.00"},
+		{Dollars(1234567.89), "$1,234,567.89"},
+		{Dollars(-12.5), "-$12.50"},
+		{Dollars(999.995), "$1,000.00"}, // rounds up to cents
+		{Dollars(0.004), "$0.00"},
+	}
+	for _, tt := range tests {
+		if got := tt.m.String(); got != tt.want {
+			t.Fatalf("%d.String() = %q, want %q", tt.m, got, tt.want)
+		}
+	}
+}
+
+func TestMoneyArithmetic(t *testing.T) {
+	m := Dollars(100)
+	if got, want := m.Mul(3), Dollars(300); got != want {
+		t.Fatalf("Mul(3) = %v, want %v", got, want)
+	}
+	if got, want := m.MulFloat(0.5), Dollars(50); got != want {
+		t.Fatalf("MulFloat(0.5) = %v, want %v", got, want)
+	}
+	if got, want := m.MulFloat(0), Money(0); got != want {
+		t.Fatalf("MulFloat(0) = %v, want %v", got, want)
+	}
+}
+
+func TestSLAValidate(t *testing.T) {
+	bad := []SLA{
+		{UptimePercent: 0},
+		{UptimePercent: -5},
+		{UptimePercent: 101},
+		{UptimePercent: 98, Penalty: Penalty{PerHour: -1}},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("Validate(%+v) = nil, want error", s)
+		}
+	}
+	good := SLA{UptimePercent: 98, Penalty: Penalty{PerHour: Dollars(100)}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid SLA rejected: %v", err)
+	}
+	if got := good.Target(); got != 0.98 {
+		t.Fatalf("Target() = %v, want 0.98", got)
+	}
+}
+
+func TestSlippageHours(t *testing.T) {
+	sla := SLA{UptimePercent: 98, Penalty: Penalty{PerHour: Dollars(100)}}
+
+	// Meeting or exceeding the SLA slips nothing.
+	for _, u := range []float64{0.98, 0.99, 1.0} {
+		if got := sla.SlippageHoursPerMonth(u); got != 0 {
+			t.Fatalf("SlippageHoursPerMonth(%v) = %v, want 0", u, got)
+		}
+		if got := sla.ExpectedPenaltyPerMonth(u); got != 0 {
+			t.Fatalf("ExpectedPenaltyPerMonth(%v) = %v, want 0", u, got)
+		}
+	}
+
+	// 1% below the SLA = 0.01 · 730 = 7.3 hours/month.
+	got := sla.SlippageHoursPerMonth(0.97)
+	if math.Abs(got-7.3) > 1e-9 {
+		t.Fatalf("SlippageHoursPerMonth(0.97) = %v, want 7.3", got)
+	}
+	if p := sla.ExpectedPenaltyPerMonth(0.97); p != Dollars(730) {
+		t.Fatalf("ExpectedPenaltyPerMonth(0.97) = %v, want $730", p)
+	}
+}
+
+func TestComputeEquation5(t *testing.T) {
+	sla := SLA{UptimePercent: 98, Penalty: Penalty{PerHour: Dollars(100)}}
+
+	// Above SLA: TCO reduces to C_HA alone (second branch of Eq. 5).
+	tco := Compute(Dollars(2790), sla, 0.999)
+	if tco.ExpectedPenalty != 0 {
+		t.Fatalf("penalty above SLA = %v, want 0", tco.ExpectedPenalty)
+	}
+	if tco.Total() != Dollars(2790) {
+		t.Fatalf("Total() = %v, want $2,790", tco.Total())
+	}
+
+	// Below SLA: C_HA + slippage·SP.
+	tco = Compute(Dollars(350), sla, 0.97)
+	if want := Dollars(350 + 730); tco.Total() != want {
+		t.Fatalf("Total() = %v, want %v", tco.Total(), want)
+	}
+}
+
+func TestLabor(t *testing.T) {
+	// The case study's $30/hour at 20 hours/month.
+	if got, want := Labor(20, Dollars(30)), Dollars(600); got != want {
+		t.Fatalf("Labor(20, $30) = %v, want %v", got, want)
+	}
+	if got := Labor(0, Dollars(30)); got != 0 {
+		t.Fatalf("Labor(0, $30) = %v, want 0", got)
+	}
+}
+
+func TestPropertyTCOMonotoneInUptime(t *testing.T) {
+	sla := SLA{UptimePercent: 99.9, Penalty: Penalty{PerHour: Dollars(250)}}
+	err := quick.Check(func(u1, u2 float64) bool {
+		u1 = math.Abs(u1) - math.Floor(math.Abs(u1))
+		u2 = math.Abs(u2) - math.Floor(math.Abs(u2))
+		if u1 > u2 {
+			u1, u2 = u2, u1
+		}
+		// Higher uptime never raises TCO at fixed HA cost.
+		lo := Compute(Dollars(100), sla, u2).Total()
+		hi := Compute(Dollars(100), sla, u1).Total()
+		return lo <= hi
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPenaltyNonNegative(t *testing.T) {
+	err := quick.Check(func(pct, uptime float64, perHour int64) bool {
+		sla := SLA{
+			UptimePercent: 1 + math.Abs(pct) - math.Floor(math.Abs(pct))*0 + 50, // in (1, ~)
+			Penalty:       Penalty{PerHour: Money(perHour % 1e12).MulFloat(1).abs()},
+		}
+		if sla.UptimePercent > 100 {
+			sla.UptimePercent = 100
+		}
+		u := math.Abs(uptime) - math.Floor(math.Abs(uptime))
+		return sla.ExpectedPenaltyPerMonth(u) >= 0
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (m Money) abs() Money {
+	if m < 0 {
+		return -m
+	}
+	return m
+}
+
+func TestHoursPerMonthConstant(t *testing.T) {
+	// δ/(12·60) per the paper = 525600/720 = 730 hours/month.
+	if availability.HoursPerMonth != 730 {
+		t.Fatalf("HoursPerMonth = %v, want 730", availability.HoursPerMonth)
+	}
+}

@@ -1,0 +1,53 @@
+package failsim
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"uptimebroker/internal/availability"
+)
+
+// TestPropertySimulatorAgreesOnRandomSystems samples random clustered
+// systems and checks the analytic U_s stays within the simulator's
+// agreement envelope — the model-validation property generalized past
+// the case study.
+func TestPropertySimulatorAgreesOnRandomSystems(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo property test skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(61120))
+	for trial := 0; trial < 12; trial++ {
+		n := 1 + rng.Intn(3)
+		clusters := make([]availability.Cluster, n)
+		for i := range clusters {
+			active := 1 + rng.Intn(3)
+			tolerated := rng.Intn(2)
+			clusters[i] = availability.Cluster{
+				Name:            "c",
+				Nodes:           active + tolerated,
+				Tolerated:       tolerated,
+				NodeDown:        0.001 + rng.Float64()*0.03,
+				FailuresPerYear: 1 + rng.Float64()*10,
+				Failover:        time.Duration(rng.Intn(15)) * time.Minute,
+			}
+		}
+		sys := availability.System{Clusters: clusters}
+
+		est, err := Run(context.Background(), Config{
+			System:       sys,
+			Horizon:      8 * 365 * 24 * time.Hour,
+			Replications: 48,
+			Seed:         int64(trial) * 7919,
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		analytic := sys.Uptime()
+		if !est.AgreesWith(analytic) {
+			t.Fatalf("trial %d: analytic %.6f vs simulated %.6f ± %.6f on %+v",
+				trial, analytic, est.Uptime, est.CI95(), clusters)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+// Package failsim is a discrete-event Monte-Carlo simulator for the
+// k-redundancy failure model. It stands in for the live SoftLayer
+// deployment of the paper's case study: each node alternates between up
+// and down states with exponentially distributed durations whose means
+// are derived from the model parameters (P_i, f_i), active-node
+// failures absorbed by a standby open a failover window of length t_i
+// during which the cluster is unavailable, and more than K̂_i
+// simultaneous node outages break the cluster down until repairs catch
+// up.
+//
+// The simulator serves two purposes:
+//
+//  1. Validation: the analytic uptime U_s of Equations 1–4 is an
+//     approximation (independent snapshots, mutually exclusive downtime
+//     sources, no failover pile-ups). Running the simulator on the same
+//     parameters measures the ground-truth uptime of the generative
+//     model and quantifies the approximation error (the VALID
+//     experiment in DESIGN.md).
+//
+//  2. Telemetry substrate: with a Recorder attached, the simulator
+//     emits the raw failure/repair/failover observations from which the
+//     broker's telemetry database estimates P_i, f_i and t_i — the data
+//     the paper says a broker accumulates from its cross-cloud vantage
+//     point.
+package failsim

@@ -1,0 +1,85 @@
+package failsim
+
+import "container/heap"
+
+// eventKind discriminates the simulator's event types.
+type eventKind int
+
+const (
+	// eventFail marks a node transition from up to down.
+	eventFail eventKind = iota + 1
+	// eventRepair marks a node transition from down to up.
+	eventRepair
+	// eventWake forces a downtime-integration boundary at the end of a
+	// failover window; it carries no state change of its own.
+	eventWake
+	// eventShock is a common-cause failure: every up node of the
+	// cluster fails simultaneously (the correlation the analytic model
+	// assumes away).
+	eventShock
+)
+
+// event is one scheduled state transition. Times are simulated minutes
+// from the start of the replication.
+type event struct {
+	at      float64
+	kind    eventKind
+	cluster int
+	node    int
+	gen     uint64 // node generation at scheduling time; stale events are dropped
+	seq     uint64 // tie-breaker for deterministic ordering
+}
+
+// eventQueue is a min-heap of events ordered by time, then sequence
+// number so simultaneous events process in schedule order.
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// scheduler wraps the heap with a monotonically increasing sequence
+// counter.
+type scheduler struct {
+	q   eventQueue
+	seq uint64
+}
+
+func newScheduler(capacity int) *scheduler {
+	s := &scheduler{q: make(eventQueue, 0, capacity)}
+	heap.Init(&s.q)
+	return s
+}
+
+func (s *scheduler) schedule(at float64, kind eventKind, cluster, node int) {
+	s.scheduleGen(at, kind, cluster, node, 0)
+}
+
+func (s *scheduler) scheduleGen(at float64, kind eventKind, cluster, node int, gen uint64) {
+	s.seq++
+	heap.Push(&s.q, event{at: at, kind: kind, cluster: cluster, node: node, gen: gen, seq: s.seq})
+}
+
+func (s *scheduler) next() (event, bool) {
+	if len(s.q) == 0 {
+		return event{}, false
+	}
+	return heap.Pop(&s.q).(event), true
+}

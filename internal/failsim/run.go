@@ -1,0 +1,216 @@
+package failsim
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"uptimebroker/internal/availability"
+)
+
+// Config parameterizes a Monte-Carlo run.
+type Config struct {
+	// System is the clustered system to simulate; its parameters are
+	// the ground truth of the generative model.
+	System availability.System
+
+	// Horizon is the simulated duration of each replication. Longer
+	// horizons reduce per-replication variance.
+	Horizon time.Duration
+
+	// Replications is the number of independent replications to run.
+	Replications int
+
+	// Seed derives the per-replication RNG streams; runs with the same
+	// config and seed are bit-for-bit reproducible regardless of
+	// worker count.
+	Seed int64
+
+	// Workers bounds the concurrent replications; 0 means GOMAXPROCS.
+	Workers int
+
+	// ShocksPerYear adds common-cause failures: each cluster receives
+	// Poisson shocks at this rate, and a shock fails every currently-up
+	// node of the cluster simultaneously. Zero disables shocks. The
+	// analytic model assumes node independence, so shocked runs measure
+	// the model's correlation error (the paper's Section IV threat).
+	ShocksPerYear float64
+
+	// ShockRepair is the mean per-node repair duration after a shock;
+	// zero uses each node's own MTTR.
+	ShockRepair time.Duration
+}
+
+// Validate reports whether the config can be run.
+func (c Config) Validate() error {
+	if err := c.System.Validate(); err != nil {
+		return fmt.Errorf("failsim: %w", err)
+	}
+	if c.Horizon <= 0 {
+		return fmt.Errorf("failsim: horizon %v, must be > 0", c.Horizon)
+	}
+	if c.Replications < 1 {
+		return fmt.Errorf("failsim: replications %d, must be >= 1", c.Replications)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("failsim: workers %d, must be >= 0", c.Workers)
+	}
+	if c.ShocksPerYear < 0 {
+		return fmt.Errorf("failsim: shocks per year %v, must be >= 0", c.ShocksPerYear)
+	}
+	if c.ShockRepair < 0 {
+		return fmt.Errorf("failsim: shock repair %v, must be >= 0", c.ShockRepair)
+	}
+	return nil
+}
+
+// shockParams derives the per-replication shock configuration.
+func (c Config) shockParams() shockParams {
+	return shockParams{
+		perYear:       c.ShocksPerYear,
+		repairMinutes: c.ShockRepair.Minutes(),
+	}
+}
+
+// Estimate is the Monte-Carlo uptime estimate with its sampling error.
+type Estimate struct {
+	// Uptime is the mean uptime fraction across replications.
+	Uptime float64
+
+	// Downtime is 1 - Uptime.
+	Downtime float64
+
+	// Breakdown is the downtime fraction attributed to cluster
+	// breakdowns (the simulated counterpart of B_s).
+	Breakdown float64
+
+	// Failover is the downtime fraction attributed to failover windows
+	// (the simulated counterpart of F_s).
+	Failover float64
+
+	// StdErr is the standard error of the mean uptime.
+	StdErr float64
+
+	// Replications echoes the number of replications run.
+	Replications int
+
+	// SimulatedYears is the total simulated time across replications.
+	SimulatedYears float64
+}
+
+// CI95 returns the half-width of the 95% confidence interval around
+// Uptime.
+func (e Estimate) CI95() float64 { return 1.96 * e.StdErr }
+
+// AgreesWith reports whether an analytic uptime is statistically and
+// practically compatible with the estimate: within 3 standard errors
+// plus a model-error allowance proportional to the downtime magnitude
+// (the paper's Equations 1–4 approximate the generative model, so exact
+// agreement is not expected).
+func (e Estimate) AgreesWith(analyticUptime float64) bool {
+	analyticDown := 1 - analyticUptime
+	tolerance := 3*e.StdErr + 0.2*math.Max(analyticDown, e.Downtime) + 1e-6
+	return math.Abs(e.Uptime-analyticUptime) <= tolerance
+}
+
+// Run executes the configured replications, fanning out across workers,
+// and aggregates the estimates. It honors ctx cancellation between
+// replications.
+func Run(ctx context.Context, cfg Config) (Estimate, error) {
+	if err := cfg.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Replications {
+		workers = cfg.Replications
+	}
+
+	horizonMinutes := cfg.Horizon.Minutes()
+	results := make([]replicationResult, cfg.Replications)
+
+	var (
+		wg   sync.WaitGroup
+		next = make(chan int)
+	)
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := range next {
+				// Independent stream per replication: seeded from the
+				// run seed and the replication index, so results do not
+				// depend on scheduling.
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(rep)*0x9E3779B9))
+				results[rep] = simulate(cfg.System, horizonMinutes, rng, nil, cfg.shockParams())
+			}
+		}()
+	}
+
+feed:
+	for rep := 0; rep < cfg.Replications; rep++ {
+		select {
+		case next <- rep:
+		case <-runCtx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return Estimate{}, fmt.Errorf("failsim: run canceled: %w", err)
+	}
+	return aggregate(results, cfg), nil
+}
+
+// RunTraced executes a single replication with a Recorder attached and
+// returns its result. It is the telemetry-feeding entry point.
+func RunTraced(cfg Config, rec Recorder) (Estimate, error) {
+	if err := cfg.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	r := simulate(cfg.System, cfg.Horizon.Minutes(), rng, rec, cfg.shockParams())
+	return aggregate([]replicationResult{r}, cfg), nil
+}
+
+func aggregate(results []replicationResult, cfg Config) Estimate {
+	n := float64(len(results))
+	var sumU, sumB, sumF float64
+	for _, r := range results {
+		sumU += r.uptime
+		sumB += r.breakdown
+		sumF += r.failover
+	}
+	meanU := sumU / n
+
+	var ss float64
+	for _, r := range results {
+		d := r.uptime - meanU
+		ss += d * d
+	}
+	stderr := 0.0
+	if len(results) > 1 {
+		stderr = math.Sqrt(ss/(n-1)) / math.Sqrt(n)
+	}
+
+	return Estimate{
+		Uptime:         meanU,
+		Downtime:       1 - meanU,
+		Breakdown:      sumB / n,
+		Failover:       sumF / n,
+		StdErr:         stderr,
+		Replications:   len(results),
+		SimulatedYears: n * cfg.Horizon.Minutes() / availability.MinutesPerYear,
+	}
+}

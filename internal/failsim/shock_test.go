@@ -1,0 +1,160 @@
+package failsim
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"uptimebroker/internal/availability"
+)
+
+func TestConfigValidateShockFields(t *testing.T) {
+	good := Config{
+		System: availability.System{Clusters: []availability.Cluster{
+			{Name: "c", Nodes: 1, NodeDown: 0.01, FailuresPerYear: 5},
+		}},
+		Horizon:      time.Hour,
+		Replications: 1,
+	}
+	bad := good
+	bad.ShocksPerYear = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative shock rate should fail")
+	}
+	bad = good
+	bad.ShockRepair = -time.Second
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative shock repair should fail")
+	}
+	good.ShocksPerYear = 2
+	good.ShockRepair = time.Hour
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid shocked config rejected: %v", err)
+	}
+}
+
+func TestShocksOnlyCluster(t *testing.T) {
+	// A cluster with no stochastic failures (f=0) but periodic shocks:
+	// every shock takes the whole cluster down for roughly the shock
+	// repair duration, so expected downtime ≈ rate·repair/δ.
+	sys := availability.System{Clusters: []availability.Cluster{
+		{Name: "c", Nodes: 3, Tolerated: 1, NodeDown: 0, FailuresPerYear: 0},
+	}}
+	ratePerYear, repair := 6.0, 4*time.Hour
+	est, err := Run(context.Background(), Config{
+		System:        sys,
+		Horizon:       20 * 365 * 24 * time.Hour,
+		Replications:  48,
+		Seed:          31,
+		ShocksPerYear: ratePerYear,
+		ShockRepair:   repair,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if est.Downtime == 0 {
+		t.Fatal("shocked cluster should see downtime")
+	}
+	// The cluster is down until repairs bring it back within tolerance
+	// (2 of 3 nodes up): with exponential repairs the expected broken
+	// window is the max-order statistics gap; downtime must be within a
+	// small factor of rate·repair/δ.
+	naive := ratePerYear * repair.Minutes() / availability.MinutesPerYear
+	if est.Downtime < 0.2*naive || est.Downtime > 3*naive {
+		t.Fatalf("shock downtime %v implausible vs naive %v", est.Downtime, naive)
+	}
+	// All of it is breakdown: a total shock leaves nothing to fail over.
+	if est.Failover != 0 {
+		t.Fatalf("failover = %v, want 0 under total shocks", est.Failover)
+	}
+}
+
+func TestShocksDegradeModelAgreement(t *testing.T) {
+	// The paper's Section IV threat quantified: the analytic model
+	// assumes independent node failures, so its uptime prediction is
+	// optimistic once common-cause shocks correlate them. Simulated
+	// uptime must drop monotonically-ish with the shock rate while the
+	// analytic number stays fixed.
+	sys := availability.System{Clusters: []availability.Cluster{
+		{Name: "compute", Nodes: 4, Tolerated: 1, NodeDown: 0.0055, FailuresPerYear: 5, Failover: 15 * time.Minute},
+		{Name: "storage", Nodes: 2, Tolerated: 1, NodeDown: 0.02, FailuresPerYear: 3, Failover: time.Minute},
+	}}
+	analytic := sys.Uptime()
+
+	base := Config{
+		System:       sys,
+		Horizon:      10 * 365 * 24 * time.Hour,
+		Replications: 48,
+		Seed:         17,
+		ShockRepair:  2 * time.Hour,
+	}
+
+	noShock := base
+	est0, err := Run(context.Background(), noShock)
+	if err != nil {
+		t.Fatalf("Run(0): %v", err)
+	}
+	if !est0.AgreesWith(analytic) {
+		t.Fatalf("without shocks the model should agree: sim %v vs analytic %v", est0.Uptime, analytic)
+	}
+
+	shocked := base
+	shocked.ShocksPerYear = 12
+	est12, err := Run(context.Background(), shocked)
+	if err != nil {
+		t.Fatalf("Run(12): %v", err)
+	}
+	if est12.Uptime >= est0.Uptime {
+		t.Fatalf("shocks did not reduce uptime: %v vs %v", est12.Uptime, est0.Uptime)
+	}
+	// At one shock per month per cluster with 2h repairs, the gap must
+	// be visible well beyond noise.
+	if analytic-est12.Uptime < 5*est12.StdErr {
+		t.Fatalf("correlation error %v not visible above noise %v",
+			analytic-est12.Uptime, est12.StdErr)
+	}
+}
+
+func TestShockDeterminism(t *testing.T) {
+	sys := availability.System{Clusters: []availability.Cluster{
+		{Name: "c", Nodes: 2, Tolerated: 1, NodeDown: 0.01, FailuresPerYear: 6, Failover: 3 * time.Minute},
+	}}
+	cfg := Config{
+		System: sys, Horizon: 365 * 24 * time.Hour, Replications: 8, Seed: 5,
+		ShocksPerYear: 4, ShockRepair: time.Hour,
+	}
+	a, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Uptime != b.Uptime {
+		t.Fatalf("shocked runs not deterministic: %v vs %v", a.Uptime, b.Uptime)
+	}
+}
+
+func TestStaleEventsDropped(t *testing.T) {
+	// With heavy shock traffic on a stochastically failing cluster, the
+	// generation guard must keep node bookkeeping consistent; downtime
+	// fractions stay within [0,1] and breakdown+failover==downtime.
+	sys := availability.System{Clusters: []availability.Cluster{
+		{Name: "c", Nodes: 3, Tolerated: 1, NodeDown: 0.05, FailuresPerYear: 50, Failover: 5 * time.Minute},
+	}}
+	est, err := Run(context.Background(), Config{
+		System: sys, Horizon: 5 * 365 * 24 * time.Hour, Replications: 16, Seed: 13,
+		ShocksPerYear: 26, ShockRepair: 30 * time.Minute,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if est.Uptime < 0 || est.Uptime > 1 {
+		t.Fatalf("uptime out of range: %v", est.Uptime)
+	}
+	if math.Abs(est.Breakdown+est.Failover-est.Downtime) > 1e-9 {
+		t.Fatalf("attribution broke: %v + %v != %v", est.Breakdown, est.Failover, est.Downtime)
+	}
+}

@@ -1,0 +1,321 @@
+package failsim
+
+import (
+	"math/rand"
+
+	"uptimebroker/internal/availability"
+)
+
+// Recorder receives the raw observations a monitoring pipeline would
+// see. All times are simulated minutes from the replication start.
+// Implementations must be cheap; they run inline with the event loop.
+type Recorder interface {
+	// NodeFailed is called when a node goes down.
+	NodeFailed(cluster, node int, at float64)
+	// NodeRepaired is called when a node comes back up.
+	NodeRepaired(cluster, node int, at float64)
+	// FailoverStarted is called when a standby begins taking over for a
+	// failed active node; the cluster is unavailable until `until`.
+	FailoverStarted(cluster int, at, until float64)
+	// ClusterBroken is called when a cluster exceeds its tolerated
+	// outages and breaks down.
+	ClusterBroken(cluster int, at float64)
+	// ClusterRestored is called when repairs bring a broken cluster
+	// back within tolerance.
+	ClusterRestored(cluster int, at float64)
+}
+
+// nodeState tracks one simulated node. gen counts state transitions;
+// fail/repair events stamped with an older generation are stale (the
+// node transitioned through another path, e.g. a common-cause shock)
+// and are dropped.
+type nodeState struct {
+	up     bool
+	active bool
+	gen    uint64
+}
+
+// clusterState tracks one simulated cluster.
+type clusterState struct {
+	spec          availability.Cluster
+	nodes         []nodeState
+	downNodes     int
+	activeNodes   int
+	failoverUntil float64
+	mttf          float64 // minutes; +Inf when the node never fails
+	mttr          float64 // minutes
+	broken        bool
+}
+
+// required returns the number of nodes that must be active.
+func (cs *clusterState) required() int { return cs.spec.Active() }
+
+// isDown reports whether the cluster is unavailable at time now: broken
+// down or mid-failover.
+func (cs *clusterState) isDown(now float64) bool {
+	return cs.downNodes > cs.spec.Tolerated || now < cs.failoverUntil
+}
+
+// isBroken reports whether the cluster has exceeded its tolerance.
+func (cs *clusterState) isBroken() bool {
+	return cs.downNodes > cs.spec.Tolerated
+}
+
+// replicationResult is the outcome of one simulated horizon.
+type replicationResult struct {
+	uptime    float64 // fraction of horizon the system was up
+	breakdown float64 // downtime fraction attributed to cluster breakdowns
+	failover  float64 // downtime fraction attributed to failover windows
+}
+
+// shockParams configures common-cause failures for one replication.
+// A zero value disables them.
+type shockParams struct {
+	perYear       float64 // shock arrivals per cluster per year
+	repairMinutes float64 // mean repair after a shock; 0 = node's own MTTR
+}
+
+// simulate runs one replication of the system over horizonMinutes.
+// rec may be nil.
+func simulate(sys availability.System, horizonMinutes float64, rng *rand.Rand, rec Recorder, shocks shockParams) replicationResult {
+	clusters := make([]clusterState, len(sys.Clusters))
+	sched := newScheduler(64)
+
+	for ci := range sys.Clusters {
+		spec := sys.Clusters[ci]
+		cs := clusterState{
+			spec:  spec,
+			nodes: make([]nodeState, spec.Nodes),
+		}
+		if spec.FailuresPerYear > 0 {
+			cycle := availability.MinutesPerYear / spec.FailuresPerYear
+			cs.mttf = (1 - spec.NodeDown) * cycle
+			cs.mttr = spec.NodeDown * cycle
+		}
+
+		for ni := range cs.nodes {
+			// Draw the initial state from the stationary distribution so
+			// the replication needs no burn-in: a node is down with
+			// probability P_i.
+			down := spec.FailuresPerYear > 0 && rng.Float64() < spec.NodeDown
+			cs.nodes[ni].up = !down
+			if down {
+				cs.downNodes++
+				sched.scheduleGen(residual(rng, cs.mttr), eventRepair, ci, ni, 0)
+			} else if spec.FailuresPerYear > 0 {
+				sched.scheduleGen(residual(rng, cs.mttf), eventFail, ci, ni, 0)
+			}
+		}
+
+		// Activate up nodes until the requirement is met; the rest are
+		// standby. A cluster may start broken if too many nodes drew the
+		// down state.
+		for ni := range cs.nodes {
+			if cs.activeNodes == cs.required() {
+				break
+			}
+			if cs.nodes[ni].up {
+				cs.nodes[ni].active = true
+				cs.activeNodes++
+			}
+		}
+		cs.broken = cs.isBroken()
+		clusters[ci] = cs
+
+		if shocks.perYear > 0 {
+			shockMean := availability.MinutesPerYear / shocks.perYear
+			sched.schedule(draw(rng, shockMean), eventShock, ci, -1)
+		}
+	}
+
+	var (
+		lastT         float64
+		downMinutes   float64
+		brokenMinutes float64
+	)
+
+	// classify returns (systemDown, anyBroken) at time now.
+	classify := func(now float64) (bool, bool) {
+		down, broken := false, false
+		for i := range clusters {
+			if clusters[i].isDown(now) {
+				down = true
+				if clusters[i].isBroken() {
+					broken = true
+				}
+			}
+		}
+		return down, broken
+	}
+
+	for {
+		ev, ok := sched.next()
+		if !ok || ev.at >= horizonMinutes {
+			// Integrate the tail segment and stop.
+			if down, broken := classify(lastT); down {
+				downMinutes += horizonMinutes - lastT
+				if broken {
+					brokenMinutes += horizonMinutes - lastT
+				}
+			}
+			break
+		}
+
+		// Integrate the segment [lastT, ev.at) under the pre-event state.
+		if down, broken := classify(lastT); down {
+			downMinutes += ev.at - lastT
+			if broken {
+				brokenMinutes += ev.at - lastT
+			}
+		}
+		lastT = ev.at
+
+		cs := &clusters[ev.cluster]
+		switch ev.kind {
+		case eventFail:
+			node := &cs.nodes[ev.node]
+			if !node.up || ev.gen != node.gen {
+				break // stale: the node transitioned via another path
+			}
+			node.up = false
+			node.gen++
+			cs.downNodes++
+			if rec != nil {
+				rec.NodeFailed(ev.cluster, ev.node, ev.at)
+			}
+
+			if node.active {
+				node.active = false
+				cs.activeNodes--
+				// Promote a standby if the cluster can still operate.
+				if !cs.isBroken() {
+					if si := findStandby(cs); si >= 0 {
+						cs.nodes[si].active = true
+						cs.activeNodes++
+						until := ev.at + cs.spec.Failover.Minutes()
+						if until > cs.failoverUntil {
+							cs.failoverUntil = until
+							sched.schedule(until, eventWake, ev.cluster, -1)
+							if rec != nil {
+								rec.FailoverStarted(ev.cluster, ev.at, until)
+							}
+						}
+					}
+				}
+			}
+			if cs.isBroken() && !cs.broken {
+				cs.broken = true
+				if rec != nil {
+					rec.ClusterBroken(ev.cluster, ev.at)
+				}
+			}
+			// Schedule the repair.
+			sched.scheduleGen(ev.at+draw(rng, cs.mttr), eventRepair, ev.cluster, ev.node, node.gen)
+
+		case eventRepair:
+			node := &cs.nodes[ev.node]
+			if node.up || ev.gen != node.gen {
+				break
+			}
+			node.up = true
+			node.gen++
+			cs.downNodes--
+			if rec != nil {
+				rec.NodeRepaired(ev.cluster, ev.node, ev.at)
+			}
+			// Rejoin as active if the cluster is short-handed, otherwise
+			// as standby.
+			if cs.activeNodes < cs.required() {
+				node.active = true
+				cs.activeNodes++
+			}
+			if cs.broken && !cs.isBroken() {
+				cs.broken = false
+				if rec != nil {
+					rec.ClusterRestored(ev.cluster, ev.at)
+				}
+			}
+			// Schedule the next stochastic failure. Clusters whose only
+			// failure source is shocks (FailuresPerYear = 0) have no
+			// MTTF and must not re-enter the stochastic cycle.
+			if cs.mttf > 0 {
+				sched.scheduleGen(ev.at+draw(rng, cs.mttf), eventFail, ev.cluster, ev.node, node.gen)
+			}
+
+		case eventWake:
+			// Boundary only; classification above already accounted for
+			// the failover window ending at ev.at.
+
+		case eventShock:
+			// Common-cause failure: every up node goes down at once.
+			repairMean := shocks.repairMinutes
+			if repairMean <= 0 {
+				repairMean = cs.mttr
+			}
+			for ni := range cs.nodes {
+				node := &cs.nodes[ni]
+				if !node.up {
+					continue
+				}
+				node.up = false
+				node.gen++
+				cs.downNodes++
+				if node.active {
+					node.active = false
+					cs.activeNodes--
+				}
+				if rec != nil {
+					rec.NodeFailed(ev.cluster, ni, ev.at)
+				}
+				sched.scheduleGen(ev.at+draw(rng, repairMean), eventRepair, ev.cluster, ni, node.gen)
+			}
+			if cs.isBroken() && !cs.broken {
+				cs.broken = true
+				if rec != nil {
+					rec.ClusterBroken(ev.cluster, ev.at)
+				}
+			}
+			// Next shock for this cluster.
+			sched.schedule(ev.at+draw(rng, availability.MinutesPerYear/shocks.perYear),
+				eventShock, ev.cluster, -1)
+		}
+	}
+
+	if horizonMinutes <= 0 {
+		return replicationResult{uptime: 1}
+	}
+	down := downMinutes / horizonMinutes
+	broken := brokenMinutes / horizonMinutes
+	return replicationResult{
+		uptime:    1 - down,
+		breakdown: broken,
+		failover:  down - broken,
+	}
+}
+
+// findStandby returns the index of an up, inactive node, or -1.
+func findStandby(cs *clusterState) int {
+	for i := range cs.nodes {
+		if cs.nodes[i].up && !cs.nodes[i].active {
+			return i
+		}
+	}
+	return -1
+}
+
+// draw samples an exponential duration with the given mean in minutes.
+// A zero mean returns 0 (instant transition); this happens for MTTR
+// when P_i = 0.
+func draw(rng *rand.Rand, mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return rng.ExpFloat64() * mean
+}
+
+// residual samples the remaining duration of an in-progress exponential
+// phase. By memorylessness it has the same distribution as a full
+// phase.
+func residual(rng *rand.Rand, mean float64) float64 {
+	return draw(rng, mean)
+}

@@ -1,0 +1,292 @@
+package failsim
+
+import (
+	"container/heap"
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"uptimebroker/internal/availability"
+)
+
+func TestEventQueueOrdering(t *testing.T) {
+	s := newScheduler(4)
+	s.schedule(5, eventFail, 0, 0)
+	s.schedule(1, eventRepair, 0, 1)
+	s.schedule(3, eventWake, 1, -1)
+	s.schedule(3, eventFail, 2, 0) // same time, later seq
+
+	var got []float64
+	var kinds []eventKind
+	for {
+		ev, ok := s.next()
+		if !ok {
+			break
+		}
+		got = append(got, ev.at)
+		kinds = append(kinds, ev.kind)
+	}
+	want := []float64{1, 3, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event order = %v, want %v", got, want)
+		}
+	}
+	// Equal-time events pop in schedule order.
+	if kinds[1] != eventWake || kinds[2] != eventFail {
+		t.Fatalf("tie-break order = %v", kinds)
+	}
+}
+
+func TestEventQueueHeapInterface(t *testing.T) {
+	q := eventQueue{}
+	heap.Push(&q, event{at: 2, seq: 1})
+	heap.Push(&q, event{at: 1, seq: 2})
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	first := heap.Pop(&q).(event)
+	if first.at != 1 {
+		t.Fatalf("Pop at = %v, want 1", first.at)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{
+		System: availability.System{Clusters: []availability.Cluster{
+			{Name: "c", Nodes: 1, NodeDown: 0.01, FailuresPerYear: 5},
+		}},
+		Horizon:      time.Hour,
+		Replications: 1,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"empty system", func(c *Config) { c.System.Clusters = nil }},
+		{"zero horizon", func(c *Config) { c.Horizon = 0 }},
+		{"zero replications", func(c *Config) { c.Replications = 0 }},
+		{"negative workers", func(c *Config) { c.Workers = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := good
+			tt.mutate(&c)
+			if err := c.Validate(); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+}
+
+func TestSimulatePerfectSystem(t *testing.T) {
+	// A system that never fails has uptime exactly 1.
+	sys := availability.System{Clusters: []availability.Cluster{
+		{Name: "solid", Nodes: 2, Tolerated: 1, NodeDown: 0, FailuresPerYear: 0},
+	}}
+	r := simulate(sys, 525600, rand.New(rand.NewSource(1)), nil, shockParams{})
+	if r.uptime != 1 {
+		t.Fatalf("uptime = %v, want 1", r.uptime)
+	}
+	if r.breakdown != 0 || r.failover != 0 {
+		t.Fatalf("breakdown/failover = %v/%v, want 0", r.breakdown, r.failover)
+	}
+}
+
+func TestSimulateSingleNodeMatchesStationary(t *testing.T) {
+	// A single unclustered node's simulated downtime must converge to P.
+	p := 0.03
+	sys := availability.System{Clusters: []availability.Cluster{
+		{Name: "solo", Nodes: 1, Tolerated: 0, NodeDown: p, FailuresPerYear: 12},
+	}}
+	est, err := Run(context.Background(), Config{
+		System:       sys,
+		Horizon:      20 * 365 * 24 * time.Hour,
+		Replications: 64,
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if math.Abs(est.Downtime-p) > 5*est.StdErr+0.002 {
+		t.Fatalf("simulated downtime %v, stationary %v (stderr %v)", est.Downtime, p, est.StdErr)
+	}
+	// No HA: everything is breakdown, nothing is failover.
+	if est.Failover != 0 {
+		t.Fatalf("failover downtime = %v, want 0 without standby", est.Failover)
+	}
+}
+
+func TestSimulateFailoverOnlyCluster(t *testing.T) {
+	// With instant repairs (P=0) but nonzero failure rate and failover
+	// time, all downtime comes from failover windows:
+	// expected ≈ f·t·(K-K̂)/δ.
+	f, foMinutes := 10.0, 8.0
+	sys := availability.System{Clusters: []availability.Cluster{
+		{Name: "fo", Nodes: 3, Tolerated: 1, NodeDown: 0, FailuresPerYear: f,
+			Failover: time.Duration(foMinutes * float64(time.Minute))},
+	}}
+	est, err := Run(context.Background(), Config{
+		System:       sys,
+		Horizon:      20 * 365 * 24 * time.Hour,
+		Replications: 64,
+		Seed:         11,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := f * foMinutes * 2 / availability.MinutesPerYear
+	if math.Abs(est.Downtime-want) > 5*est.StdErr+0.1*want {
+		t.Fatalf("failover downtime %v, want ≈ %v (stderr %v)", est.Downtime, want, est.StdErr)
+	}
+	if est.Breakdown != 0 {
+		t.Fatalf("breakdown = %v, want 0 with instant repairs", est.Breakdown)
+	}
+}
+
+func TestSimulateAgreesWithAnalyticModel(t *testing.T) {
+	// The headline validation: the analytic U_s of Equations 1-4 must
+	// agree with the simulated uptime on the case-study-shaped system.
+	sys := availability.System{Clusters: []availability.Cluster{
+		{Name: "compute", Nodes: 4, Tolerated: 1, NodeDown: 0.0055, FailuresPerYear: 5, Failover: 15 * time.Minute},
+		{Name: "storage", Nodes: 2, Tolerated: 1, NodeDown: 0.02, FailuresPerYear: 3, Failover: time.Minute},
+		{Name: "network", Nodes: 1, Tolerated: 0, NodeDown: 0.0146, FailuresPerYear: 4},
+	}}
+	est, err := Run(context.Background(), Config{
+		System:       sys,
+		Horizon:      10 * 365 * 24 * time.Hour,
+		Replications: 96,
+		Seed:         20170611,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	analytic := sys.Uptime()
+	if !est.AgreesWith(analytic) {
+		t.Fatalf("simulated uptime %v ± %v disagrees with analytic %v",
+			est.Uptime, est.CI95(), analytic)
+	}
+	// Both downtime channels must be exercised.
+	if est.Breakdown == 0 || est.Failover == 0 {
+		t.Fatalf("expected both downtime channels, got breakdown=%v failover=%v",
+			est.Breakdown, est.Failover)
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	sys := availability.System{Clusters: []availability.Cluster{
+		{Name: "c", Nodes: 2, Tolerated: 1, NodeDown: 0.02, FailuresPerYear: 6, Failover: 5 * time.Minute},
+	}}
+	base := Config{System: sys, Horizon: 2 * 365 * 24 * time.Hour, Replications: 16, Seed: 99}
+
+	one := base
+	one.Workers = 1
+	many := base
+	many.Workers = 8
+
+	e1, err := Run(context.Background(), one)
+	if err != nil {
+		t.Fatalf("Run(1 worker): %v", err)
+	}
+	e8, err := Run(context.Background(), many)
+	if err != nil {
+		t.Fatalf("Run(8 workers): %v", err)
+	}
+	if e1.Uptime != e8.Uptime || e1.Breakdown != e8.Breakdown || e1.Failover != e8.Failover {
+		t.Fatalf("results differ across worker counts: %+v vs %+v", e1, e8)
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sys := availability.System{Clusters: []availability.Cluster{
+		{Name: "c", Nodes: 1, NodeDown: 0.01, FailuresPerYear: 5},
+	}}
+	_, err := Run(ctx, Config{System: sys, Horizon: time.Hour, Replications: 4})
+	if err == nil {
+		t.Fatal("canceled run should return an error")
+	}
+}
+
+func TestRunInvalidConfig(t *testing.T) {
+	_, err := Run(context.Background(), Config{})
+	if err == nil {
+		t.Fatal("invalid config should fail")
+	}
+}
+
+func TestEstimateCI95(t *testing.T) {
+	e := Estimate{StdErr: 0.001}
+	if got := e.CI95(); math.Abs(got-0.00196) > 1e-12 {
+		t.Fatalf("CI95 = %v, want 0.00196", got)
+	}
+}
+
+// recorderLog captures recorder callbacks for inspection.
+type recorderLog struct {
+	failed, repaired   int
+	failovers          int
+	broken, restored   int
+	lastFailoverLength float64
+}
+
+func (r *recorderLog) NodeFailed(cluster, node int, at float64)   { r.failed++ }
+func (r *recorderLog) NodeRepaired(cluster, node int, at float64) { r.repaired++ }
+func (r *recorderLog) FailoverStarted(cluster int, at, until float64) {
+	r.failovers++
+	r.lastFailoverLength = until - at
+}
+func (r *recorderLog) ClusterBroken(cluster int, at float64)   { r.broken++ }
+func (r *recorderLog) ClusterRestored(cluster int, at float64) { r.restored++ }
+
+func TestRunTracedEmitsObservations(t *testing.T) {
+	sys := availability.System{Clusters: []availability.Cluster{
+		{Name: "c", Nodes: 2, Tolerated: 1, NodeDown: 0.05, FailuresPerYear: 24, Failover: 10 * time.Minute},
+	}}
+	var rec recorderLog
+	_, err := RunTraced(Config{
+		System:       sys,
+		Horizon:      5 * 365 * 24 * time.Hour,
+		Replications: 1,
+		Seed:         3,
+	}, &rec)
+	if err != nil {
+		t.Fatalf("RunTraced: %v", err)
+	}
+	if rec.failed == 0 || rec.repaired == 0 {
+		t.Fatalf("expected failures and repairs, got %d/%d", rec.failed, rec.repaired)
+	}
+	if rec.failovers == 0 {
+		t.Fatal("expected failover events on an HA cluster")
+	}
+	if math.Abs(rec.lastFailoverLength-10) > 1e-9 {
+		t.Fatalf("failover window = %v minutes, want 10", rec.lastFailoverLength)
+	}
+	// Balanced breakdown bookkeeping: every break is eventually
+	// restored or the run ended broken (difference at most 1).
+	if rec.broken < rec.restored || rec.broken-rec.restored > 1 {
+		t.Fatalf("broken/restored = %d/%d", rec.broken, rec.restored)
+	}
+}
+
+func TestBreakdownPlusFailoverEqualsDowntime(t *testing.T) {
+	sys := availability.System{Clusters: []availability.Cluster{
+		{Name: "a", Nodes: 3, Tolerated: 1, NodeDown: 0.03, FailuresPerYear: 10, Failover: 12 * time.Minute},
+		{Name: "b", Nodes: 1, Tolerated: 0, NodeDown: 0.01, FailuresPerYear: 4},
+	}}
+	est, err := Run(context.Background(), Config{
+		System: sys, Horizon: 365 * 24 * time.Hour, Replications: 8, Seed: 5,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if math.Abs(est.Breakdown+est.Failover-est.Downtime) > 1e-9 {
+		t.Fatalf("breakdown %v + failover %v != downtime %v", est.Breakdown, est.Failover, est.Downtime)
+	}
+}

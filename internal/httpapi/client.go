@@ -1,0 +1,147 @@
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+// Client is a typed client for the brokerage API.
+type Client struct {
+	baseURL string
+	http    *http.Client
+}
+
+// NewClient builds a client for the given base URL (for example
+// "http://127.0.0.1:8080"). httpClient may be nil to use
+// http.DefaultClient.
+func NewClient(baseURL string, httpClient *http.Client) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("httpapi: invalid base URL %q", baseURL)
+	}
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{baseURL: strings.TrimRight(baseURL, "/"), http: httpClient}, nil
+}
+
+// Health checks GET /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	var out map[string]string
+	return c.do(ctx, http.MethodGet, "/healthz", nil, &out)
+}
+
+// Recommend submits a recommendation request.
+func (c *Client) Recommend(ctx context.Context, req RecommendationRequest) (RecommendationResponse, error) {
+	var out RecommendationResponse
+	err := c.do(ctx, http.MethodPost, "/v1/recommendations", req, &out)
+	return out, err
+}
+
+// Pareto submits a request and returns only the cost × uptime frontier
+// cards.
+func (c *Client) Pareto(ctx context.Context, req RecommendationRequest) ([]OptionCardDTO, error) {
+	var out []OptionCardDTO
+	err := c.do(ctx, http.MethodPost, "/v1/pareto", req, &out)
+	return out, err
+}
+
+// Technologies lists the catalog's HA technologies.
+func (c *Client) Technologies(ctx context.Context) ([]TechnologyDTO, error) {
+	var out []TechnologyDTO
+	err := c.do(ctx, http.MethodGet, "/v1/catalog/technologies", nil, &out)
+	return out, err
+}
+
+// Providers lists the catalog's cloud providers.
+func (c *Client) Providers(ctx context.Context) ([]ProviderDTO, error) {
+	var out []ProviderDTO
+	err := c.do(ctx, http.MethodGet, "/v1/catalog/providers", nil, &out)
+	return out, err
+}
+
+// Params fetches the parameter estimate for one (provider, class).
+func (c *Client) Params(ctx context.Context, provider, class string) (ParamsResponse, error) {
+	var out ParamsResponse
+	path := "/v1/params?provider=" + url.QueryEscape(provider) + "&class=" + url.QueryEscape(class)
+	err := c.do(ctx, http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// Scenarios lists the built-in scenario library for a provider
+// (defaulting to the reference provider when empty).
+func (c *Client) Scenarios(ctx context.Context, provider string) ([]ScenarioDTO, error) {
+	path := "/v1/scenarios"
+	if provider != "" {
+		path += "?provider=" + url.QueryEscape(provider)
+	}
+	var out []ScenarioDTO
+	err := c.do(ctx, http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// ScenarioRecommendation runs the brokerage on a built-in scenario.
+func (c *Client) ScenarioRecommendation(ctx context.Context, name, provider string) (RecommendationResponse, error) {
+	path := "/v1/scenarios/" + url.PathEscape(name) + "/recommendation"
+	if provider != "" {
+		path += "?provider=" + url.QueryEscape(provider)
+	}
+	var out RecommendationResponse
+	err := c.do(ctx, http.MethodPost, path, nil, &out)
+	return out, err
+}
+
+// Observe submits one telemetry observation.
+func (c *Client) Observe(ctx context.Context, obs Observation) error {
+	var out map[string]string
+	return c.do(ctx, http.MethodPost, "/v1/observations", obs, &out)
+}
+
+// do performs one round trip with JSON bodies in both directions.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("httpapi: encoding request: %w", err)
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, body)
+	if err != nil {
+		return fmt.Errorf("httpapi: building request: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("httpapi: %s %s: %w", method, path, err)
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+
+	if resp.StatusCode >= 400 {
+		var apiErr errorResponse
+		if decodeErr := json.NewDecoder(resp.Body).Decode(&apiErr); decodeErr == nil && apiErr.Error != "" {
+			return fmt.Errorf("httpapi: %s %s: %s (HTTP %d)", method, path, apiErr.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("httpapi: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("httpapi: decoding response: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,246 @@
+// Package httpapi exposes the brokerage as a small JSON-over-HTTP
+// service — the "as-a-service" delivery the paper's title promises —
+// plus a typed Go client. Monetary fields cross the wire as USD
+// floats; they are converted to exact cost.Money at the boundary.
+package httpapi
+
+import (
+	"fmt"
+	"time"
+
+	"uptimebroker/internal/broker"
+	"uptimebroker/internal/catalog"
+	"uptimebroker/internal/cost"
+	"uptimebroker/internal/topology"
+)
+
+// RecommendationRequest is the wire form of broker.Request.
+type RecommendationRequest struct {
+	// Base is the base cloud solution architecture.
+	Base topology.System `json:"base"`
+
+	// SLAPercent is the contractual uptime percentage, e.g. 98.
+	SLAPercent float64 `json:"sla_percent"`
+
+	// PenaltyPerHourUSD is the slippage penalty in dollars per hour.
+	PenaltyPerHourUSD float64 `json:"penalty_per_hour_usd"`
+
+	// AsIs optionally maps component names to incumbent HA tech IDs.
+	AsIs map[string]string `json:"as_is,omitempty"`
+
+	// AllowedTechs optionally restricts per-component HA choices.
+	AllowedTechs map[string][]string `json:"allowed_techs,omitempty"`
+}
+
+// ToBroker converts the wire request to the domain request.
+func (r RecommendationRequest) ToBroker() broker.Request {
+	req := broker.Request{
+		Base: r.Base,
+		SLA: cost.SLA{
+			UptimePercent: r.SLAPercent,
+			Penalty:       cost.Penalty{PerHour: cost.Dollars(r.PenaltyPerHourUSD)},
+		},
+		AllowedTechs: r.AllowedTechs,
+	}
+	if r.AsIs != nil {
+		req.AsIs = broker.Plan(r.AsIs)
+	}
+	return req
+}
+
+// ChoiceDTO is one component's HA selection.
+type ChoiceDTO struct {
+	Component string `json:"component"`
+	TechID    string `json:"tech_id,omitempty"`
+}
+
+// OptionCardDTO is the wire form of one solution option.
+type OptionCardDTO struct {
+	Option        int         `json:"option"`
+	Label         string      `json:"label"`
+	Choices       []ChoiceDTO `json:"choices"`
+	HACostUSD     float64     `json:"ha_cost_usd"`
+	UptimePercent float64     `json:"uptime_percent"`
+	SlippageHours float64     `json:"slippage_hours_per_month"`
+	PenaltyUSD    float64     `json:"penalty_usd"`
+	TCOUSD        float64     `json:"tco_usd"`
+	MeetsSLA      bool        `json:"meets_sla"`
+}
+
+// SearchStatsDTO is the wire form of the pruned-search statistics.
+type SearchStatsDTO struct {
+	SpaceSize int `json:"space_size"`
+	Evaluated int `json:"evaluated"`
+	Skipped   int `json:"skipped"`
+}
+
+// RecommendationResponse is the wire form of broker.Recommendation.
+type RecommendationResponse struct {
+	System         string          `json:"system"`
+	Provider       string          `json:"provider"`
+	SLAPercent     float64         `json:"sla_percent"`
+	Cards          []OptionCardDTO `json:"cards"`
+	BestOption     int             `json:"best_option"`
+	MinRiskOption  int             `json:"min_risk_option,omitempty"`
+	AsIsOption     int             `json:"as_is_option,omitempty"`
+	SavingsPercent float64         `json:"savings_percent,omitempty"`
+	Search         SearchStatsDTO  `json:"search"`
+}
+
+// fromCard converts one option card to wire form.
+func fromCard(c broker.OptionCard) OptionCardDTO {
+	choices := make([]ChoiceDTO, len(c.Choices))
+	for j, ch := range c.Choices {
+		choices[j] = ChoiceDTO{Component: ch.Component, TechID: ch.TechID}
+	}
+	return OptionCardDTO{
+		Option:        c.Option,
+		Label:         c.Label(),
+		Choices:       choices,
+		HACostUSD:     c.HACost.Dollars(),
+		UptimePercent: c.Uptime * 100,
+		SlippageHours: c.SlippageHours,
+		PenaltyUSD:    c.Penalty.Dollars(),
+		TCOUSD:        c.TCO.Dollars(),
+		MeetsSLA:      c.MeetsSLA,
+	}
+}
+
+// FromRecommendation converts a domain recommendation to wire form.
+func FromRecommendation(rec *broker.Recommendation) RecommendationResponse {
+	cards := make([]OptionCardDTO, len(rec.Cards))
+	for i, c := range rec.Cards {
+		cards[i] = fromCard(c)
+	}
+	return RecommendationResponse{
+		System:         rec.System,
+		Provider:       rec.Provider,
+		SLAPercent:     rec.SLA.UptimePercent,
+		Cards:          cards,
+		BestOption:     rec.BestOption,
+		MinRiskOption:  rec.MinRiskOption,
+		AsIsOption:     rec.AsIsOption,
+		SavingsPercent: rec.SavingsFraction * 100,
+		Search: SearchStatsDTO{
+			SpaceSize: rec.Search.SpaceSize,
+			Evaluated: rec.Search.Evaluated,
+			Skipped:   rec.Search.Skipped,
+		},
+	}
+}
+
+// TechnologyDTO is the wire form of a catalog technology.
+type TechnologyDTO struct {
+	ID                 string  `json:"id"`
+	Name               string  `json:"name"`
+	Layer              string  `json:"layer"`
+	StandbyNodes       int     `json:"standby_nodes"`
+	Mode               string  `json:"mode"`
+	FailoverSeconds    float64 `json:"failover_seconds"`
+	InfraFixedUSD      float64 `json:"infra_fixed_usd"`
+	InfraPerStandbyUSD float64 `json:"infra_per_standby_usd"`
+	LaborHoursPerMonth float64 `json:"labor_hours_per_month"`
+}
+
+// FromTechnology converts a catalog technology to wire form.
+func FromTechnology(t catalog.HATechnology) TechnologyDTO {
+	return TechnologyDTO{
+		ID:                 t.ID,
+		Name:               t.Name,
+		Layer:              t.Layer.String(),
+		StandbyNodes:       t.StandbyNodes,
+		Mode:               t.Mode.String(),
+		FailoverSeconds:    t.Failover.Seconds(),
+		InfraFixedUSD:      t.InfraFixed.Dollars(),
+		InfraPerStandbyUSD: t.InfraPerStandby.Dollars(),
+		LaborHoursPerMonth: t.LaborHoursPerMonth,
+	}
+}
+
+// ProviderDTO is the wire form of a catalog provider.
+type ProviderDTO struct {
+	Name            string  `json:"name"`
+	DisplayName     string  `json:"display_name"`
+	LaborRateUSD    float64 `json:"labor_rate_usd"`
+	InfraMultiplier float64 `json:"infra_multiplier"`
+}
+
+// FromProvider converts a catalog provider to wire form.
+func FromProvider(p catalog.Provider) ProviderDTO {
+	return ProviderDTO{
+		Name:            p.Name,
+		DisplayName:     p.DisplayName,
+		LaborRateUSD:    p.RateCard.LaborRate.Dollars(),
+		InfraMultiplier: p.RateCard.InfraMultiplier,
+	}
+}
+
+// Observation kinds accepted by POST /v1/observations.
+const (
+	ObservationOutage   = "outage"
+	ObservationFailover = "failover"
+	ObservationExposure = "exposure"
+)
+
+// Observation is one telemetry sample.
+type Observation struct {
+	// Provider and Class identify the telemetry bucket.
+	Provider string `json:"provider"`
+	Class    string `json:"class"`
+
+	// Kind is one of outage, failover or exposure.
+	Kind string `json:"kind"`
+
+	// Seconds is the observation magnitude: outage duration, failover
+	// window, or node-time of exposure.
+	Seconds float64 `json:"seconds"`
+}
+
+// Validate reports whether the observation is well-formed.
+func (o Observation) Validate() error {
+	if o.Provider == "" || o.Class == "" {
+		return fmt.Errorf("httpapi: observation needs provider and class")
+	}
+	switch o.Kind {
+	case ObservationOutage, ObservationFailover, ObservationExposure:
+	default:
+		return fmt.Errorf("httpapi: unknown observation kind %q", o.Kind)
+	}
+	if o.Seconds < 0 {
+		return fmt.Errorf("httpapi: negative observation")
+	}
+	return nil
+}
+
+// Duration returns the observation magnitude as a time.Duration.
+func (o Observation) Duration() time.Duration {
+	return time.Duration(o.Seconds * float64(time.Second))
+}
+
+// ParamsResponse reports the parameter estimate the broker would use
+// for one (provider, class).
+type ParamsResponse struct {
+	Provider           string  `json:"provider"`
+	Class              string  `json:"class"`
+	Down               float64 `json:"down"`
+	FailuresPerYear    float64 `json:"failures_per_year"`
+	FailoverSeconds    float64 `json:"failover_seconds,omitempty"`
+	FailoverP95Seconds float64 `json:"failover_p95_seconds,omitempty"`
+	ExposureYears      float64 `json:"exposure_years,omitempty"`
+	Source             string  `json:"source"`
+}
+
+// ScenarioDTO summarizes one built-in scenario.
+type ScenarioDTO struct {
+	Name              string  `json:"name"`
+	Description       string  `json:"description"`
+	Provider          string  `json:"provider"`
+	Components        int     `json:"components"`
+	SLAPercent        float64 `json:"sla_percent"`
+	PenaltyPerHourUSD float64 `json:"penalty_per_hour_usd"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,347 @@
+package httpapi
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"uptimebroker/internal/broker"
+	"uptimebroker/internal/catalog"
+	"uptimebroker/internal/telemetry"
+	"uptimebroker/internal/topology"
+)
+
+// newTestServer spins a full broker + telemetry stack behind httptest.
+func newTestServer(t *testing.T) (*httptest.Server, *Client, *telemetry.Store) {
+	t.Helper()
+	cat := catalog.Default()
+	store := telemetry.NewStore()
+	engine, err := broker.New(cat, broker.TelemetryParams{
+		Store:            store,
+		Fallback:         broker.CatalogParams{Catalog: cat},
+		MinExposureYears: 0.5,
+	})
+	if err != nil {
+		t.Fatalf("broker.New: %v", err)
+	}
+	srv, err := NewServer(engine, store, nil)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	client, err := NewClient(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	return ts, client, store
+}
+
+// caseStudyWire converts the case study into its wire form.
+func caseStudyWire() RecommendationRequest {
+	cs := broker.CaseStudy()
+	return RecommendationRequest{
+		Base:              cs.Base,
+		SLAPercent:        cs.SLA.UptimePercent,
+		PenaltyPerHourUSD: cs.SLA.Penalty.PerHour.Dollars(),
+		AsIs:              map[string]string(cs.AsIs),
+		AllowedTechs:      cs.AllowedTechs,
+	}
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(nil, nil, nil); err == nil {
+		t.Fatal("nil engine should fail")
+	}
+}
+
+func TestNewClientValidation(t *testing.T) {
+	for _, u := range []string{"", "://bad", "relative/path"} {
+		if _, err := NewClient(u, nil); err == nil {
+			t.Fatalf("NewClient(%q) should fail", u)
+		}
+	}
+	if _, err := NewClient("http://localhost:1", nil); err != nil {
+		t.Fatalf("valid URL rejected: %v", err)
+	}
+}
+
+func TestHealth(t *testing.T) {
+	_, client, _ := newTestServer(t)
+	if err := client.Health(context.Background()); err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+}
+
+func TestRecommendEndToEnd(t *testing.T) {
+	_, client, _ := newTestServer(t)
+	resp, err := client.Recommend(context.Background(), caseStudyWire())
+	if err != nil {
+		t.Fatalf("Recommend: %v", err)
+	}
+	if resp.BestOption != 3 {
+		t.Fatalf("BestOption = %d, want 3", resp.BestOption)
+	}
+	if resp.MinRiskOption != 5 {
+		t.Fatalf("MinRiskOption = %d, want 5", resp.MinRiskOption)
+	}
+	if resp.AsIsOption != 8 {
+		t.Fatalf("AsIsOption = %d, want 8", resp.AsIsOption)
+	}
+	if resp.SavingsPercent < 60 || resp.SavingsPercent > 64 {
+		t.Fatalf("SavingsPercent = %v, want ≈ 62", resp.SavingsPercent)
+	}
+	if len(resp.Cards) != 8 {
+		t.Fatalf("cards = %d, want 8", len(resp.Cards))
+	}
+	best := resp.Cards[resp.BestOption-1]
+	if best.Label != "storage=raid1" {
+		t.Fatalf("best label = %q", best.Label)
+	}
+	if best.TCOUSD <= 0 || best.UptimePercent <= 90 {
+		t.Fatalf("best card implausible: %+v", best)
+	}
+}
+
+func TestRecommendBadRequests(t *testing.T) {
+	ts, client, _ := newTestServer(t)
+
+	// Malformed JSON.
+	resp, err := http.Post(ts.URL+"/v1/recommendations", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON status = %d, want 400", resp.StatusCode)
+	}
+
+	// Semantically invalid request (no components).
+	bad := caseStudyWire()
+	bad.Base.Components = nil
+	if _, err := client.Recommend(context.Background(), bad); err == nil {
+		t.Fatal("invalid request should fail")
+	}
+
+	// Unknown provider.
+	bad = caseStudyWire()
+	bad.Base.Provider = "ghost"
+	if _, err := client.Recommend(context.Background(), bad); err == nil {
+		t.Fatal("unknown provider should fail")
+	}
+}
+
+func TestCatalogEndpoints(t *testing.T) {
+	_, client, _ := newTestServer(t)
+	ctx := context.Background()
+
+	techs, err := client.Technologies(ctx)
+	if err != nil {
+		t.Fatalf("Technologies: %v", err)
+	}
+	if len(techs) < 8 {
+		t.Fatalf("technologies = %d, want >= 8", len(techs))
+	}
+	seen := map[string]bool{}
+	for _, tech := range techs {
+		seen[tech.ID] = true
+		if tech.Layer == "unknown" || tech.Mode == "unknown" {
+			t.Fatalf("tech %q has unknown layer/mode", tech.ID)
+		}
+	}
+	for _, id := range []string{catalog.TechESXHA, catalog.TechRAID1, catalog.TechDualGateway, catalog.TechBGPDual} {
+		if !seen[id] {
+			t.Fatalf("missing technology %q", id)
+		}
+	}
+
+	providers, err := client.Providers(ctx)
+	if err != nil {
+		t.Fatalf("Providers: %v", err)
+	}
+	if len(providers) != 3 {
+		t.Fatalf("providers = %d, want 3", len(providers))
+	}
+}
+
+func TestObservationsAndParams(t *testing.T) {
+	_, client, _ := newTestServer(t)
+	ctx := context.Background()
+
+	// Catalog fallback before any telemetry.
+	params, err := client.Params(ctx, catalog.ProviderSoftLayerSim, topology.ClassBlockVolume)
+	if err != nil {
+		t.Fatalf("Params: %v", err)
+	}
+	if params.Source != "catalog" || params.Down != 0.02 {
+		t.Fatalf("params = %+v, want catalog default", params)
+	}
+
+	// Feed a year of exposure and some outages.
+	year := 365.0 * 24 * 3600
+	if err := client.Observe(ctx, Observation{
+		Provider: catalog.ProviderSoftLayerSim, Class: topology.ClassBlockVolume,
+		Kind: ObservationExposure, Seconds: year,
+	}); err != nil {
+		t.Fatalf("Observe exposure: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := client.Observe(ctx, Observation{
+			Provider: catalog.ProviderSoftLayerSim, Class: topology.ClassBlockVolume,
+			Kind: ObservationOutage, Seconds: 3600,
+		}); err != nil {
+			t.Fatalf("Observe outage: %v", err)
+		}
+	}
+	if err := client.Observe(ctx, Observation{
+		Provider: catalog.ProviderSoftLayerSim, Class: topology.ClassBlockVolume,
+		Kind: ObservationFailover, Seconds: 60,
+	}); err != nil {
+		t.Fatalf("Observe failover: %v", err)
+	}
+
+	params, err = client.Params(ctx, catalog.ProviderSoftLayerSim, topology.ClassBlockVolume)
+	if err != nil {
+		t.Fatalf("Params after telemetry: %v", err)
+	}
+	if params.Source != "telemetry" {
+		t.Fatalf("source = %q, want telemetry", params.Source)
+	}
+	if params.FailuresPerYear < 3.9 || params.FailuresPerYear > 4.1 {
+		t.Fatalf("FailuresPerYear = %v, want ≈ 4", params.FailuresPerYear)
+	}
+	if params.FailoverSeconds != 60 {
+		t.Fatalf("FailoverSeconds = %v, want 60", params.FailoverSeconds)
+	}
+}
+
+func TestObservationValidationOverHTTP(t *testing.T) {
+	_, client, _ := newTestServer(t)
+	ctx := context.Background()
+	bad := []Observation{
+		{Provider: "", Class: "c", Kind: ObservationOutage, Seconds: 1},
+		{Provider: "p", Class: "", Kind: ObservationOutage, Seconds: 1},
+		{Provider: "p", Class: "c", Kind: "weird", Seconds: 1},
+		{Provider: "p", Class: "c", Kind: ObservationOutage, Seconds: -1},
+		{Provider: "p", Class: "c", Kind: ObservationExposure, Seconds: 0}, // store rejects zero exposure
+	}
+	for _, obs := range bad {
+		if err := client.Observe(ctx, obs); err == nil {
+			t.Fatalf("Observe(%+v) should fail", obs)
+		}
+	}
+}
+
+func TestObservationsDisabledWithoutStore(t *testing.T) {
+	cat := catalog.Default()
+	engine, err := broker.New(cat, broker.CatalogParams{Catalog: cat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(engine, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client, _ := NewClient(ts.URL, ts.Client())
+	err = client.Observe(context.Background(), Observation{
+		Provider: "p", Class: "c", Kind: ObservationOutage, Seconds: 1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "501") {
+		t.Fatalf("Observe without store = %v, want HTTP 501", err)
+	}
+}
+
+func TestParamsQueryValidation(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/params")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing query params status = %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/params?provider=ghost&class=vm.virtualized")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown provider status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/recommendations")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET on POST route = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestUnknownRoute(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown route = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestTelemetryInfluencesRecommendationOverHTTP(t *testing.T) {
+	// The full feedback loop over the wire: observations shift the
+	// recommendation away from storage HA when storage proves solid.
+	_, client, _ := newTestServer(t)
+	ctx := context.Background()
+
+	year := 365.0 * 24 * 3600
+	feed := func(class string, downFrac float64, outages int) {
+		t.Helper()
+		if err := client.Observe(ctx, Observation{
+			Provider: catalog.ProviderSoftLayerSim, Class: class,
+			Kind: ObservationExposure, Seconds: 20 * year,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := client.Observe(ctx, Observation{
+			Provider: catalog.ProviderSoftLayerSim, Class: class,
+			Kind: ObservationOutage, Seconds: 20 * year * downFrac,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < outages; i++ {
+			if err := client.Observe(ctx, Observation{
+				Provider: catalog.ProviderSoftLayerSim, Class: class,
+				Kind: ObservationOutage, Seconds: 0,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	feed(topology.ClassVirtualMachine, 0.02, 100)
+	feed(topology.ClassBlockVolume, 0.0002, 20)
+	feed(topology.ClassGateway, 0.0002, 20)
+
+	resp, err := client.Recommend(ctx, caseStudyWire())
+	if err != nil {
+		t.Fatalf("Recommend: %v", err)
+	}
+	best := resp.Cards[resp.BestOption-1]
+	if strings.Contains(best.Label, "storage") {
+		t.Fatalf("best option still buys storage HA after telemetry: %q", best.Label)
+	}
+	if !strings.Contains(best.Label, "compute") {
+		t.Fatalf("best option should buy compute HA after telemetry: %q", best.Label)
+	}
+}

@@ -1,0 +1,51 @@
+package httpapi
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestParetoEndToEnd(t *testing.T) {
+	_, client, _ := newTestServer(t)
+	front, err := client.Pareto(context.Background(), caseStudyWire())
+	if err != nil {
+		t.Fatalf("Pareto: %v", err)
+	}
+	if len(front) == 0 {
+		t.Fatal("empty frontier")
+	}
+	for i := 1; i < len(front); i++ {
+		if front[i].HACostUSD <= front[i-1].HACostUSD {
+			t.Fatal("frontier cost not increasing over the wire")
+		}
+		if front[i].UptimePercent <= front[i-1].UptimePercent {
+			t.Fatal("frontier uptime not increasing over the wire")
+		}
+	}
+	for _, c := range front {
+		if c.Label == "network=dual-gateway" {
+			t.Fatal("dominated option leaked onto the wire frontier")
+		}
+	}
+}
+
+func TestParetoBadRequests(t *testing.T) {
+	ts, client, _ := newTestServer(t)
+
+	resp, err := http.Post(ts.URL+"/v1/pareto", "application/json", strings.NewReader("{bad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON status = %d, want 400", resp.StatusCode)
+	}
+
+	bad := caseStudyWire()
+	bad.Base.Provider = "ghost"
+	if _, err := client.Pareto(context.Background(), bad); err == nil {
+		t.Fatal("unknown provider should fail")
+	}
+}

@@ -1,0 +1,72 @@
+package httpapi
+
+import (
+	"context"
+	"testing"
+
+	"uptimebroker/internal/catalog"
+)
+
+func TestScenariosEndpoint(t *testing.T) {
+	_, client, _ := newTestServer(t)
+	ctx := context.Background()
+
+	scenarios, err := client.Scenarios(ctx, "")
+	if err != nil {
+		t.Fatalf("Scenarios: %v", err)
+	}
+	if len(scenarios) != 5 {
+		t.Fatalf("scenarios = %d, want 5", len(scenarios))
+	}
+	names := map[string]bool{}
+	for _, sc := range scenarios {
+		names[sc.Name] = true
+		if sc.Description == "" || sc.Components < 1 || sc.SLAPercent <= 0 {
+			t.Fatalf("scenario %q incomplete: %+v", sc.Name, sc)
+		}
+	}
+	for _, want := range []string{"casestudy", "ecommerce", "analytics", "messaging", "vdi"} {
+		if !names[want] {
+			t.Fatalf("missing scenario %q", want)
+		}
+	}
+
+	// Provider selection flows through.
+	scenarios, err = client.Scenarios(ctx, catalog.ProviderStratus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scenarios {
+		if sc.Name == "casestudy" {
+			continue // the paper's case study pins its own provider
+		}
+		if sc.Provider != catalog.ProviderStratus {
+			t.Fatalf("scenario %q provider = %q", sc.Name, sc.Provider)
+		}
+	}
+}
+
+func TestScenarioRecommendationEndpoint(t *testing.T) {
+	_, client, _ := newTestServer(t)
+	ctx := context.Background()
+
+	rec, err := client.ScenarioRecommendation(ctx, "casestudy", "")
+	if err != nil {
+		t.Fatalf("ScenarioRecommendation: %v", err)
+	}
+	if rec.BestOption != 3 {
+		t.Fatalf("casestudy best = %d, want 3", rec.BestOption)
+	}
+
+	rec, err = client.ScenarioRecommendation(ctx, "ecommerce", catalog.ProviderNimbus)
+	if err != nil {
+		t.Fatalf("ecommerce on nimbus: %v", err)
+	}
+	if rec.Provider != catalog.ProviderNimbus {
+		t.Fatalf("provider = %q", rec.Provider)
+	}
+
+	if _, err := client.ScenarioRecommendation(ctx, "mainframe", ""); err == nil {
+		t.Fatal("unknown scenario should 404")
+	}
+}

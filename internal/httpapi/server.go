@@ -1,0 +1,243 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"sync/atomic"
+
+	"uptimebroker/internal/broker"
+	"uptimebroker/internal/catalog"
+	"uptimebroker/internal/scenario"
+	"uptimebroker/internal/telemetry"
+)
+
+// maxBodyBytes bounds request bodies; topologies are small.
+const maxBodyBytes = 1 << 20
+
+// Server is the brokerage HTTP facade.
+type Server struct {
+	engine *broker.Engine
+	store  *telemetry.Store // optional; nil disables observation routes
+	logger *log.Logger
+	mux    *http.ServeMux
+	reqID  atomic.Uint64
+}
+
+// NewServer wires the routes. store may be nil for a read-only broker;
+// logger may be nil to disable request logging.
+func NewServer(engine *broker.Engine, store *telemetry.Store, logger *log.Logger) (*Server, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("httpapi: nil engine")
+	}
+	s := &Server{
+		engine: engine,
+		store:  store,
+		logger: logger,
+		mux:    http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("POST /v1/recommendations", s.handleRecommend)
+	s.mux.HandleFunc("POST /v1/pareto", s.handlePareto)
+	s.mux.HandleFunc("GET /v1/catalog/technologies", s.handleTechnologies)
+	s.mux.HandleFunc("GET /v1/catalog/providers", s.handleProviders)
+	s.mux.HandleFunc("GET /v1/params", s.handleParams)
+	s.mux.HandleFunc("POST /v1/observations", s.handleObservation)
+	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	s.mux.HandleFunc("POST /v1/scenarios/{name}/recommendation", s.handleScenarioRecommend)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler with logging and panic recovery.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := s.reqID.Add(1)
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.logf("req=%d PANIC %s %s: %v", id, r.Method, r.URL.Path, rec)
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("internal error"))
+		}
+	}()
+	s.logf("req=%d %s %s", id, r.Method, r.URL.Path)
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.logger != nil {
+		s.logger.Printf(format, args...)
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	var req RecommendationRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	rec, err := s.engine.Recommend(req.ToBroker())
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, FromRecommendation(rec))
+}
+
+func (s *Server) handlePareto(w http.ResponseWriter, r *http.Request) {
+	var req RecommendationRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	front, err := s.engine.Pareto(req.ToBroker())
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	out := make([]OptionCardDTO, len(front))
+	for i, c := range front {
+		out[i] = fromCard(c)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleTechnologies(w http.ResponseWriter, _ *http.Request) {
+	techs := s.engine.Catalog().Technologies()
+	out := make([]TechnologyDTO, len(techs))
+	for i, t := range techs {
+		out[i] = FromTechnology(t)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleProviders(w http.ResponseWriter, _ *http.Request) {
+	providers := s.engine.Catalog().Providers()
+	out := make([]ProviderDTO, len(providers))
+	for i, p := range providers {
+		out[i] = FromProvider(p)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleParams(w http.ResponseWriter, r *http.Request) {
+	provider := r.URL.Query().Get("provider")
+	class := r.URL.Query().Get("class")
+	if provider == "" || class == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("provider and class query parameters are required"))
+		return
+	}
+
+	// Prefer the live telemetry estimate, mirroring
+	// broker.TelemetryParams; fall back to the catalog defaults.
+	if s.store != nil {
+		if est, err := s.store.Estimate(provider, class); err == nil {
+			writeJSON(w, http.StatusOK, ParamsResponse{
+				Provider:           provider,
+				Class:              class,
+				Down:               est.Node.Down,
+				FailuresPerYear:    est.Node.FailuresPerYear,
+				FailoverSeconds:    est.Failover.Seconds(),
+				FailoverP95Seconds: est.FailoverP95.Seconds(),
+				ExposureYears:      est.ExposureYears,
+				Source:             "telemetry",
+			})
+			return
+		}
+	}
+	params, err := s.engine.Catalog().DefaultNodeParams(provider, class)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ParamsResponse{
+		Provider:        provider,
+		Class:           class,
+		Down:            params.Down,
+		FailuresPerYear: params.FailuresPerYear,
+		Source:          "catalog",
+	})
+}
+
+func (s *Server) handleObservation(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeError(w, http.StatusNotImplemented, fmt.Errorf("telemetry ingestion disabled"))
+		return
+	}
+	var obs Observation
+	if err := json.NewDecoder(r.Body).Decode(&obs); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding observation: %w", err))
+		return
+	}
+	if err := obs.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var err error
+	switch obs.Kind {
+	case ObservationOutage:
+		err = s.store.RecordOutage(obs.Provider, obs.Class, obs.Duration())
+	case ObservationFailover:
+		err = s.store.RecordFailover(obs.Provider, obs.Class, obs.Duration())
+	case ObservationExposure:
+		err = s.store.RecordExposure(obs.Provider, obs.Class, obs.Duration())
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"status": "recorded"})
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	provider := r.URL.Query().Get("provider")
+	if provider == "" {
+		provider = catalog.ProviderSoftLayerSim
+	}
+	all := scenario.All(provider)
+	out := make([]ScenarioDTO, len(all))
+	for i, sc := range all {
+		out[i] = ScenarioDTO{
+			Name:              sc.Name,
+			Description:       sc.Description,
+			Provider:          sc.Request.Base.Provider,
+			Components:        len(sc.Request.Base.Components),
+			SLAPercent:        sc.Request.SLA.UptimePercent,
+			PenaltyPerHourUSD: sc.Request.SLA.Penalty.PerHour.Dollars(),
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleScenarioRecommend(w http.ResponseWriter, r *http.Request) {
+	provider := r.URL.Query().Get("provider")
+	if provider == "" {
+		provider = catalog.ProviderSoftLayerSim
+	}
+	sc, err := scenario.ByName(r.PathValue("name"), provider)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	rec, err := s.engine.Recommend(sc.Request)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, FromRecommendation(rec))
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding failures at this point cannot be reported to the client;
+	// the concrete payload types are all marshalable.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

@@ -1,0 +1,221 @@
+// Package lifecycle runs the brokered service through time: the
+// customer's estate operates (simulated) epoch after epoch, the
+// broker's telemetry database accumulates outage observations, and at
+// each epoch boundary the brokerage re-optimizes the HA plan with
+// whatever knowledge it has — catalog priors at first, live estimates
+// once enough node-years accrue.
+//
+// This is the operational loop behind the paper's Figure 2: the broker
+// is valuable precisely because it keeps re-deriving the cheapest
+// SLA-compliant architecture as its cross-customer database sharpens
+// (Section II.C) and short-term skews smooth out (Section IV).
+package lifecycle
+
+import (
+	"fmt"
+	"time"
+
+	"uptimebroker/internal/availability"
+	"uptimebroker/internal/broker"
+	"uptimebroker/internal/catalog"
+	"uptimebroker/internal/cost"
+	"uptimebroker/internal/failsim"
+	"uptimebroker/internal/telemetry"
+)
+
+// Config parameterizes a lifecycle run.
+type Config struct {
+	// Catalog supplies technologies, rate cards and prior parameters.
+	Catalog *catalog.Catalog
+
+	// Request is the standing brokerage request re-evaluated at every
+	// epoch boundary.
+	Request broker.Request
+
+	// Truth is the generative ground truth of the customer's *base*
+	// estate (one cluster per component, no HA): node down
+	// probabilities and failure rates as they actually are, which may
+	// contradict the catalog priors.
+	Truth availability.System
+
+	// IDs maps each Truth cluster to its telemetry bucket.
+	IDs []telemetry.ClusterID
+
+	// Epochs is how many observe-then-reoptimize cycles to run.
+	Epochs int
+
+	// EpochLength is the simulated duration of each observation epoch.
+	EpochLength time.Duration
+
+	// MinExposureYears gates when telemetry estimates displace catalog
+	// priors (see broker.TelemetryParams).
+	MinExposureYears float64
+
+	// Seed drives the simulated epochs; epoch e uses Seed + e.
+	Seed int64
+
+	// ShocksPerYear optionally adds common-cause failures to the truth,
+	// stressing the independence assumption during operation.
+	ShocksPerYear float64
+}
+
+// Validate reports whether the config can run.
+func (c Config) Validate() error {
+	if c.Catalog == nil {
+		return fmt.Errorf("lifecycle: nil catalog")
+	}
+	if err := c.Request.Validate(); err != nil {
+		return fmt.Errorf("lifecycle: %w", err)
+	}
+	if err := c.Truth.Validate(); err != nil {
+		return fmt.Errorf("lifecycle: %w", err)
+	}
+	if len(c.IDs) != len(c.Truth.Clusters) {
+		return fmt.Errorf("lifecycle: %d cluster IDs for %d truth clusters", len(c.IDs), len(c.Truth.Clusters))
+	}
+	if c.Epochs < 1 {
+		return fmt.Errorf("lifecycle: epochs %d, must be >= 1", c.Epochs)
+	}
+	if c.EpochLength <= 0 {
+		return fmt.Errorf("lifecycle: epoch length %v, must be > 0", c.EpochLength)
+	}
+	if c.MinExposureYears < 0 {
+		return fmt.Errorf("lifecycle: min exposure %v, must be >= 0", c.MinExposureYears)
+	}
+	return nil
+}
+
+// Epoch is one observe-then-reoptimize cycle's outcome.
+type Epoch struct {
+	// Index is the 0-based epoch number.
+	Index int
+
+	// BestOption and BestLabel identify the recommendation at this
+	// epoch boundary.
+	BestOption int
+	BestLabel  string
+
+	// BestTCO is the recommended option's monthly TCO under the
+	// knowledge available at this boundary.
+	BestTCO cost.Money
+
+	// UsingTelemetry reports whether any component's parameters came
+	// from live estimates rather than catalog priors.
+	UsingTelemetry bool
+
+	// ExposureYears is the cumulative node-years observed so far,
+	// summed over buckets.
+	ExposureYears float64
+
+	// SimulatedUptime is the estate's measured uptime during the epoch
+	// (the customer's actual experience, not the model's prediction).
+	SimulatedUptime float64
+}
+
+// Run executes the lifecycle and returns one Epoch per cycle.
+func Run(cfg Config) ([]Epoch, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	store := telemetry.NewStore()
+	priors := broker.CatalogParams{Catalog: cfg.Catalog}
+	engine, err := broker.New(cfg.Catalog, broker.TelemetryParams{
+		Store:            store,
+		Fallback:         priors,
+		MinExposureYears: cfg.MinExposureYears,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	epochs := make([]Epoch, 0, cfg.Epochs)
+	for e := 0; e < cfg.Epochs; e++ {
+		// Observe: the estate runs for one epoch under the truth.
+		col, err := telemetry.CollectorForSystem(store, cfg.Truth, cfg.IDs)
+		if err != nil {
+			return nil, err
+		}
+		est, err := failsim.RunTraced(failsim.Config{
+			System:        cfg.Truth,
+			Horizon:       cfg.EpochLength,
+			Replications:  1,
+			Seed:          cfg.Seed + int64(e),
+			ShocksPerYear: cfg.ShocksPerYear,
+		}, col)
+		if err != nil {
+			return nil, err
+		}
+		if err := col.Close(cfg.EpochLength); err != nil {
+			return nil, err
+		}
+
+		// Reoptimize with whatever the broker now knows.
+		rec, err := engine.Recommend(cfg.Request)
+		if err != nil {
+			return nil, err
+		}
+		best := rec.Best()
+
+		epochs = append(epochs, Epoch{
+			Index:           e,
+			BestOption:      best.Option,
+			BestLabel:       best.Label(),
+			BestTCO:         best.TCO,
+			UsingTelemetry:  usingTelemetry(store, cfg, priors),
+			ExposureYears:   totalExposure(store),
+			SimulatedUptime: est.Uptime,
+		})
+	}
+	return epochs, nil
+}
+
+// usingTelemetry reports whether at least one component's parameters
+// would come from the store rather than the priors.
+func usingTelemetry(store *telemetry.Store, cfg Config, priors broker.CatalogParams) bool {
+	for _, id := range cfg.IDs {
+		params, err := store.Estimate(id.Provider, id.Class)
+		if err != nil {
+			continue
+		}
+		if params.ExposureYears >= cfg.MinExposureYears {
+			return true
+		}
+	}
+	return false
+}
+
+// totalExposure sums observed node-years across buckets.
+func totalExposure(store *telemetry.Store) float64 {
+	total := 0.0
+	for _, bucket := range store.Buckets() {
+		if params, err := store.Estimate(bucket[0], bucket[1]); err == nil {
+			total += params.ExposureYears
+		}
+	}
+	return total
+}
+
+// TruthFromComponents builds a ground-truth base system for a request:
+// one cluster per component with the given per-component parameters.
+// It is a convenience for tests and experiments that want a truth
+// aligned with the request's component order.
+func TruthFromComponents(req broker.Request, params []availability.NodeParams) (availability.System, []telemetry.ClusterID, error) {
+	if len(params) != len(req.Base.Components) {
+		return availability.System{}, nil, fmt.Errorf("lifecycle: %d params for %d components",
+			len(params), len(req.Base.Components))
+	}
+	clusters := make([]availability.Cluster, len(params))
+	ids := make([]telemetry.ClusterID, len(params))
+	for i, comp := range req.Base.Components {
+		clusters[i] = availability.Cluster{
+			Name:            comp.Name,
+			Nodes:           comp.ActiveNodes,
+			Tolerated:       0,
+			NodeDown:        params[i].Down,
+			FailuresPerYear: params[i].FailuresPerYear,
+		}
+		ids[i] = telemetry.ClusterID{Provider: req.Base.Provider, Class: comp.EffectiveClass()}
+	}
+	return availability.System{Clusters: clusters}, ids, nil
+}

@@ -1,0 +1,170 @@
+package lifecycle
+
+import (
+	"testing"
+	"time"
+
+	"uptimebroker/internal/availability"
+	"uptimebroker/internal/broker"
+	"uptimebroker/internal/catalog"
+)
+
+func baseConfig(t *testing.T, truthParams []availability.NodeParams) Config {
+	t.Helper()
+	req := broker.CaseStudy()
+	truth, ids, err := TruthFromComponents(req, truthParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Catalog:          catalog.Default(),
+		Request:          req,
+		Truth:            truth,
+		IDs:              ids,
+		Epochs:           4,
+		EpochLength:      5 * 365 * 24 * time.Hour,
+		MinExposureYears: 10,
+		Seed:             20170611,
+	}
+}
+
+// catalogAlignedTruth mirrors the catalog priors, so recommendations
+// must never move.
+func catalogAlignedTruth() []availability.NodeParams {
+	return []availability.NodeParams{
+		{Down: 0.0055, FailuresPerYear: 5}, // compute
+		{Down: 0.0200, FailuresPerYear: 3}, // storage
+		{Down: 0.0146, FailuresPerYear: 4}, // network
+	}
+}
+
+// contradictingTruth makes compute the dominant risk and storage solid.
+func contradictingTruth() []availability.NodeParams {
+	return []availability.NodeParams{
+		{Down: 0.0300, FailuresPerYear: 25},
+		{Down: 0.0004, FailuresPerYear: 1},
+		{Down: 0.0004, FailuresPerYear: 1},
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := baseConfig(t, catalogAlignedTruth())
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"nil catalog", func(c *Config) { c.Catalog = nil }},
+		{"bad request", func(c *Config) { c.Request.Base.Components = nil }},
+		{"bad truth", func(c *Config) { c.Truth.Clusters = nil }},
+		{"id mismatch", func(c *Config) { c.IDs = c.IDs[:1] }},
+		{"zero epochs", func(c *Config) { c.Epochs = 0 }},
+		{"zero epoch length", func(c *Config) { c.EpochLength = 0 }},
+		{"negative exposure gate", func(c *Config) { c.MinExposureYears = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := baseConfig(t, catalogAlignedTruth())
+			tt.mutate(&c)
+			if err := c.Validate(); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+}
+
+func TestTruthFromComponentsMismatch(t *testing.T) {
+	req := broker.CaseStudy()
+	if _, _, err := TruthFromComponents(req, nil); err == nil {
+		t.Fatal("mismatched params should fail")
+	}
+}
+
+func TestLifecycleStableWhenTruthMatchesPriors(t *testing.T) {
+	cfg := baseConfig(t, catalogAlignedTruth())
+	epochs, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(epochs) != cfg.Epochs {
+		t.Fatalf("epochs = %d, want %d", len(epochs), cfg.Epochs)
+	}
+	for _, e := range epochs {
+		if e.BestOption != 3 {
+			t.Fatalf("epoch %d: recommendation moved to #%d under prior-aligned truth", e.Index, e.BestOption)
+		}
+		if e.SimulatedUptime <= 0.9 || e.SimulatedUptime > 1 {
+			t.Fatalf("epoch %d: implausible simulated uptime %v", e.Index, e.SimulatedUptime)
+		}
+	}
+	// Exposure accumulates monotonically.
+	for i := 1; i < len(epochs); i++ {
+		if epochs[i].ExposureYears <= epochs[i-1].ExposureYears {
+			t.Fatalf("exposure not accumulating: %v", epochs)
+		}
+	}
+}
+
+func TestLifecycleAdaptsWhenTruthContradictsPriors(t *testing.T) {
+	cfg := baseConfig(t, contradictingTruth())
+	epochs, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	// Epoch 0 observes 5 years × 5 nodes = 25 node-years, which crosses
+	// the 10-node-year gate already; so by the *last* epoch the broker
+	// must have flipped away from storage HA toward compute HA.
+	last := epochs[len(epochs)-1]
+	if !last.UsingTelemetry {
+		t.Fatalf("final epoch still on catalog priors: %+v", last)
+	}
+	if last.BestLabel != "compute=esx-ha" {
+		t.Fatalf("final recommendation = %q, want compute=esx-ha", last.BestLabel)
+	}
+}
+
+func TestLifecycleGateDelaysAdoption(t *testing.T) {
+	// With an absurdly high exposure gate the broker must keep using
+	// priors (and the #3 recommendation) forever.
+	cfg := baseConfig(t, contradictingTruth())
+	cfg.MinExposureYears = 1e9
+	epochs, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, e := range epochs {
+		if e.UsingTelemetry {
+			t.Fatalf("epoch %d adopted telemetry despite the gate", e.Index)
+		}
+		if e.BestOption != 3 {
+			t.Fatalf("epoch %d moved to #%d without telemetry", e.Index, e.BestOption)
+		}
+	}
+}
+
+func TestLifecycleWithShocks(t *testing.T) {
+	// Shocks inflate observed P beyond the independent-failure priors;
+	// the run must complete and report lower simulated uptime than the
+	// shock-free run.
+	calm := baseConfig(t, catalogAlignedTruth())
+	calm.Epochs = 1
+	calmEpochs, err := Run(calm)
+	if err != nil {
+		t.Fatalf("Run(calm): %v", err)
+	}
+
+	stormy := baseConfig(t, catalogAlignedTruth())
+	stormy.Epochs = 1
+	stormy.ShocksPerYear = 12
+	stormyEpochs, err := Run(stormy)
+	if err != nil {
+		t.Fatalf("Run(stormy): %v", err)
+	}
+	if stormyEpochs[0].SimulatedUptime >= calmEpochs[0].SimulatedUptime {
+		t.Fatalf("shocks did not hurt uptime: %v vs %v",
+			stormyEpochs[0].SimulatedUptime, calmEpochs[0].SimulatedUptime)
+	}
+}

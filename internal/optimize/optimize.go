@@ -1,0 +1,310 @@
+// Package optimize implements the paper's solution search: Equation 6
+// (pick the HA-enabled variant with minimum monthly TCO among all k^n
+// permutations) and the Section III.C refinement that prunes supersets
+// of permutations which already satisfy the uptime SLA.
+//
+// The package is deliberately abstract: a Problem is a list of decision
+// dimensions (one per component of the base architecture), each with a
+// list of Variants (HA choices) carrying the cluster parameters the
+// availability model needs and the monthly cost the TCO model needs.
+// The broker package compiles topology + catalog + telemetry into a
+// Problem.
+package optimize
+
+import (
+	"errors"
+	"fmt"
+
+	"uptimebroker/internal/availability"
+	"uptimebroker/internal/cost"
+)
+
+// Variant is one HA choice for one component: the cluster shape it
+// produces and what it costs per month. Variant index 0 of every
+// component is by convention "no HA"; Validate enforces that it is also
+// the cheapest, which is what makes superset pruning sound.
+type Variant struct {
+	// Label names the choice in reports, e.g. "none" or "raid1".
+	Label string
+
+	// Cluster is the k-redundancy cluster this choice produces.
+	Cluster availability.Cluster
+
+	// MonthlyCost is the choice's contribution to C_HA.
+	MonthlyCost cost.Money
+}
+
+// ComponentChoices is one decision dimension of the search.
+type ComponentChoices struct {
+	// Name is the component name from the base architecture.
+	Name string
+
+	// Variants are the available choices; Variants[0] must be the
+	// no-HA baseline and must not cost more than any alternative.
+	Variants []Variant
+}
+
+// Problem is a full search instance.
+type Problem struct {
+	// Components are the decision dimensions, in base-architecture
+	// order.
+	Components []ComponentChoices
+
+	// SLA is the contractual uptime target with its penalty clause.
+	SLA cost.SLA
+}
+
+// MaxCandidates bounds the exhaustive search space; Equation 6
+// enumerates k^n candidates and the paper notes n is usually under 10.
+// Larger spaces must use the pruned or branch-and-bound searches, and
+// even those refuse spaces beyond this bound to keep memory and time
+// predictable.
+const MaxCandidates = 1 << 26
+
+// Validate reports whether the problem is well-formed and solvable.
+func (p *Problem) Validate() error {
+	if len(p.Components) == 0 {
+		return errors.New("optimize: problem has no components")
+	}
+	if err := p.SLA.Validate(); err != nil {
+		return fmt.Errorf("optimize: %w", err)
+	}
+	space := 1
+	for i, comp := range p.Components {
+		if len(comp.Variants) == 0 {
+			return fmt.Errorf("optimize: component %d (%q) has no variants", i, comp.Name)
+		}
+		base := comp.Variants[0]
+		for j, v := range comp.Variants {
+			if err := v.Cluster.Validate(); err != nil {
+				return fmt.Errorf("optimize: component %q variant %d (%q): %w", comp.Name, j, v.Label, err)
+			}
+			if v.MonthlyCost < 0 {
+				return fmt.Errorf("optimize: component %q variant %q: negative cost", comp.Name, v.Label)
+			}
+			if v.MonthlyCost < base.MonthlyCost {
+				return fmt.Errorf("optimize: component %q variant %q costs less than the no-HA baseline; reorder variants",
+					comp.Name, v.Label)
+			}
+		}
+		if space > MaxCandidates/len(comp.Variants) {
+			return fmt.Errorf("optimize: search space exceeds %d candidates", MaxCandidates)
+		}
+		space *= len(comp.Variants)
+	}
+	return nil
+}
+
+// SpaceSize returns k^n: the number of candidate deployments.
+func (p *Problem) SpaceSize() int {
+	space := 1
+	for _, comp := range p.Components {
+		space *= len(comp.Variants)
+	}
+	return space
+}
+
+// Assignment selects one variant index per component.
+type Assignment []int
+
+// Clone returns an independent copy of the assignment.
+func (a Assignment) Clone() Assignment {
+	return append(Assignment(nil), a...)
+}
+
+// haCount returns the number of components assigned a non-baseline
+// variant — the "level" of the assignment in Section III.C's search
+// order.
+func (a Assignment) haCount() int {
+	n := 0
+	for _, v := range a {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// coveredBy reports whether sub's clustered choices are a subset of
+// super's with identical variant selections: wherever sub clusters a
+// component, super picks the same variant. Supersets cost at least as
+// much as the subset (baseline is cheapest), which justifies pruning.
+func coveredBy(sub, super Assignment) bool {
+	for i, v := range sub {
+		if v != 0 && super[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Candidate is one fully evaluated deployment option.
+type Candidate struct {
+	// Assignment is the variant selection that produced the candidate.
+	Assignment Assignment
+
+	// Uptime is U_s from Equation 4.
+	Uptime float64
+
+	// TCO is the Equation 5 decomposition for this candidate.
+	TCO cost.TCO
+}
+
+// MeetsSLA reports whether the candidate's expected uptime is at or
+// above the contractual target, i.e. its expected penalty is zero.
+func (c Candidate) MeetsSLA(sla cost.SLA) bool {
+	return c.Uptime >= sla.Target()
+}
+
+// Evaluate computes uptime and TCO for one assignment. The assignment
+// must have one in-range index per component.
+func (p *Problem) Evaluate(a Assignment) (Candidate, error) {
+	if len(a) != len(p.Components) {
+		return Candidate{}, fmt.Errorf("optimize: assignment has %d entries, want %d", len(a), len(p.Components))
+	}
+	clusters := make([]availability.Cluster, len(a))
+	var haCost cost.Money
+	for i, choice := range a {
+		comp := p.Components[i]
+		if choice < 0 || choice >= len(comp.Variants) {
+			return Candidate{}, fmt.Errorf("optimize: component %q: variant index %d out of range [0, %d)",
+				comp.Name, choice, len(comp.Variants))
+		}
+		v := comp.Variants[choice]
+		clusters[i] = v.Cluster
+		haCost += v.MonthlyCost
+	}
+	sys := availability.System{Clusters: clusters}
+	uptime := sys.Uptime()
+	return Candidate{
+		Assignment: a.Clone(),
+		Uptime:     uptime,
+		TCO:        cost.Compute(haCost, p.SLA, uptime),
+	}, nil
+}
+
+// better reports whether a should replace b as the incumbent optimum:
+// strictly lower TCO, with ties broken first by higher uptime, then by
+// lexicographically smaller assignment for determinism.
+func better(a, b Candidate) bool {
+	at, bt := a.TCO.Total(), b.TCO.Total()
+	if at != bt {
+		return at < bt
+	}
+	if a.Uptime != b.Uptime {
+		return a.Uptime > b.Uptime
+	}
+	for i := range a.Assignment {
+		if a.Assignment[i] != b.Assignment[i] {
+			return a.Assignment[i] < b.Assignment[i]
+		}
+	}
+	return false
+}
+
+// Result is the outcome of a search.
+type Result struct {
+	// Best is the minimum-TCO candidate (Equation 6's OptCh).
+	Best Candidate
+
+	// BestNoPenalty is the cheapest candidate whose expected uptime
+	// meets the SLA, i.e. the recommendation "if the possibility of
+	// slippage penalty is to be minimized" (the paper's option #5 in
+	// the case study). Found is false when no candidate meets the SLA.
+	BestNoPenalty Candidate
+
+	// NoPenaltyFound reports whether any candidate met the SLA.
+	NoPenaltyFound bool
+
+	// Evaluated counts full candidate evaluations performed.
+	Evaluated int
+
+	// Skipped counts candidates clipped without evaluation (pruned and
+	// branch-and-bound searches; zero for exhaustive).
+	Skipped int
+}
+
+func (r *Result) observe(c Candidate, sla cost.SLA) {
+	if r.Evaluated == 0 || better(c, r.Best) {
+		r.Best = c
+	}
+	if c.MeetsSLA(sla) {
+		if !r.NoPenaltyFound || betterNoPenalty(c, r.BestNoPenalty) {
+			r.BestNoPenalty = c
+			r.NoPenaltyFound = true
+		}
+	}
+	r.Evaluated++
+}
+
+// betterNoPenalty orders SLA-meeting candidates: cheaper HA cost first
+// (their penalty is zero, so TCO == HA cost), ties broken by higher
+// uptime then assignment order.
+func betterNoPenalty(a, b Candidate) bool {
+	if a.TCO.Total() != b.TCO.Total() {
+		return a.TCO.Total() < b.TCO.Total()
+	}
+	if a.Uptime != b.Uptime {
+		return a.Uptime > b.Uptime
+	}
+	for i := range a.Assignment {
+		if a.Assignment[i] != b.Assignment[i] {
+			return a.Assignment[i] < b.Assignment[i]
+		}
+	}
+	return false
+}
+
+// Exhaustive evaluates every one of the k^n candidates (Equation 6).
+func (p *Problem) Exhaustive() (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	var res Result
+	a := make(Assignment, len(p.Components))
+	for {
+		c, err := p.Evaluate(a)
+		if err != nil {
+			return Result{}, err
+		}
+		res.observe(c, p.SLA)
+		if !p.advance(a) {
+			return res, nil
+		}
+	}
+}
+
+// All evaluates every candidate and returns them in mixed-radix
+// enumeration order (assignment [0 0 ... 0] first). It powers the
+// per-option report of Figures 3–9.
+func (p *Problem) All() ([]Candidate, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]Candidate, 0, p.SpaceSize())
+	a := make(Assignment, len(p.Components))
+	for {
+		c, err := p.Evaluate(a)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+		if !p.advance(a) {
+			return out, nil
+		}
+	}
+}
+
+// advance steps the assignment to the next candidate in mixed-radix
+// order with the last component as the fastest digit; it returns false
+// after the final candidate.
+func (p *Problem) advance(a Assignment) bool {
+	for i := len(a) - 1; i >= 0; i-- {
+		a[i]++
+		if a[i] < len(p.Components[i].Variants) {
+			return true
+		}
+		a[i] = 0
+	}
+	return false
+}

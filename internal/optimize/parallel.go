@@ -1,0 +1,125 @@
+package optimize
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ExhaustiveParallel evaluates the full candidate space like
+// Exhaustive, sharding the first decision dimension across workers. It
+// returns the identical optimum (the merge step reapplies the
+// deterministic tie-break) and honors ctx cancellation between shards.
+//
+// Worth using when k^n climbs into the hundreds of thousands; below
+// that the sequential search wins on overhead.
+func (p *Problem) ExhaustiveParallel(ctx context.Context, workers int) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if workers < 0 {
+		return Result{}, fmt.Errorf("optimize: workers = %d, must be >= 0", workers)
+	}
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	firstK := len(p.Components[0].Variants)
+	if workers > firstK {
+		workers = firstK
+	}
+	if workers <= 1 || len(p.Components) == 1 {
+		return p.Exhaustive()
+	}
+
+	// Each shard owns a subset of the first component's variants and
+	// enumerates the remaining dimensions exhaustively.
+	results := make([]Result, firstK)
+	errs := make([]error, firstK)
+	shards := make(chan int)
+	var wg sync.WaitGroup
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for first := range shards {
+				results[first], errs[first] = p.exhaustiveShard(first)
+			}
+		}()
+	}
+
+	var cancelErr error
+feed:
+	for first := 0; first < firstK; first++ {
+		select {
+		case shards <- first:
+		case <-ctx.Done():
+			cancelErr = ctx.Err()
+			break feed
+		}
+	}
+	close(shards)
+	wg.Wait()
+
+	if cancelErr != nil {
+		return Result{}, fmt.Errorf("optimize: parallel search canceled: %w", cancelErr)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+
+	// Merge shard results with the same ordering rules the sequential
+	// search applies.
+	var merged Result
+	for _, r := range results {
+		if r.Evaluated == 0 {
+			continue
+		}
+		if merged.Evaluated == 0 || better(r.Best, merged.Best) {
+			merged.Best = r.Best
+		}
+		if r.NoPenaltyFound {
+			if !merged.NoPenaltyFound || betterNoPenalty(r.BestNoPenalty, merged.BestNoPenalty) {
+				merged.BestNoPenalty = r.BestNoPenalty
+				merged.NoPenaltyFound = true
+			}
+		}
+		merged.Evaluated += r.Evaluated
+		merged.Skipped += r.Skipped
+	}
+	return merged, nil
+}
+
+// exhaustiveShard enumerates all candidates whose first choice is
+// pinned to `first`.
+func (p *Problem) exhaustiveShard(first int) (Result, error) {
+	var res Result
+	a := make(Assignment, len(p.Components))
+	a[0] = first
+	for {
+		c, err := p.Evaluate(a)
+		if err != nil {
+			return Result{}, err
+		}
+		res.observe(c, p.SLA)
+		if !p.advanceTail(a) {
+			return res, nil
+		}
+	}
+}
+
+// advanceTail steps dimensions 1..n-1, leaving the pinned first digit
+// untouched; it returns false after the shard's final candidate.
+func (p *Problem) advanceTail(a Assignment) bool {
+	for i := len(a) - 1; i >= 1; i-- {
+		a[i]++
+		if a[i] < len(p.Components[i].Variants) {
+			return true
+		}
+		a[i] = 0
+	}
+	return false
+}

@@ -1,0 +1,35 @@
+package optimize
+
+import "sort"
+
+// ParetoFront returns the candidates not dominated in the
+// (cost, uptime) plane: a candidate is dominated when another candidate
+// has HA cost at most as high and uptime at least as high, with at
+// least one strict improvement. The front is the menu a broker shows a
+// customer who wants to trade budget against availability rather than
+// accept the single TCO optimum.
+//
+// The result is sorted by ascending HA cost; the input is not modified.
+func ParetoFront(cands []Candidate) []Candidate {
+	if len(cands) == 0 {
+		return nil
+	}
+	sorted := append([]Candidate(nil), cands...)
+	sort.Slice(sorted, func(i, j int) bool {
+		ci, cj := sorted[i].TCO.HA, sorted[j].TCO.HA
+		if ci != cj {
+			return ci < cj
+		}
+		return sorted[i].Uptime > sorted[j].Uptime
+	})
+
+	var front []Candidate
+	bestUptime := -1.0
+	for _, c := range sorted {
+		if c.Uptime > bestUptime {
+			front = append(front, c)
+			bestUptime = c.Uptime
+		}
+	}
+	return front
+}

@@ -1,0 +1,152 @@
+package optimize
+
+// Pruned implements the Section III.C search: candidates are evaluated
+// level by level — first the baseline, then every permutation with one
+// clustered component, then two, and so on. Whenever a permutation
+// meets the uptime SLA, all of its supersets (same variant choices plus
+// additional clustered components) are clipped from later levels: the
+// no-HA baseline is each component's cheapest variant, so any superset
+// costs at least as much while its penalty can only stay zero or grow
+// above the subset's zero, hence its TCO cannot beat the subset's.
+//
+// The search is exact: it returns the same optimum as Exhaustive (a
+// property the tests check on randomized instances) while evaluating
+// fewer candidates whenever the SLA is attainable below the top level.
+func (p *Problem) Pruned() (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	var (
+		res Result
+		// met holds SLA-meeting assignments discovered so far; any
+		// assignment covered by one of them is a superset and skipped.
+		met []Assignment
+	)
+
+	n := len(p.Components)
+	for level := 0; level <= n; level++ {
+		if err := p.enumerateLevel(level, &res, &met); err != nil {
+			return Result{}, err
+		}
+	}
+	return res, nil
+}
+
+// enumerateLevel visits every assignment with exactly `level` clustered
+// components, skipping supersets of already-met assignments.
+func (p *Problem) enumerateLevel(level int, res *Result, met *[]Assignment) error {
+	a := make(Assignment, len(p.Components))
+	var walk func(idx, remaining int) error
+	walk = func(idx, remaining int) error {
+		if remaining > len(p.Components)-idx {
+			return nil // not enough components left to reach the level
+		}
+		if idx == len(p.Components) {
+			for _, m := range *met {
+				if coveredBy(m, a) {
+					res.Skipped++
+					return nil
+				}
+			}
+			c, err := p.Evaluate(a)
+			if err != nil {
+				return err
+			}
+			res.observe(c, p.SLA)
+			if c.MeetsSLA(p.SLA) {
+				*met = append(*met, a.Clone())
+			}
+			return nil
+		}
+
+		// Choice 1: leave component idx at the baseline.
+		a[idx] = 0
+		if err := walk(idx+1, remaining); err != nil {
+			return err
+		}
+
+		// Choice 2: cluster component idx with each non-baseline variant.
+		if remaining > 0 {
+			for v := 1; v < len(p.Components[idx].Variants); v++ {
+				a[idx] = v
+				if err := walk(idx+1, remaining-1); err != nil {
+					return err
+				}
+			}
+			a[idx] = 0
+		}
+		return nil
+	}
+	return walk(0, level)
+}
+
+// BranchAndBound searches depth-first with an admissible cost bound:
+// the TCO of any completion of a partial assignment is at least the
+// cost already committed plus each remaining component's cheapest
+// variant (expected penalty is never negative). Subtrees whose bound
+// cannot beat the incumbent are clipped. Like Pruned, it is exact.
+func (p *Problem) BranchAndBound() (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	n := len(p.Components)
+	// minTail[i] is the cheapest possible cost of components i..n-1.
+	minTail := make([]int64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		cheapest := p.Components[i].Variants[0].MonthlyCost
+		for _, v := range p.Components[i].Variants[1:] {
+			if v.MonthlyCost < cheapest {
+				cheapest = v.MonthlyCost
+			}
+		}
+		minTail[i] = minTail[i+1] + int64(cheapest)
+	}
+
+	var res Result
+	a := make(Assignment, n)
+	var committed int64
+	haveIncumbent := false
+
+	var walk func(idx int) error
+	walk = func(idx int) error {
+		if haveIncumbent && committed+minTail[idx] > int64(res.Best.TCO.Total()) {
+			res.Skipped += p.subtreeSize(idx)
+			return nil
+		}
+		if idx == n {
+			c, err := p.Evaluate(a)
+			if err != nil {
+				return err
+			}
+			res.observe(c, p.SLA)
+			haveIncumbent = true
+			return nil
+		}
+		for v := range p.Components[idx].Variants {
+			a[idx] = v
+			delta := int64(p.Components[idx].Variants[v].MonthlyCost)
+			committed += delta
+			if err := walk(idx + 1); err != nil {
+				return err
+			}
+			committed -= delta
+		}
+		a[idx] = 0
+		return nil
+	}
+	if err := walk(0); err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// subtreeSize returns the number of complete assignments below a
+// partial assignment fixed through component idx-1.
+func (p *Problem) subtreeSize(idx int) int {
+	size := 1
+	for _, comp := range p.Components[idx:] {
+		size *= len(comp.Variants)
+	}
+	return size
+}

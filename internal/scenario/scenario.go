@@ -1,0 +1,240 @@
+// Package scenario is a library of realistic base architectures for
+// the brokerage — the workloads the paper's introduction motivates
+// (enterprise systems with contractual uptime SLAs) expressed as
+// topology templates with the contract terms that typically accompany
+// them, plus a seeded random-architecture generator for stress tests
+// and benchmarks.
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"uptimebroker/internal/broker"
+	"uptimebroker/internal/cost"
+	"uptimebroker/internal/topology"
+)
+
+// Scenario pairs a base architecture with representative contract
+// terms.
+type Scenario struct {
+	// Name is the registry key, e.g. "ecommerce".
+	Name string
+
+	// Description says what workload the architecture represents.
+	Description string
+
+	// Request is the complete brokerage request (base + SLA).
+	Request broker.Request
+}
+
+// Catalog of built-in scenarios, ordered by name.
+func All(provider string) []Scenario {
+	out := []Scenario{
+		ECommerce(provider),
+		Analytics(provider),
+		Messaging(provider),
+		VDI(provider),
+		PaperCaseStudy(),
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ByName returns a built-in scenario.
+func ByName(name, provider string) (Scenario, error) {
+	for _, s := range All(provider) {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("scenario: unknown scenario %q", name)
+}
+
+// PaperCaseStudy is the DSN 2017 client case study.
+func PaperCaseStudy() Scenario {
+	return Scenario{
+		Name:        "casestudy",
+		Description: "the paper's three-tier retail system on the reference cloud (98% SLA, $100/h)",
+		Request:     broker.CaseStudy(),
+	}
+}
+
+// ECommerce is a storefront: web + app compute, transactional storage,
+// load-balanced ingress. Retail contracts run tight SLAs with steep
+// penalties (every hour down is lost revenue).
+func ECommerce(provider string) Scenario {
+	return Scenario{
+		Name:        "ecommerce",
+		Description: "storefront: 2 web + 4 app nodes, transactional volume, LB ingress; 99.5% SLA at $800/h",
+		Request: broker.Request{
+			Base: topology.System{
+				Name:     "ecommerce",
+				Provider: provider,
+				Components: []topology.Component{
+					{Name: "web", Layer: topology.LayerCompute, ActiveNodes: 2, Class: topology.ClassVirtualMachine},
+					{Name: "app", Layer: topology.LayerCompute, ActiveNodes: 4, Class: topology.ClassVirtualMachine},
+					{Name: "orders-db", Layer: topology.LayerStorage, ActiveNodes: 1, Class: topology.ClassBlockVolume},
+					{Name: "ingress", Layer: topology.LayerNetwork, ActiveNodes: 1, Class: topology.ClassLoadBalancer},
+				},
+			},
+			SLA: cost.SLA{UptimePercent: 99.5, Penalty: cost.Penalty{PerHour: cost.Dollars(800)}},
+		},
+	}
+}
+
+// Analytics is a batch pipeline: big bare-metal compute over object
+// storage. Batch tolerates downtime, so the SLA is loose and cheap.
+func Analytics(provider string) Scenario {
+	return Scenario{
+		Name:        "analytics",
+		Description: "batch analytics: 6 bare-metal workers over object storage; 95% SLA at $40/h",
+		Request: broker.Request{
+			Base: topology.System{
+				Name:     "analytics",
+				Provider: provider,
+				Components: []topology.Component{
+					{Name: "workers", Layer: topology.LayerCompute, ActiveNodes: 6, Class: topology.ClassBareMetal},
+					{Name: "datalake", Layer: topology.LayerStorage, ActiveNodes: 2, Class: topology.ClassObjectStore},
+					{Name: "egress", Layer: topology.LayerNetwork, ActiveNodes: 1, Class: topology.ClassGateway},
+				},
+			},
+			SLA: cost.SLA{UptimePercent: 95, Penalty: cost.Penalty{PerHour: cost.Dollars(40)}},
+		},
+	}
+}
+
+// Messaging is an event backbone: broker middleware between producers
+// and consumers, with durable log storage. Mid-tier SLA.
+func Messaging(provider string) Scenario {
+	return Scenario{
+		Name:        "messaging",
+		Description: "event backbone: middleware brokers + durable log + gateway; 99% SLA at $250/h",
+		Request: broker.Request{
+			Base: topology.System{
+				Name:     "messaging",
+				Provider: provider,
+				Components: []topology.Component{
+					{Name: "brokers", Layer: topology.LayerMiddleware, ActiveNodes: 3, Class: topology.ClassVirtualMachine},
+					{Name: "log", Layer: topology.LayerStorage, ActiveNodes: 2, Class: topology.ClassBlockVolume},
+					{Name: "gateway", Layer: topology.LayerNetwork, ActiveNodes: 1, Class: topology.ClassGateway},
+				},
+			},
+			SLA: cost.SLA{UptimePercent: 99, Penalty: cost.Penalty{PerHour: cost.Dollars(250)}},
+		},
+	}
+}
+
+// VDI is hosted desktops: many small VMs, profile storage, gateway
+// access; business-hours SLA with moderate penalty.
+func VDI(provider string) Scenario {
+	return Scenario{
+		Name:        "vdi",
+		Description: "hosted desktops: 8 session hosts, profile volume, access gateway; 98% SLA at $120/h",
+		Request: broker.Request{
+			Base: topology.System{
+				Name:     "vdi",
+				Provider: provider,
+				Components: []topology.Component{
+					{Name: "session-hosts", Layer: topology.LayerCompute, ActiveNodes: 8, Class: topology.ClassVirtualMachine},
+					{Name: "profiles", Layer: topology.LayerStorage, ActiveNodes: 1, Class: topology.ClassBlockVolume},
+					{Name: "access", Layer: topology.LayerNetwork, ActiveNodes: 1, Class: topology.ClassGateway},
+				},
+			},
+			SLA: cost.SLA{UptimePercent: 98, Penalty: cost.Penalty{PerHour: cost.Dollars(120)}},
+		},
+	}
+}
+
+// GeneratorConfig bounds the random-architecture generator.
+type GeneratorConfig struct {
+	// MinComponents and MaxComponents bound the serial chain length.
+	MinComponents, MaxComponents int
+
+	// MaxActiveNodes bounds each component's active node count.
+	MaxActiveNodes int
+
+	// SLARange bounds the uptime percentage, e.g. [95, 99.9].
+	SLAMin, SLAMax float64
+
+	// PenaltyMaxUSD bounds the hourly penalty.
+	PenaltyMaxUSD float64
+}
+
+// DefaultGenerator returns sensible bounds for stress tests.
+func DefaultGenerator() GeneratorConfig {
+	return GeneratorConfig{
+		MinComponents:  2,
+		MaxComponents:  7,
+		MaxActiveNodes: 6,
+		SLAMin:         95,
+		SLAMax:         99.9,
+		PenaltyMaxUSD:  1000,
+	}
+}
+
+// Validate reports whether the generator bounds are usable.
+func (g GeneratorConfig) Validate() error {
+	switch {
+	case g.MinComponents < 1:
+		return fmt.Errorf("scenario: MinComponents = %d, must be >= 1", g.MinComponents)
+	case g.MaxComponents < g.MinComponents:
+		return fmt.Errorf("scenario: MaxComponents < MinComponents")
+	case g.MaxActiveNodes < 1:
+		return fmt.Errorf("scenario: MaxActiveNodes = %d, must be >= 1", g.MaxActiveNodes)
+	case g.SLAMin <= 0 || g.SLAMax > 100 || g.SLAMax < g.SLAMin:
+		return fmt.Errorf("scenario: SLA range [%v, %v] invalid", g.SLAMin, g.SLAMax)
+	case g.PenaltyMaxUSD < 0:
+		return fmt.Errorf("scenario: PenaltyMaxUSD = %v, must be >= 0", g.PenaltyMaxUSD)
+	}
+	return nil
+}
+
+// generatorLayers are the component shapes the generator draws from.
+var generatorLayers = []struct {
+	layer topology.Layer
+	class string
+}{
+	{topology.LayerCompute, topology.ClassVirtualMachine},
+	{topology.LayerCompute, topology.ClassBareMetal},
+	{topology.LayerMiddleware, topology.ClassVirtualMachine},
+	{topology.LayerStorage, topology.ClassBlockVolume},
+	{topology.LayerStorage, topology.ClassObjectStore},
+	{topology.LayerNetwork, topology.ClassGateway},
+	{topology.LayerNetwork, topology.ClassLoadBalancer},
+}
+
+// Generate draws a random, valid brokerage request from the bounds.
+// The same (config, rng state) always yields the same request.
+func Generate(cfg GeneratorConfig, rng *rand.Rand, provider string) (broker.Request, error) {
+	if err := cfg.Validate(); err != nil {
+		return broker.Request{}, err
+	}
+	n := cfg.MinComponents + rng.Intn(cfg.MaxComponents-cfg.MinComponents+1)
+	comps := make([]topology.Component, n)
+	for i := range comps {
+		shape := generatorLayers[rng.Intn(len(generatorLayers))]
+		comps[i] = topology.Component{
+			Name:        fmt.Sprintf("%s-%d", shape.layer, i),
+			Layer:       shape.layer,
+			ActiveNodes: 1 + rng.Intn(cfg.MaxActiveNodes),
+			Class:       shape.class,
+		}
+	}
+	req := broker.Request{
+		Base: topology.System{
+			Name:       fmt.Sprintf("generated-%d", rng.Int63()),
+			Provider:   provider,
+			Components: comps,
+		},
+		SLA: cost.SLA{
+			UptimePercent: cfg.SLAMin + rng.Float64()*(cfg.SLAMax-cfg.SLAMin),
+			Penalty:       cost.Penalty{PerHour: cost.Dollars(rng.Float64() * cfg.PenaltyMaxUSD)},
+		},
+	}
+	if err := req.Validate(); err != nil {
+		return broker.Request{}, fmt.Errorf("scenario: generated invalid request: %w", err)
+	}
+	return req, nil
+}

@@ -1,0 +1,158 @@
+package scenario
+
+import (
+	"math/rand"
+	"testing"
+
+	"uptimebroker/internal/broker"
+	"uptimebroker/internal/catalog"
+)
+
+func testEngine(t *testing.T) *broker.Engine {
+	t.Helper()
+	cat := catalog.Default()
+	e, err := broker.New(cat, broker.CatalogParams{Catalog: cat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestAllScenariosAreRecommendable(t *testing.T) {
+	// Every built-in scenario must survive the full brokerage path on
+	// every built-in provider.
+	engine := testEngine(t)
+	for _, provider := range []string{catalog.ProviderSoftLayerSim, catalog.ProviderNimbus, catalog.ProviderStratus} {
+		for _, sc := range All(provider) {
+			t.Run(provider+"/"+sc.Name, func(t *testing.T) {
+				if err := sc.Request.Validate(); err != nil {
+					t.Fatalf("request invalid: %v", err)
+				}
+				if sc.Description == "" {
+					t.Fatal("missing description")
+				}
+				rec, err := engine.Recommend(sc.Request)
+				if err != nil {
+					t.Fatalf("Recommend: %v", err)
+				}
+				if rec.BestOption < 1 {
+					t.Fatal("no recommendation")
+				}
+			})
+		}
+	}
+}
+
+func TestAllSortedAndByName(t *testing.T) {
+	scenarios := All(catalog.ProviderSoftLayerSim)
+	if len(scenarios) != 5 {
+		t.Fatalf("scenario count = %d, want 5", len(scenarios))
+	}
+	for i := 1; i < len(scenarios); i++ {
+		if scenarios[i-1].Name >= scenarios[i].Name {
+			t.Fatal("All not sorted by name")
+		}
+	}
+	got, err := ByName("messaging", catalog.ProviderSoftLayerSim)
+	if err != nil || got.Name != "messaging" {
+		t.Fatalf("ByName(messaging) = %v, %v", got.Name, err)
+	}
+	if _, err := ByName("mainframe", catalog.ProviderSoftLayerSim); err == nil {
+		t.Fatal("unknown scenario should fail")
+	}
+}
+
+func TestScenarioEconomicsDiffer(t *testing.T) {
+	// The loose-SLA batch scenario must recommend less HA spend than
+	// the tight-SLA storefront on the same provider — the contract
+	// terms drive the architecture, which is the paper's whole point.
+	engine := testEngine(t)
+	batch, err := engine.Recommend(Analytics(catalog.ProviderSoftLayerSim).Request)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shop, err := engine.Recommend(ECommerce(catalog.ProviderSoftLayerSim).Request)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Best().HACost >= shop.Best().HACost {
+		t.Fatalf("batch HA spend %v should undercut storefront %v",
+			batch.Best().HACost, shop.Best().HACost)
+	}
+}
+
+func TestGeneratorConfigValidate(t *testing.T) {
+	if err := DefaultGenerator().Validate(); err != nil {
+		t.Fatalf("default generator invalid: %v", err)
+	}
+	bad := []GeneratorConfig{
+		{MinComponents: 0, MaxComponents: 3, MaxActiveNodes: 2, SLAMin: 95, SLAMax: 99},
+		{MinComponents: 4, MaxComponents: 3, MaxActiveNodes: 2, SLAMin: 95, SLAMax: 99},
+		{MinComponents: 1, MaxComponents: 3, MaxActiveNodes: 0, SLAMin: 95, SLAMax: 99},
+		{MinComponents: 1, MaxComponents: 3, MaxActiveNodes: 2, SLAMin: 0, SLAMax: 99},
+		{MinComponents: 1, MaxComponents: 3, MaxActiveNodes: 2, SLAMin: 99, SLAMax: 95},
+		{MinComponents: 1, MaxComponents: 3, MaxActiveNodes: 2, SLAMin: 95, SLAMax: 99, PenaltyMaxUSD: -1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateValidAndDeterministic(t *testing.T) {
+	cfg := DefaultGenerator()
+	engine := testEngine(t)
+
+	a, err := Generate(cfg, rand.New(rand.NewSource(1)), catalog.ProviderSoftLayerSim)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	b, err := Generate(cfg, rand.New(rand.NewSource(1)), catalog.ProviderSoftLayerSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Base.Name != b.Base.Name || len(a.Base.Components) != len(b.Base.Components) {
+		t.Fatal("Generate not deterministic for equal seeds")
+	}
+
+	// Generated requests must run end to end.
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 25; i++ {
+		req, err := Generate(cfg, rng, catalog.ProviderSoftLayerSim)
+		if err != nil {
+			t.Fatalf("Generate %d: %v", i, err)
+		}
+		if _, err := engine.Recommend(req); err != nil {
+			t.Fatalf("Recommend on generated %d: %v", i, err)
+		}
+	}
+}
+
+func TestGenerateRespectsBounds(t *testing.T) {
+	cfg := GeneratorConfig{
+		MinComponents: 3, MaxComponents: 3, MaxActiveNodes: 2,
+		SLAMin: 97, SLAMax: 98, PenaltyMaxUSD: 10,
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		req, err := Generate(cfg, rng, catalog.ProviderSoftLayerSim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(req.Base.Components) != 3 {
+			t.Fatalf("components = %d, want 3", len(req.Base.Components))
+		}
+		for _, c := range req.Base.Components {
+			if c.ActiveNodes < 1 || c.ActiveNodes > 2 {
+				t.Fatalf("active nodes = %d out of bounds", c.ActiveNodes)
+			}
+		}
+		if req.SLA.UptimePercent < 97 || req.SLA.UptimePercent > 98 {
+			t.Fatalf("SLA %v out of bounds", req.SLA.UptimePercent)
+		}
+	}
+	if _, err := Generate(GeneratorConfig{}, rng, "p"); err == nil {
+		t.Fatal("invalid config should fail")
+	}
+}

@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"fmt"
+	"time"
+
+	"uptimebroker/internal/availability"
+)
+
+// ClusterID maps a simulated cluster index to the telemetry bucket its
+// observations belong to.
+type ClusterID struct {
+	Provider string
+	Class    string
+}
+
+// Collector adapts the failsim.Recorder callback surface to a Store: it
+// pairs failure/repair events into outages, turns failover windows into
+// failover samples and, on Close, books the total exposure. One
+// Collector instance serves one traced replication.
+//
+// Collector is not safe for concurrent use; traced replications are
+// single-goroutine by design.
+type Collector struct {
+	store    *Store
+	clusters []ClusterID
+	nodes    []int // node count per cluster, for exposure accounting
+
+	openOutage map[[2]int]float64 // (cluster, node) -> failure time
+	closed     bool
+}
+
+// NewCollector builds a collector for a system whose cluster i has
+// nodes[i] nodes and maps to clusters[i].
+func NewCollector(store *Store, clusters []ClusterID, nodes []int) (*Collector, error) {
+	if store == nil {
+		return nil, fmt.Errorf("telemetry: nil store")
+	}
+	if len(clusters) != len(nodes) {
+		return nil, fmt.Errorf("telemetry: %d cluster IDs for %d node counts", len(clusters), len(nodes))
+	}
+	for i, n := range nodes {
+		if n < 1 {
+			return nil, fmt.Errorf("telemetry: cluster %d has %d nodes", i, n)
+		}
+	}
+	return &Collector{
+		store:      store,
+		clusters:   append([]ClusterID(nil), clusters...),
+		nodes:      append([]int(nil), nodes...),
+		openOutage: make(map[[2]int]float64),
+	}, nil
+}
+
+// NodeFailed implements failsim.Recorder.
+func (c *Collector) NodeFailed(cluster, node int, at float64) {
+	c.openOutage[[2]int{cluster, node}] = at
+}
+
+// NodeRepaired implements failsim.Recorder.
+func (c *Collector) NodeRepaired(cluster, node int, at float64) {
+	key := [2]int{cluster, node}
+	start, ok := c.openOutage[key]
+	if !ok {
+		return // repair of a node that started the replication down
+	}
+	delete(c.openOutage, key)
+	id := c.clusters[cluster]
+	// Errors can only stem from negative durations, impossible here.
+	_ = c.store.RecordOutage(id.Provider, id.Class, minutesToDuration(at-start))
+}
+
+// FailoverStarted implements failsim.Recorder.
+func (c *Collector) FailoverStarted(cluster int, at, until float64) {
+	id := c.clusters[cluster]
+	_ = c.store.RecordFailover(id.Provider, id.Class, minutesToDuration(until-at))
+}
+
+// ClusterBroken implements failsim.Recorder.
+func (c *Collector) ClusterBroken(cluster int, at float64) {}
+
+// ClusterRestored implements failsim.Recorder.
+func (c *Collector) ClusterRestored(cluster int, at float64) {}
+
+// Close books exposure for the traced horizon and closes any outages
+// still open at the end of the trace. It must be called exactly once,
+// after the replication finishes.
+func (c *Collector) Close(horizon time.Duration) error {
+	if c.closed {
+		return fmt.Errorf("telemetry: collector already closed")
+	}
+	c.closed = true
+
+	for key, start := range c.openOutage {
+		id := c.clusters[key[0]]
+		if err := c.store.RecordOutage(id.Provider, id.Class, horizon-minutesToDuration(start)); err != nil {
+			return err
+		}
+	}
+	c.openOutage = nil
+
+	for i, id := range c.clusters {
+		nodeTime := time.Duration(c.nodes[i]) * horizon
+		if err := c.store.RecordExposure(id.Provider, id.Class, nodeTime); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CollectorForSystem is a convenience constructor that derives the node
+// counts from an availability.System and assigns every cluster i the
+// bucket ids[i].
+func CollectorForSystem(store *Store, sys availability.System, ids []ClusterID) (*Collector, error) {
+	if len(ids) != len(sys.Clusters) {
+		return nil, fmt.Errorf("telemetry: %d cluster IDs for %d clusters", len(ids), len(sys.Clusters))
+	}
+	nodes := make([]int, len(sys.Clusters))
+	for i, cl := range sys.Clusters {
+		nodes[i] = cl.Nodes
+	}
+	return NewCollector(store, ids, nodes)
+}

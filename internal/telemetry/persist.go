@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// snapshotVersion guards the on-disk format.
+const snapshotVersion = 1
+
+// snapshot is the serialized form of a Store. Raw aggregates (not
+// derived estimates) are persisted so estimates stay exact across
+// restarts.
+type snapshot struct {
+	Version int              `json:"version"`
+	Series  []seriesSnapshot `json:"series"`
+}
+
+type seriesSnapshot struct {
+	Provider        string    `json:"provider"`
+	Class           string    `json:"class"`
+	ExposureMinutes float64   `json:"exposure_minutes"`
+	DownMinutes     float64   `json:"down_minutes"`
+	Failures        int       `json:"failures"`
+	FailoverMinutes []float64 `json:"failover_minutes,omitempty"`
+}
+
+// Save writes the store's raw aggregates as JSON.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	snap := snapshot{Version: snapshotVersion}
+	for k, b := range s.series {
+		snap.Series = append(snap.Series, seriesSnapshot{
+			Provider:        k.provider,
+			Class:           k.class,
+			ExposureMinutes: b.exposureMinutes,
+			DownMinutes:     b.downMinutes,
+			Failures:        b.failures,
+			FailoverMinutes: append([]float64(nil), b.failoverMinutes...),
+		})
+	}
+	s.mu.RUnlock()
+
+	// Deterministic output order for diff-able files.
+	for i := 1; i < len(snap.Series); i++ {
+		for j := i; j > 0; j-- {
+			a, b := snap.Series[j-1], snap.Series[j]
+			if a.Provider < b.Provider || (a.Provider == b.Provider && a.Class <= b.Class) {
+				break
+			}
+			snap.Series[j-1], snap.Series[j] = b, a
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		return fmt.Errorf("telemetry: encoding snapshot: %w", err)
+	}
+	return nil
+}
+
+// Load replaces the store's contents with a snapshot previously
+// written by Save.
+func (s *Store) Load(r io.Reader) error {
+	var snap snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("telemetry: decoding snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("telemetry: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	next := make(map[seriesKey]*series, len(snap.Series))
+	for _, ss := range snap.Series {
+		if ss.Provider == "" || ss.Class == "" {
+			return fmt.Errorf("telemetry: snapshot entry missing provider/class")
+		}
+		if ss.ExposureMinutes < 0 || ss.DownMinutes < 0 || ss.Failures < 0 {
+			return fmt.Errorf("telemetry: snapshot entry for %s/%s has negative aggregates", ss.Provider, ss.Class)
+		}
+		k := seriesKey{provider: ss.Provider, class: ss.Class}
+		if _, dup := next[k]; dup {
+			return fmt.Errorf("telemetry: duplicate snapshot entry for %s/%s", ss.Provider, ss.Class)
+		}
+		next[k] = &series{
+			exposureMinutes: ss.ExposureMinutes,
+			downMinutes:     ss.DownMinutes,
+			failures:        ss.Failures,
+			failoverMinutes: append([]float64(nil), ss.FailoverMinutes...),
+		}
+	}
+	s.mu.Lock()
+	s.series = next
+	s.mu.Unlock()
+	return nil
+}
+
+// SaveFile atomically writes the snapshot to a path (write to a temp
+// file in the same directory, then rename).
+func (s *Store) SaveFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".telemetry-*.json")
+	if err != nil {
+		return fmt.Errorf("telemetry: creating temp snapshot: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		_ = os.Remove(tmpName) // no-op after successful rename
+	}()
+	if err := s.Save(tmp); err != nil {
+		_ = tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("telemetry: closing temp snapshot: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("telemetry: installing snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadFile reads a snapshot from a path.
+func (s *Store) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: opening snapshot: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	return s.Load(f)
+}

@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func seededStore(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore()
+	if err := s.RecordExposure("p1", "vm", 1000*time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordOutage("p1", "vm", 3*time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordFailover("p1", "vm", 90*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordExposure("p2", "disk", 500*time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig := seededStore(t)
+	var sb strings.Builder
+	if err := orig.Save(&sb); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+
+	restored := NewStore()
+	if err := restored.Load(strings.NewReader(sb.String())); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+
+	for _, bucket := range orig.Buckets() {
+		want, err := orig.Estimate(bucket[0], bucket[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := restored.Estimate(bucket[0], bucket[1])
+		if err != nil {
+			t.Fatalf("restored Estimate(%v): %v", bucket, err)
+		}
+		if got != want {
+			t.Fatalf("estimate drift for %v:\n got %+v\nwant %+v", bucket, got, want)
+		}
+	}
+	if len(restored.Buckets()) != len(orig.Buckets()) {
+		t.Fatal("bucket count drift")
+	}
+}
+
+func TestSaveDeterministicOrder(t *testing.T) {
+	s := seededStore(t)
+	var a, b strings.Builder
+	if err := s.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("Save output not deterministic")
+	}
+	if !strings.Contains(a.String(), `"version": 1`) {
+		t.Fatalf("snapshot missing version:\n%s", a.String())
+	}
+}
+
+func TestLoadRejectsBadSnapshots(t *testing.T) {
+	cases := map[string]string{
+		"not json":          "{oops",
+		"wrong version":     `{"version": 99, "series": []}`,
+		"missing key":       `{"version": 1, "series": [{"provider": "", "class": "c"}]}`,
+		"negative exposure": `{"version": 1, "series": [{"provider": "p", "class": "c", "exposure_minutes": -1}]}`,
+		"duplicate":         `{"version": 1, "series": [{"provider": "p", "class": "c", "exposure_minutes": 1}, {"provider": "p", "class": "c", "exposure_minutes": 2}]}`,
+	}
+	for name, payload := range cases {
+		t.Run(name, func(t *testing.T) {
+			s := NewStore()
+			if err := s.Load(strings.NewReader(payload)); err == nil {
+				t.Fatal("Load accepted a bad snapshot")
+			}
+		})
+	}
+}
+
+func TestLoadReplacesExistingState(t *testing.T) {
+	s := seededStore(t)
+	if err := s.Load(strings.NewReader(`{"version": 1, "series": []}`)); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got := len(s.Buckets()); got != 0 {
+		t.Fatalf("buckets after empty load = %d, want 0", got)
+	}
+}
+
+func TestSaveFileLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "telemetry.json")
+
+	orig := seededStore(t)
+	if err := orig.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+
+	restored := NewStore()
+	if err := restored.LoadFile(path); err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	want, _ := orig.Estimate("p1", "vm")
+	got, err := restored.Estimate("p1", "vm")
+	if err != nil || got != want {
+		t.Fatalf("file round trip drift: %+v vs %+v (%v)", got, want, err)
+	}
+
+	// Temp files must not linger.
+	entries, err := filepath.Glob(filepath.Join(dir, ".telemetry-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("leftover temp files: %v", entries)
+	}
+
+	if err := restored.LoadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("LoadFile on missing path should fail")
+	}
+}

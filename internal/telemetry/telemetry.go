@@ -1,0 +1,258 @@
+// Package telemetry is the broker's observational database. The paper
+// (Section II.C) argues the broker sits at a cross-cloud, cross-customer
+// vantage point and can therefore "determine and maintain a database
+// of" the node down-probabilities P_i, failure frequencies f_i and
+// failover times t_i that the availability model consumes.
+//
+// The Store aggregates raw outage and failover observations keyed by
+// (provider, component class) and turns them into parameter estimates.
+// The Smoother applies exponential smoothing across estimation windows,
+// implementing the paper's Section IV argument that short-term skews
+// "smooth out over the long term".
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"uptimebroker/internal/availability"
+)
+
+// seriesKey identifies one aggregation bucket.
+type seriesKey struct {
+	provider string
+	class    string
+}
+
+// series accumulates raw observations for one (provider, class).
+type series struct {
+	exposureMinutes float64 // total node-minutes under observation
+	downMinutes     float64
+	failures        int
+	failoverMinutes []float64 // individual failover window lengths
+}
+
+// Store aggregates observations. It is safe for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	series map[seriesKey]*series
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{series: make(map[seriesKey]*series)}
+}
+
+func (s *Store) bucket(provider, class string) *series {
+	k := seriesKey{provider: provider, class: class}
+	b, ok := s.series[k]
+	if !ok {
+		b = &series{}
+		s.series[k] = b
+	}
+	return b
+}
+
+// RecordExposure adds observed node-time for a bucket: monitoring n
+// nodes for a window contributes n × window of exposure. Estimates are
+// undefined until some exposure is recorded.
+func (s *Store) RecordExposure(provider, class string, nodeTime time.Duration) error {
+	if nodeTime <= 0 {
+		return fmt.Errorf("telemetry: exposure %v, must be > 0", nodeTime)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bucket(provider, class).exposureMinutes += nodeTime.Minutes()
+	return nil
+}
+
+// RecordOutage adds one node outage of the given duration.
+func (s *Store) RecordOutage(provider, class string, downFor time.Duration) error {
+	if downFor < 0 {
+		return fmt.Errorf("telemetry: outage duration %v, must be >= 0", downFor)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.bucket(provider, class)
+	b.downMinutes += downFor.Minutes()
+	b.failures++
+	return nil
+}
+
+// RecordFailover adds one observed failover window.
+func (s *Store) RecordFailover(provider, class string, window time.Duration) error {
+	if window < 0 {
+		return fmt.Errorf("telemetry: failover window %v, must be >= 0", window)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.bucket(provider, class)
+	b.failoverMinutes = append(b.failoverMinutes, window.Minutes())
+	return nil
+}
+
+// Params is an estimated parameter set for one (provider, class).
+type Params struct {
+	// Node carries the estimated P (down probability) and f
+	// (failures/year) for a single node of this class.
+	Node availability.NodeParams
+
+	// Failover is the mean observed failover window; zero when no
+	// failovers were observed.
+	Failover time.Duration
+
+	// FailoverP95 is the 95th-percentile failover window, the
+	// conservative figure a broker would quote in an SLA conversation.
+	FailoverP95 time.Duration
+
+	// Failures is the number of outages behind the estimate.
+	Failures int
+
+	// ExposureYears is the node-years of observation behind the
+	// estimate; larger is more trustworthy.
+	ExposureYears float64
+}
+
+// Estimate derives Params for a bucket. It fails when the bucket has no
+// recorded exposure.
+func (s *Store) Estimate(provider, class string) (Params, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.series[seriesKey{provider: provider, class: class}]
+	if !ok || b.exposureMinutes <= 0 {
+		return Params{}, fmt.Errorf("telemetry: no exposure recorded for %s/%s", provider, class)
+	}
+
+	down := b.downMinutes / b.exposureMinutes
+	if down >= 1 {
+		// Outages exceeding exposure indicate inconsistent feeding;
+		// clamp below 1 so the params stay usable and flag via error.
+		return Params{}, fmt.Errorf("telemetry: %s/%s: outage time %.1fmin exceeds exposure %.1fmin",
+			provider, class, b.downMinutes, b.exposureMinutes)
+	}
+	exposureYears := b.exposureMinutes / availability.MinutesPerYear
+
+	p := Params{
+		Node: availability.NodeParams{
+			Down:            down,
+			FailuresPerYear: float64(b.failures) / exposureYears,
+		},
+		Failures:      b.failures,
+		ExposureYears: exposureYears,
+	}
+	if n := len(b.failoverMinutes); n > 0 {
+		total := 0.0
+		for _, m := range b.failoverMinutes {
+			total += m
+		}
+		p.Failover = minutesToDuration(total / float64(n))
+		p.FailoverP95 = minutesToDuration(percentile(b.failoverMinutes, 0.95))
+	}
+	return p, nil
+}
+
+// Buckets returns the (provider, class) pairs with recorded data,
+// sorted for deterministic iteration.
+func (s *Store) Buckets() [][2]string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([][2]string, 0, len(s.series))
+	for k := range s.series {
+		out = append(out, [2]string{k.provider, k.class})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// percentile returns the q-quantile (0 < q <= 1) of the samples using
+// nearest-rank on a sorted copy.
+func percentile(samples []float64, q float64) float64 {
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+func minutesToDuration(m float64) time.Duration {
+	return time.Duration(m * float64(time.Minute))
+}
+
+// Smoother blends successive estimation windows with exponential
+// smoothing: blended = alpha·new + (1-alpha)·old. It models the
+// long-term convergence argument of the paper's threats-to-validity
+// section — single-window skews decay geometrically.
+type Smoother struct {
+	// Alpha is the weight of the newest window, in (0, 1].
+	Alpha float64
+
+	mu      sync.Mutex
+	current map[seriesKey]Params
+	primed  map[seriesKey]bool
+}
+
+// NewSmoother returns a smoother with the given alpha.
+func NewSmoother(alpha float64) (*Smoother, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("telemetry: alpha %v, must be in (0, 1]", alpha)
+	}
+	return &Smoother{
+		Alpha:   alpha,
+		current: make(map[seriesKey]Params),
+		primed:  make(map[seriesKey]bool),
+	}, nil
+}
+
+// Update blends a new window estimate into the smoothed view and
+// returns the blended params. The first window for a bucket is adopted
+// wholesale.
+func (sm *Smoother) Update(provider, class string, window Params) Params {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	k := seriesKey{provider: provider, class: class}
+	if !sm.primed[k] {
+		sm.primed[k] = true
+		sm.current[k] = window
+		return window
+	}
+	old := sm.current[k]
+	a := sm.Alpha
+	blended := Params{
+		Node: availability.NodeParams{
+			Down:            a*window.Node.Down + (1-a)*old.Node.Down,
+			FailuresPerYear: a*window.Node.FailuresPerYear + (1-a)*old.Node.FailuresPerYear,
+		},
+		Failover:      blendDuration(window.Failover, old.Failover, a),
+		FailoverP95:   blendDuration(window.FailoverP95, old.FailoverP95, a),
+		Failures:      window.Failures + old.Failures,
+		ExposureYears: window.ExposureYears + old.ExposureYears,
+	}
+	sm.current[k] = blended
+	return blended
+}
+
+// Current returns the smoothed params for a bucket.
+func (sm *Smoother) Current(provider, class string) (Params, bool) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	k := seriesKey{provider: provider, class: class}
+	p, ok := sm.current[k]
+	return p, ok
+}
+
+func blendDuration(newer, older time.Duration, a float64) time.Duration {
+	return time.Duration(a*float64(newer) + (1-a)*float64(older))
+}

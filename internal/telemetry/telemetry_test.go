@@ -1,0 +1,277 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"uptimebroker/internal/availability"
+	"uptimebroker/internal/failsim"
+)
+
+func TestStoreEstimateBasics(t *testing.T) {
+	s := NewStore()
+
+	// No exposure yet: estimation fails.
+	if _, err := s.Estimate("p", "c"); err == nil {
+		t.Fatal("Estimate without exposure should fail")
+	}
+
+	// 10 node-years of exposure, 20 outages of 1 hour each.
+	exposure := 10 * 365 * 24 * time.Hour
+	if err := s.RecordExposure("p", "c", exposure); err != nil {
+		t.Fatalf("RecordExposure: %v", err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := s.RecordOutage("p", "c", time.Hour); err != nil {
+			t.Fatalf("RecordOutage: %v", err)
+		}
+	}
+
+	params, err := s.Estimate("p", "c")
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	wantDown := 20.0 / (10 * 365 * 24) // 20 down-hours over 10 years of hours
+	if math.Abs(params.Node.Down-wantDown) > 1e-12 {
+		t.Fatalf("Down = %v, want %v", params.Node.Down, wantDown)
+	}
+	if math.Abs(params.Node.FailuresPerYear-2) > 1e-9 {
+		t.Fatalf("FailuresPerYear = %v, want 2", params.Node.FailuresPerYear)
+	}
+	if params.Failures != 20 {
+		t.Fatalf("Failures = %d, want 20", params.Failures)
+	}
+	if math.Abs(params.ExposureYears-10.0) > 0.01 {
+		t.Fatalf("ExposureYears = %v, want 10", params.ExposureYears)
+	}
+	if params.Failover != 0 || params.FailoverP95 != 0 {
+		t.Fatal("failover estimates should be zero without failover samples")
+	}
+}
+
+func TestStoreFailoverPercentiles(t *testing.T) {
+	s := NewStore()
+	if err := s.RecordExposure("p", "c", 24*time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	// 10 windows of 1 minute, 10 of 21 minutes: mean = 11; the
+	// nearest-rank p95 of 20 samples is the 19th smallest = 21.
+	for i := 0; i < 10; i++ {
+		if err := s.RecordFailover("p", "c", time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.RecordFailover("p", "c", 21*time.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	params, err := s.Estimate("p", "c")
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	if params.Failover != 11*time.Minute {
+		t.Fatalf("mean failover = %v, want 11m", params.Failover)
+	}
+	if params.FailoverP95 != 21*time.Minute {
+		t.Fatalf("p95 failover = %v, want 21m", params.FailoverP95)
+	}
+}
+
+func TestStoreRejectsBadInputs(t *testing.T) {
+	s := NewStore()
+	if err := s.RecordExposure("p", "c", 0); err == nil {
+		t.Fatal("zero exposure should fail")
+	}
+	if err := s.RecordExposure("p", "c", -time.Hour); err == nil {
+		t.Fatal("negative exposure should fail")
+	}
+	if err := s.RecordOutage("p", "c", -time.Second); err == nil {
+		t.Fatal("negative outage should fail")
+	}
+	if err := s.RecordFailover("p", "c", -time.Second); err == nil {
+		t.Fatal("negative failover should fail")
+	}
+}
+
+func TestStoreDetectsInconsistentFeeds(t *testing.T) {
+	s := NewStore()
+	if err := s.RecordExposure("p", "c", time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordOutage("p", "c", 2*time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Estimate("p", "c"); err == nil {
+		t.Fatal("outage exceeding exposure should fail estimation")
+	}
+}
+
+func TestStoreBuckets(t *testing.T) {
+	s := NewStore()
+	_ = s.RecordExposure("b", "z", time.Hour)
+	_ = s.RecordExposure("a", "y", time.Hour)
+	_ = s.RecordExposure("a", "x", time.Hour)
+	got := s.Buckets()
+	want := [][2]string{{"a", "x"}, {"a", "y"}, {"b", "z"}}
+	if len(got) != len(want) {
+		t.Fatalf("Buckets() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Buckets() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = s.RecordExposure("p", "c", time.Hour)
+				_ = s.RecordOutage("p", "c", time.Minute)
+				_ = s.RecordFailover("p", "c", time.Second)
+				_, _ = s.Estimate("p", "c")
+				_ = s.Buckets()
+			}
+		}()
+	}
+	wg.Wait()
+	params, err := s.Estimate("p", "c")
+	if err != nil {
+		t.Fatalf("Estimate after concurrency: %v", err)
+	}
+	if params.Failures != 800 {
+		t.Fatalf("Failures = %d, want 800", params.Failures)
+	}
+}
+
+func TestSmootherValidation(t *testing.T) {
+	for _, a := range []float64{0, -0.5, 1.5} {
+		if _, err := NewSmoother(a); err == nil {
+			t.Fatalf("NewSmoother(%v) should fail", a)
+		}
+	}
+	if _, err := NewSmoother(0.3); err != nil {
+		t.Fatalf("NewSmoother(0.3): %v", err)
+	}
+}
+
+func TestSmootherConvergence(t *testing.T) {
+	sm, err := NewSmoother(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First window is adopted wholesale.
+	w1 := Params{Node: availability.NodeParams{Down: 0.10, FailuresPerYear: 10}, Failures: 5, ExposureYears: 1}
+	got := sm.Update("p", "c", w1)
+	if got.Node.Down != 0.10 {
+		t.Fatalf("first window Down = %v, want 0.10", got.Node.Down)
+	}
+
+	// Repeated windows at a new level converge geometrically toward it:
+	// the paper's claim that short-term skews smooth out.
+	target := Params{Node: availability.NodeParams{Down: 0.02, FailuresPerYear: 4}, Failures: 2, ExposureYears: 1}
+	var last Params
+	for i := 0; i < 20; i++ {
+		last = sm.Update("p", "c", target)
+	}
+	if math.Abs(last.Node.Down-0.02) > 1e-4 {
+		t.Fatalf("smoothed Down = %v, want ≈ 0.02", last.Node.Down)
+	}
+	if math.Abs(last.Node.FailuresPerYear-4) > 1e-2 {
+		t.Fatalf("smoothed f = %v, want ≈ 4", last.Node.FailuresPerYear)
+	}
+	// Exposure accumulates rather than being smoothed away.
+	if last.ExposureYears < 20 {
+		t.Fatalf("ExposureYears = %v, want >= 20", last.ExposureYears)
+	}
+
+	cur, ok := sm.Current("p", "c")
+	if !ok || cur.Node.Down != last.Node.Down {
+		t.Fatal("Current should return the latest blend")
+	}
+	if _, ok := sm.Current("p", "other"); ok {
+		t.Fatal("Current for unknown bucket should report !ok")
+	}
+}
+
+func TestCollectorValidation(t *testing.T) {
+	if _, err := NewCollector(nil, nil, nil); err == nil {
+		t.Fatal("nil store should fail")
+	}
+	s := NewStore()
+	if _, err := NewCollector(s, []ClusterID{{"p", "c"}}, []int{1, 2}); err == nil {
+		t.Fatal("mismatched lengths should fail")
+	}
+	if _, err := NewCollector(s, []ClusterID{{"p", "c"}}, []int{0}); err == nil {
+		t.Fatal("zero node count should fail")
+	}
+}
+
+func TestCollectorEndToEndEstimates(t *testing.T) {
+	// Feed the telemetry store from a traced simulation and check that
+	// the estimated parameters recover the simulator's ground truth —
+	// the broker's database converging on P_i, f_i, t_i.
+	groundTruth := availability.Cluster{
+		Name: "compute", Nodes: 4, Tolerated: 1,
+		NodeDown: 0.01, FailuresPerYear: 12, Failover: 10 * time.Minute,
+	}
+	sys := availability.System{Clusters: []availability.Cluster{groundTruth}}
+
+	store := NewStore()
+	col, err := CollectorForSystem(store, sys, []ClusterID{{Provider: "softlayer-sim", Class: "vm.virtualized"}})
+	if err != nil {
+		t.Fatalf("CollectorForSystem: %v", err)
+	}
+
+	horizon := 50 * 365 * 24 * time.Hour // 50 years × 4 nodes = 200 node-years
+	_, err = failsim.RunTraced(failsim.Config{
+		System:       sys,
+		Horizon:      horizon,
+		Replications: 1,
+		Seed:         424242,
+	}, col)
+	if err != nil {
+		t.Fatalf("RunTraced: %v", err)
+	}
+	if err := col.Close(horizon); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := col.Close(horizon); err == nil {
+		t.Fatal("second Close should fail")
+	}
+
+	params, err := store.Estimate("softlayer-sim", "vm.virtualized")
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	// ~2400 failures over 200 node-years: estimates should be tight.
+	if rel := math.Abs(params.Node.Down-groundTruth.NodeDown) / groundTruth.NodeDown; rel > 0.15 {
+		t.Fatalf("estimated Down = %v, truth %v (rel err %.2f)", params.Node.Down, groundTruth.NodeDown, rel)
+	}
+	if rel := math.Abs(params.Node.FailuresPerYear-groundTruth.FailuresPerYear) / groundTruth.FailuresPerYear; rel > 0.1 {
+		t.Fatalf("estimated f = %v, truth %v (rel err %.2f)", params.Node.FailuresPerYear, groundTruth.FailuresPerYear, rel)
+	}
+	// Failover windows are deterministic in the simulator.
+	if d := params.Failover - groundTruth.Failover; d < -time.Second || d > time.Second {
+		t.Fatalf("estimated failover = %v, truth %v", params.Failover, groundTruth.Failover)
+	}
+	if params.ExposureYears < 199 || params.ExposureYears > 201 {
+		t.Fatalf("ExposureYears = %v, want ≈ 200", params.ExposureYears)
+	}
+}
+
+func TestCollectorForSystemLengthMismatch(t *testing.T) {
+	sys := availability.System{Clusters: []availability.Cluster{
+		{Name: "a", Nodes: 1, NodeDown: 0.01},
+	}}
+	if _, err := CollectorForSystem(NewStore(), sys, nil); err == nil {
+		t.Fatal("mismatched IDs should fail")
+	}
+}

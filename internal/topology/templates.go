@@ -1,0 +1,74 @@
+package topology
+
+// Well-known component classes. The telemetry database keys node
+// reliability observations by (provider, class); these constants keep
+// the catalog, telemetry seeds and case study in agreement.
+const (
+	ClassVirtualMachine = "vm.virtualized"
+	ClassBareMetal      = "vm.baremetal"
+	ClassBlockVolume    = "disk.block"
+	ClassObjectStore    = "disk.object"
+	ClassGateway        = "net.gateway"
+	ClassLoadBalancer   = "net.loadbalancer"
+)
+
+// DefaultClass returns the component class assumed for a layer when a
+// component does not specify one.
+func DefaultClass(l Layer) string {
+	switch l {
+	case LayerCompute:
+		return ClassVirtualMachine
+	case LayerStorage:
+		return ClassBlockVolume
+	case LayerNetwork:
+		return ClassGateway
+	case LayerMiddleware:
+		return ClassVirtualMachine
+	default:
+		return ""
+	}
+}
+
+// EffectiveClass returns the component's class, falling back to the
+// layer default when unset.
+func (c Component) EffectiveClass() string {
+	if c.Class != "" {
+		return c.Class
+	}
+	return DefaultClass(c.Layer)
+}
+
+// ThreeTier returns the paper's case-study base architecture: a serial
+// combination of three clusters at the compute, storage and network
+// layers hosted on the given provider. The compute tier requires three
+// active nodes (the as-is solution clustered it 3+1 under VMware ESX),
+// storage and network require one active element each.
+func ThreeTier(provider string) System {
+	return System{
+		Name:     "three-tier",
+		Provider: provider,
+		Components: []Component{
+			{Name: "compute", Layer: LayerCompute, ActiveNodes: 3, Class: ClassVirtualMachine},
+			{Name: "storage", Layer: LayerStorage, ActiveNodes: 1, Class: ClassBlockVolume},
+			{Name: "network", Layer: LayerNetwork, ActiveNodes: 1, Class: ClassGateway},
+		},
+	}
+}
+
+// FiveTierHybrid returns the future-work scenario from the paper's
+// Section V: a wider system with middleware and load-balancing tiers,
+// used to exercise the extended HA catalog (OS clustering, SDS,
+// multipathing, BGP dual circuits).
+func FiveTierHybrid(provider string) System {
+	return System{
+		Name:     "five-tier-hybrid",
+		Provider: provider,
+		Components: []Component{
+			{Name: "web-compute", Layer: LayerCompute, ActiveNodes: 2, Class: ClassVirtualMachine},
+			{Name: "app-compute", Layer: LayerCompute, ActiveNodes: 3, Class: ClassBareMetal},
+			{Name: "middleware", Layer: LayerMiddleware, ActiveNodes: 2, Class: ClassVirtualMachine},
+			{Name: "storage", Layer: LayerStorage, ActiveNodes: 2, Class: ClassBlockVolume},
+			{Name: "network", Layer: LayerNetwork, ActiveNodes: 1, Class: ClassGateway},
+		},
+	}
+}

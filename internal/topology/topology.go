@@ -1,0 +1,193 @@
+// Package topology models the base cloud solution architecture a
+// customer hands to the broker (Figure 1 of the paper): a named system
+// composed of serial clusters at the compute, storage and network
+// layers, each cluster described by the nodes it needs active and the
+// component class its nodes belong to.
+//
+// Topology is purely descriptive. Reliability parameters (P_i, f_i)
+// come from the broker's telemetry database, HA mechanics (K̂_i, t_i)
+// and prices come from the catalog; the broker package compiles all
+// three into the availability and cost models.
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Layer identifies the infrastructure layer a cluster lives at. The
+// paper's case study uses exactly Compute, Storage and Network; the
+// enum is open-ended for the future-work scenarios (for example a
+// dedicated middleware tier).
+type Layer int
+
+// Layers start at 1 so the zero value is invalid and cannot be mistaken
+// for a real layer.
+const (
+	LayerUnknown Layer = iota
+	LayerCompute
+	LayerStorage
+	LayerNetwork
+	LayerMiddleware
+)
+
+var layerNames = map[Layer]string{
+	LayerCompute:    "compute",
+	LayerStorage:    "storage",
+	LayerNetwork:    "network",
+	LayerMiddleware: "middleware",
+}
+
+var layersByName = func() map[string]Layer {
+	m := make(map[string]Layer, len(layerNames))
+	for l, n := range layerNames {
+		m[n] = l
+	}
+	return m
+}()
+
+// String returns the lower-case layer name, or "unknown".
+func (l Layer) String() string {
+	if n, ok := layerNames[l]; ok {
+		return n
+	}
+	return "unknown"
+}
+
+// Valid reports whether l is a known layer.
+func (l Layer) Valid() bool {
+	_, ok := layerNames[l]
+	return ok
+}
+
+// ParseLayer converts a layer name (case-insensitive) to a Layer.
+func ParseLayer(s string) (Layer, error) {
+	if l, ok := layersByName[strings.ToLower(strings.TrimSpace(s))]; ok {
+		return l, nil
+	}
+	return LayerUnknown, fmt.Errorf("topology: unknown layer %q", s)
+}
+
+// MarshalJSON encodes the layer as its string name.
+func (l Layer) MarshalJSON() ([]byte, error) {
+	if !l.Valid() {
+		return nil, fmt.Errorf("topology: cannot marshal unknown layer %d", int(l))
+	}
+	return json.Marshal(l.String())
+}
+
+// UnmarshalJSON decodes a layer from its string name.
+func (l *Layer) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("topology: layer must be a string: %w", err)
+	}
+	parsed, err := ParseLayer(s)
+	if err != nil {
+		return err
+	}
+	*l = parsed
+	return nil
+}
+
+// Component is one cluster slot of the base architecture: a group of
+// like nodes at one layer that the system needs to be operational. The
+// optimizer decides which HA technology (if any) to attach to each
+// component.
+type Component struct {
+	// Name identifies the component in reports, e.g. "app-compute".
+	Name string `json:"name"`
+
+	// Layer is the infrastructure layer this component occupies.
+	Layer Layer `json:"layer"`
+
+	// ActiveNodes is the number of nodes the workload requires to be
+	// simultaneously active (K_i − K̂_i in the model). HA technologies
+	// add standby nodes on top.
+	ActiveNodes int `json:"active_nodes"`
+
+	// Class is the component class used to look up reliability
+	// parameters in the broker's telemetry database, e.g.
+	// "vm.virtualized" or "disk.sata". An empty class falls back to the
+	// layer default.
+	Class string `json:"class,omitempty"`
+}
+
+// Validate reports whether the component is well-formed.
+func (c Component) Validate() error {
+	if strings.TrimSpace(c.Name) == "" {
+		return fmt.Errorf("topology: component has empty name")
+	}
+	if !c.Layer.Valid() {
+		return fmt.Errorf("topology: component %q: invalid layer", c.Name)
+	}
+	if c.ActiveNodes < 1 {
+		return fmt.Errorf("topology: component %q: ActiveNodes = %d, must be >= 1", c.Name, c.ActiveNodes)
+	}
+	return nil
+}
+
+// System is a base cloud solution architecture: an ordered serial
+// combination of components deployed with one provider.
+type System struct {
+	// Name labels the architecture, e.g. "three-tier-retail".
+	Name string `json:"name"`
+
+	// Provider names the cloud the system is (to be) hosted on; it
+	// selects the rate card and the telemetry scope.
+	Provider string `json:"provider"`
+
+	// Components are the serial clusters, in presentation order.
+	Components []Component `json:"components"`
+}
+
+// Validate reports whether the system is well-formed: non-empty, with
+// valid, uniquely named components.
+func (s System) Validate() error {
+	if strings.TrimSpace(s.Name) == "" {
+		return fmt.Errorf("topology: system has empty name")
+	}
+	if len(s.Components) == 0 {
+		return fmt.Errorf("topology: system %q has no components", s.Name)
+	}
+	seen := make(map[string]bool, len(s.Components))
+	for _, c := range s.Components {
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("topology: system %q: %w", s.Name, err)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("topology: system %q: duplicate component %q", s.Name, c.Name)
+		}
+		seen[c.Name] = true
+	}
+	return nil
+}
+
+// Component returns the component with the given name, or false.
+func (s System) Component(name string) (Component, bool) {
+	for _, c := range s.Components {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Component{}, false
+}
+
+// LayerCounts returns how many components sit at each layer, useful for
+// summaries and sanity checks.
+func (s System) LayerCounts() map[Layer]int {
+	m := make(map[Layer]int)
+	for _, c := range s.Components {
+		m[c.Layer]++
+	}
+	return m
+}
+
+// Clone returns a deep copy of the system; mutating the copy leaves the
+// original untouched (components are values, so a slice copy suffices).
+func (s System) Clone() System {
+	out := s
+	out.Components = append([]Component(nil), s.Components...)
+	return out
+}

@@ -1,0 +1,187 @@
+package topology
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestLayerString(t *testing.T) {
+	tests := []struct {
+		l    Layer
+		want string
+	}{
+		{LayerCompute, "compute"},
+		{LayerStorage, "storage"},
+		{LayerNetwork, "network"},
+		{LayerMiddleware, "middleware"},
+		{LayerUnknown, "unknown"},
+		{Layer(99), "unknown"},
+	}
+	for _, tt := range tests {
+		if got := tt.l.String(); got != tt.want {
+			t.Fatalf("Layer(%d).String() = %q, want %q", int(tt.l), got, tt.want)
+		}
+	}
+}
+
+func TestParseLayer(t *testing.T) {
+	for _, s := range []string{"compute", "Compute", " COMPUTE "} {
+		l, err := ParseLayer(s)
+		if err != nil || l != LayerCompute {
+			t.Fatalf("ParseLayer(%q) = %v, %v; want compute", s, l, err)
+		}
+	}
+	if _, err := ParseLayer("quantum"); err == nil {
+		t.Fatal("ParseLayer(quantum) should fail")
+	}
+	if _, err := ParseLayer(""); err == nil {
+		t.Fatal("ParseLayer(empty) should fail")
+	}
+}
+
+func TestLayerJSONRoundTrip(t *testing.T) {
+	for l := range layerNames {
+		data, err := json.Marshal(l)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", l, err)
+		}
+		var back Layer
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if back != l {
+			t.Fatalf("round trip %v -> %s -> %v", l, data, back)
+		}
+	}
+	if _, err := json.Marshal(Layer(42)); err == nil {
+		t.Fatal("marshaling invalid layer should fail")
+	}
+	var l Layer
+	if err := json.Unmarshal([]byte(`"warp"`), &l); err == nil {
+		t.Fatal("unmarshaling unknown layer should fail")
+	}
+	if err := json.Unmarshal([]byte(`7`), &l); err == nil {
+		t.Fatal("unmarshaling non-string layer should fail")
+	}
+}
+
+func TestComponentValidate(t *testing.T) {
+	good := Component{Name: "web", Layer: LayerCompute, ActiveNodes: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid component rejected: %v", err)
+	}
+	bad := []Component{
+		{Name: "", Layer: LayerCompute, ActiveNodes: 1},
+		{Name: "  ", Layer: LayerCompute, ActiveNodes: 1},
+		{Name: "x", Layer: LayerUnknown, ActiveNodes: 1},
+		{Name: "x", Layer: LayerCompute, ActiveNodes: 0},
+		{Name: "x", Layer: LayerCompute, ActiveNodes: -1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("Validate(%+v) = nil, want error", c)
+		}
+	}
+}
+
+func TestSystemValidate(t *testing.T) {
+	sys := ThreeTier("softlayer-sim")
+	if err := sys.Validate(); err != nil {
+		t.Fatalf("ThreeTier invalid: %v", err)
+	}
+
+	tests := []struct {
+		name    string
+		mutate  func(*System)
+		wantSub string
+	}{
+		{"empty name", func(s *System) { s.Name = "" }, "empty name"},
+		{"no components", func(s *System) { s.Components = nil }, "no components"},
+		{"invalid component", func(s *System) { s.Components[0].ActiveNodes = 0 }, "ActiveNodes"},
+		{"duplicate component", func(s *System) { s.Components[1].Name = s.Components[0].Name }, "duplicate"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := ThreeTier("p").Clone()
+			tt.mutate(&s)
+			err := s.Validate()
+			if err == nil || !strings.Contains(err.Error(), tt.wantSub) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestSystemComponentLookup(t *testing.T) {
+	sys := ThreeTier("p")
+	c, ok := sys.Component("storage")
+	if !ok || c.Layer != LayerStorage {
+		t.Fatalf("Component(storage) = %+v, %v", c, ok)
+	}
+	if _, ok := sys.Component("gpu"); ok {
+		t.Fatal("Component(gpu) should not exist")
+	}
+}
+
+func TestSystemLayerCounts(t *testing.T) {
+	sys := FiveTierHybrid("p")
+	counts := sys.LayerCounts()
+	if counts[LayerCompute] != 2 {
+		t.Fatalf("compute count = %d, want 2", counts[LayerCompute])
+	}
+	if counts[LayerMiddleware] != 1 || counts[LayerStorage] != 1 || counts[LayerNetwork] != 1 {
+		t.Fatalf("unexpected layer counts: %v", counts)
+	}
+}
+
+func TestSystemClone(t *testing.T) {
+	orig := ThreeTier("p")
+	cp := orig.Clone()
+	cp.Components[0].Name = "mutated"
+	if orig.Components[0].Name == "mutated" {
+		t.Fatal("Clone shares component storage with original")
+	}
+}
+
+func TestEffectiveClass(t *testing.T) {
+	c := Component{Name: "x", Layer: LayerStorage, ActiveNodes: 1}
+	if got := c.EffectiveClass(); got != ClassBlockVolume {
+		t.Fatalf("EffectiveClass() = %q, want %q", got, ClassBlockVolume)
+	}
+	c.Class = ClassObjectStore
+	if got := c.EffectiveClass(); got != ClassObjectStore {
+		t.Fatalf("EffectiveClass() = %q, want %q", got, ClassObjectStore)
+	}
+	if got := DefaultClass(LayerUnknown); got != "" {
+		t.Fatalf("DefaultClass(unknown) = %q, want empty", got)
+	}
+}
+
+func TestSystemJSONRoundTrip(t *testing.T) {
+	sys := FiveTierHybrid("cloudA")
+	data, err := json.Marshal(sys)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back System
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Name != sys.Name || back.Provider != sys.Provider || len(back.Components) != len(sys.Components) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, sys)
+	}
+	for i := range sys.Components {
+		if back.Components[i] != sys.Components[i] {
+			t.Fatalf("component %d mismatch: %+v vs %+v", i, back.Components[i], sys.Components[i])
+		}
+	}
+}
+
+func TestTemplatesValid(t *testing.T) {
+	for _, sys := range []System{ThreeTier("a"), FiveTierHybrid("b")} {
+		if err := sys.Validate(); err != nil {
+			t.Fatalf("template %q invalid: %v", sys.Name, err)
+		}
+	}
+}

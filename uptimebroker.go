@@ -1,0 +1,277 @@
+// Package uptimebroker is the public facade of an uptime-optimized
+// cloud-architecture brokerage, a full reproduction of Venkateswaran &
+// Sarkar, "Uptime-Optimized Cloud Architecture as a Brokered Service"
+// (DSN 2017).
+//
+// Given a base cloud architecture (a serial chain of compute, storage
+// and network clusters), an uptime SLA and a slippage penalty, the
+// broker enumerates every HA-enabled variant of the architecture,
+// computes each variant's expected uptime with the paper's
+// probabilistic failure model and its monthly total cost of ownership
+// (HA cost + expected penalty), and recommends the cheapest variant.
+//
+// Quick start:
+//
+//	engine, err := uptimebroker.DefaultEngine()
+//	if err != nil { ... }
+//	rec, err := engine.Recommend(uptimebroker.CaseStudy())
+//	if err != nil { ... }
+//	fmt.Println(rec.Best().Label(), rec.Best().TCO)
+//
+// The facade re-exports the domain types from the internal packages;
+// downstream code only imports this package (plus the standard
+// library).
+package uptimebroker
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"time"
+
+	"uptimebroker/internal/availability"
+	"uptimebroker/internal/broker"
+	"uptimebroker/internal/catalog"
+	"uptimebroker/internal/cloudsim"
+	"uptimebroker/internal/cost"
+	"uptimebroker/internal/failsim"
+	"uptimebroker/internal/httpapi"
+	"uptimebroker/internal/lifecycle"
+	"uptimebroker/internal/report"
+	"uptimebroker/internal/telemetry"
+	"uptimebroker/internal/topology"
+)
+
+// Domain types re-exported for downstream use.
+type (
+	// System is a base cloud solution architecture.
+	System = topology.System
+	// Component is one cluster slot of a base architecture.
+	Component = topology.Component
+	// Layer identifies an infrastructure layer.
+	Layer = topology.Layer
+
+	// Money is an exact monetary amount (micro-dollars).
+	Money = cost.Money
+	// SLA is an uptime service-level agreement with penalty clause.
+	SLA = cost.SLA
+	// Penalty is a slippage penalty clause.
+	Penalty = cost.Penalty
+
+	// Cluster is a k-redundancy cluster in the availability model.
+	Cluster = availability.Cluster
+	// AvailabilitySystem is a serial combination of clusters.
+	AvailabilitySystem = availability.System
+	// NodeParams are per-node reliability parameters (P, f).
+	NodeParams = availability.NodeParams
+
+	// Catalog is the broker's HA technology and provider inventory.
+	Catalog = catalog.Catalog
+	// HATechnology is one purchasable redundancy mechanism.
+	HATechnology = catalog.HATechnology
+	// Provider is one cloud in the broker's portfolio.
+	Provider = catalog.Provider
+
+	// Engine is the brokerage core.
+	Engine = broker.Engine
+	// Request is a brokerage request.
+	Request = broker.Request
+	// Recommendation is a brokerage answer.
+	Recommendation = broker.Recommendation
+	// OptionCard is one priced solution option.
+	OptionCard = broker.OptionCard
+	// Plan maps components to HA technology IDs.
+	Plan = broker.Plan
+	// ParamSource resolves node reliability parameters.
+	ParamSource = broker.ParamSource
+	// CatalogParams reads parameters from catalog defaults.
+	CatalogParams = broker.CatalogParams
+	// TelemetryParams prefers live telemetry estimates.
+	TelemetryParams = broker.TelemetryParams
+
+	// TelemetryStore aggregates reliability observations.
+	TelemetryStore = telemetry.Store
+
+	// SimConfig parameterizes a Monte-Carlo validation run.
+	SimConfig = failsim.Config
+	// SimEstimate is a Monte-Carlo uptime estimate.
+	SimEstimate = failsim.Estimate
+
+	// Server is the HTTP facade of the brokerage.
+	Server = httpapi.Server
+	// Client is the typed HTTP client.
+	Client = httpapi.Client
+
+	// Cloud is a simulated IaaS provider control plane.
+	Cloud = cloudsim.Cloud
+	// Fleet is the simulated hybrid estate.
+	Fleet = cloudsim.Fleet
+	// Deployment records a provisioned system.
+	Deployment = cloudsim.Deployment
+	// VirtualClock is a manually driven time source for simulated
+	// operation.
+	VirtualClock = cloudsim.VirtualClock
+	// ChaosMonkey injects seeded failures into a simulated cloud.
+	ChaosMonkey = cloudsim.ChaosMonkey
+
+	// Collector adapts simulator traces into telemetry observations.
+	Collector = telemetry.Collector
+	// ClusterID maps a simulated cluster to a telemetry bucket.
+	ClusterID = telemetry.ClusterID
+
+	// LifecycleConfig parameterizes a multi-epoch brokered operation
+	// run (observe → re-optimize cycles).
+	LifecycleConfig = lifecycle.Config
+	// LifecycleEpoch is one epoch's outcome.
+	LifecycleEpoch = lifecycle.Epoch
+
+	// SensitivityRow reports marginal downtime per cluster parameter.
+	SensitivityRow = availability.SensitivityRow
+)
+
+// Layer constants.
+const (
+	LayerCompute    = topology.LayerCompute
+	LayerStorage    = topology.LayerStorage
+	LayerNetwork    = topology.LayerNetwork
+	LayerMiddleware = topology.LayerMiddleware
+)
+
+// Built-in provider names.
+const (
+	ProviderSoftLayerSim = catalog.ProviderSoftLayerSim
+	ProviderNimbus       = catalog.ProviderNimbus
+	ProviderStratus      = catalog.ProviderStratus
+)
+
+// Dollars converts a dollar amount to Money.
+func Dollars(d float64) Money { return cost.Dollars(d) }
+
+// DefaultCatalog returns the built-in catalog: the case-study
+// mechanisms (hypervisor HA, RAID-1, dual gateways), the paper's
+// future-work mechanisms, and three simulated providers.
+func DefaultCatalog() *Catalog { return catalog.Default() }
+
+// NewEngine builds a brokerage engine over a catalog and parameter
+// source.
+func NewEngine(cat *Catalog, params ParamSource) (*Engine, error) {
+	return broker.New(cat, params)
+}
+
+// DefaultEngine builds an engine over the built-in catalog with
+// catalog-default reliability parameters.
+func DefaultEngine() (*Engine, error) {
+	cat := DefaultCatalog()
+	return broker.New(cat, broker.CatalogParams{Catalog: cat})
+}
+
+// CaseStudy returns the paper's Section III client case study request.
+func CaseStudy() Request { return broker.CaseStudy() }
+
+// FutureWork returns the paper's Section V extended scenario.
+func FutureWork(provider string) Request { return broker.FutureWork(provider) }
+
+// ThreeTier returns the paper's three-tier base architecture template.
+func ThreeTier(provider string) System { return topology.ThreeTier(provider) }
+
+// FiveTierHybrid returns the future-work five-tier template.
+func FiveTierHybrid(provider string) System { return topology.FiveTierHybrid(provider) }
+
+// Simulate runs the Monte-Carlo failure simulator — the ground-truth
+// check on the analytic uptime model.
+func Simulate(ctx context.Context, cfg SimConfig) (SimEstimate, error) {
+	return failsim.Run(ctx, cfg)
+}
+
+// NewTelemetryStore returns an empty telemetry store.
+func NewTelemetryStore() *TelemetryStore { return telemetry.NewStore() }
+
+// NewServer wires the brokerage HTTP service. store may be nil for a
+// read-only broker; logger may be nil to disable request logging.
+func NewServer(engine *Engine, store *TelemetryStore, logger *log.Logger) (*Server, error) {
+	return httpapi.NewServer(engine, store, logger)
+}
+
+// NewClient builds a typed client for a brokerage service URL.
+func NewClient(baseURL string) (*Client, error) {
+	return httpapi.NewClient(baseURL, nil)
+}
+
+// Uptime evaluates the analytic uptime U_s (Equation 4) of a clustered
+// system.
+func Uptime(sys AvailabilitySystem) float64 { return sys.Uptime() }
+
+// DefaultFleet builds one simulated cloud per catalog provider, all
+// wired to the given telemetry store (which may be nil).
+func DefaultFleet(cat *Catalog, store *TelemetryStore) (*Fleet, error) {
+	if store == nil {
+		return cloudsim.DefaultFleet(cat)
+	}
+	return cloudsim.DefaultFleet(cat, cloudsim.WithTelemetry(store))
+}
+
+// DefaultFleetWithClock is DefaultFleet with a virtual clock driving
+// every cloud — the setup ChaosMonkey needs.
+func DefaultFleetWithClock(cat *Catalog, store *TelemetryStore, clock *VirtualClock) (*Fleet, error) {
+	opts := []cloudsim.Option{cloudsim.WithClock(clock.Now)}
+	if store != nil {
+		opts = append(opts, cloudsim.WithTelemetry(store))
+	}
+	return cloudsim.DefaultFleet(cat, opts...)
+}
+
+// NewVirtualClock starts a virtual clock at the given instant.
+func NewVirtualClock(start time.Time) *VirtualClock {
+	return cloudsim.NewVirtualClock(start)
+}
+
+// NewChaosMonkey builds a seeded failure injector for one simulated
+// cloud; rates map component classes to generative parameters.
+func NewChaosMonkey(cloud *Cloud, clock *VirtualClock, rates map[string]NodeParams, seed int64) (*ChaosMonkey, error) {
+	return cloudsim.NewChaosMonkey(cloud, clock, rates, seed)
+}
+
+// SimulateTraced runs one simulator replication with a Collector
+// attached, feeding the telemetry store — the broker's observational
+// learning loop.
+func SimulateTraced(cfg SimConfig, col *Collector) (SimEstimate, error) {
+	return failsim.RunTraced(cfg, col)
+}
+
+// CollectorForSystem builds a Collector mapping each cluster of a
+// simulated system to a telemetry bucket.
+func CollectorForSystem(store *TelemetryStore, sys AvailabilitySystem, ids []ClusterID) (*Collector, error) {
+	return telemetry.CollectorForSystem(store, sys, ids)
+}
+
+// RunLifecycle plays the brokered service through observe-then-
+// reoptimize epochs and returns the per-epoch decisions.
+func RunLifecycle(cfg LifecycleConfig) ([]LifecycleEpoch, error) {
+	return lifecycle.Run(cfg)
+}
+
+// ParetoCards filters option cards to the cost × uptime frontier.
+func ParetoCards(cards []OptionCard) []OptionCard {
+	return broker.ParetoCards(cards)
+}
+
+// WriteReport renders a recommendation in the given format ("text",
+// "markdown" or "csv") to w.
+func WriteReport(w io.Writer, rec *Recommendation, format string) error {
+	switch format {
+	case "text":
+		return report.Text(w, rec)
+	case "markdown":
+		return report.Markdown(w, rec)
+	case "csv":
+		return report.CSV(w, rec)
+	default:
+		return fmt.Errorf("uptimebroker: unknown report format %q", format)
+	}
+}
+
+// DefaultSimHorizon is a sensible Monte-Carlo horizon for validation
+// runs: long enough for tight confidence intervals on case-study-sized
+// systems.
+const DefaultSimHorizon = 10 * 365 * 24 * time.Hour

@@ -1,0 +1,144 @@
+package uptimebroker
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestFacadeQuickstart exercises the documented happy path through the
+// public API only.
+func TestFacadeQuickstart(t *testing.T) {
+	engine, err := DefaultEngine()
+	if err != nil {
+		t.Fatalf("DefaultEngine: %v", err)
+	}
+	rec, err := engine.Recommend(CaseStudy())
+	if err != nil {
+		t.Fatalf("Recommend: %v", err)
+	}
+	if rec.BestOption != 3 {
+		t.Fatalf("BestOption = %d, want 3", rec.BestOption)
+	}
+	if rec.SavingsFraction < 0.60 || rec.SavingsFraction > 0.64 {
+		t.Fatalf("savings = %v, want ≈ 0.62", rec.SavingsFraction)
+	}
+}
+
+func TestFacadeTemplates(t *testing.T) {
+	three := ThreeTier(ProviderSoftLayerSim)
+	if err := three.Validate(); err != nil {
+		t.Fatalf("ThreeTier: %v", err)
+	}
+	five := FiveTierHybrid(ProviderNimbus)
+	if err := five.Validate(); err != nil {
+		t.Fatalf("FiveTierHybrid: %v", err)
+	}
+	if len(five.Components) != 5 {
+		t.Fatalf("five-tier components = %d", len(five.Components))
+	}
+}
+
+func TestFacadeMoney(t *testing.T) {
+	if got := Dollars(2.5).String(); got != "$2.50" {
+		t.Fatalf("Dollars(2.5) = %q", got)
+	}
+}
+
+func TestFacadeUptimeAndSimulate(t *testing.T) {
+	sys := AvailabilitySystem{Clusters: []Cluster{
+		{Name: "c", Nodes: 2, Tolerated: 1, NodeDown: 0.01, FailuresPerYear: 6, Failover: 2 * time.Minute},
+	}}
+	analytic := Uptime(sys)
+	if analytic <= 0.99 {
+		t.Fatalf("analytic uptime = %v", analytic)
+	}
+	est, err := Simulate(context.Background(), SimConfig{
+		System:       sys,
+		Horizon:      5 * 365 * 24 * time.Hour,
+		Replications: 32,
+		Seed:         9,
+	})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if !est.AgreesWith(analytic) {
+		t.Fatalf("simulation %v ± %v disagrees with analytic %v", est.Uptime, est.CI95(), analytic)
+	}
+}
+
+func TestFacadeServerClient(t *testing.T) {
+	engine, err := DefaultEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(engine, NewTelemetryStore(), nil)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client, err := NewClient(ts.URL)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	if err := client.Health(context.Background()); err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+	techs, err := client.Technologies(context.Background())
+	if err != nil {
+		t.Fatalf("Technologies: %v", err)
+	}
+	if len(techs) < 8 {
+		t.Fatalf("technologies = %d", len(techs))
+	}
+}
+
+func TestFacadeFleetDeploy(t *testing.T) {
+	cat := DefaultCatalog()
+	store := NewTelemetryStore()
+	fleet, err := DefaultFleet(cat, store)
+	if err != nil {
+		t.Fatalf("DefaultFleet: %v", err)
+	}
+	dep, err := fleet.Deploy(context.Background(), ThreeTier(ProviderSoftLayerSim), map[string]int{"storage": 1})
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	if dep.NodeCount() != 6 {
+		t.Fatalf("NodeCount = %d, want 6", dep.NodeCount())
+	}
+	if err := fleet.Teardown(dep); err != nil {
+		t.Fatalf("Teardown: %v", err)
+	}
+}
+
+func TestFacadeTelemetryLoop(t *testing.T) {
+	truth := AvailabilitySystem{Clusters: []Cluster{
+		{Name: "c", Nodes: 2, Tolerated: 0, NodeDown: 0.02, FailuresPerYear: 10},
+	}}
+	store := NewTelemetryStore()
+	col, err := CollectorForSystem(store, truth, []ClusterID{
+		{Provider: ProviderSoftLayerSim, Class: "vm.virtualized"},
+	})
+	if err != nil {
+		t.Fatalf("CollectorForSystem: %v", err)
+	}
+	horizon := 30 * 365 * 24 * time.Hour
+	if _, err := SimulateTraced(SimConfig{
+		System: truth, Horizon: horizon, Replications: 1, Seed: 4,
+	}, col); err != nil {
+		t.Fatalf("SimulateTraced: %v", err)
+	}
+	if err := col.Close(horizon); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	est, err := store.Estimate(ProviderSoftLayerSim, "vm.virtualized")
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	if est.Node.Down < 0.01 || est.Node.Down > 0.03 {
+		t.Fatalf("estimated Down = %v, want ≈ 0.02", est.Node.Down)
+	}
+}
