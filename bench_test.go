@@ -32,7 +32,7 @@ func BenchmarkOptionCards(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rec, err := engine.Recommend(req)
+		rec, err := engine.Recommend(context.Background(), req)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -52,7 +52,7 @@ func BenchmarkCaseStudySummary(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rec, err := engine.Recommend(req)
+		rec, err := engine.Recommend(context.Background(), req)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -75,7 +75,7 @@ func BenchmarkSLASweep(b *testing.B) {
 			for _, perHour := range []float64{50, 400} {
 				req := broker.CaseStudy()
 				req.SLA = cost.SLA{UptimePercent: slaPct, Penalty: cost.Penalty{PerHour: cost.Dollars(perHour)}}
-				if _, err := engine.Recommend(req); err != nil {
+				if _, err := engine.Recommend(context.Background(), req); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -161,7 +161,7 @@ func BenchmarkPareto(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		front, err := engine.Pareto(req)
+		front, err := engine.Pareto(context.Background(), req)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -210,7 +210,7 @@ func BenchmarkLifecycleEpoch(b *testing.B) {
 
 func BenchmarkReportText(b *testing.B) {
 	engine := mustEngine(b)
-	rec, err := engine.Recommend(broker.CaseStudy())
+	rec, err := engine.Recommend(context.Background(), broker.CaseStudy())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -260,7 +260,7 @@ func BenchmarkFutureWork(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := engine.Recommend(req); err != nil {
+		if _, err := engine.Recommend(context.Background(), req); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -279,7 +279,7 @@ func BenchmarkHybridQuotes(b *testing.B) {
 			req := broker.CaseStudy()
 			req.Base = topology.ThreeTier(provider)
 			req.AsIs = nil
-			if _, err := engine.Recommend(req); err != nil {
+			if _, err := engine.Recommend(context.Background(), req); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -3,16 +3,28 @@
 //
 // Usage:
 //
-//	brokerd [-addr :8080] [-quiet]
+//	brokerd [-addr :8080] [-quiet] [-rate-limit 0] [-job-ttl 15m] [-job-workers 0]
 //
-// Routes:
+// Routes (see docs/api.md for request/response shapes):
 //
-//	GET  /healthz                   liveness
-//	POST /v1/recommendations        run the brokerage on a request
-//	GET  /v1/catalog/technologies   list HA mechanisms
-//	GET  /v1/catalog/providers      list clouds and rate cards
-//	GET  /v1/params                 parameter estimate for provider+class
-//	POST /v1/observations           ingest telemetry
+//	GET    /healthz                      liveness
+//	POST   /v1/recommendations           run the brokerage synchronously
+//	POST   /v1/pareto                    cost × uptime frontier
+//	GET    /v1/catalog/technologies      list HA mechanisms
+//	GET    /v1/catalog/providers         list clouds and rate cards
+//	GET    /v1/params                    parameter estimate for provider+class
+//	POST   /v1/observations              ingest telemetry
+//	GET    /v1/scenarios                 scenario library
+//	POST   /v1/scenarios/{name}/recommendation
+//	POST   /v2/...                       v2 mirrors of every v1 route, plus:
+//	POST   /v2/jobs                      submit an async recommend/pareto job
+//	GET    /v2/jobs                      list jobs + queue metrics
+//	GET    /v2/jobs/{id}                 poll one job
+//	DELETE /v2/jobs/{id}                 cancel a queued or running job
+//	POST   /v2/recommendations/batch     price many scenarios concurrently
+//
+// Every error response is RFC 9457 application/problem+json with a
+// stable machine-readable "code" member.
 package main
 
 import (
@@ -46,6 +58,10 @@ func run(args []string) error {
 		addr          = fs.String("addr", ":8080", "listen address")
 		quiet         = fs.Bool("quiet", false, "disable request logging")
 		telemetryFile = fs.String("telemetry-file", "", "path to persist the telemetry database across restarts")
+		rateLimit     = fs.Float64("rate-limit", 0, "max requests/second across all routes (0 disables limiting)")
+		rateBurst     = fs.Int("rate-burst", 10, "rate limiter burst size")
+		jobTTL        = fs.Duration("job-ttl", 15*time.Minute, "how long finished async jobs stay pollable")
+		jobWorkers    = fs.Int("job-workers", 0, "async job worker pool size (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,10 +96,20 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	server, err := httpapi.NewServer(engine, store, logger)
+	opts := []httpapi.ServerOption{
+		httpapi.WithJobTTL(*jobTTL),
+	}
+	if *rateLimit > 0 {
+		opts = append(opts, httpapi.WithRateLimit(*rateLimit, *rateBurst))
+	}
+	if *jobWorkers > 0 {
+		opts = append(opts, httpapi.WithJobWorkers(*jobWorkers))
+	}
+	server, err := httpapi.NewServer(engine, store, logger, opts...)
 	if err != nil {
 		return err
 	}
+	defer server.Close()
 
 	httpServer := &http.Server{
 		Addr:              *addr,

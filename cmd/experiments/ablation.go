@@ -29,7 +29,7 @@ func runAblation(reps, years int, seed int64) error {
 	if err != nil {
 		return err
 	}
-	rec, err := engine.Recommend(req)
+	rec, err := engine.Recommend(context.Background(), req)
 	if err != nil {
 		return err
 	}

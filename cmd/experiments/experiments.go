@@ -59,7 +59,7 @@ func runOptions() error {
 	if err != nil {
 		return err
 	}
-	rec, err := engine.Recommend(broker.CaseStudy())
+	rec, err := engine.Recommend(context.Background(), broker.CaseStudy())
 	if err != nil {
 		return err
 	}
@@ -79,7 +79,7 @@ func runSummary() error {
 	if err != nil {
 		return err
 	}
-	rec, err := engine.Recommend(broker.CaseStudy())
+	rec, err := engine.Recommend(context.Background(), broker.CaseStudy())
 	if err != nil {
 		return err
 	}
@@ -128,7 +128,7 @@ func runSLASweep() error {
 		for _, perHour := range []float64{50, 100, 400} {
 			req := broker.CaseStudy()
 			req.SLA = cost.SLA{UptimePercent: slaPct, Penalty: cost.Penalty{PerHour: cost.Dollars(perHour)}}
-			rec, err := engine.Recommend(req)
+			rec, err := engine.Recommend(context.Background(), req)
 			if err != nil {
 				return err
 			}
@@ -216,7 +216,7 @@ func runValidate(reps, years int, seed int64) error {
 	if err != nil {
 		return err
 	}
-	rec, err := engine.Recommend(req)
+	rec, err := engine.Recommend(context.Background(), req)
 	if err != nil {
 		return err
 	}
@@ -279,7 +279,7 @@ func runFuture() error {
 	if err != nil {
 		return err
 	}
-	rec, err := engine.Recommend(broker.FutureWork(catalog.ProviderSoftLayerSim))
+	rec, err := engine.Recommend(context.Background(), broker.FutureWork(catalog.ProviderSoftLayerSim))
 	if err != nil {
 		return err
 	}
@@ -323,7 +323,7 @@ func runHybrid() error {
 		req := broker.CaseStudy()
 		req.Base = topology.ThreeTier(provider)
 		req.AsIs = nil // incumbents are provider-specific; compare fresh
-		rec, err := engine.Recommend(req)
+		rec, err := engine.Recommend(context.Background(), req)
 		if err != nil {
 			return err
 		}

@@ -54,7 +54,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	rec, err := engine.Recommend(req)
+	rec, err := engine.Recommend(context.Background(), req)
 	if err != nil {
 		return err
 	}

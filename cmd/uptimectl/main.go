@@ -10,6 +10,12 @@
 //	            -casestudy; -local -format text|markdown|csv runs the
 //	            brokerage in-process)
 //	pareto      print the cost × uptime frontier for a request
+//	job         async brokerage over /v2/jobs:
+//	              job submit -kind recommend|pareto (-topology|-casestudy)
+//	              job status JOB-ID
+//	              job wait   JOB-ID
+//	              job cancel JOB-ID
+//	              job list
 //	scenarios   list the built-in scenario library, or -run NAME one
 //	catalog     list the HA technologies and providers
 //	params      show the parameter estimate for -provider and -class
@@ -50,7 +56,7 @@ func run(args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("missing subcommand (recommend, catalog, params, observe, health)")
+		return fmt.Errorf("missing subcommand (recommend, pareto, job, scenarios, catalog, params, observe, health)")
 	}
 
 	client, err := httpapi.NewClient(*server, nil)
@@ -65,6 +71,8 @@ func run(args []string) error {
 		return cmdRecommend(ctx, client, rest[1:])
 	case "pareto":
 		return cmdPareto(ctx, client, rest[1:])
+	case "job":
+		return cmdJob(ctx, client, rest[1:])
 	case "catalog":
 		return cmdCatalog(ctx, client)
 	case "scenarios":
@@ -138,7 +146,7 @@ func recommendLocal(req httpapi.RecommendationRequest, format string) error {
 	if err != nil {
 		return err
 	}
-	rec, err := engine.Recommend(req.ToBroker())
+	rec, err := engine.Recommend(context.Background(), req.ToBroker())
 	if err != nil {
 		return err
 	}
@@ -322,4 +330,119 @@ func caseStudyRequest() httpapi.RecommendationRequest {
 		AsIs:              map[string]string(cs.AsIs),
 		AllowedTechs:      cs.AllowedTechs,
 	}
+}
+
+// cmdJob drives the v2 async job surface.
+func cmdJob(ctx context.Context, client *httpapi.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("job needs a subcommand (submit, status, wait, cancel, list)")
+	}
+	switch args[0] {
+	case "submit":
+		fs := flag.NewFlagSet("job submit", flag.ContinueOnError)
+		var (
+			kind         = fs.String("kind", "recommend", "job kind: recommend or pareto")
+			topologyPath = fs.String("topology", "", "path to a recommendation request JSON file")
+			caseStudy    = fs.Bool("casestudy", false, "use the paper's built-in case study request")
+			wait         = fs.Bool("wait", false, "block until the job finishes and print its result")
+		)
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		req, err := loadRequest(*topologyPath, *caseStudy)
+		if err != nil {
+			return err
+		}
+		status, err := client.SubmitJob(ctx, *kind, req)
+		if err != nil {
+			return err
+		}
+		if !*wait {
+			fmt.Printf("%s %s (%s)\n", status.ID, status.State, status.Kind)
+			return nil
+		}
+		status, err = client.WaitJob(ctx, status.ID)
+		if err != nil {
+			return err
+		}
+		return printJob(status, true)
+	case "status":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: job status JOB-ID")
+		}
+		status, err := client.GetJob(ctx, args[1])
+		if err != nil {
+			return err
+		}
+		return printJob(status, false)
+	case "wait":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: job wait JOB-ID")
+		}
+		status, err := client.WaitJob(ctx, args[1])
+		if err != nil {
+			return err
+		}
+		return printJob(status, true)
+	case "cancel":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: job cancel JOB-ID")
+		}
+		status, err := client.CancelJob(ctx, args[1])
+		if err != nil {
+			return err
+		}
+		return printJob(status, false)
+	case "list":
+		jobsList, err := client.ListJobs(ctx)
+		if err != nil {
+			return err
+		}
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "id\tkind\tstate\tcreated")
+		for _, j := range jobsList {
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", j.ID, j.Kind, j.State, j.CreatedAt.Format(time.RFC3339))
+		}
+		return w.Flush()
+	default:
+		return fmt.Errorf("unknown job subcommand %q (submit, status, wait, cancel, list)", args[0])
+	}
+}
+
+// printJob renders one job; withResult also renders a finished
+// recommend/pareto payload. When the caller waited for an outcome
+// (withResult), a failed or cancelled job is a non-zero exit so
+// scripts can trust the status code.
+func printJob(status httpapi.JobStatus, withResult bool) error {
+	fmt.Printf("%s %s (%s)\n", status.ID, status.State, status.Kind)
+	if status.Error != nil {
+		fmt.Printf("  error: %s (%s)\n", status.Error.Detail, status.Error.Code)
+	}
+	if !withResult {
+		return nil
+	}
+	if status.State != "done" {
+		return fmt.Errorf("job %s finished as %s", status.ID, status.State)
+	}
+	switch status.Kind {
+	case httpapi.JobKindRecommend:
+		resp, err := status.Recommendation()
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		return printRecommendation(resp)
+	case httpapi.JobKindPareto:
+		front, err := status.ParetoFront()
+		if err != nil {
+			return err
+		}
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "option\tHA selection\tC_HA $/mo\tuptime %")
+		for _, c := range front {
+			fmt.Fprintf(w, "#%d\t%s\t%.2f\t%.4f\n", c.Option, c.Label, c.HACostUSD, c.UptimePercent)
+		}
+		return w.Flush()
+	}
+	return nil
 }

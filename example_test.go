@@ -1,6 +1,7 @@
 package uptimebroker_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -15,7 +16,7 @@ func Example() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rec, err := engine.Recommend(uptimebroker.CaseStudy())
+	rec, err := engine.Recommend(context.Background(), uptimebroker.CaseStudy())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func ExampleParetoCards() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rec, err := engine.Recommend(uptimebroker.CaseStudy())
+	rec, err := engine.Recommend(context.Background(), uptimebroker.CaseStudy())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func ExampleWriteReport() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rec, err := engine.Recommend(uptimebroker.CaseStudy())
+	rec, err := engine.Recommend(context.Background(), uptimebroker.CaseStudy())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -93,11 +93,11 @@ func run() error {
 		return err
 	}
 
-	before, err := prior.Recommend(uptimebroker.CaseStudy())
+	before, err := prior.Recommend(context.Background(), uptimebroker.CaseStudy())
 	if err != nil {
 		return err
 	}
-	after, err := learned.Recommend(uptimebroker.CaseStudy())
+	after, err := learned.Recommend(context.Background(), uptimebroker.CaseStudy())
 	if err != nil {
 		return err
 	}

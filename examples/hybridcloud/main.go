@@ -55,7 +55,7 @@ func run() error {
 				Penalty:       uptimebroker.Penalty{PerHour: uptimebroker.Dollars(100)},
 			},
 		}
-		rec, err := engine.Recommend(req)
+		rec, err := engine.Recommend(context.Background(), req)
 		if err != nil {
 			return err
 		}

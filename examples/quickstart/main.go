@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,7 +21,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	rec, err := engine.Recommend(uptimebroker.CaseStudy())
+	rec, err := engine.Recommend(context.Background(), uptimebroker.CaseStudy())
 	if err != nil {
 		log.Fatal(err)
 	}

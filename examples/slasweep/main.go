@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -51,7 +52,7 @@ func run() error {
 					Penalty:       uptimebroker.Penalty{PerHour: uptimebroker.Dollars(perHour)},
 				},
 			}
-			rec, err := engine.Recommend(req)
+			rec, err := engine.Recommend(context.Background(), req)
 			if err != nil {
 				return err
 			}

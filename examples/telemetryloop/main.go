@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -33,7 +34,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	before, err := engine.Recommend(uptimebroker.CaseStudy())
+	before, err := engine.Recommend(context.Background(), uptimebroker.CaseStudy())
 	if err != nil {
 		return err
 	}
@@ -95,7 +96,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	after, err := learned.Recommend(uptimebroker.CaseStudy())
+	after, err := learned.Recommend(context.Background(), uptimebroker.CaseStudy())
 	if err != nil {
 		return err
 	}

@@ -31,7 +31,7 @@ func run() error {
 		return err
 	}
 	req := uptimebroker.CaseStudy()
-	rec, err := engine.Recommend(req)
+	rec, err := engine.Recommend(context.Background(), req)
 	if err != nil {
 		return err
 	}

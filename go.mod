@@ -1,0 +1,3 @@
+module uptimebroker
+
+go 1.22

@@ -1,0 +1,72 @@
+package broker
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// BatchItem is one request's outcome within a RecommendBatch call.
+// Exactly one of Rec and Err is set.
+type BatchItem struct {
+	// Index is the request's position in the submitted slice.
+	Index int
+
+	// Rec is the recommendation when the request succeeded.
+	Rec *Recommendation
+
+	// Err is the request's failure, including ctx.Err() for requests
+	// abandoned after the batch context was cancelled.
+	Err error
+}
+
+// RecommendBatch runs the brokerage for every request concurrently
+// across a bounded worker pool (at most runtime.GOMAXPROCS workers)
+// and returns one item per request, in request order. Individual
+// request failures do not abort the batch; cancelling ctx stops
+// in-flight enumerations and marks the remaining items with ctx.Err().
+func (e *Engine) RecommendBatch(ctx context.Context, reqs []Request) []BatchItem {
+	items := make([]BatchItem, len(reqs))
+	if len(reqs) == 0 {
+		return items
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				rec, err := e.Recommend(ctx, reqs[i])
+				items[i] = BatchItem{Index: i, Rec: rec, Err: err}
+			}
+		}()
+	}
+
+feed:
+	for i := range reqs {
+		select {
+		case indices <- i:
+		case <-ctx.Done():
+			// Mark everything not yet handed out; workers finish (or
+			// abort via ctx) the items they already own.
+			for j := i; j < len(reqs); j++ {
+				items[j] = BatchItem{Index: j, Err: ctx.Err()}
+			}
+			break feed
+		}
+	}
+	close(indices)
+	wg.Wait()
+
+	// A worker may have started an item just as ctx fired; its
+	// in-flight result (success or ctx error) wins over the feeder's
+	// blanket marking, so nothing more to reconcile here.
+	return items
+}

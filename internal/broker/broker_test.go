@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -128,7 +129,7 @@ func TestCompileErrors(t *testing.T) {
 // #5 the min-risk choice, as-is = option #8, savings ≈ 62%.
 func TestCaseStudyReproducesPaper(t *testing.T) {
 	e := newTestEngine(t)
-	rec, err := e.Recommend(CaseStudy())
+	rec, err := e.Recommend(context.Background(), CaseStudy())
 	if err != nil {
 		t.Fatalf("Recommend: %v", err)
 	}
@@ -202,7 +203,7 @@ func TestCaseStudyReproducesPaper(t *testing.T) {
 
 func TestRecommendCardInternals(t *testing.T) {
 	e := newTestEngine(t)
-	rec, err := e.Recommend(CaseStudy())
+	rec, err := e.Recommend(context.Background(), CaseStudy())
 	if err != nil {
 		t.Fatalf("Recommend: %v", err)
 	}
@@ -246,7 +247,7 @@ func TestRecommendAsIsErrors(t *testing.T) {
 	e := newTestEngine(t)
 	req := CaseStudy()
 	req.AsIs = Plan{"storage": "warp-drive"}
-	if _, err := e.Recommend(req); err == nil {
+	if _, err := e.Recommend(context.Background(), req); err == nil {
 		t.Fatal("inexpressible as-is plan should fail")
 	}
 }
@@ -255,7 +256,7 @@ func TestRecommendWithoutAsIs(t *testing.T) {
 	e := newTestEngine(t)
 	req := CaseStudy()
 	req.AsIs = nil
-	rec, err := e.Recommend(req)
+	rec, err := e.Recommend(context.Background(), req)
 	if err != nil {
 		t.Fatalf("Recommend: %v", err)
 	}
@@ -267,7 +268,7 @@ func TestRecommendWithoutAsIs(t *testing.T) {
 func TestFutureWorkScenario(t *testing.T) {
 	e := newTestEngine(t)
 	req := FutureWork(catalog.ProviderSoftLayerSim)
-	rec, err := e.Recommend(req)
+	rec, err := e.Recommend(context.Background(), req)
 	if err != nil {
 		t.Fatalf("Recommend: %v", err)
 	}
@@ -377,7 +378,7 @@ func TestTelemetryShiftsRecommendation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec, err := e.Recommend(CaseStudy())
+	rec, err := e.Recommend(context.Background(), CaseStudy())
 	if err != nil {
 		t.Fatalf("Recommend: %v", err)
 	}
@@ -396,7 +397,7 @@ func TestRecommendationConsistentWithAvailabilityModel(t *testing.T) {
 	// system using the catalog defaults.
 	cat := catalog.Default()
 	e := newTestEngine(t)
-	rec, err := e.Recommend(CaseStudy())
+	rec, err := e.Recommend(context.Background(), CaseStudy())
 	if err != nil {
 		t.Fatal(err)
 	}

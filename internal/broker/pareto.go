@@ -1,6 +1,9 @@
 package broker
 
-import "sort"
+import (
+	"context"
+	"sort"
+)
 
 // ParetoCards filters option cards to the cost × uptime frontier: a
 // card survives unless some other card offers at least the uptime for
@@ -29,9 +32,10 @@ func ParetoCards(cards []OptionCard) []OptionCard {
 	return front
 }
 
-// Pareto runs the brokerage and returns only the frontier cards.
-func (e *Engine) Pareto(req Request) ([]OptionCard, error) {
-	rec, err := e.Recommend(req)
+// Pareto runs the brokerage and returns only the frontier cards. The
+// context cancels the underlying enumeration like Recommend's.
+func (e *Engine) Pareto(ctx context.Context, req Request) ([]OptionCard, error) {
+	rec, err := e.Recommend(ctx, req)
 	if err != nil {
 		return nil, err
 	}

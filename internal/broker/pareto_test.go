@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"context"
 	"testing"
 
 	"uptimebroker/internal/cost"
@@ -8,7 +9,7 @@ import (
 
 func TestParetoCardsCaseStudy(t *testing.T) {
 	e := newTestEngine(t)
-	front, err := e.Pareto(CaseStudy())
+	front, err := e.Pareto(context.Background(), CaseStudy())
 	if err != nil {
 		t.Fatalf("Pareto: %v", err)
 	}
@@ -47,7 +48,7 @@ func TestParetoCardsCaseStudy(t *testing.T) {
 
 func TestParetoCardsNoDominatedSurvivor(t *testing.T) {
 	e := newTestEngine(t)
-	rec, err := e.Recommend(CaseStudy())
+	rec, err := e.Recommend(context.Background(), CaseStudy())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestParetoPropagatesErrors(t *testing.T) {
 	e := newTestEngine(t)
 	bad := CaseStudy()
 	bad.Base.Provider = "ghost"
-	if _, err := e.Pareto(bad); err == nil {
+	if _, err := e.Pareto(context.Background(), bad); err == nil {
 		t.Fatal("Pareto should propagate compile errors")
 	}
 }

@@ -1,6 +1,7 @@
 package broker_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -28,7 +29,7 @@ func TestPropertyRecommendationInvariants(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: Generate: %v", trial, err)
 		}
-		rec, err := engine.Recommend(req)
+		rec, err := engine.Recommend(context.Background(), req)
 		if err != nil {
 			t.Fatalf("trial %d: Recommend: %v", trial, err)
 		}
@@ -99,7 +100,7 @@ func TestPropertyOptionOrderIsLevelThenLex(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec, err := engine.Recommend(broker.FutureWork(catalog.ProviderSoftLayerSim))
+	rec, err := engine.Recommend(context.Background(), broker.FutureWork(catalog.ProviderSoftLayerSim))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -142,21 +143,26 @@ func (r *Recommendation) Card(option int) (OptionCard, error) {
 // Best returns the minimum-TCO card.
 func (r *Recommendation) Best() OptionCard { return r.Cards[r.BestOption-1] }
 
-// Recommend runs the full brokerage flow for one request.
-func (e *Engine) Recommend(req Request) (*Recommendation, error) {
+// Recommend runs the full brokerage flow for one request. The context
+// is observed throughout the compile-enumerate loop: cancelling it
+// aborts the permutation pricing mid-run with ctx.Err().
+func (e *Engine) Recommend(ctx context.Context, req Request) (*Recommendation, error) {
 	c, err := e.compile(req)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
 	// Price every option (the paper's figures show all of them), and
 	// run the pruned search for the effort statistics; their optima
 	// must agree, which the optimize package's tests guarantee.
-	cands, err := c.problem.All()
+	cands, err := c.problem.AllContext(ctx)
 	if err != nil {
 		return nil, err
 	}
-	pruned, err := c.problem.Pruned()
+	pruned, err := c.problem.PrunedContext(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -9,18 +9,98 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"time"
 )
 
-// Client is a typed client for the brokerage API.
+// APIError is the typed client-side form of a server problem+json
+// response. Callers dispatch on Code (stable) or Status.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+
+	// Code is the machine-readable problem code, e.g. "job_not_found".
+	Code string
+
+	// Title and Detail are the problem's human-readable parts.
+	Title  string
+	Detail string
+
+	// RequestID correlates with server logs when present.
+	RequestID string
+
+	// Method and Path locate the failing call.
+	Method string
+	Path   string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	msg := e.Detail
+	if msg == "" {
+		msg = e.Title
+	}
+	if msg == "" {
+		msg = http.StatusText(e.Status)
+	}
+	return fmt.Sprintf("httpapi: %s %s: %s (HTTP %d, code %s)", e.Method, e.Path, msg, e.Status, e.Code)
+}
+
+// Client is a typed client for the brokerage API, v1 and v2.
 type Client struct {
-	baseURL string
-	http    *http.Client
+	baseURL  string
+	http     *http.Client
+	retries  int
+	backoff  time.Duration
+	pollBase time.Duration
+}
+
+// ClientOption customizes NewClient.
+type ClientOption func(*Client)
+
+// WithHTTPClient swaps the underlying *http.Client (for custom
+// transports, proxies, or httptest clients).
+func WithHTTPClient(hc *http.Client) ClientOption {
+	return func(c *Client) {
+		if hc != nil {
+			c.http = hc
+		}
+	}
+}
+
+// WithRetries enables up to n retries of idempotent (GET) calls on
+// transport errors and retryable statuses (429, 502, 503, 504).
+func WithRetries(n int) ClientOption {
+	return func(c *Client) {
+		if n >= 0 {
+			c.retries = n
+		}
+	}
+}
+
+// WithRetryBackoff sets the base backoff between retries (default
+// 100ms, doubling per attempt).
+func WithRetryBackoff(d time.Duration) ClientOption {
+	return func(c *Client) {
+		if d > 0 {
+			c.backoff = d
+		}
+	}
+}
+
+// WithPollInterval sets WaitJob's initial poll interval (default
+// 25ms, doubling to a 1s ceiling).
+func WithPollInterval(d time.Duration) ClientOption {
+	return func(c *Client) {
+		if d > 0 {
+			c.pollBase = d
+		}
+	}
 }
 
 // NewClient builds a client for the given base URL (for example
 // "http://127.0.0.1:8080"). httpClient may be nil to use
-// http.DefaultClient.
-func NewClient(baseURL string, httpClient *http.Client) (*Client, error) {
+// http.DefaultClient; options refine behavior further.
+func NewClient(baseURL string, httpClient *http.Client, opts ...ClientOption) (*Client, error) {
 	u, err := url.Parse(baseURL)
 	if err != nil || u.Scheme == "" || u.Host == "" {
 		return nil, fmt.Errorf("httpapi: invalid base URL %q", baseURL)
@@ -28,7 +108,16 @@ func NewClient(baseURL string, httpClient *http.Client) (*Client, error) {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{baseURL: strings.TrimRight(baseURL, "/"), http: httpClient}, nil
+	c := &Client{
+		baseURL:  strings.TrimRight(baseURL, "/"),
+		http:     httpClient,
+		backoff:  100 * time.Millisecond,
+		pollBase: 25 * time.Millisecond,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
 }
 
 // Health checks GET /healthz.
@@ -37,7 +126,7 @@ func (c *Client) Health(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, &out)
 }
 
-// Recommend submits a recommendation request.
+// Recommend submits a synchronous recommendation request.
 func (c *Client) Recommend(ctx context.Context, req RecommendationRequest) (RecommendationResponse, error) {
 	var out RecommendationResponse
 	err := c.do(ctx, http.MethodPost, "/v1/recommendations", req, &out)
@@ -103,27 +192,195 @@ func (c *Client) Observe(ctx context.Context, obs Observation) error {
 	return c.do(ctx, http.MethodPost, "/v1/observations", obs, &out)
 }
 
-// do performs one round trip with JSON bodies in both directions.
+// JobStatus is the client-side form of an async job; Result stays raw
+// until decoded by Recommendation or ParetoFront.
+type JobStatus struct {
+	ID         string          `json:"id"`
+	Kind       string          `json:"kind"`
+	State      string          `json:"state"`
+	CreatedAt  time.Time       `json:"created_at"`
+	StartedAt  *time.Time      `json:"started_at,omitempty"`
+	FinishedAt *time.Time      `json:"finished_at,omitempty"`
+	Result     json.RawMessage `json:"result,omitempty"`
+	Error      *JobErrorDTO    `json:"error,omitempty"`
+}
+
+// Terminal reports whether the job reached a final state.
+func (j JobStatus) Terminal() bool {
+	switch j.State {
+	case jobsStateDone, jobsStateFailed, jobsStateCancelled:
+		return true
+	}
+	return false
+}
+
+// Mirror of the jobs package states, avoiding a client→jobs import.
+const (
+	jobsStateDone      = "done"
+	jobsStateFailed    = "failed"
+	jobsStateCancelled = "cancelled"
+)
+
+// Recommendation decodes a finished recommend job's result.
+func (j JobStatus) Recommendation() (RecommendationResponse, error) {
+	var out RecommendationResponse
+	if j.State != jobsStateDone {
+		return out, fmt.Errorf("httpapi: job %s is %s, not done", j.ID, j.State)
+	}
+	if err := json.Unmarshal(j.Result, &out); err != nil {
+		return out, fmt.Errorf("httpapi: decoding job result: %w", err)
+	}
+	return out, nil
+}
+
+// ParetoFront decodes a finished pareto job's result.
+func (j JobStatus) ParetoFront() ([]OptionCardDTO, error) {
+	if j.State != jobsStateDone {
+		return nil, fmt.Errorf("httpapi: job %s is %s, not done", j.ID, j.State)
+	}
+	var out []OptionCardDTO
+	if err := json.Unmarshal(j.Result, &out); err != nil {
+		return nil, fmt.Errorf("httpapi: decoding job result: %w", err)
+	}
+	return out, nil
+}
+
+// SubmitJob starts an async job (kind "recommend" or "pareto") and
+// returns its queued status immediately.
+func (c *Client) SubmitJob(ctx context.Context, kind string, req RecommendationRequest) (JobStatus, error) {
+	var out JobStatus
+	err := c.do(ctx, http.MethodPost, "/v2/jobs", JobRequest{Kind: kind, Request: req}, &out)
+	return out, err
+}
+
+// GetJob polls one job.
+func (c *Client) GetJob(ctx context.Context, id string) (JobStatus, error) {
+	var out JobStatus
+	err := c.do(ctx, http.MethodGet, "/v2/jobs/"+url.PathEscape(id), nil, &out)
+	return out, err
+}
+
+// CancelJob cancels a queued or running job.
+func (c *Client) CancelJob(ctx context.Context, id string) (JobStatus, error) {
+	var out JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v2/jobs/"+url.PathEscape(id), nil, &out)
+	return out, err
+}
+
+// WaitJob polls a job with exponential backoff until it reaches a
+// terminal state or ctx expires.
+func (c *Client) WaitJob(ctx context.Context, id string) (JobStatus, error) {
+	interval := c.pollBase
+	const maxInterval = time.Second
+	for {
+		status, err := c.GetJob(ctx, id)
+		if err != nil {
+			return JobStatus{}, err
+		}
+		if status.Terminal() {
+			return status, nil
+		}
+		select {
+		case <-ctx.Done():
+			return status, ctx.Err()
+		case <-time.After(interval):
+		}
+		if interval < maxInterval {
+			interval *= 2
+			if interval > maxInterval {
+				interval = maxInterval
+			}
+		}
+	}
+}
+
+// ListJobs lists the server's retained jobs, newest first.
+func (c *Client) ListJobs(ctx context.Context) ([]JobStatus, error) {
+	var out struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v2/jobs", nil, &out)
+	return out.Jobs, err
+}
+
+// RecommendBatch prices many scenarios in one call; the server fans
+// them out across its worker pool. Per-item failures appear on the
+// corresponding result entries, not as a call error.
+func (c *Client) RecommendBatch(ctx context.Context, reqs []RecommendationRequest) (BatchResponse, error) {
+	var out BatchResponse
+	err := c.do(ctx, http.MethodPost, "/v2/recommendations/batch", BatchRequest{Requests: reqs}, &out)
+	return out, err
+}
+
+// retryableStatus reports whether a response status is worth retrying
+// on an idempotent call.
+func retryableStatus(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// do performs one round trip with JSON bodies in both directions,
+// retrying idempotent calls per the client's retry policy.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var payload []byte
 	if in != nil {
 		buf, err := json.Marshal(in)
 		if err != nil {
 			return fmt.Errorf("httpapi: encoding request: %w", err)
 		}
-		body = bytes.NewReader(buf)
+		payload = buf
+	}
+
+	idempotent := method == http.MethodGet
+	attempts := 1
+	if idempotent {
+		attempts += c.retries
+	}
+
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			backoff := c.backoff << (attempt - 1)
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(backoff):
+			}
+		}
+		retry, err := c.roundTrip(ctx, method, path, payload, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retry {
+			return err
+		}
+	}
+	return lastErr
+}
+
+// roundTrip performs a single exchange; retry reports whether the
+// failure is transient enough to try again.
+func (c *Client) roundTrip(ctx context.Context, method, path string, payload []byte, out any) (retry bool, err error) {
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, body)
 	if err != nil {
-		return fmt.Errorf("httpapi: building request: %w", err)
+		return false, fmt.Errorf("httpapi: building request: %w", err)
 	}
-	if in != nil {
+	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return fmt.Errorf("httpapi: %s %s: %w", method, path, err)
+		// Transport errors are retryable unless the context is done.
+		return ctx.Err() == nil, fmt.Errorf("httpapi: %s %s: %w", method, path, err)
 	}
 	defer func() {
 		_, _ = io.Copy(io.Discard, resp.Body)
@@ -131,17 +388,31 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}()
 
 	if resp.StatusCode >= 400 {
-		var apiErr errorResponse
-		if decodeErr := json.NewDecoder(resp.Body).Decode(&apiErr); decodeErr == nil && apiErr.Error != "" {
-			return fmt.Errorf("httpapi: %s %s: %s (HTTP %d)", method, path, apiErr.Error, resp.StatusCode)
+		apiErr := &APIError{
+			Status: resp.StatusCode,
+			Method: method,
+			Path:   path,
 		}
-		return fmt.Errorf("httpapi: %s %s: HTTP %d", method, path, resp.StatusCode)
+		var prob Problem
+		if decodeErr := json.NewDecoder(resp.Body).Decode(&prob); decodeErr == nil {
+			apiErr.Code = prob.Code
+			apiErr.Title = prob.Title
+			apiErr.RequestID = prob.RequestID
+			apiErr.Detail = prob.Detail
+			if apiErr.Detail == "" {
+				apiErr.Detail = prob.LegacyError
+			}
+		}
+		if apiErr.Code == "" {
+			apiErr.Code = CodeInternal
+		}
+		return retryableStatus(resp.StatusCode), apiErr
 	}
 	if out == nil {
-		return nil
+		return false, nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("httpapi: decoding response: %w", err)
+		return false, fmt.Errorf("httpapi: decoding response: %w", err)
 	}
-	return nil
+	return false, nil
 }

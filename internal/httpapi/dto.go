@@ -239,8 +239,3 @@ type ScenarioDTO struct {
 	SLAPercent        float64 `json:"sla_percent"`
 	PenaltyPerHourUSD float64 `json:"penalty_per_hour_usd"`
 }
-
-// errorResponse is the uniform error body.
-type errorResponse struct {
-	Error string `json:"error"`
-}

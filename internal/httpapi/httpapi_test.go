@@ -14,7 +14,7 @@ import (
 )
 
 // newTestServer spins a full broker + telemetry stack behind httptest.
-func newTestServer(t *testing.T) (*httptest.Server, *Client, *telemetry.Store) {
+func newTestServer(t *testing.T, opts ...ServerOption) (*httptest.Server, *Client, *telemetry.Store) {
 	t.Helper()
 	cat := catalog.Default()
 	store := telemetry.NewStore()
@@ -26,12 +26,13 @@ func newTestServer(t *testing.T) (*httptest.Server, *Client, *telemetry.Store) {
 	if err != nil {
 		t.Fatalf("broker.New: %v", err)
 	}
-	srv, err := NewServer(engine, store, nil)
+	srv, err := NewServer(engine, store, nil, opts...)
 	if err != nil {
 		t.Fatalf("NewServer: %v", err)
 	}
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
+	t.Cleanup(srv.Close)
 	client, err := NewClient(ts.URL, ts.Client())
 	if err != nil {
 		t.Fatalf("NewClient: %v", err)

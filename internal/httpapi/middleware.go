@@ -1,0 +1,205 @@
+package httpapi
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Middleware wraps an http.Handler with one cross-cutting concern.
+// Chain composes them; each stays independently testable.
+type Middleware func(http.Handler) http.Handler
+
+// Chain applies the middlewares so that the first argument is the
+// outermost: Chain(h, a, b) serves a(b(h)).
+func Chain(h http.Handler, mws ...Middleware) http.Handler {
+	for i := len(mws) - 1; i >= 0; i-- {
+		h = mws[i](h)
+	}
+	return h
+}
+
+// requestIDKey is the context key carrying the request's ID.
+type requestIDKey struct{}
+
+// RequestIDHeader carries the request ID on responses (and is
+// honored on requests, letting callers propagate their own IDs).
+const RequestIDHeader = "X-Request-Id"
+
+// RequestIDFrom returns the request's assigned ID, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// RequestID assigns each request a monotonically increasing ID
+// (unless the caller supplied one), exposes it via RequestIDFrom, and
+// echoes it in the response headers.
+func RequestID() Middleware {
+	var seq atomic.Uint64
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			id := r.Header.Get(RequestIDHeader)
+			if id == "" {
+				id = fmt.Sprintf("req-%08d", seq.Add(1))
+			}
+			w.Header().Set(RequestIDHeader, id)
+			next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id)))
+		})
+	}
+}
+
+// statusRecorder captures the response status for the timing log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// Logging logs one line per request with method, path, status and
+// wall time. A nil logger disables it without breaking the chain.
+func Logging(logger *log.Logger) Middleware {
+	return func(next http.Handler) http.Handler {
+		if logger == nil {
+			return next
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			rec := &statusRecorder{ResponseWriter: w}
+			start := time.Now()
+			next.ServeHTTP(rec, r)
+			if rec.status == 0 {
+				rec.status = http.StatusOK
+			}
+			logger.Printf("req=%s %s %s -> %d (%s)",
+				RequestIDFrom(r.Context()), r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+		})
+	}
+}
+
+// Recover converts handler panics into a problem+json 500 instead of
+// a dropped connection, logging the panic value.
+func Recover(logger *log.Logger) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			defer func() {
+				if rec := recover(); rec != nil {
+					if logger != nil {
+						logger.Printf("req=%s PANIC %s %s: %v", RequestIDFrom(r.Context()), r.Method, r.URL.Path, rec)
+					}
+					p := NewProblem(CodeInternal, http.StatusInternalServerError, "internal error")
+					p.RequestID = RequestIDFrom(r.Context())
+					writeProblem(w, p)
+				}
+			}()
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// MaxBody caps request body sizes before the handlers decode them.
+func MaxBody(n int64) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Body != nil {
+				r.Body = http.MaxBytesReader(w, r.Body, n)
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// tokenBucket is a minimal thread-safe token bucket.
+type tokenBucket struct {
+	mu     sync.Mutex
+	tokens float64
+	burst  float64
+	rate   float64 // tokens per second
+	last   time.Time
+	now    func() time.Time
+}
+
+func newTokenBucket(rate float64, burst int, now func() time.Time) *tokenBucket {
+	if now == nil {
+		now = time.Now
+	}
+	b := &tokenBucket{tokens: float64(burst), burst: float64(burst), rate: rate, now: now}
+	b.last = now()
+	return b
+}
+
+// allow consumes one token if available.
+func (b *tokenBucket) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t := b.now()
+	b.tokens += b.rate * t.Sub(b.last).Seconds()
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = t
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// exempt bypasses a middleware for one exact path.
+func exempt(path string, mw Middleware) Middleware {
+	return func(next http.Handler) http.Handler {
+		wrapped := mw(next)
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == path {
+				next.ServeHTTP(w, r)
+				return
+			}
+			wrapped.ServeHTTP(w, r)
+		})
+	}
+}
+
+// RateLimit rejects requests beyond rate requests/second (bucket
+// depth burst) with a rate_limited problem. rate <= 0 disables the
+// limiter.
+func RateLimit(rate float64, burst int) Middleware {
+	return rateLimitClock(rate, burst, nil)
+}
+
+// rateLimitClock is RateLimit with an injectable clock for tests.
+func rateLimitClock(rate float64, burst int, now func() time.Time) Middleware {
+	return func(next http.Handler) http.Handler {
+		if rate <= 0 {
+			return next
+		}
+		if burst < 1 {
+			burst = 1
+		}
+		bucket := newTokenBucket(rate, burst, now)
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if !bucket.allow() {
+				p := NewProblem(CodeRateLimited, http.StatusTooManyRequests,
+					fmt.Sprintf("rate limit of %g requests/second exceeded", rate))
+				p.RequestID = RequestIDFrom(r.Context())
+				w.Header().Set("Retry-After", "1")
+				writeProblem(w, p)
+				return
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}

@@ -2,13 +2,16 @@ package httpapi
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
-	"sync/atomic"
+	"strings"
+	"time"
 
 	"uptimebroker/internal/broker"
 	"uptimebroker/internal/catalog"
+	"uptimebroker/internal/jobs"
 	"uptimebroker/internal/scenario"
 	"uptimebroker/internal/telemetry"
 )
@@ -16,52 +19,204 @@ import (
 // maxBodyBytes bounds request bodies; topologies are small.
 const maxBodyBytes = 1 << 20
 
-// Server is the brokerage HTTP facade.
-type Server struct {
-	engine *broker.Engine
-	store  *telemetry.Store // optional; nil disables observation routes
-	logger *log.Logger
-	mux    *http.ServeMux
-	reqID  atomic.Uint64
+// serverConfig collects the tunables behind the ServerOptions.
+type serverConfig struct {
+	rateLimit  float64
+	rateBurst  int
+	jobTTL     time.Duration
+	jobGC      time.Duration
+	jobWorkers int
+	jobQueue   int
 }
 
-// NewServer wires the routes. store may be nil for a read-only broker;
-// logger may be nil to disable request logging.
-func NewServer(engine *broker.Engine, store *telemetry.Store, logger *log.Logger) (*Server, error) {
+// ServerOption customizes NewServer.
+type ServerOption func(*serverConfig)
+
+// WithRateLimit enables token-bucket limiting across all routes:
+// rate requests/second with the given burst. rate <= 0 (the default)
+// disables limiting.
+func WithRateLimit(rate float64, burst int) ServerOption {
+	return func(c *serverConfig) {
+		c.rateLimit = rate
+		c.rateBurst = burst
+	}
+}
+
+// WithJobTTL sets how long finished async jobs are retained for
+// polling (default 15m).
+func WithJobTTL(d time.Duration) ServerOption {
+	return func(c *serverConfig) { c.jobTTL = d }
+}
+
+// WithJobGCInterval sets how often expired jobs are swept (default
+// 1m).
+func WithJobGCInterval(d time.Duration) ServerOption {
+	return func(c *serverConfig) { c.jobGC = d }
+}
+
+// WithJobWorkers sets the async job worker pool size (default
+// runtime.GOMAXPROCS).
+func WithJobWorkers(n int) ServerOption {
+	return func(c *serverConfig) { c.jobWorkers = n }
+}
+
+// WithJobQueueCapacity bounds the async job queue; submissions beyond
+// it are rejected with a queue_full problem (default 1024).
+func WithJobQueueCapacity(n int) ServerOption {
+	return func(c *serverConfig) { c.jobQueue = n }
+}
+
+// Server is the brokerage HTTP facade: the synchronous v1 surface,
+// plus the v2 job-oriented surface (async jobs, batch
+// recommendations) with RFC 9457 problem+json errors throughout.
+type Server struct {
+	engine  *broker.Engine
+	store   *telemetry.Store // optional; nil disables observation routes
+	logger  *log.Logger
+	jobs    *jobs.Store
+	handler http.Handler
+}
+
+// NewServer wires the routes and starts the async job workers. store
+// may be nil for a read-only broker; logger may be nil to disable
+// request logging. Call Close when done to stop the job subsystem.
+func NewServer(engine *broker.Engine, store *telemetry.Store, logger *log.Logger, opts ...ServerOption) (*Server, error) {
 	if engine == nil {
 		return nil, fmt.Errorf("httpapi: nil engine")
 	}
+	cfg := serverConfig{}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+
+	var jobOpts []jobs.Option
+	if cfg.jobTTL > 0 {
+		jobOpts = append(jobOpts, jobs.WithTTL(cfg.jobTTL))
+	}
+	if cfg.jobGC > 0 {
+		jobOpts = append(jobOpts, jobs.WithGCInterval(cfg.jobGC))
+	}
+	if cfg.jobWorkers > 0 {
+		jobOpts = append(jobOpts, jobs.WithWorkers(cfg.jobWorkers))
+	}
+	if cfg.jobQueue > 0 {
+		jobOpts = append(jobOpts, jobs.WithQueueCapacity(cfg.jobQueue))
+	}
+
 	s := &Server{
 		engine: engine,
 		store:  store,
 		logger: logger,
-		mux:    http.NewServeMux(),
+		jobs:   jobs.NewStore(jobOpts...),
 	}
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("POST /v1/recommendations", s.handleRecommend)
-	s.mux.HandleFunc("POST /v1/pareto", s.handlePareto)
-	s.mux.HandleFunc("GET /v1/catalog/technologies", s.handleTechnologies)
-	s.mux.HandleFunc("GET /v1/catalog/providers", s.handleProviders)
-	s.mux.HandleFunc("GET /v1/params", s.handleParams)
-	s.mux.HandleFunc("POST /v1/observations", s.handleObservation)
-	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
-	s.mux.HandleFunc("POST /v1/scenarios/{name}/recommendation", s.handleScenarioRecommend)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+
+	// v1: the original synchronous surface, now thin wrappers over
+	// the same context-aware handlers v2 uses.
+	mux.HandleFunc("POST /v1/recommendations", s.handleRecommend)
+	mux.HandleFunc("POST /v1/pareto", s.handlePareto)
+	mux.HandleFunc("GET /v1/catalog/technologies", s.handleTechnologies)
+	mux.HandleFunc("GET /v1/catalog/providers", s.handleProviders)
+	mux.HandleFunc("GET /v1/params", s.handleParams)
+	mux.HandleFunc("POST /v1/observations", s.handleObservation)
+	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	mux.HandleFunc("POST /v1/scenarios/{name}/recommendation", s.handleScenarioRecommend)
+
+	// v2: same synchronous routes plus the job-oriented additions.
+	mux.HandleFunc("POST /v2/recommendations", s.handleRecommend)
+	mux.HandleFunc("POST /v2/pareto", s.handlePareto)
+	mux.HandleFunc("GET /v2/catalog/technologies", s.handleTechnologies)
+	mux.HandleFunc("GET /v2/catalog/providers", s.handleProviders)
+	mux.HandleFunc("GET /v2/params", s.handleParams)
+	mux.HandleFunc("POST /v2/observations", s.handleObservation)
+	mux.HandleFunc("GET /v2/scenarios", s.handleScenarios)
+	mux.HandleFunc("POST /v2/scenarios/{name}/recommendation", s.handleScenarioRecommend)
+	mux.HandleFunc("POST /v2/recommendations/batch", s.handleBatch)
+	mux.HandleFunc("POST /v2/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v2/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v2/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v2/jobs/{id}", s.handleJobCancel)
+
+	// The ServeMux's own 404/405 replies are plain text; wrap them
+	// into problems so every error on the surface is problem+json.
+	root := problemNotFound(mux)
+
+	mws := []Middleware{
+		RequestID(),
+		Logging(logger),
+		Recover(logger),
+	}
+	if cfg.rateLimit > 0 {
+		// Liveness probes must keep answering under load: a limiter
+		// that 429s /healthz would get the server restarted by the
+		// very traffic it is absorbing.
+		mws = append(mws, exempt("/healthz", RateLimit(cfg.rateLimit, cfg.rateBurst)))
+	}
+	mws = append(mws, MaxBody(maxBodyBytes))
+	s.handler = Chain(root, mws...)
 	return s, nil
 }
 
-// ServeHTTP implements http.Handler with logging and panic recovery.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	id := s.reqID.Add(1)
-	defer func() {
-		if rec := recover(); rec != nil {
-			s.logf("req=%d PANIC %s %s: %v", id, r.Method, r.URL.Path, rec)
-			writeError(w, http.StatusInternalServerError, fmt.Errorf("internal error"))
+// problemNotFound intercepts the mux's text 404/405 fallbacks and
+// rewrites them as problems, leaving matched routes untouched.
+func problemNotFound(mux *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, pattern := mux.Handler(r)
+		if pattern == "" {
+			// No route matched: distinguish 405 (path known under
+			// another method) from 404 by probing the mux with the
+			// other methods.
+			if allowed := allowedMethods(mux, r); len(allowed) > 0 {
+				w.Header().Set("Allow", strings.Join(allowed, ", "))
+				p := NewProblem(CodeMethodNotAllowed, http.StatusMethodNotAllowed,
+					fmt.Sprintf("%s not allowed on %s", r.Method, r.URL.Path))
+				p.RequestID = RequestIDFrom(r.Context())
+				writeProblem(w, p)
+				return
+			}
+			p := NewProblem(CodeNotFound, http.StatusNotFound, fmt.Sprintf("no route %s", r.URL.Path))
+			p.RequestID = RequestIDFrom(r.Context())
+			writeProblem(w, p)
+			return
 		}
-	}()
-	s.logf("req=%d %s %s", id, r.Method, r.URL.Path)
-	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
-	s.mux.ServeHTTP(w, r)
+		// Dispatch through the mux itself (not the handler returned
+		// above) so it sets the request's matched path values.
+		mux.ServeHTTP(w, r)
+	})
 }
+
+// allowedMethods lists the other methods that match the request path
+// (the 405 case); empty means a plain 404.
+func allowedMethods(mux *http.ServeMux, r *http.Request) []string {
+	var allowed []string
+	for _, m := range []string{http.MethodGet, http.MethodPost, http.MethodPut, http.MethodDelete, http.MethodPatch} {
+		if m == r.Method {
+			continue
+		}
+		probe := r.Clone(r.Context())
+		probe.Method = m
+		if _, pattern := mux.Handler(probe); pattern != "" {
+			allowed = append(allowed, m)
+		}
+	}
+	return allowed
+}
+
+// ServeHTTP implements http.Handler through the middleware chain.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.handler.ServeHTTP(w, r)
+}
+
+// Close stops the async job subsystem: running jobs are cancelled,
+// queued jobs marked cancelled.
+func (s *Server) Close() {
+	s.jobs.Close()
+}
+
+// Jobs exposes the job store's metrics for operational surfaces.
+func (s *Server) JobMetrics() jobs.Metrics { return s.jobs.Metrics() }
 
 func (s *Server) logf(format string, args ...any) {
 	if s.logger != nil {
@@ -69,73 +224,103 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+// problem writes an RFC 9457 error tagged with the request ID.
+func (s *Server) problem(w http.ResponseWriter, r *http.Request, code string, status int, detail string) {
+	p := NewProblem(code, status, detail)
+	p.RequestID = RequestIDFrom(r.Context())
+	writeProblem(w, p)
+}
+
+// writeJSON emits a success payload. Encode failures (client gone,
+// payload unmarshalable) cannot be reported to the client once the
+// status line is out, so they are logged instead of discarded.
+func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.logf("req=%s encoding %s %s response: %v", RequestIDFrom(r.Context()), r.Method, r.URL.Path, err)
+	}
+}
+
+// decodeBody decodes a JSON request body, writing the problem itself
+// on failure.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		s.problem(w, r, CodeInvalidBody, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, r, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	var req RecommendationRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	rec, err := s.engine.Recommend(req.ToBroker())
+	rec, err := s.engine.Recommend(r.Context(), req.ToBroker())
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		s.problem(w, r, CodeInvalidRequest, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, FromRecommendation(rec))
+	s.writeJSON(w, r, http.StatusOK, FromRecommendation(rec))
 }
 
 func (s *Server) handlePareto(w http.ResponseWriter, r *http.Request) {
 	var req RecommendationRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	front, err := s.engine.Pareto(req.ToBroker())
+	front, err := s.engine.Pareto(r.Context(), req.ToBroker())
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		s.problem(w, r, CodeInvalidRequest, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
 	out := make([]OptionCardDTO, len(front))
 	for i, c := range front {
 		out[i] = fromCard(c)
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, r, http.StatusOK, out)
 }
 
-func (s *Server) handleTechnologies(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleTechnologies(w http.ResponseWriter, r *http.Request) {
 	techs := s.engine.Catalog().Technologies()
 	out := make([]TechnologyDTO, len(techs))
 	for i, t := range techs {
 		out[i] = FromTechnology(t)
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, r, http.StatusOK, out)
 }
 
-func (s *Server) handleProviders(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleProviders(w http.ResponseWriter, r *http.Request) {
 	providers := s.engine.Catalog().Providers()
 	out := make([]ProviderDTO, len(providers))
 	for i, p := range providers {
 		out[i] = FromProvider(p)
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, r, http.StatusOK, out)
 }
 
 func (s *Server) handleParams(w http.ResponseWriter, r *http.Request) {
 	provider := r.URL.Query().Get("provider")
 	class := r.URL.Query().Get("class")
 	if provider == "" || class == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("provider and class query parameters are required"))
+		s.problem(w, r, CodeInvalidRequest, http.StatusBadRequest, "provider and class query parameters are required")
 		return
 	}
 
 	// Prefer the live telemetry estimate, mirroring
-	// broker.TelemetryParams; fall back to the catalog defaults.
+	// broker.TelemetryParams; fall back to the catalog defaults only
+	// when the store simply has nothing yet — a store that *fails* is
+	// a server fault and must surface as one, not silently degrade.
 	if s.store != nil {
-		if est, err := s.store.Estimate(provider, class); err == nil {
-			writeJSON(w, http.StatusOK, ParamsResponse{
+		est, err := s.store.Estimate(provider, class)
+		switch {
+		case err == nil:
+			s.writeJSON(w, r, http.StatusOK, ParamsResponse{
 				Provider:           provider,
 				Class:              class,
 				Down:               est.Node.Down,
@@ -146,14 +331,17 @@ func (s *Server) handleParams(w http.ResponseWriter, r *http.Request) {
 				Source:             "telemetry",
 			})
 			return
+		case !errors.Is(err, telemetry.ErrNoEstimate):
+			s.problem(w, r, CodeTelemetryError, http.StatusInternalServerError, err.Error())
+			return
 		}
 	}
 	params, err := s.engine.Catalog().DefaultNodeParams(provider, class)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		s.problem(w, r, CodeNotFound, http.StatusNotFound, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, ParamsResponse{
+	s.writeJSON(w, r, http.StatusOK, ParamsResponse{
 		Provider:        provider,
 		Class:           class,
 		Down:            params.Down,
@@ -164,16 +352,15 @@ func (s *Server) handleParams(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleObservation(w http.ResponseWriter, r *http.Request) {
 	if s.store == nil {
-		writeError(w, http.StatusNotImplemented, fmt.Errorf("telemetry ingestion disabled"))
+		s.problem(w, r, CodeTelemetryDisabled, http.StatusNotImplemented, "telemetry ingestion disabled")
 		return
 	}
 	var obs Observation
-	if err := json.NewDecoder(r.Body).Decode(&obs); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding observation: %w", err))
+	if !s.decodeBody(w, r, &obs) {
 		return
 	}
 	if err := obs.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.problem(w, r, CodeInvalidRequest, http.StatusBadRequest, err.Error())
 		return
 	}
 	var err error
@@ -186,10 +373,10 @@ func (s *Server) handleObservation(w http.ResponseWriter, r *http.Request) {
 		err = s.store.RecordExposure(obs.Provider, obs.Class, obs.Duration())
 	}
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.problem(w, r, CodeInvalidRequest, http.StatusBadRequest, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusAccepted, map[string]string{"status": "recorded"})
+	s.writeJSON(w, r, http.StatusAccepted, map[string]string{"status": "recorded"})
 }
 
 func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
@@ -209,7 +396,7 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 			PenaltyPerHourUSD: sc.Request.SLA.Penalty.PerHour.Dollars(),
 		}
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, r, http.StatusOK, out)
 }
 
 func (s *Server) handleScenarioRecommend(w http.ResponseWriter, r *http.Request) {
@@ -219,25 +406,13 @@ func (s *Server) handleScenarioRecommend(w http.ResponseWriter, r *http.Request)
 	}
 	sc, err := scenario.ByName(r.PathValue("name"), provider)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		s.problem(w, r, CodeNotFound, http.StatusNotFound, err.Error())
 		return
 	}
-	rec, err := s.engine.Recommend(sc.Request)
+	rec, err := s.engine.Recommend(r.Context(), sc.Request)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		s.problem(w, r, CodeInvalidRequest, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, FromRecommendation(rec))
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	// Encoding failures at this point cannot be reported to the client;
-	// the concrete payload types are all marshalable.
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+	s.writeJSON(w, r, http.StatusOK, FromRecommendation(rec))
 }

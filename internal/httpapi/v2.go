@@ -1,0 +1,279 @@
+package httpapi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"uptimebroker/internal/broker"
+	"uptimebroker/internal/jobs"
+)
+
+// Job kinds accepted by POST /v2/jobs.
+const (
+	JobKindRecommend = "recommend"
+	JobKindPareto    = "pareto"
+)
+
+// JobRequest is the body of POST /v2/jobs: which brokerage flow to
+// run asynchronously, and its request.
+type JobRequest struct {
+	// Kind is "recommend" or "pareto".
+	Kind string `json:"kind"`
+
+	// Request is the recommendation request the job runs.
+	Request RecommendationRequest `json:"request"`
+}
+
+// JobErrorDTO is the failure recorded on a failed (or cancelled) job.
+type JobErrorDTO struct {
+	// Code is the stable machine-readable failure class, mirroring
+	// the problem codes of the synchronous routes.
+	Code string `json:"code"`
+
+	// Detail is the human-readable failure.
+	Detail string `json:"detail"`
+}
+
+// JobDTO is the wire form of one async job.
+type JobDTO struct {
+	// ID addresses the job under /v2/jobs/{id}.
+	ID string `json:"id"`
+
+	// Kind echoes the submitted kind.
+	Kind string `json:"kind"`
+
+	// State is queued, running, done, failed or cancelled.
+	State string `json:"state"`
+
+	// CreatedAt, StartedAt and FinishedAt stamp the transitions
+	// (RFC 3339); started_at/finished_at are omitted until reached.
+	CreatedAt  time.Time  `json:"created_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+
+	// Result carries the job's payload once state is done: a
+	// RecommendationResponse for recommend jobs, []OptionCardDTO for
+	// pareto jobs.
+	Result any `json:"result,omitempty"`
+
+	// Error describes the failure once state is failed or cancelled.
+	Error *JobErrorDTO `json:"error,omitempty"`
+}
+
+// JobListResponse is the body of GET /v2/jobs.
+type JobListResponse struct {
+	// Jobs lists every retained job, newest first, without results
+	// (poll the individual job for its payload).
+	Jobs []JobDTO `json:"jobs"`
+
+	// Metrics are the job subsystem's operational counters.
+	Metrics jobs.Metrics `json:"metrics"`
+}
+
+// fromJob converts a job snapshot to wire form. withResult controls
+// whether the (potentially large) result payload is included.
+func fromJob(snap jobs.Snapshot, withResult bool) JobDTO {
+	dto := JobDTO{
+		ID:        snap.ID,
+		Kind:      snap.Kind,
+		State:     string(snap.State),
+		CreatedAt: snap.CreatedAt,
+	}
+	if !snap.StartedAt.IsZero() {
+		t := snap.StartedAt
+		dto.StartedAt = &t
+	}
+	if !snap.FinishedAt.IsZero() {
+		t := snap.FinishedAt
+		dto.FinishedAt = &t
+	}
+	if withResult && snap.Result != nil {
+		dto.Result = snap.Result
+	}
+	if snap.Err != nil {
+		code := CodeInvalidRequest
+		switch {
+		case errors.Is(snap.Err, context.Canceled):
+			code = CodeCancelled
+		case errors.Is(snap.Err, jobs.ErrPanic), errors.Is(snap.Err, jobs.ErrClosed):
+			// Server faults, not request errors.
+			code = CodeInternal
+		}
+		dto.Error = &JobErrorDTO{Code: code, Detail: snap.Err.Error()}
+	}
+	return dto
+}
+
+// handleJobSubmit implements POST /v2/jobs: 202 Accepted with the
+// queued job and a Location header for polling.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+
+	var fn jobs.Fn
+	switch req.Kind {
+	case JobKindRecommend:
+		breq := req.Request.ToBroker()
+		fn = func(ctx context.Context) (any, error) {
+			rec, err := s.engine.Recommend(ctx, breq)
+			if err != nil {
+				return nil, err
+			}
+			return FromRecommendation(rec), nil
+		}
+	case JobKindPareto:
+		breq := req.Request.ToBroker()
+		fn = func(ctx context.Context) (any, error) {
+			front, err := s.engine.Pareto(ctx, breq)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]OptionCardDTO, len(front))
+			for i, c := range front {
+				out[i] = fromCard(c)
+			}
+			return out, nil
+		}
+	default:
+		s.problem(w, r, CodeInvalidRequest, http.StatusBadRequest,
+			fmt.Sprintf("unknown job kind %q (want %q or %q)", req.Kind, JobKindRecommend, JobKindPareto))
+		return
+	}
+
+	snap, err := s.jobs.Submit(req.Kind, fn)
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		s.problem(w, r, CodeQueueFull, http.StatusServiceUnavailable, "job queue is at capacity; retry later")
+		return
+	case errors.Is(err, jobs.ErrClosed):
+		s.problem(w, r, CodeUnavailable, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	case err != nil:
+		s.problem(w, r, CodeInternal, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Location", "/v2/jobs/"+snap.ID)
+	s.writeJSON(w, r, http.StatusAccepted, fromJob(snap, false))
+}
+
+// handleJobGet implements GET /v2/jobs/{id}.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.jobs.Get(r.PathValue("id"))
+	if err != nil {
+		s.problem(w, r, CodeJobNotFound, http.StatusNotFound, fmt.Sprintf("no job %q (it may have expired)", r.PathValue("id")))
+		return
+	}
+	s.writeJSON(w, r, http.StatusOK, fromJob(snap, true))
+}
+
+// handleJobCancel implements DELETE /v2/jobs/{id}: cancels a queued
+// or running job. Cancelling an already-finished job is a 409.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.jobs.Cancel(r.PathValue("id"))
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
+		s.problem(w, r, CodeJobNotFound, http.StatusNotFound, fmt.Sprintf("no job %q (it may have expired)", r.PathValue("id")))
+		return
+	case errors.Is(err, jobs.ErrFinished):
+		s.problem(w, r, CodeJobFinished, http.StatusConflict,
+			fmt.Sprintf("job %s already finished as %s", snap.ID, snap.State))
+		return
+	case err != nil:
+		s.problem(w, r, CodeInternal, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.writeJSON(w, r, http.StatusOK, fromJob(snap, false))
+}
+
+// handleJobList implements GET /v2/jobs.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	snaps := s.jobs.List()
+	out := make([]JobDTO, len(snaps))
+	for i, snap := range snaps {
+		out[i] = fromJob(snap, false)
+	}
+	s.writeJSON(w, r, http.StatusOK, JobListResponse{Jobs: out, Metrics: s.jobs.Metrics()})
+}
+
+// BatchRequest is the body of POST /v2/recommendations/batch.
+type BatchRequest struct {
+	// Requests are the scenarios to price; they are fanned out across
+	// the engine's worker pool and computed concurrently.
+	Requests []RecommendationRequest `json:"requests"`
+}
+
+// BatchItemDTO is one request's outcome in a batch response. Exactly
+// one of Recommendation and Error is set.
+type BatchItemDTO struct {
+	// Index is the request's position in the submitted slice.
+	Index int `json:"index"`
+
+	// Recommendation is the successful result.
+	Recommendation *RecommendationResponse `json:"recommendation,omitempty"`
+
+	// Error is the per-item failure; other items are unaffected.
+	Error *JobErrorDTO `json:"error,omitempty"`
+}
+
+// BatchResponse is the body of a batch recommendation reply.
+type BatchResponse struct {
+	// Results has one entry per submitted request, in order.
+	Results []BatchItemDTO `json:"results"`
+
+	// Succeeded and Failed count the split.
+	Succeeded int `json:"succeeded"`
+	Failed    int `json:"failed"`
+}
+
+// maxBatchSize bounds one batch call; larger workloads should go
+// through the async job surface one scenario at a time.
+const maxBatchSize = 256
+
+// handleBatch implements POST /v2/recommendations/batch with
+// partial-failure semantics: the response is 200 whenever the batch
+// itself was well-formed, and each item carries its own error.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Requests) == 0 {
+		s.problem(w, r, CodeInvalidRequest, http.StatusBadRequest, "batch needs at least one request")
+		return
+	}
+	if len(req.Requests) > maxBatchSize {
+		s.problem(w, r, CodeInvalidRequest, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d exceeds the %d-request limit", len(req.Requests), maxBatchSize))
+		return
+	}
+
+	breqs := make([]broker.Request, len(req.Requests))
+	for i, rr := range req.Requests {
+		breqs[i] = rr.ToBroker()
+	}
+	items := s.engine.RecommendBatch(r.Context(), breqs)
+
+	resp := BatchResponse{Results: make([]BatchItemDTO, len(items))}
+	for i, item := range items {
+		dto := BatchItemDTO{Index: item.Index}
+		if item.Err != nil {
+			code := CodeInvalidRequest
+			if errors.Is(item.Err, context.Canceled) || errors.Is(item.Err, context.DeadlineExceeded) {
+				code = CodeCancelled
+			}
+			dto.Error = &JobErrorDTO{Code: code, Detail: item.Err.Error()}
+			resp.Failed++
+		} else {
+			rr := FromRecommendation(item.Rec)
+			dto.Recommendation = &rr
+			resp.Succeeded++
+		}
+		resp.Results[i] = dto
+	}
+	s.writeJSON(w, r, http.StatusOK, resp)
+}

@@ -1,0 +1,468 @@
+// Package jobs is an in-memory asynchronous job subsystem: a bounded
+// worker pool draining a submission queue, with poll/cancel semantics
+// and TTL-based garbage collection of finished jobs. It decouples the
+// brokerage's exponential enumeration work from HTTP request
+// lifetimes — a client submits work, receives a job ID immediately,
+// and polls (or long-polls via the typed client's WaitJob) for the
+// result.
+//
+// States move strictly forward:
+//
+//	queued → running → done | failed
+//	queued | running → cancelled
+//
+// Finished jobs (done, failed or cancelled) are retained for the
+// store's TTL so clients can fetch results, then swept.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// State is a job's position in its lifecycle.
+type State string
+
+// Job lifecycle states.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	switch s {
+	case StateDone, StateFailed, StateCancelled:
+		return true
+	}
+	return false
+}
+
+// Fn is the unit of work a job runs. It must honor ctx cancellation:
+// the store cancels the context when the job is cancelled or the
+// store shuts down.
+type Fn func(ctx context.Context) (any, error)
+
+// Snapshot is a point-in-time copy of a job's externally visible
+// state.
+type Snapshot struct {
+	// ID identifies the job within its store.
+	ID string
+
+	// Kind is the caller-supplied job type label.
+	Kind string
+
+	// State is the lifecycle state at snapshot time.
+	State State
+
+	// CreatedAt, StartedAt and FinishedAt stamp the transitions;
+	// StartedAt and FinishedAt are zero until reached.
+	CreatedAt  time.Time
+	StartedAt  time.Time
+	FinishedAt time.Time
+
+	// Result is the Fn's return value once State is done.
+	Result any
+
+	// Err is the failure once State is failed (or context.Canceled
+	// when cancelled mid-run).
+	Err error
+}
+
+// Metrics are the store's operational counters.
+type Metrics struct {
+	// Submitted counts every accepted job.
+	Submitted int64 `json:"submitted"`
+
+	// QueueDepth is the number of queued jobs right now.
+	QueueDepth int64 `json:"queue_depth"`
+
+	// Running is the number of jobs executing right now.
+	Running int64 `json:"running"`
+
+	// Done, Failed and Cancelled count terminal transitions.
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
+	Cancelled int64 `json:"cancelled"`
+
+	// Swept counts jobs removed by TTL garbage collection.
+	Swept int64 `json:"swept"`
+
+	// QueueLatency is the cumulative queued→running wait across all
+	// started jobs; RunLatency the cumulative running→finished time
+	// across all finished jobs. Divide by the respective counters for
+	// means.
+	QueueLatency time.Duration `json:"queue_latency_ns"`
+	RunLatency   time.Duration `json:"run_latency_ns"`
+}
+
+// Store errors.
+var (
+	// ErrNotFound reports an unknown job ID.
+	ErrNotFound = errors.New("jobs: no such job")
+
+	// ErrFinished reports a cancel attempt on an already-terminal job.
+	ErrFinished = errors.New("jobs: job already finished")
+
+	// ErrQueueFull reports a submission the bounded queue cannot take.
+	ErrQueueFull = errors.New("jobs: queue full")
+
+	// ErrClosed reports a submission after Close.
+	ErrClosed = errors.New("jobs: store closed")
+
+	// ErrPanic wraps a panic recovered from a job Fn, letting callers
+	// classify it as a server fault rather than a request error.
+	ErrPanic = errors.New("jobs: job panicked")
+)
+
+// job is the store's internal record.
+type job struct {
+	snap Snapshot
+	fn   Fn
+	// cancel interrupts the running Fn; non-nil only while running.
+	cancel context.CancelFunc
+	// cancelled marks a queued job cancelled before a worker saw it.
+	cancelled bool
+}
+
+// Store runs jobs on a bounded worker pool and retains finished jobs
+// for a TTL.
+type Store struct {
+	mu     sync.Mutex
+	jobs   map[string]*job
+	seq    uint64
+	closed bool
+
+	workers  int
+	queueCap int
+	queue    chan string
+	baseCtx  context.Context
+	stop     context.CancelFunc
+	wg       sync.WaitGroup
+
+	ttl        time.Duration
+	gcInterval time.Duration
+	now        func() time.Time
+
+	metrics Metrics
+}
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithWorkers sets the worker pool size (default runtime.GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(s *Store) {
+		if n > 0 {
+			s.workers = n
+		}
+	}
+}
+
+// WithQueueCapacity bounds the submission queue (default 1024).
+// Submissions beyond capacity fail with ErrQueueFull — backpressure
+// instead of unbounded memory growth.
+func WithQueueCapacity(n int) Option {
+	return func(s *Store) {
+		if n > 0 {
+			s.queueCap = n
+		}
+	}
+}
+
+// WithTTL sets how long finished jobs are retained (default 15m).
+func WithTTL(d time.Duration) Option {
+	return func(s *Store) {
+		if d > 0 {
+			s.ttl = d
+		}
+	}
+}
+
+// WithGCInterval sets the janitor's sweep period (default 1m).
+func WithGCInterval(d time.Duration) Option {
+	return func(s *Store) {
+		if d > 0 {
+			s.gcInterval = d
+		}
+	}
+}
+
+// WithClock injects a time source, letting tests drive TTL expiry
+// deterministically.
+func WithClock(now func() time.Time) Option {
+	return func(s *Store) {
+		if now != nil {
+			s.now = now
+		}
+	}
+}
+
+// NewStore starts a job store: its worker pool and TTL janitor run
+// until Close.
+func NewStore(opts ...Option) *Store {
+	s := &Store{
+		jobs:       make(map[string]*job),
+		workers:    runtime.GOMAXPROCS(0),
+		queueCap:   1024,
+		ttl:        15 * time.Minute,
+		gcInterval: time.Minute,
+		now:        time.Now,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.queue = make(chan string, s.queueCap)
+	s.baseCtx, s.stop = context.WithCancel(context.Background())
+
+	for w := 0; w < s.workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	s.wg.Add(1)
+	go s.janitor()
+	return s
+}
+
+// Close stops accepting submissions, cancels running jobs, and waits
+// for the workers and janitor to exit. Queued jobs that never ran are
+// marked cancelled.
+func (s *Store) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	s.stop()
+	close(s.queue)
+	s.wg.Wait()
+
+	// Anything still queued never got a worker; mark it cancelled so
+	// pollers see a terminal state rather than a job stuck in queued.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	for _, j := range s.jobs {
+		if j.snap.State == StateQueued {
+			j.snap.State = StateCancelled
+			j.snap.FinishedAt = now
+			j.snap.Err = ErrClosed
+			s.metrics.QueueDepth--
+			s.metrics.Cancelled++
+		}
+	}
+}
+
+// Submit enqueues fn as a new job of the given kind and returns its
+// queued snapshot. It fails fast with ErrQueueFull when the queue is
+// at capacity and ErrClosed after Close.
+func (s *Store) Submit(kind string, fn Fn) (Snapshot, error) {
+	if fn == nil {
+		return Snapshot{}, errors.New("jobs: nil fn")
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Snapshot{}, ErrClosed
+	}
+	s.seq++
+	j := &job{
+		snap: Snapshot{
+			ID:        fmt.Sprintf("job-%08d", s.seq),
+			Kind:      kind,
+			State:     StateQueued,
+			CreatedAt: s.now(),
+		},
+		fn: fn,
+	}
+	select {
+	case s.queue <- j.snap.ID:
+	default:
+		s.seq--
+		s.mu.Unlock()
+		return Snapshot{}, ErrQueueFull
+	}
+	s.jobs[j.snap.ID] = j
+	s.metrics.Submitted++
+	s.metrics.QueueDepth++
+	snap := j.snap
+	s.mu.Unlock()
+	return snap, nil
+}
+
+// Get returns the job's current snapshot.
+func (s *Store) Get(id string) (Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Snapshot{}, ErrNotFound
+	}
+	return j.snap, nil
+}
+
+// Cancel moves a queued job straight to cancelled, or signals a
+// running job's context; it fails with ErrFinished when the job is
+// already terminal and ErrNotFound for unknown IDs. The returned
+// snapshot reflects the post-cancel state (a running job stays
+// "running" until its Fn observes the context).
+func (s *Store) Cancel(id string) (Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Snapshot{}, ErrNotFound
+	}
+	switch j.snap.State {
+	case StateQueued:
+		j.cancelled = true
+		j.snap.State = StateCancelled
+		j.snap.FinishedAt = s.now()
+		j.snap.Err = context.Canceled
+		s.metrics.QueueDepth--
+		s.metrics.Cancelled++
+		return j.snap, nil
+	case StateRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+		return j.snap, nil
+	default:
+		return j.snap, ErrFinished
+	}
+}
+
+// List returns a snapshot of every retained job, newest first.
+func (s *Store) List() []Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Snapshot, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j.snap)
+	}
+	// Newest first by creation time, then by ID for determinism.
+	sort.Slice(out, func(i, k int) bool { return laterThan(out[i], out[k]) })
+	return out
+}
+
+func laterThan(a, b Snapshot) bool {
+	if !a.CreatedAt.Equal(b.CreatedAt) {
+		return a.CreatedAt.After(b.CreatedAt)
+	}
+	return a.ID > b.ID
+}
+
+// Metrics returns a copy of the store's counters.
+func (s *Store) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.metrics
+}
+
+// Sweep removes finished jobs older than the TTL and returns how many
+// it removed. The janitor calls it periodically; tests call it
+// directly with an injected clock.
+func (s *Store) Sweep() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cutoff := s.now().Add(-s.ttl)
+	removed := 0
+	for id, j := range s.jobs {
+		if j.snap.State.Terminal() && !j.snap.FinishedAt.IsZero() && j.snap.FinishedAt.Before(cutoff) {
+			delete(s.jobs, id)
+			removed++
+		}
+	}
+	s.metrics.Swept += int64(removed)
+	return removed
+}
+
+// worker drains the queue until Close.
+func (s *Store) worker() {
+	defer s.wg.Done()
+	for id := range s.queue {
+		s.runOne(id)
+	}
+}
+
+// runOne executes a single queued job end to end.
+func (s *Store) runOne(id string) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok || j.cancelled || j.snap.State != StateQueued {
+		// Cancelled while queued (or already swept); nothing to run.
+		s.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j.cancel = cancel
+	j.snap.State = StateRunning
+	j.snap.StartedAt = s.now()
+	s.metrics.QueueDepth--
+	s.metrics.Running++
+	s.metrics.QueueLatency += j.snap.StartedAt.Sub(j.snap.CreatedAt)
+	fn := j.fn
+	s.mu.Unlock()
+
+	result, err := runGuarded(ctx, fn)
+	interrupted := ctx.Err() != nil // read before releasing the context
+	cancel()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.cancel = nil
+	j.snap.FinishedAt = s.now()
+	s.metrics.Running--
+	s.metrics.RunLatency += j.snap.FinishedAt.Sub(j.snap.StartedAt)
+	switch {
+	case err != nil && (errors.Is(err, context.Canceled) || interrupted):
+		j.snap.State = StateCancelled
+		j.snap.Err = err
+		s.metrics.Cancelled++
+	case err != nil:
+		j.snap.State = StateFailed
+		j.snap.Err = err
+		s.metrics.Failed++
+	default:
+		j.snap.State = StateDone
+		j.snap.Result = result
+		s.metrics.Done++
+	}
+}
+
+// runGuarded converts a panicking Fn into a failed job instead of
+// taking down the worker.
+func runGuarded(ctx context.Context, fn Fn) (result any, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("%w: %v", ErrPanic, rec)
+		}
+	}()
+	return fn(ctx)
+}
+
+// janitor sweeps expired jobs until Close.
+func (s *Store) janitor() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.gcInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.Sweep()
+		case <-s.baseCtx.Done():
+			return
+		}
+	}
+}

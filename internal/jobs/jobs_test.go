@@ -1,0 +1,355 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitState polls until the job reaches a wanted state or times out.
+func waitState(t *testing.T, s *Store, id string, want State) Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		snap, err := s.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", id, err)
+		}
+		if snap.State == want {
+			return snap
+		}
+		if snap.State.Terminal() && !want.Terminal() {
+			t.Fatalf("job %s reached terminal %s while waiting for %s", id, snap.State, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+	return Snapshot{}
+}
+
+func TestSubmitPollDone(t *testing.T) {
+	s := NewStore(WithWorkers(2))
+	defer s.Close()
+
+	snap, err := s.Submit("recommend", func(ctx context.Context) (any, error) {
+		return 42, nil
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if snap.State != StateQueued || snap.ID == "" || snap.Kind != "recommend" {
+		t.Fatalf("submit snapshot = %+v", snap)
+	}
+
+	done := waitState(t, s, snap.ID, StateDone)
+	if done.Result != 42 {
+		t.Fatalf("Result = %v, want 42", done.Result)
+	}
+	if done.Err != nil {
+		t.Fatalf("Err = %v", done.Err)
+	}
+	if done.FinishedAt.Before(done.StartedAt) || done.StartedAt.Before(done.CreatedAt) {
+		t.Fatalf("timestamps out of order: %+v", done)
+	}
+
+	m := s.Metrics()
+	if m.Submitted != 1 || m.Done != 1 || m.QueueDepth != 0 || m.Running != 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestFailedJob(t *testing.T) {
+	s := NewStore(WithWorkers(1))
+	defer s.Close()
+
+	boom := errors.New("boom")
+	snap, err := s.Submit("recommend", func(ctx context.Context) (any, error) {
+		return nil, boom
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := waitState(t, s, snap.ID, StateFailed)
+	if !errors.Is(failed.Err, boom) {
+		t.Fatalf("Err = %v, want boom", failed.Err)
+	}
+	if m := s.Metrics(); m.Failed != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestPanickingJobFails(t *testing.T) {
+	s := NewStore(WithWorkers(1))
+	defer s.Close()
+
+	snap, err := s.Submit("recommend", func(ctx context.Context) (any, error) {
+		panic("kaboom")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := waitState(t, s, snap.ID, StateFailed)
+	if failed.Err == nil {
+		t.Fatal("panicking job should surface an error")
+	}
+
+	// The worker survived the panic and still runs jobs.
+	snap2, err := s.Submit("recommend", func(ctx context.Context) (any, error) { return "ok", nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, snap2.ID, StateDone)
+}
+
+func TestCancelRunning(t *testing.T) {
+	s := NewStore(WithWorkers(1))
+	defer s.Close()
+
+	started := make(chan struct{})
+	snap, err := s.Submit("recommend", func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := s.Cancel(snap.ID); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	got := waitState(t, s, snap.ID, StateCancelled)
+	if !errors.Is(got.Err, context.Canceled) {
+		t.Fatalf("Err = %v, want context.Canceled", got.Err)
+	}
+
+	// A second cancel on the now-terminal job reports ErrFinished.
+	if _, err := s.Cancel(snap.ID); !errors.Is(err, ErrFinished) {
+		t.Fatalf("second Cancel = %v, want ErrFinished", err)
+	}
+}
+
+func TestCancelQueued(t *testing.T) {
+	s := NewStore(WithWorkers(1))
+	defer s.Close()
+
+	// Occupy the single worker so the next submission stays queued.
+	block := make(chan struct{})
+	started := make(chan struct{})
+	first, err := s.Submit("recommend", func(ctx context.Context) (any, error) {
+		close(started)
+		<-block
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	queued, err := s.Submit("recommend", func(ctx context.Context) (any, error) {
+		t.Error("cancelled queued job must not run")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Cancel(queued.ID)
+	if err != nil {
+		t.Fatalf("Cancel queued: %v", err)
+	}
+	if got.State != StateCancelled {
+		t.Fatalf("state = %s, want cancelled immediately", got.State)
+	}
+
+	close(block)
+	waitState(t, s, first.ID, StateDone)
+	// Give the worker a moment to (incorrectly) pick up the cancelled
+	// job if the skip logic were broken.
+	time.Sleep(10 * time.Millisecond)
+}
+
+func TestCancelUnknown(t *testing.T) {
+	s := NewStore()
+	defer s.Close()
+	if _, err := s.Cancel("job-nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Cancel unknown = %v, want ErrNotFound", err)
+	}
+	if _, err := s.Get("job-nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get unknown = %v, want ErrNotFound", err)
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	s := NewStore(WithWorkers(1), WithQueueCapacity(1))
+	defer s.Close()
+
+	block := make(chan struct{})
+	defer close(block)
+	started := make(chan struct{})
+	if _, err := s.Submit("a", func(ctx context.Context) (any, error) {
+		close(started)
+		<-block
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started // worker busy; queue is empty again
+
+	if _, err := s.Submit("b", func(ctx context.Context) (any, error) { return nil, nil }); err != nil {
+		t.Fatalf("submit into empty queue: %v", err)
+	}
+	// Queue (capacity 1) now holds job b, worker holds job a: full.
+	_, err := s.Submit("c", func(ctx context.Context) (any, error) { return nil, nil })
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Submit into full queue = %v, want ErrQueueFull", err)
+	}
+}
+
+func TestTTLSweep(t *testing.T) {
+	var (
+		mu  sync.Mutex
+		now = time.Unix(1_700_000_000, 0)
+	)
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	advance := func(d time.Duration) {
+		mu.Lock()
+		defer mu.Unlock()
+		now = now.Add(d)
+	}
+
+	s := NewStore(WithWorkers(1), WithTTL(time.Minute), WithClock(clock))
+	defer s.Close()
+
+	snap, err := s.Submit("recommend", func(ctx context.Context) (any, error) { return "r", nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, snap.ID, StateDone)
+
+	// Within TTL: survives the sweep.
+	advance(30 * time.Second)
+	if n := s.Sweep(); n != 0 {
+		t.Fatalf("Sweep before TTL removed %d", n)
+	}
+	if _, err := s.Get(snap.ID); err != nil {
+		t.Fatalf("job swept too early: %v", err)
+	}
+
+	// Past TTL: swept.
+	advance(2 * time.Minute)
+	if n := s.Sweep(); n != 1 {
+		t.Fatalf("Sweep after TTL removed %d, want 1", n)
+	}
+	if _, err := s.Get(snap.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after sweep = %v, want ErrNotFound", err)
+	}
+	if m := s.Metrics(); m.Swept != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	s := NewStore()
+	s.Close()
+	if _, err := s.Submit("x", func(ctx context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+	// Idempotent close.
+	s.Close()
+}
+
+func TestCloseCancelsRunning(t *testing.T) {
+	s := NewStore(WithWorkers(1))
+	started := make(chan struct{})
+	snap, err := s.Submit("recommend", func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	s.Close()
+	got, err := s.Get(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateCancelled {
+		t.Fatalf("state after Close = %s, want cancelled", got.State)
+	}
+}
+
+func TestListOrdering(t *testing.T) {
+	var (
+		mu  sync.Mutex
+		now = time.Unix(1_700_000_000, 0)
+	)
+	s := NewStore(WithWorkers(1), WithClock(func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		now = now.Add(time.Second)
+		return now
+	}))
+	defer s.Close()
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		snap, err := s.Submit(fmt.Sprintf("k%d", i), func(ctx context.Context) (any, error) { return nil, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, snap.ID)
+		waitState(t, s, snap.ID, StateDone)
+	}
+	list := s.List()
+	if len(list) != 3 {
+		t.Fatalf("List len = %d", len(list))
+	}
+	if list[0].ID != ids[2] || list[2].ID != ids[0] {
+		t.Fatalf("List not newest-first: %v", []string{list[0].ID, list[1].ID, list[2].ID})
+	}
+}
+
+func TestConcurrentSubmitters(t *testing.T) {
+	s := NewStore(WithWorkers(4), WithQueueCapacity(256))
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	const n = 64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			snap, err := s.Submit("k", func(ctx context.Context) (any, error) { return 1, nil })
+			if err != nil {
+				t.Errorf("Submit: %v", err)
+				return
+			}
+			deadline := time.Now().Add(5 * time.Second)
+			for time.Now().Before(deadline) {
+				got, err := s.Get(snap.ID)
+				if err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+				if got.State == StateDone {
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+			t.Errorf("job %s never finished", snap.ID)
+		}()
+	}
+	wg.Wait()
+	if m := s.Metrics(); m.Done != n {
+		t.Fatalf("Done = %d, want %d", m.Done, n)
+	}
+}

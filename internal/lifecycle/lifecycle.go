@@ -12,6 +12,7 @@
 package lifecycle
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -151,7 +152,7 @@ func Run(cfg Config) ([]Epoch, error) {
 		}
 
 		// Reoptimize with whatever the broker now knows.
-		rec, err := engine.Recommend(cfg.Request)
+		rec, err := engine.Recommend(context.Background(), cfg.Request)
 		if err != nil {
 			return nil, err
 		}

@@ -1,5 +1,7 @@
 package optimize
 
+import "context"
+
 // Pruned implements the Section III.C search: candidates are evaluated
 // level by level — first the baseline, then every permutation with one
 // clustered component, then two, and so on. Whenever a permutation
@@ -13,6 +15,12 @@ package optimize
 // property the tests check on randomized instances) while evaluating
 // fewer candidates whenever the SLA is attainable below the top level.
 func (p *Problem) Pruned() (Result, error) {
+	return p.PrunedContext(context.Background())
+}
+
+// PrunedContext is Pruned with cooperative cancellation: the level
+// walk aborts with ctx.Err() shortly after ctx is done.
+func (p *Problem) PrunedContext(ctx context.Context) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -23,9 +31,10 @@ func (p *Problem) Pruned() (Result, error) {
 		met []Assignment
 	)
 
+	cc := canceler{ctx: ctx}
 	n := len(p.Components)
 	for level := 0; level <= n; level++ {
-		if err := p.enumerateLevel(level, &res, &met); err != nil {
+		if err := p.enumerateLevel(&cc, level, &res, &met); err != nil {
 			return Result{}, err
 		}
 	}
@@ -34,7 +43,7 @@ func (p *Problem) Pruned() (Result, error) {
 
 // enumerateLevel visits every assignment with exactly `level` clustered
 // components, skipping supersets of already-met assignments.
-func (p *Problem) enumerateLevel(level int, res *Result, met *[]Assignment) error {
+func (p *Problem) enumerateLevel(cc *canceler, level int, res *Result, met *[]Assignment) error {
 	a := make(Assignment, len(p.Components))
 	var walk func(idx, remaining int) error
 	walk = func(idx, remaining int) error {
@@ -42,6 +51,9 @@ func (p *Problem) enumerateLevel(level int, res *Result, met *[]Assignment) erro
 			return nil // not enough components left to reach the level
 		}
 		if idx == len(p.Components) {
+			if err := cc.check(); err != nil {
+				return err
+			}
 			for _, m := range *met {
 				if coveredBy(m, a) {
 					res.Skipped++

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"encoding/csv"
 	"strings"
 	"testing"
@@ -16,7 +17,7 @@ func caseStudyRec(t *testing.T) *broker.Recommendation {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec, err := engine.Recommend(broker.CaseStudy())
+	rec, err := engine.Recommend(context.Background(), broker.CaseStudy())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestTextWithoutAsIs(t *testing.T) {
 	}
 	req := broker.CaseStudy()
 	req.AsIs = nil
-	rec, err := engine.Recommend(req)
+	rec, err := engine.Recommend(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}

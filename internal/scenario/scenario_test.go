@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -31,7 +32,7 @@ func TestAllScenariosAreRecommendable(t *testing.T) {
 				if sc.Description == "" {
 					t.Fatal("missing description")
 				}
-				rec, err := engine.Recommend(sc.Request)
+				rec, err := engine.Recommend(context.Background(), sc.Request)
 				if err != nil {
 					t.Fatalf("Recommend: %v", err)
 				}
@@ -67,11 +68,11 @@ func TestScenarioEconomicsDiffer(t *testing.T) {
 	// the tight-SLA storefront on the same provider — the contract
 	// terms drive the architecture, which is the paper's whole point.
 	engine := testEngine(t)
-	batch, err := engine.Recommend(Analytics(catalog.ProviderSoftLayerSim).Request)
+	batch, err := engine.Recommend(context.Background(), Analytics(catalog.ProviderSoftLayerSim).Request)
 	if err != nil {
 		t.Fatal(err)
 	}
-	shop, err := engine.Recommend(ECommerce(catalog.ProviderSoftLayerSim).Request)
+	shop, err := engine.Recommend(context.Background(), ECommerce(catalog.ProviderSoftLayerSim).Request)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestGenerateValidAndDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Generate %d: %v", i, err)
 		}
-		if _, err := engine.Recommend(req); err != nil {
+		if _, err := engine.Recommend(context.Background(), req); err != nil {
 			t.Fatalf("Recommend on generated %d: %v", i, err)
 		}
 	}

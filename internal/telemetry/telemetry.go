@@ -12,6 +12,7 @@
 package telemetry
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -116,14 +117,20 @@ type Params struct {
 	ExposureYears float64
 }
 
-// Estimate derives Params for a bucket. It fails when the bucket has no
-// recorded exposure.
+// ErrNoEstimate reports a bucket with no usable observation behind
+// it — a normal condition callers typically answer with a fallback
+// (catalog defaults), as opposed to the store's data-integrity
+// errors, which are faults.
+var ErrNoEstimate = errors.New("telemetry: no estimate")
+
+// Estimate derives Params for a bucket. It fails with ErrNoEstimate
+// (test via errors.Is) when the bucket has no recorded exposure.
 func (s *Store) Estimate(provider, class string) (Params, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	b, ok := s.series[seriesKey{provider: provider, class: class}]
 	if !ok || b.exposureMinutes <= 0 {
-		return Params{}, fmt.Errorf("telemetry: no exposure recorded for %s/%s", provider, class)
+		return Params{}, fmt.Errorf("%w: no exposure recorded for %s/%s", ErrNoEstimate, provider, class)
 	}
 
 	down := b.downMinutes / b.exposureMinutes

@@ -10,17 +10,40 @@
 // probabilistic failure model and its monthly total cost of ownership
 // (HA cost + expected penalty), and recommends the cheapest variant.
 //
-// Quick start:
+// In-process quick start — every engine entry point takes a
+// context.Context and aborts its enumeration when the context is
+// cancelled:
 //
 //	engine, err := uptimebroker.DefaultEngine()
 //	if err != nil { ... }
-//	rec, err := engine.Recommend(uptimebroker.CaseStudy())
+//	rec, err := engine.Recommend(ctx, uptimebroker.CaseStudy())
 //	if err != nil { ... }
 //	fmt.Println(rec.Best().Label(), rec.Best().TCO)
 //
-// The facade re-exports the domain types from the internal packages;
-// downstream code only imports this package (plus the standard
-// library).
+// Many scenarios price concurrently across a bounded worker pool:
+//
+//	items := engine.RecommendBatch(ctx, []uptimebroker.Request{reqA, reqB})
+//
+// Over HTTP, the v2 client speaks the job-oriented surface — submit
+// asynchronous work, poll or wait for it, cancel it mid-run — with
+// retries and typed RFC 9457 errors:
+//
+//	client, err := uptimebroker.NewClient("http://broker:8080",
+//		uptimebroker.WithRetries(3))
+//	if err != nil { ... }
+//	wire := uptimebroker.WireRequest(uptimebroker.CaseStudy())
+//	job, err := client.SubmitJob(ctx, "recommend", wire)
+//	if err != nil { ... }
+//	job, err = client.WaitJob(ctx, job.ID)
+//	if err != nil {
+//		var apiErr *uptimebroker.APIError
+//		if errors.As(err, &apiErr) { fmt.Println(apiErr.Code) }
+//	}
+//	resp, err := job.Recommendation()
+//
+// See docs/api.md for every v1 and v2 route with examples. The facade
+// re-exports the domain types from the internal packages; downstream
+// code only imports this package (plus the standard library).
 package uptimebroker
 
 import (
@@ -28,6 +51,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net/http"
 	"time"
 
 	"uptimebroker/internal/availability"
@@ -37,6 +61,7 @@ import (
 	"uptimebroker/internal/cost"
 	"uptimebroker/internal/failsim"
 	"uptimebroker/internal/httpapi"
+	"uptimebroker/internal/jobs"
 	"uptimebroker/internal/lifecycle"
 	"uptimebroker/internal/report"
 	"uptimebroker/internal/telemetry"
@@ -100,8 +125,31 @@ type (
 
 	// Server is the HTTP facade of the brokerage.
 	Server = httpapi.Server
+	// ServerOption customizes NewServer (rate limiting, job TTL and
+	// worker pool sizing).
+	ServerOption = httpapi.ServerOption
 	// Client is the typed HTTP client.
 	Client = httpapi.Client
+	// ClientOption customizes NewClient (transport, retries, polling).
+	ClientOption = httpapi.ClientOption
+	// APIError is the typed problem+json error the client returns;
+	// unwrap with errors.As and dispatch on Code.
+	APIError = httpapi.APIError
+	// JobStatus is one async job's client-side state.
+	JobStatus = httpapi.JobStatus
+	// BatchItem is one request's outcome within RecommendBatch.
+	BatchItem = broker.BatchItem
+	// JobMetrics are the job subsystem's operational counters.
+	JobMetrics = jobs.Metrics
+	// RecommendationRequest is the wire form of a brokerage request —
+	// what the HTTP client's Recommend/SubmitJob/RecommendBatch take.
+	RecommendationRequest = httpapi.RecommendationRequest
+	// RecommendationResponse is the wire form of a brokerage answer.
+	RecommendationResponse = httpapi.RecommendationResponse
+	// OptionCardDTO is the wire form of one solution option.
+	OptionCardDTO = httpapi.OptionCardDTO
+	// BatchResponse is the wire form of a batch pricing reply.
+	BatchResponse = httpapi.BatchResponse
 
 	// Cloud is a simulated IaaS provider control plane.
 	Cloud = cloudsim.Cloud
@@ -187,15 +235,51 @@ func Simulate(ctx context.Context, cfg SimConfig) (SimEstimate, error) {
 // NewTelemetryStore returns an empty telemetry store.
 func NewTelemetryStore() *TelemetryStore { return telemetry.NewStore() }
 
-// NewServer wires the brokerage HTTP service. store may be nil for a
+// NewServer wires the brokerage HTTP service, including the async
+// job subsystem (stop it with Server.Close). store may be nil for a
 // read-only broker; logger may be nil to disable request logging.
-func NewServer(engine *Engine, store *TelemetryStore, logger *log.Logger) (*Server, error) {
-	return httpapi.NewServer(engine, store, logger)
+func NewServer(engine *Engine, store *TelemetryStore, logger *log.Logger, opts ...ServerOption) (*Server, error) {
+	return httpapi.NewServer(engine, store, logger, opts...)
 }
 
+// WithRateLimit enables server-side token-bucket rate limiting.
+func WithRateLimit(rate float64, burst int) ServerOption {
+	return httpapi.WithRateLimit(rate, burst)
+}
+
+// WithJobTTL sets how long the server retains finished async jobs.
+func WithJobTTL(d time.Duration) ServerOption { return httpapi.WithJobTTL(d) }
+
+// WithJobWorkers sets the server's async job worker pool size.
+func WithJobWorkers(n int) ServerOption { return httpapi.WithJobWorkers(n) }
+
 // NewClient builds a typed client for a brokerage service URL.
-func NewClient(baseURL string) (*Client, error) {
-	return httpapi.NewClient(baseURL, nil)
+func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
+	return httpapi.NewClient(baseURL, nil, opts...)
+}
+
+// WithHTTPClient swaps the client's underlying *http.Client.
+func WithHTTPClient(hc *http.Client) ClientOption { return httpapi.WithHTTPClient(hc) }
+
+// WithRetries enables up to n retries of idempotent calls.
+func WithRetries(n int) ClientOption { return httpapi.WithRetries(n) }
+
+// WithRetryBackoff sets the client's base retry backoff.
+func WithRetryBackoff(d time.Duration) ClientOption { return httpapi.WithRetryBackoff(d) }
+
+// WithPollInterval sets WaitJob's initial poll interval.
+func WithPollInterval(d time.Duration) ClientOption { return httpapi.WithPollInterval(d) }
+
+// WireRequest converts a domain Request to the wire form the HTTP
+// client sends — the bridge between in-process and over-the-wire use.
+func WireRequest(req Request) RecommendationRequest {
+	return RecommendationRequest{
+		Base:              req.Base,
+		SLAPercent:        req.SLA.UptimePercent,
+		PenaltyPerHourUSD: req.SLA.Penalty.PerHour.Dollars(),
+		AsIs:              map[string]string(req.AsIs),
+		AllowedTechs:      req.AllowedTechs,
+	}
 }
 
 // Uptime evaluates the analytic uptime U_s (Equation 4) of a clustered

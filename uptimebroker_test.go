@@ -2,6 +2,7 @@ package uptimebroker
 
 import (
 	"context"
+	"errors"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -14,7 +15,7 @@ func TestFacadeQuickstart(t *testing.T) {
 	if err != nil {
 		t.Fatalf("DefaultEngine: %v", err)
 	}
-	rec, err := engine.Recommend(CaseStudy())
+	rec, err := engine.Recommend(context.Background(), CaseStudy())
 	if err != nil {
 		t.Fatalf("Recommend: %v", err)
 	}
@@ -92,6 +93,77 @@ func TestFacadeServerClient(t *testing.T) {
 	}
 	if len(techs) < 8 {
 		t.Fatalf("technologies = %d", len(techs))
+	}
+}
+
+// TestFacadeAsyncJobs drives the documented v2 quick start: submit an
+// async job through the facade client, wait for it, decode the
+// result, and batch-price several scenarios — public API only.
+func TestFacadeAsyncJobs(t *testing.T) {
+	engine, err := DefaultEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(engine, nil, nil, WithJobTTL(time.Minute), WithJobWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client, err := NewClient(ts.URL, WithRetries(2), WithRetryBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	wire := WireRequest(CaseStudy())
+
+	job, err := client.SubmitJob(ctx, "recommend", wire)
+	if err != nil {
+		t.Fatalf("SubmitJob: %v", err)
+	}
+	job, err = client.WaitJob(ctx, job.ID)
+	if err != nil {
+		t.Fatalf("WaitJob: %v", err)
+	}
+	resp, err := job.Recommendation()
+	if err != nil {
+		t.Fatalf("Recommendation: %v", err)
+	}
+	if resp.BestOption != 3 {
+		t.Fatalf("async BestOption = %d, want 3", resp.BestOption)
+	}
+
+	batch, err := client.RecommendBatch(ctx, []RecommendationRequest{wire, wire})
+	if err != nil {
+		t.Fatalf("RecommendBatch: %v", err)
+	}
+	if batch.Succeeded != 2 || batch.Failed != 0 {
+		t.Fatalf("batch = %d/%d", batch.Succeeded, batch.Failed)
+	}
+
+	// Unknown jobs surface as typed APIErrors with stable codes.
+	_, err = client.GetJob(ctx, "job-99999999")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != "job_not_found" {
+		t.Fatalf("GetJob unknown = %v, want APIError job_not_found", err)
+	}
+}
+
+func TestFacadeRecommendBatch(t *testing.T) {
+	engine, err := DefaultEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := engine.RecommendBatch(context.Background(), []Request{CaseStudy(), CaseStudy()})
+	for i, item := range items {
+		if item.Err != nil {
+			t.Fatalf("item %d: %v", i, item.Err)
+		}
+		if item.Rec.BestOption != 3 {
+			t.Fatalf("item %d BestOption = %d", i, item.Rec.BestOption)
+		}
 	}
 }
 
