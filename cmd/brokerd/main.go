@@ -3,7 +3,15 @@
 //
 // Usage:
 //
-//	brokerd [-addr :8080] [-quiet] [-rate-limit 0] [-job-ttl 15m] [-job-workers 0]
+//	brokerd [-addr :8080] [-quiet] [-rate-limit 0] [-rate-limit-per-client 0]
+//	        [-job-ttl 15m] [-job-workers 0] [-data-dir DIR] [-snapshot-interval 1m]
+//
+// With -data-dir the async job store is durable: every submission,
+// state transition and result is journaled to a write-ahead log in
+// DIR (compacted into a snapshot every -snapshot-interval), and a
+// restart recovers it — completed results stay fetchable, queued jobs
+// re-run, and jobs that were mid-run report a restart_lost failure.
+// Without -data-dir the store is in-memory, as before.
 //
 // Routes (see docs/api.md for request/response shapes):
 //
@@ -18,8 +26,9 @@
 //	POST   /v1/scenarios/{name}/recommendation
 //	POST   /v2/...                       v2 mirrors of every v1 route, plus:
 //	POST   /v2/jobs                      submit an async recommend/pareto job
-//	GET    /v2/jobs                      list jobs + queue metrics
+//	GET    /v2/jobs                      list jobs + metrics (?state=, ?limit=)
 //	GET    /v2/jobs/{id}                 poll one job
+//	GET    /v2/jobs/{id}/events          live progress (SSE, polling fallback)
 //	DELETE /v2/jobs/{id}                 cancel a queued or running job
 //	POST   /v2/recommendations/batch     price many scenarios concurrently
 //
@@ -55,13 +64,18 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("brokerd", flag.ContinueOnError)
 	var (
-		addr          = fs.String("addr", ":8080", "listen address")
-		quiet         = fs.Bool("quiet", false, "disable request logging")
-		telemetryFile = fs.String("telemetry-file", "", "path to persist the telemetry database across restarts")
-		rateLimit     = fs.Float64("rate-limit", 0, "max requests/second across all routes (0 disables limiting)")
-		rateBurst     = fs.Int("rate-burst", 10, "rate limiter burst size")
-		jobTTL        = fs.Duration("job-ttl", 15*time.Minute, "how long finished async jobs stay pollable")
-		jobWorkers    = fs.Int("job-workers", 0, "async job worker pool size (0 = GOMAXPROCS)")
+		addr            = fs.String("addr", ":8080", "listen address")
+		quiet           = fs.Bool("quiet", false, "disable request logging")
+		telemetryFile   = fs.String("telemetry-file", "", "path to persist the telemetry database across restarts")
+		rateLimit       = fs.Float64("rate-limit", 0, "max requests/second across all routes (0 disables limiting)")
+		rateBurst       = fs.Int("rate-burst", 10, "rate limiter burst size")
+		clientRateLimit = fs.Float64("rate-limit-per-client", 0, "max requests/second per client IP (0 disables)")
+		clientRateBurst = fs.Int("rate-burst-per-client", 10, "per-client rate limiter burst size")
+		trustProxy      = fs.Bool("trust-proxy", false, "key per-client limits on the rightmost X-Forwarded-For entry (only behind a trusted proxy)")
+		jobTTL          = fs.Duration("job-ttl", 15*time.Minute, "how long finished async jobs stay pollable")
+		jobWorkers      = fs.Int("job-workers", 0, "async job worker pool size (0 = GOMAXPROCS)")
+		dataDir         = fs.String("data-dir", "", "directory for the durable job store WAL + snapshots (empty = in-memory jobs)")
+		snapInterval    = fs.Duration("snapshot-interval", time.Minute, "how often the job WAL is compacted into a snapshot (with -data-dir)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -102,8 +116,17 @@ func run(args []string) error {
 	if *rateLimit > 0 {
 		opts = append(opts, httpapi.WithRateLimit(*rateLimit, *rateBurst))
 	}
+	if *clientRateLimit > 0 {
+		opts = append(opts, httpapi.WithPerClientRateLimit(*clientRateLimit, *clientRateBurst))
+	}
+	if *trustProxy {
+		opts = append(opts, httpapi.WithTrustedProxy())
+	}
 	if *jobWorkers > 0 {
 		opts = append(opts, httpapi.WithJobWorkers(*jobWorkers))
+	}
+	if *dataDir != "" {
+		opts = append(opts, httpapi.WithJobDir(*dataDir), httpapi.WithJobSnapshotInterval(*snapInterval))
 	}
 	server, err := httpapi.NewServer(engine, store, logger, opts...)
 	if err != nil {

@@ -12,10 +12,12 @@
 //	pareto      print the cost × uptime frontier for a request
 //	job         async brokerage over /v2/jobs:
 //	              job submit -kind recommend|pareto (-topology|-casestudy)
+//	                         [-wait] [-quiet]
 //	              job status JOB-ID
-//	              job wait   JOB-ID
+//	              job wait   [-quiet] JOB-ID   (streams evaluated/space_size
+//	                         progress to stderr unless -quiet)
 //	              job cancel JOB-ID
-//	              job list
+//	              job list   [-state STATE] [-limit N]
 //	scenarios   list the built-in scenario library, or -run NAME one
 //	catalog     list the HA technologies and providers
 //	params      show the parameter estimate for -provider and -class
@@ -345,6 +347,7 @@ func cmdJob(ctx context.Context, client *httpapi.Client, args []string) error {
 			topologyPath = fs.String("topology", "", "path to a recommendation request JSON file")
 			caseStudy    = fs.Bool("casestudy", false, "use the paper's built-in case study request")
 			wait         = fs.Bool("wait", false, "block until the job finishes and print its result")
+			quiet        = fs.Bool("quiet", false, "with -wait: suppress the live progress display")
 		)
 		if err := fs.Parse(args[1:]); err != nil {
 			return err
@@ -361,11 +364,7 @@ func cmdJob(ctx context.Context, client *httpapi.Client, args []string) error {
 			fmt.Printf("%s %s (%s)\n", status.ID, status.State, status.Kind)
 			return nil
 		}
-		status, err = client.WaitJob(ctx, status.ID)
-		if err != nil {
-			return err
-		}
-		return printJob(status, true)
+		return waitJobVerbose(ctx, client, status.ID, *quiet)
 	case "status":
 		if len(args) != 2 {
 			return fmt.Errorf("usage: job status JOB-ID")
@@ -376,14 +375,15 @@ func cmdJob(ctx context.Context, client *httpapi.Client, args []string) error {
 		}
 		return printJob(status, false)
 	case "wait":
-		if len(args) != 2 {
-			return fmt.Errorf("usage: job wait JOB-ID")
-		}
-		status, err := client.WaitJob(ctx, args[1])
-		if err != nil {
+		fs := flag.NewFlagSet("job wait", flag.ContinueOnError)
+		quiet := fs.Bool("quiet", false, "suppress the live progress display on stderr")
+		if err := fs.Parse(args[1:]); err != nil {
 			return err
 		}
-		return printJob(status, true)
+		if fs.NArg() != 1 {
+			return fmt.Errorf("usage: job wait [-quiet] JOB-ID")
+		}
+		return waitJobVerbose(ctx, client, fs.Arg(0), *quiet)
 	case "cancel":
 		if len(args) != 2 {
 			return fmt.Errorf("usage: job cancel JOB-ID")
@@ -394,19 +394,60 @@ func cmdJob(ctx context.Context, client *httpapi.Client, args []string) error {
 		}
 		return printJob(status, false)
 	case "list":
-		jobsList, err := client.ListJobs(ctx)
+		fs := flag.NewFlagSet("job list", flag.ContinueOnError)
+		var (
+			state = fs.String("state", "", "only list jobs in this state (queued, running, done, failed, cancelled)")
+			limit = fs.Int("limit", 0, "list at most N jobs, newest first (0 = all)")
+		)
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		jobsList, err := client.ListJobs(ctx, httpapi.WithStateFilter(*state), httpapi.WithLimit(*limit))
 		if err != nil {
 			return err
 		}
 		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(w, "id\tkind\tstate\tcreated")
+		fmt.Fprintln(w, "id\tkind\tstate\tprogress\tcreated")
 		for _, j := range jobsList {
-			fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", j.ID, j.Kind, j.State, j.CreatedAt.Format(time.RFC3339))
+			progress := "-"
+			if j.Progress != nil {
+				progress = fmt.Sprintf("%.1f%%", j.Progress.Percent)
+			}
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\n", j.ID, j.Kind, j.State, progress, j.CreatedAt.Format(time.RFC3339))
 		}
 		return w.Flush()
 	default:
 		return fmt.Errorf("unknown job subcommand %q (submit, status, wait, cancel, list)", args[0])
 	}
+}
+
+// waitJobVerbose waits for a job, streaming live progress
+// (evaluated/space_size with a percentage) to stderr so a long
+// enumeration is not a silent stall; -quiet suppresses the display.
+// The rendered result goes to stdout as usual, so piping it stays
+// clean either way.
+func waitJobVerbose(ctx context.Context, client *httpapi.Client, id string, quiet bool) error {
+	var opts []httpapi.WaitOption
+	shown := false
+	if !quiet {
+		opts = append(opts, httpapi.WithProgress(func(p httpapi.JobProgress) {
+			if p.SpaceSize > 0 {
+				fmt.Fprintf(os.Stderr, "\r%s %s: %d/%d evaluated (%.1f%%)  ",
+					p.JobID, p.State, p.Evaluated, p.SpaceSize, 100*p.Fraction())
+			} else {
+				fmt.Fprintf(os.Stderr, "\r%s %s...  ", p.JobID, p.State)
+			}
+			shown = true
+		}))
+	}
+	status, err := client.WaitJob(ctx, id, opts...)
+	if shown {
+		fmt.Fprintln(os.Stderr)
+	}
+	if err != nil {
+		return err
+	}
+	return printJob(status, true)
 }
 
 // printJob renders one job; withResult also renders a finished

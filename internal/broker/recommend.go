@@ -80,6 +80,17 @@ func (c OptionCard) Plan() Plan {
 	return p
 }
 
+// WithSearchProgress attaches a live search-progress hook to the
+// context: the enumeration loops underneath Recommend and Pareto
+// report (candidates accounted for, space size k^n) through it on a
+// fixed cadence. Recommend runs two passes (full pricing for the
+// option cards, then the pruned search for the effort statistics);
+// consumers wanting a monotone bar should clamp to the maximum seen,
+// which is what the jobs store's Progress does.
+func WithSearchProgress(ctx context.Context, fn func(evaluated, spaceSize int64)) context.Context {
+	return optimize.WithProgress(ctx, fn)
+}
+
 // SearchStats reports how much work the Section III.C pruned search
 // saved relative to exhaustive enumeration.
 type SearchStats struct {

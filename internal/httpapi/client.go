@@ -1,6 +1,7 @@
 package httpapi
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -8,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -202,6 +204,7 @@ type JobStatus struct {
 	StartedAt  *time.Time      `json:"started_at,omitempty"`
 	FinishedAt *time.Time      `json:"finished_at,omitempty"`
 	Result     json.RawMessage `json:"result,omitempty"`
+	Progress   *JobProgressDTO `json:"progress,omitempty"`
 	Error      *JobErrorDTO    `json:"error,omitempty"`
 }
 
@@ -267,15 +270,93 @@ func (c *Client) CancelJob(ctx context.Context, id string) (JobStatus, error) {
 	return out, err
 }
 
-// WaitJob polls a job with exponential backoff until it reaches a
-// terminal state or ctx expires.
-func (c *Client) WaitJob(ctx context.Context, id string) (JobStatus, error) {
+// JobProgress is one live progress observation delivered to a
+// WithProgress callback while waiting on a job.
+type JobProgress struct {
+	// JobID identifies the job.
+	JobID string
+
+	// State is the job's lifecycle state at observation time.
+	State string
+
+	// Evaluated and SpaceSize are the enumeration's position: how
+	// many of the k^n candidates have been accounted for. Zero until
+	// the job's search loops report anything.
+	Evaluated int64
+	SpaceSize int64
+}
+
+// Fraction returns the completed share of the search space in [0, 1].
+func (p JobProgress) Fraction() float64 {
+	if p.SpaceSize <= 0 {
+		return 0
+	}
+	f := float64(p.Evaluated) / float64(p.SpaceSize)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// progressOf maps a job status to its progress observation.
+func progressOf(status JobStatus) JobProgress {
+	p := JobProgress{JobID: status.ID, State: status.State}
+	if status.Progress != nil {
+		p.Evaluated = status.Progress.Evaluated
+		p.SpaceSize = status.Progress.SpaceSize
+	}
+	return p
+}
+
+// waitConfig collects WaitJob's per-call options.
+type waitConfig struct {
+	onProgress func(JobProgress)
+}
+
+// WaitOption customizes one WaitJob call.
+type WaitOption func(*waitConfig)
+
+// WithProgress registers a callback receiving live progress while the
+// job runs: state transitions and evaluated/space_size updates. The
+// client subscribes to the server's Server-Sent Events stream and
+// falls back to polling against servers (or transports) that cannot
+// stream; either way the callback observes a monotonically advancing
+// enumeration. The callback runs on the waiting goroutine — keep it
+// fast.
+func WithProgress(fn func(JobProgress)) WaitOption {
+	return func(c *waitConfig) { c.onProgress = fn }
+}
+
+// WaitJob waits until the job reaches a terminal state or ctx
+// expires, streaming progress when a WithProgress option asks for it
+// and polling with exponential backoff otherwise.
+func (c *Client) WaitJob(ctx context.Context, id string, opts ...WaitOption) (JobStatus, error) {
+	var cfg waitConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.onProgress != nil {
+		if status, handled, err := c.streamJob(ctx, id, cfg.onProgress); handled {
+			return status, err
+		}
+		// SSE unavailable (older server, buffering proxy, transport
+		// error mid-stream): degrade to polling below.
+	}
+
 	interval := c.pollBase
 	const maxInterval = time.Second
+	var last JobProgress
+	reported := false
 	for {
 		status, err := c.GetJob(ctx, id)
 		if err != nil {
 			return JobStatus{}, err
+		}
+		if cfg.onProgress != nil {
+			if p := progressOf(status); !reported || p != last {
+				cfg.onProgress(p)
+				last, reported = p, true
+			}
 		}
 		if status.Terminal() {
 			return status, nil
@@ -294,12 +375,107 @@ func (c *Client) WaitJob(ctx context.Context, id string) (JobStatus, error) {
 	}
 }
 
-// ListJobs lists the server's retained jobs, newest first.
-func (c *Client) ListJobs(ctx context.Context) ([]JobStatus, error) {
+// streamJob consumes GET /v2/jobs/{id}/events as Server-Sent Events.
+// handled reports whether the stream answered the wait; false means
+// the caller should fall back to polling (it is returned with a nil
+// error for transport-level trouble, so the fallback decides what the
+// client ultimately sees).
+func (c *Client) streamJob(ctx context.Context, id string, onProgress func(JobProgress)) (status JobStatus, handled bool, err error) {
+	req, reqErr := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+"/v2/jobs/"+url.PathEscape(id)+"/events", nil)
+	if reqErr != nil {
+		return JobStatus{}, false, nil
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, doErr := c.http.Do(req)
+	if doErr != nil {
+		// Context cancellation is final; other transport errors fall
+		// back to polling.
+		if ctx.Err() != nil {
+			return JobStatus{}, true, ctx.Err()
+		}
+		return JobStatus{}, false, nil
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(resp.Header.Get("Content-Type"), "text/event-stream") {
+		// 404s, problems and polling-fallback JSON all route through
+		// GetJob for a properly typed error.
+		return JobStatus{}, false, nil
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " ")...)
+		case line == "" && len(data) > 0:
+			var st JobStatus
+			if jsonErr := json.Unmarshal(data, &st); jsonErr != nil {
+				return JobStatus{}, false, nil
+			}
+			data = data[:0]
+			onProgress(progressOf(st))
+			if st.Terminal() {
+				// Stream events never carry the result payload; fetch
+				// the full job document now that it is final.
+				full, getErr := c.GetJob(ctx, id)
+				if getErr != nil {
+					return JobStatus{}, true, getErr
+				}
+				return full, true, nil
+			}
+		}
+	}
+	if ctx.Err() != nil {
+		return JobStatus{}, true, ctx.Err()
+	}
+	// Stream ended without a terminal event (server restarted, proxy
+	// timeout): resume by polling.
+	return JobStatus{}, false, nil
+}
+
+// ListOption narrows a ListJobs call.
+type ListOption func(url.Values)
+
+// WithStateFilter restricts the listing to one lifecycle state
+// (queued, running, done, failed or cancelled).
+func WithStateFilter(state string) ListOption {
+	return func(q url.Values) {
+		if state != "" {
+			q.Set("state", state)
+		}
+	}
+}
+
+// WithLimit caps how many jobs the server returns (newest first).
+func WithLimit(n int) ListOption {
+	return func(q url.Values) {
+		if n > 0 {
+			q.Set("limit", strconv.Itoa(n))
+		}
+	}
+}
+
+// ListJobs lists the server's retained jobs, newest first, optionally
+// filtered and paginated.
+func (c *Client) ListJobs(ctx context.Context, opts ...ListOption) ([]JobStatus, error) {
+	q := url.Values{}
+	for _, opt := range opts {
+		opt(q)
+	}
+	path := "/v2/jobs"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
 	var out struct {
 		Jobs []JobStatus `json:"jobs"`
 	}
-	err := c.do(ctx, http.MethodGet, "/v2/jobs", nil, &out)
+	err := c.do(ctx, http.MethodGet, path, nil, &out)
 	return out.Jobs, err
 }
 

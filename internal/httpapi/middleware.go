@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -70,6 +72,19 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	}
 	return r.ResponseWriter.Write(b)
 }
+
+// Flush forwards to the underlying writer so wrapping a handler in
+// Logging does not hide its streaming ability — the SSE route
+// type-asserts http.Flusher and would silently degrade to its
+// polling fallback otherwise.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap supports http.ResponseController pass-through.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 
 // Logging logs one line per request with method, path, status and
 // wall time. A nil logger disables it without breaking the chain.
@@ -178,6 +193,134 @@ func exempt(path string, mw Middleware) Middleware {
 // limiter.
 func RateLimit(rate float64, burst int) Middleware {
 	return rateLimitClock(rate, burst, nil)
+}
+
+// clientIP extracts the requesting client's address. Without
+// trustProxy it is strictly the connection's remote host — request
+// headers are attacker-controlled and must not mint rate-limit
+// buckets. With trustProxy (the broker sits behind a proxy that
+// appends the real client to X-Forwarded-For) it is the *rightmost*
+// XFF entry: the one written by the trusted hop, where the leftmost
+// entries are whatever the client claimed.
+func clientIP(r *http.Request, trustProxy bool) string {
+	if trustProxy {
+		if xff := r.Header.Get("X-Forwarded-For"); xff != "" {
+			if i := strings.LastIndexByte(xff, ','); i >= 0 {
+				xff = xff[i+1:]
+			}
+			if ip := strings.TrimSpace(xff); ip != "" {
+				return ip
+			}
+		}
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// Per-client limiter housekeeping: buckets untouched for the idle TTL
+// are dropped (they have refilled to their burst, so eviction loses
+// nothing), checked every sweepEvery requests so the map cannot grow
+// with one entry per client that ever connected.
+const (
+	clientIdleTTL    = 5 * time.Minute
+	clientSweepEvery = 256
+)
+
+// clientBuckets keys token buckets by client IP.
+type clientBuckets struct {
+	mu      sync.Mutex
+	rate    float64
+	burst   int
+	now     func() time.Time
+	buckets map[string]*tokenBucket
+	ops     int
+}
+
+func newClientBuckets(rate float64, burst int, now func() time.Time) *clientBuckets {
+	if now == nil {
+		now = time.Now
+	}
+	return &clientBuckets{rate: rate, burst: burst, now: now, buckets: make(map[string]*tokenBucket)}
+}
+
+// allow consumes one token from the client's bucket, creating it on
+// first sight and sweeping idle buckets on a cadence.
+func (c *clientBuckets) allow(ip string) bool {
+	c.mu.Lock()
+	c.ops++
+	if c.ops%clientSweepEvery == 0 {
+		c.sweepLocked()
+	}
+	b, ok := c.buckets[ip]
+	if !ok {
+		b = newTokenBucket(c.rate, c.burst, c.now)
+		c.buckets[ip] = b
+	}
+	c.mu.Unlock()
+	return b.allow()
+}
+
+// sweepLocked evicts buckets idle past the TTL.
+func (c *clientBuckets) sweepLocked() {
+	cutoff := c.now().Add(-clientIdleTTL)
+	for ip, b := range c.buckets {
+		b.mu.Lock()
+		idle := b.last.Before(cutoff)
+		b.mu.Unlock()
+		if idle {
+			delete(c.buckets, ip)
+		}
+	}
+}
+
+// size reports the live bucket count (for tests and metrics).
+func (c *clientBuckets) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.buckets)
+}
+
+// PerClientRateLimit rejects each client exceeding rate
+// requests/second (bucket depth burst) with a rate_limited problem,
+// keying buckets on the client IP. It isolates tenants from one
+// another — one chatty client exhausts its own bucket, not the
+// shared one — and composes with the global RateLimit, which stays
+// the overall cap. rate <= 0 disables it. trustProxy keys on the
+// rightmost X-Forwarded-For entry instead of the connection address;
+// enable it only when a trusted proxy fronts the broker, since a
+// directly-connected client could otherwise forge a fresh "IP" per
+// request and never be limited.
+func PerClientRateLimit(rate float64, burst int, trustProxy bool) Middleware {
+	return perClientRateLimitClock(rate, burst, trustProxy, nil)
+}
+
+// perClientRateLimitClock is PerClientRateLimit with an injectable
+// clock for tests.
+func perClientRateLimitClock(rate float64, burst int, trustProxy bool, now func() time.Time) Middleware {
+	return func(next http.Handler) http.Handler {
+		if rate <= 0 {
+			return next
+		}
+		if burst < 1 {
+			burst = 1
+		}
+		buckets := newClientBuckets(rate, burst, now)
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			ip := clientIP(r, trustProxy)
+			if !buckets.allow(ip) {
+				p := NewProblem(CodeRateLimited, http.StatusTooManyRequests,
+					fmt.Sprintf("per-client rate limit of %g requests/second exceeded", rate))
+				p.RequestID = RequestIDFrom(r.Context())
+				w.Header().Set("Retry-After", "1")
+				writeProblem(w, p)
+				return
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
 }
 
 // rateLimitClock is RateLimit with an injectable clock for tests.

@@ -26,6 +26,7 @@ const (
 	CodeInternal          = "internal"            // unclassified server fault
 	CodeUnavailable       = "service_unavailable" // server shutting down
 	CodeCancelled         = "cancelled"           // job cancelled before completing
+	CodeRestartLost       = "restart_lost"        // job was mid-run when the broker restarted
 )
 
 // Problem is the RFC 9457 error body used on every non-2xx response,

@@ -12,6 +12,7 @@ import (
 	"uptimebroker/internal/broker"
 	"uptimebroker/internal/catalog"
 	"uptimebroker/internal/jobs"
+	"uptimebroker/internal/jobstore"
 	"uptimebroker/internal/scenario"
 	"uptimebroker/internal/telemetry"
 )
@@ -21,12 +22,17 @@ const maxBodyBytes = 1 << 20
 
 // serverConfig collects the tunables behind the ServerOptions.
 type serverConfig struct {
-	rateLimit  float64
-	rateBurst  int
-	jobTTL     time.Duration
-	jobGC      time.Duration
-	jobWorkers int
-	jobQueue   int
+	rateLimit       float64
+	rateBurst       int
+	clientRateLimit float64
+	clientRateBurst int
+	trustProxy      bool
+	jobTTL          time.Duration
+	jobGC           time.Duration
+	jobWorkers      int
+	jobQueue        int
+	jobDir          string
+	jobSnapInterval time.Duration
 }
 
 // ServerOption customizes NewServer.
@@ -40,6 +46,45 @@ func WithRateLimit(rate float64, burst int) ServerOption {
 		c.rateLimit = rate
 		c.rateBurst = burst
 	}
+}
+
+// WithPerClientRateLimit enables per-client token buckets keyed on
+// the client IP: each client gets rate requests/second with the
+// given burst, isolating tenants from one another while
+// WithRateLimit stays the overall cap. rate <= 0 (the default)
+// disables it. The key is the connection's remote address unless
+// WithTrustedProxy is also set.
+func WithPerClientRateLimit(rate float64, burst int) ServerOption {
+	return func(c *serverConfig) {
+		c.clientRateLimit = rate
+		c.clientRateBurst = burst
+	}
+}
+
+// WithTrustedProxy declares that a trusted reverse proxy fronts the
+// server and appends the real client to X-Forwarded-For; per-client
+// rate limiting then keys on the rightmost XFF entry instead of the
+// (proxy's) connection address. Do not set it for directly exposed
+// servers — XFF is client-forgeable there.
+func WithTrustedProxy() ServerOption {
+	return func(c *serverConfig) { c.trustProxy = true }
+}
+
+// WithJobDir makes the async job store durable: submissions, state
+// transitions, progress and results are journaled to a WAL in dir and
+// recovered on the next start (queued jobs re-queued, mid-run jobs
+// failed with a restart_lost error, finished results kept, job IDs
+// strictly increasing across restarts). An empty dir (the default)
+// keeps the store purely in-memory.
+func WithJobDir(dir string) ServerOption {
+	return func(c *serverConfig) { c.jobDir = dir }
+}
+
+// WithJobSnapshotInterval sets how often the durable job store
+// compacts its WAL into a snapshot (default 1m). Only meaningful with
+// WithJobDir.
+func WithJobSnapshotInterval(d time.Duration) ServerOption {
+	return func(c *serverConfig) { c.jobSnapInterval = d }
 }
 
 // WithJobTTL sets how long finished async jobs are retained for
@@ -102,12 +147,32 @@ func NewServer(engine *broker.Engine, store *telemetry.Store, logger *log.Logger
 	if cfg.jobQueue > 0 {
 		jobOpts = append(jobOpts, jobs.WithQueueCapacity(cfg.jobQueue))
 	}
+	if cfg.jobSnapInterval > 0 {
+		jobOpts = append(jobOpts, jobs.WithSnapshotInterval(cfg.jobSnapInterval))
+	}
 
 	s := &Server{
 		engine: engine,
 		store:  store,
 		logger: logger,
-		jobs:   jobs.NewStore(jobOpts...),
+	}
+	if cfg.jobDir != "" {
+		backend, err := jobstore.OpenFile(cfg.jobDir)
+		if err != nil {
+			return nil, fmt.Errorf("httpapi: opening job store: %w", err)
+		}
+		jobStore, err := jobs.Open(backend, s.jobResolver, jobOpts...)
+		if err != nil {
+			_ = backend.Close()
+			return nil, fmt.Errorf("httpapi: recovering job store: %w", err)
+		}
+		s.jobs = jobStore
+		if logger != nil {
+			m := jobStore.Metrics()
+			logger.Printf("recovered %d persisted jobs from %s (%d re-queued)", m.Recovered, cfg.jobDir, m.QueueDepth)
+		}
+	} else {
+		s.jobs = jobs.NewStore(jobOpts...)
 	}
 
 	mux := http.NewServeMux()
@@ -137,6 +202,7 @@ func NewServer(engine *broker.Engine, store *telemetry.Store, logger *log.Logger
 	mux.HandleFunc("POST /v2/jobs", s.handleJobSubmit)
 	mux.HandleFunc("GET /v2/jobs", s.handleJobList)
 	mux.HandleFunc("GET /v2/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /v2/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("DELETE /v2/jobs/{id}", s.handleJobCancel)
 
 	// The ServeMux's own 404/405 replies are plain text; wrap them
@@ -153,6 +219,9 @@ func NewServer(engine *broker.Engine, store *telemetry.Store, logger *log.Logger
 		// that 429s /healthz would get the server restarted by the
 		// very traffic it is absorbing.
 		mws = append(mws, exempt("/healthz", RateLimit(cfg.rateLimit, cfg.rateBurst)))
+	}
+	if cfg.clientRateLimit > 0 {
+		mws = append(mws, exempt("/healthz", PerClientRateLimit(cfg.clientRateLimit, cfg.clientRateBurst, cfg.trustProxy)))
 	}
 	mws = append(mws, MaxBody(maxBodyBytes))
 	s.handler = Chain(root, mws...)

@@ -2,9 +2,12 @@ package httpapi
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
 	"uptimebroker/internal/broker"
@@ -59,15 +62,36 @@ type JobDTO struct {
 	// pareto jobs.
 	Result any `json:"result,omitempty"`
 
+	// Progress reports the enumeration's position once the job's
+	// search loops have reported any; absent before that.
+	Progress *JobProgressDTO `json:"progress,omitempty"`
+
 	// Error describes the failure once state is failed or cancelled.
 	Error *JobErrorDTO `json:"error,omitempty"`
 }
 
+// JobProgressDTO is the wire form of a job's live search progress.
+type JobProgressDTO struct {
+	// Evaluated is how many of the space's candidates have been
+	// accounted for (priced or clipped) so far.
+	Evaluated int64 `json:"evaluated"`
+
+	// SpaceSize is k^n, the full candidate space.
+	SpaceSize int64 `json:"space_size"`
+
+	// Percent is 100 × Evaluated/SpaceSize, clamped to [0, 100].
+	Percent float64 `json:"percent"`
+}
+
 // JobListResponse is the body of GET /v2/jobs.
 type JobListResponse struct {
-	// Jobs lists every retained job, newest first, without results
-	// (poll the individual job for its payload).
+	// Jobs lists the retained jobs, newest first, without results
+	// (poll the individual job for its payload). With ?limit= it is
+	// the first page only.
 	Jobs []JobDTO `json:"jobs"`
+
+	// Total counts the jobs matching the filter before pagination.
+	Total int `json:"total"`
 
 	// Metrics are the job subsystem's operational counters.
 	Metrics jobs.Metrics `json:"metrics"`
@@ -90,12 +114,21 @@ func fromJob(snap jobs.Snapshot, withResult bool) JobDTO {
 		t := snap.FinishedAt
 		dto.FinishedAt = &t
 	}
+	if snap.SpaceSize > 0 {
+		dto.Progress = &JobProgressDTO{
+			Evaluated: snap.Evaluated,
+			SpaceSize: snap.SpaceSize,
+			Percent:   100 * snap.Fraction(),
+		}
+	}
 	if withResult && snap.Result != nil {
 		dto.Result = snap.Result
 	}
 	if snap.Err != nil {
 		code := CodeInvalidRequest
 		switch {
+		case errors.Is(snap.Err, jobs.ErrRestartLost):
+			code = CodeRestartLost
 		case errors.Is(snap.Err, context.Canceled):
 			code = CodeCancelled
 		case errors.Is(snap.Err, jobs.ErrPanic), errors.Is(snap.Err, jobs.ErrClosed):
@@ -107,19 +140,17 @@ func fromJob(snap jobs.Snapshot, withResult bool) JobDTO {
 	return dto
 }
 
-// handleJobSubmit implements POST /v2/jobs: 202 Accepted with the
-// queued job and a Location header for polling.
-func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
-	var req JobRequest
-	if !s.decodeBody(w, r, &req) {
-		return
-	}
-
-	var fn jobs.Fn
-	switch req.Kind {
+// jobFn builds the executable work for one job kind. It is the
+// single mapping from persisted (kind, request) pairs to code, used
+// both by fresh submissions and by the recovery resolver re-queuing
+// journaled jobs after a restart. The returned Fn threads a search
+// progress hook from the enumeration loops into the job store.
+func (s *Server) jobFn(kind string, req RecommendationRequest) (jobs.Fn, error) {
+	breq := req.ToBroker()
+	var run func(ctx context.Context) (any, error)
+	switch kind {
 	case JobKindRecommend:
-		breq := req.Request.ToBroker()
-		fn = func(ctx context.Context) (any, error) {
+		run = func(ctx context.Context) (any, error) {
 			rec, err := s.engine.Recommend(ctx, breq)
 			if err != nil {
 				return nil, err
@@ -127,8 +158,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			return FromRecommendation(rec), nil
 		}
 	case JobKindPareto:
-		breq := req.Request.ToBroker()
-		fn = func(ctx context.Context) (any, error) {
+		run = func(ctx context.Context) (any, error) {
 			front, err := s.engine.Pareto(ctx, breq)
 			if err != nil {
 				return nil, err
@@ -140,12 +170,50 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			return out, nil
 		}
 	default:
-		s.problem(w, r, CodeInvalidRequest, http.StatusBadRequest,
-			fmt.Sprintf("unknown job kind %q (want %q or %q)", req.Kind, JobKindRecommend, JobKindPareto))
+		return nil, fmt.Errorf("unknown job kind %q (want %q or %q)", kind, JobKindRecommend, JobKindPareto)
+	}
+	return func(ctx context.Context) (any, error) {
+		jobCtx := ctx
+		ctx = broker.WithSearchProgress(ctx, func(evaluated, spaceSize int64) {
+			jobs.ReportProgress(jobCtx, evaluated, spaceSize)
+		})
+		return run(ctx)
+	}, nil
+}
+
+// jobResolver rebuilds recovered jobs' Fns from their journaled
+// payloads; jobs.Open calls it for every job re-queued at startup.
+func (s *Server) jobResolver(kind string, payload []byte) (jobs.Fn, error) {
+	var req RecommendationRequest
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return nil, fmt.Errorf("decoding persisted %q request: %w", kind, err)
+	}
+	return s.jobFn(kind, req)
+}
+
+// handleJobSubmit implements POST /v2/jobs: 202 Accepted with the
+// queued job and a Location header for polling.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 
-	snap, err := s.jobs.Submit(req.Kind, fn)
+	fn, err := s.jobFn(req.Kind, req.Request)
+	if err != nil {
+		s.problem(w, r, CodeInvalidRequest, http.StatusBadRequest, err.Error())
+		return
+	}
+	// The payload journaled with the job is what the resolver decodes
+	// after a restart; an unmarshalable request cannot reach here
+	// (decodeBody already parsed it).
+	payload, err := json.Marshal(req.Request)
+	if err != nil {
+		s.problem(w, r, CodeInternal, http.StatusInternalServerError, err.Error())
+		return
+	}
+
+	snap, err := s.jobs.Submit(req.Kind, payload, fn)
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
 		s.problem(w, r, CodeQueueFull, http.StatusServiceUnavailable, "job queue is at capacity; retry later")
@@ -190,14 +258,115 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, r, http.StatusOK, fromJob(snap, false))
 }
 
-// handleJobList implements GET /v2/jobs.
+// handleJobList implements GET /v2/jobs with optional ?state=
+// filtering and ?limit= pagination, so a freshly recovered store
+// holding thousands of journaled jobs does not dump them all on one
+// page.
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
-	snaps := s.jobs.List()
-	out := make([]JobDTO, len(snaps))
-	for i, snap := range snaps {
-		out[i] = fromJob(snap, false)
+	q := r.URL.Query()
+	stateFilter := jobs.State(q.Get("state"))
+	switch stateFilter {
+	case "", jobs.StateQueued, jobs.StateRunning, jobs.StateDone, jobs.StateFailed, jobs.StateCancelled:
+	default:
+		s.problem(w, r, CodeInvalidRequest, http.StatusBadRequest,
+			fmt.Sprintf("unknown state %q (want queued, running, done, failed or cancelled)", string(stateFilter)))
+		return
 	}
-	s.writeJSON(w, r, http.StatusOK, JobListResponse{Jobs: out, Metrics: s.jobs.Metrics()})
+	limit := 0
+	if ls := q.Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 1 {
+			s.problem(w, r, CodeInvalidRequest, http.StatusBadRequest,
+				fmt.Sprintf("limit %q is not a positive integer", ls))
+			return
+		}
+		limit = n
+	}
+
+	snaps := s.jobs.List()
+	out := make([]JobDTO, 0, len(snaps))
+	for _, snap := range snaps {
+		if stateFilter != "" && snap.State != stateFilter {
+			continue
+		}
+		out = append(out, fromJob(snap, false))
+	}
+	total := len(out)
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	s.writeJSON(w, r, http.StatusOK, JobListResponse{Jobs: out, Total: total, Metrics: s.jobs.Metrics()})
+}
+
+// handleJobEvents implements GET /v2/jobs/{id}/events.
+//
+// With "Accept: text/event-stream" it streams Server-Sent Events: a
+// "state" event on every lifecycle transition, "progress" events as
+// the enumeration advances, and a final "state" event (including the
+// error for failed/cancelled jobs) when the job finishes, after
+// which the stream closes. Event payloads never embed the result —
+// one can be arbitrarily large, and the progress channel must stay
+// cheap — so clients fetch GET /v2/jobs/{id} once the terminal event
+// arrives. Clients that cannot speak SSE get a polling fallback: the
+// current job snapshot (sans result) as a single JSON document.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ch, stop, err := s.jobs.Watch(id)
+	if err != nil {
+		s.problem(w, r, CodeJobNotFound, http.StatusNotFound, fmt.Sprintf("no job %q (it may have expired)", id))
+		return
+	}
+	defer stop()
+
+	flusher, canFlush := w.(http.Flusher)
+	if !canFlush || !acceptsEventStream(r) {
+		// Polling fallback. The first channel delivery is the current
+		// snapshot and is already buffered.
+		snap := <-ch
+		s.writeJSON(w, r, http.StatusOK, fromJob(snap, false))
+		return
+	}
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	lastState := ""
+	seq := 0
+	for {
+		select {
+		case snap, ok := <-ch:
+			if !ok {
+				return
+			}
+			name := "progress"
+			if string(snap.State) != lastState {
+				name = "state"
+				lastState = string(snap.State)
+			}
+			payload, err := json.Marshal(fromJob(snap, false))
+			if err != nil {
+				s.logf("req=%s encoding SSE event for %s: %v", RequestIDFrom(r.Context()), id, err)
+				return
+			}
+			seq++
+			if _, err := fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", name, seq, payload); err != nil {
+				return // client went away
+			}
+			flusher.Flush()
+			if snap.State.Terminal() {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// acceptsEventStream reports whether the request negotiates SSE.
+func acceptsEventStream(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "text/event-stream")
 }
 
 // BatchRequest is the body of POST /v2/recommendations/batch.

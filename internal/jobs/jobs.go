@@ -1,6 +1,6 @@
-// Package jobs is an in-memory asynchronous job subsystem: a bounded
-// worker pool draining a submission queue, with poll/cancel semantics
-// and TTL-based garbage collection of finished jobs. It decouples the
+// Package jobs is the asynchronous job subsystem: a bounded worker
+// pool draining a submission queue, with poll/cancel semantics and
+// TTL-based garbage collection of finished jobs. It decouples the
 // brokerage's exponential enumeration work from HTTP request
 // lifetimes — a client submits work, receives a job ID immediately,
 // and polls (or long-polls via the typed client's WaitJob) for the
@@ -13,16 +13,34 @@
 //
 // Finished jobs (done, failed or cancelled) are retained for the
 // store's TTL so clients can fetch results, then swept.
+//
+// A store built with NewStore is purely in-memory. Open builds one
+// over a jobstore.Backend instead: every submit, state transition,
+// progress update and result is journaled, and the backend's prior
+// contents are recovered on start — jobs that were queued are
+// re-queued (their Fn rebuilt by the Resolver from the persisted
+// payload), jobs that were mid-run when the process died are marked
+// failed with ErrRestartLost, finished jobs keep their results, and
+// the ID sequence resumes past its high-water mark so IDs never
+// collide across restarts.
+//
+// Running jobs report enumeration progress through Progress;
+// Watch streams snapshot updates (state transitions and progress)
+// to subscribers, which is what the HTTP layer's Server-Sent Events
+// route consumes.
 package jobs
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 	"time"
+
+	"uptimebroker/internal/jobstore"
 )
 
 // State is a job's position in its lifecycle.
@@ -69,12 +87,34 @@ type Snapshot struct {
 	StartedAt  time.Time
 	FinishedAt time.Time
 
-	// Result is the Fn's return value once State is done.
+	// Result is the Fn's return value once State is done. For a job
+	// recovered from a persistence backend it is the json.RawMessage
+	// the result was journaled as.
 	Result any
 
 	// Err is the failure once State is failed (or context.Canceled
-	// when cancelled mid-run).
+	// when cancelled mid-run). Jobs lost to a broker restart satisfy
+	// errors.Is(Err, ErrRestartLost).
 	Err error
+
+	// Evaluated and SpaceSize report the enumeration progress of a
+	// running job (zero until the job's Fn reports any); for the
+	// brokerage they are the pruned search's evaluated count and k^n.
+	Evaluated int64
+	SpaceSize int64
+}
+
+// Fraction returns the completed share of the search space in
+// [0, 1], or 0 when no progress has been reported.
+func (s Snapshot) Fraction() float64 {
+	if s.SpaceSize <= 0 {
+		return 0
+	}
+	f := float64(s.Evaluated) / float64(s.SpaceSize)
+	if f > 1 {
+		f = 1
+	}
+	return f
 }
 
 // Metrics are the store's operational counters.
@@ -95,6 +135,16 @@ type Metrics struct {
 
 	// Swept counts jobs removed by TTL garbage collection.
 	Swept int64 `json:"swept"`
+
+	// Recovered counts jobs restored from the persistence backend at
+	// open: requeued, restart-lost and finished alike.
+	Recovered int64 `json:"recovered"`
+
+	// PersistErrors counts journal appends the backend rejected. The
+	// store keeps serving (availability over durability) but a
+	// non-zero value means recovery after a crash may lose the
+	// affected transitions.
+	PersistErrors int64 `json:"persist_errors"`
 
 	// QueueLatency is the cumulative queued→running wait across all
 	// started jobs; RunLatency the cumulative running→finished time
@@ -121,12 +171,24 @@ var (
 	// ErrPanic wraps a panic recovered from a job Fn, letting callers
 	// classify it as a server fault rather than a request error.
 	ErrPanic = errors.New("jobs: job panicked")
+
+	// ErrRestartLost marks a job that was mid-run when the broker
+	// died: its partial work is gone and the client must resubmit.
+	ErrRestartLost = errors.New("jobs: job interrupted by broker restart")
 )
 
 // job is the store's internal record.
 type job struct {
 	snap Snapshot
 	fn   Fn
+	// payload is the serialized submission, journaled so a successor
+	// store can rebuild fn through the Resolver.
+	payload []byte
+	// progressLogged is the last Evaluated value journaled, bounding
+	// WAL growth from progress events.
+	progressLogged int64
+	// watchers receive snapshot updates until the job is terminal.
+	watchers []*watcher
 	// cancel interrupts the running Fn; non-nil only while running.
 	cancel context.CancelFunc
 	// cancelled marks a queued job cancelled before a worker saw it.
@@ -151,6 +213,11 @@ type Store struct {
 	ttl        time.Duration
 	gcInterval time.Duration
 	now        func() time.Time
+
+	// backend journals transitions; nil for a purely in-memory store.
+	backend      jobstore.Backend
+	resolver     Resolver
+	snapInterval time.Duration
 
 	metrics Metrics
 }
@@ -206,21 +273,44 @@ func WithClock(now func() time.Time) Option {
 	}
 }
 
-// NewStore starts a job store: its worker pool and TTL janitor run
-// until Close.
-func NewStore(opts ...Option) *Store {
+// WithSnapshotInterval sets how often a persistent store compacts its
+// journal into a snapshot (default 1m). Only meaningful with Open.
+func WithSnapshotInterval(d time.Duration) Option {
+	return func(s *Store) {
+		if d > 0 {
+			s.snapInterval = d
+		}
+	}
+}
+
+// newStore applies the options without starting any goroutines.
+func newStore(opts ...Option) *Store {
 	s := &Store{
-		jobs:       make(map[string]*job),
-		workers:    runtime.GOMAXPROCS(0),
-		queueCap:   1024,
-		ttl:        15 * time.Minute,
-		gcInterval: time.Minute,
-		now:        time.Now,
+		jobs:         make(map[string]*job),
+		workers:      runtime.GOMAXPROCS(0),
+		queueCap:     1024,
+		ttl:          15 * time.Minute,
+		gcInterval:   time.Minute,
+		snapInterval: time.Minute,
+		now:          time.Now,
 	}
 	for _, opt := range opts {
 		opt(s)
 	}
+	return s
+}
+
+// start creates the queue (pre-loading any recovered job IDs), then
+// launches the worker pool, the TTL janitor and — when a backend is
+// attached — the compaction loop.
+func (s *Store) start(requeue []string) {
+	if len(requeue) > s.queueCap {
+		s.queueCap = len(requeue)
+	}
 	s.queue = make(chan string, s.queueCap)
+	for _, id := range requeue {
+		s.queue <- id
+	}
 	s.baseCtx, s.stop = context.WithCancel(context.Background())
 
 	for w := 0; w < s.workers; w++ {
@@ -229,12 +319,25 @@ func NewStore(opts ...Option) *Store {
 	}
 	s.wg.Add(1)
 	go s.janitor()
+	if s.backend != nil {
+		s.wg.Add(1)
+		go s.compactor()
+	}
+}
+
+// NewStore starts a purely in-memory job store: its worker pool and
+// TTL janitor run until Close.
+func NewStore(opts ...Option) *Store {
+	s := newStore(opts...)
+	s.start(nil)
 	return s
 }
 
 // Close stops accepting submissions, cancels running jobs, and waits
 // for the workers and janitor to exit. Queued jobs that never ran are
-// marked cancelled.
+// marked cancelled in memory — but a persistent store journals them
+// as still queued, so a successor store re-queues them instead of
+// discarding the work.
 func (s *Store) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -250,8 +353,9 @@ func (s *Store) Close() {
 
 	// Anything still queued never got a worker; mark it cancelled so
 	// pollers see a terminal state rather than a job stuck in queued.
+	// Deliberately not journaled — the journal keeps them "queued"
+	// for the successor store to re-run.
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	now := s.now()
 	for _, j := range s.jobs {
 		if j.snap.State == StateQueued {
@@ -260,14 +364,26 @@ func (s *Store) Close() {
 			j.snap.Err = ErrClosed
 			s.metrics.QueueDepth--
 			s.metrics.Cancelled++
+			j.notifyLocked()
 		}
+	}
+	s.mu.Unlock()
+
+	// Final compaction (the backend folds its own journal state, in
+	// which those parked jobs still read "queued"), then release it.
+	if s.backend != nil {
+		s.Compact()
+		_ = s.backend.Close()
 	}
 }
 
 // Submit enqueues fn as a new job of the given kind and returns its
-// queued snapshot. It fails fast with ErrQueueFull when the queue is
-// at capacity and ErrClosed after Close.
-func (s *Store) Submit(kind string, fn Fn) (Snapshot, error) {
+// queued snapshot. payload is the serialized request the job was
+// built from; a persistent store journals it so the job can be
+// re-queued (through the Resolver) after a restart — pass nil for
+// jobs that need not survive one. Submit fails fast with ErrQueueFull
+// when the queue is at capacity and ErrClosed after Close.
+func (s *Store) Submit(kind string, payload []byte, fn Fn) (Snapshot, error) {
 	if fn == nil {
 		return Snapshot{}, errors.New("jobs: nil fn")
 	}
@@ -284,7 +400,8 @@ func (s *Store) Submit(kind string, fn Fn) (Snapshot, error) {
 			State:     StateQueued,
 			CreatedAt: s.now(),
 		},
-		fn: fn,
+		fn:      fn,
+		payload: payload,
 	}
 	select {
 	case s.queue <- j.snap.ID:
@@ -296,6 +413,14 @@ func (s *Store) Submit(kind string, fn Fn) (Snapshot, error) {
 	s.jobs[j.snap.ID] = j
 	s.metrics.Submitted++
 	s.metrics.QueueDepth++
+	s.appendLocked(jobstore.Event{
+		Type:    jobstore.EventSubmitted,
+		Time:    j.snap.CreatedAt,
+		ID:      j.snap.ID,
+		Seq:     s.seq,
+		Kind:    kind,
+		Payload: payload,
+	})
 	snap := j.snap
 	s.mu.Unlock()
 	return snap, nil
@@ -332,6 +457,8 @@ func (s *Store) Cancel(id string) (Snapshot, error) {
 		j.snap.Err = context.Canceled
 		s.metrics.QueueDepth--
 		s.metrics.Cancelled++
+		s.appendFinishedLocked(j, nil)
+		j.notifyLocked()
 		return j.snap, nil
 	case StateRunning:
 		if j.cancel != nil {
@@ -381,6 +508,7 @@ func (s *Store) Sweep() int {
 	for id, j := range s.jobs {
 		if j.snap.State.Terminal() && !j.snap.FinishedAt.IsZero() && j.snap.FinishedAt.Before(cutoff) {
 			delete(s.jobs, id)
+			s.appendLocked(jobstore.Event{Type: jobstore.EventSwept, Time: s.now(), ID: id})
 			removed++
 		}
 	}
@@ -396,28 +524,69 @@ func (s *Store) worker() {
 	}
 }
 
+// jobIDKey carries the running job's ID in its Fn's context.
+type jobIDKey struct{}
+
+// IDFromContext returns the ID of the job whose Fn is running under
+// ctx, or "" outside a job. Fns use it to feed Progress.
+func IDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(jobIDKey{}).(string)
+	return id
+}
+
+// reporterKey carries the job's progress reporter in its Fn's context.
+type reporterKey struct{}
+
+// ReportProgress reports enumeration progress from inside a running
+// job's Fn — equivalent to Store.Progress with the job's own ID, but
+// without needing a reference to the store (recovered Fns are built
+// by the Resolver before the store finishes constructing). Outside a
+// job it is a no-op.
+func ReportProgress(ctx context.Context, evaluated, spaceSize int64) {
+	if report, ok := ctx.Value(reporterKey{}).(func(int64, int64)); ok {
+		report(evaluated, spaceSize)
+	}
+}
+
 // runOne executes a single queued job end to end.
 func (s *Store) runOne(id string) {
 	s.mu.Lock()
 	j, ok := s.jobs[id]
-	if !ok || j.cancelled || j.snap.State != StateQueued {
-		// Cancelled while queued (or already swept); nothing to run.
+	if !ok || j.cancelled || j.snap.State != StateQueued || s.closed {
+		// Cancelled while queued, already swept — or the store is
+		// shutting down, in which case the job stays "queued" in the
+		// journal so a successor store re-queues it.
 		s.mu.Unlock()
 		return
 	}
 	ctx, cancel := context.WithCancel(s.baseCtx)
+	ctx = context.WithValue(ctx, jobIDKey{}, id)
+	ctx = context.WithValue(ctx, reporterKey{}, func(evaluated, spaceSize int64) {
+		s.Progress(id, evaluated, spaceSize)
+	})
 	j.cancel = cancel
 	j.snap.State = StateRunning
 	j.snap.StartedAt = s.now()
 	s.metrics.QueueDepth--
 	s.metrics.Running++
 	s.metrics.QueueLatency += j.snap.StartedAt.Sub(j.snap.CreatedAt)
+	s.appendLocked(jobstore.Event{Type: jobstore.EventStarted, Time: j.snap.StartedAt, ID: id})
+	j.notifyLocked()
 	fn := j.fn
 	s.mu.Unlock()
 
 	result, err := runGuarded(ctx, fn)
 	interrupted := ctx.Err() != nil // read before releasing the context
 	cancel()
+
+	// Serialize the result for the journal before taking the store
+	// lock: a large payload must not stall every other submit/poll
+	// while it marshals. Failures surface as an evicted result, not a
+	// failed job — the in-memory payload stays fetchable.
+	var resultJSON []byte
+	if s.backend != nil && err == nil && result != nil {
+		resultJSON, _ = json.Marshal(result)
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -439,6 +608,8 @@ func (s *Store) runOne(id string) {
 		j.snap.Result = result
 		s.metrics.Done++
 	}
+	s.appendFinishedLocked(j, resultJSON)
+	j.notifyLocked()
 }
 
 // runGuarded converts a panicking Fn into a failed job instead of

@@ -34,7 +34,7 @@ func TestSubmitPollDone(t *testing.T) {
 	s := NewStore(WithWorkers(2))
 	defer s.Close()
 
-	snap, err := s.Submit("recommend", func(ctx context.Context) (any, error) {
+	snap, err := s.Submit("recommend", nil, func(ctx context.Context) (any, error) {
 		return 42, nil
 	})
 	if err != nil {
@@ -66,7 +66,7 @@ func TestFailedJob(t *testing.T) {
 	defer s.Close()
 
 	boom := errors.New("boom")
-	snap, err := s.Submit("recommend", func(ctx context.Context) (any, error) {
+	snap, err := s.Submit("recommend", nil, func(ctx context.Context) (any, error) {
 		return nil, boom
 	})
 	if err != nil {
@@ -85,7 +85,7 @@ func TestPanickingJobFails(t *testing.T) {
 	s := NewStore(WithWorkers(1))
 	defer s.Close()
 
-	snap, err := s.Submit("recommend", func(ctx context.Context) (any, error) {
+	snap, err := s.Submit("recommend", nil, func(ctx context.Context) (any, error) {
 		panic("kaboom")
 	})
 	if err != nil {
@@ -97,7 +97,7 @@ func TestPanickingJobFails(t *testing.T) {
 	}
 
 	// The worker survived the panic and still runs jobs.
-	snap2, err := s.Submit("recommend", func(ctx context.Context) (any, error) { return "ok", nil })
+	snap2, err := s.Submit("recommend", nil, func(ctx context.Context) (any, error) { return "ok", nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestCancelRunning(t *testing.T) {
 	defer s.Close()
 
 	started := make(chan struct{})
-	snap, err := s.Submit("recommend", func(ctx context.Context) (any, error) {
+	snap, err := s.Submit("recommend", nil, func(ctx context.Context) (any, error) {
 		close(started)
 		<-ctx.Done()
 		return nil, ctx.Err()
@@ -139,7 +139,7 @@ func TestCancelQueued(t *testing.T) {
 	// Occupy the single worker so the next submission stays queued.
 	block := make(chan struct{})
 	started := make(chan struct{})
-	first, err := s.Submit("recommend", func(ctx context.Context) (any, error) {
+	first, err := s.Submit("recommend", nil, func(ctx context.Context) (any, error) {
 		close(started)
 		<-block
 		return nil, nil
@@ -149,7 +149,7 @@ func TestCancelQueued(t *testing.T) {
 	}
 	<-started
 
-	queued, err := s.Submit("recommend", func(ctx context.Context) (any, error) {
+	queued, err := s.Submit("recommend", nil, func(ctx context.Context) (any, error) {
 		t.Error("cancelled queued job must not run")
 		return nil, nil
 	})
@@ -189,7 +189,7 @@ func TestQueueFull(t *testing.T) {
 	block := make(chan struct{})
 	defer close(block)
 	started := make(chan struct{})
-	if _, err := s.Submit("a", func(ctx context.Context) (any, error) {
+	if _, err := s.Submit("a", nil, func(ctx context.Context) (any, error) {
 		close(started)
 		<-block
 		return nil, nil
@@ -198,11 +198,11 @@ func TestQueueFull(t *testing.T) {
 	}
 	<-started // worker busy; queue is empty again
 
-	if _, err := s.Submit("b", func(ctx context.Context) (any, error) { return nil, nil }); err != nil {
+	if _, err := s.Submit("b", nil, func(ctx context.Context) (any, error) { return nil, nil }); err != nil {
 		t.Fatalf("submit into empty queue: %v", err)
 	}
 	// Queue (capacity 1) now holds job b, worker holds job a: full.
-	_, err := s.Submit("c", func(ctx context.Context) (any, error) { return nil, nil })
+	_, err := s.Submit("c", nil, func(ctx context.Context) (any, error) { return nil, nil })
 	if !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("Submit into full queue = %v, want ErrQueueFull", err)
 	}
@@ -227,7 +227,7 @@ func TestTTLSweep(t *testing.T) {
 	s := NewStore(WithWorkers(1), WithTTL(time.Minute), WithClock(clock))
 	defer s.Close()
 
-	snap, err := s.Submit("recommend", func(ctx context.Context) (any, error) { return "r", nil })
+	snap, err := s.Submit("recommend", nil, func(ctx context.Context) (any, error) { return "r", nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +258,7 @@ func TestTTLSweep(t *testing.T) {
 func TestSubmitAfterClose(t *testing.T) {
 	s := NewStore()
 	s.Close()
-	if _, err := s.Submit("x", func(ctx context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrClosed) {
+	if _, err := s.Submit("x", nil, func(ctx context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
 	}
 	// Idempotent close.
@@ -268,7 +268,7 @@ func TestSubmitAfterClose(t *testing.T) {
 func TestCloseCancelsRunning(t *testing.T) {
 	s := NewStore(WithWorkers(1))
 	started := make(chan struct{})
-	snap, err := s.Submit("recommend", func(ctx context.Context) (any, error) {
+	snap, err := s.Submit("recommend", nil, func(ctx context.Context) (any, error) {
 		close(started)
 		<-ctx.Done()
 		return nil, ctx.Err()
@@ -302,7 +302,7 @@ func TestListOrdering(t *testing.T) {
 
 	var ids []string
 	for i := 0; i < 3; i++ {
-		snap, err := s.Submit(fmt.Sprintf("k%d", i), func(ctx context.Context) (any, error) { return nil, nil })
+		snap, err := s.Submit(fmt.Sprintf("k%d", i), nil, func(ctx context.Context) (any, error) { return nil, nil })
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -328,7 +328,7 @@ func TestConcurrentSubmitters(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			snap, err := s.Submit("k", func(ctx context.Context) (any, error) { return 1, nil })
+			snap, err := s.Submit("k", nil, func(ctx context.Context) (any, error) { return 1, nil })
 			if err != nil {
 				t.Errorf("Submit: %v", err)
 				return

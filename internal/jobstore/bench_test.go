@@ -1,0 +1,83 @@
+package jobstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkFileAppend measures the hot journaling path: one event per
+// job state transition, every submit/finish on the serving path pays
+// this.
+func BenchmarkFileAppend(b *testing.B) {
+	backend, err := OpenFile(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = backend.Close() }()
+	payload := json.RawMessage(`{"sla_percent":98,"penalty_per_hour_usd":100}`)
+	now := time.Unix(1_700_000_000, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := Event{
+			Type:    EventSubmitted,
+			Time:    now,
+			ID:      fmt.Sprintf("job-%08d", i+1),
+			Seq:     uint64(i + 1),
+			Kind:    "recommend",
+			Payload: payload,
+		}
+		if err := backend.Append(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFileRecovery measures reopening a directory whose WAL
+// holds 1000 complete job lifecycles — the startup cost a restart
+// pays before serving.
+func BenchmarkFileRecovery(b *testing.B) {
+	dir := b.TempDir()
+	backend, err := OpenFile(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	now := time.Unix(1_700_000_000, 0)
+	result := json.RawMessage(`{"best_option":3}`)
+	for i := 0; i < 1000; i++ {
+		id := fmt.Sprintf("job-%08d", i+1)
+		events := []Event{
+			{Type: EventSubmitted, Time: now, ID: id, Seq: uint64(i + 1), Kind: "recommend"},
+			{Type: EventStarted, Time: now, ID: id},
+			{Type: EventProgress, Time: now, ID: id, Evaluated: 8, SpaceSize: 8},
+			{Type: EventFinished, Time: now, ID: id, State: StateDone, Result: result},
+		}
+		for _, ev := range events {
+			if err := backend.Append(ev); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := backend.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reopened, err := OpenFile(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		snap, err := reopened.Load()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(snap.Jobs) != 1000 {
+			b.Fatalf("recovered %d jobs, want 1000", len(snap.Jobs))
+		}
+		if err := reopened.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package jobstore
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// On-disk layout inside the data directory.
+const (
+	snapshotName = "jobs.snapshot.json"
+	walName      = "jobs.wal"
+
+	// fileSnapshotVersion guards the snapshot format.
+	fileSnapshotVersion = 1
+)
+
+// fileSnapshot is the on-disk snapshot envelope.
+type fileSnapshot struct {
+	Version int `json:"version"`
+	Snapshot
+}
+
+// File is the durable Backend: a JSON-lines WAL appended on every
+// event, compacted into an atomically renamed snapshot file. Replay
+// reads the snapshot then folds the WAL on top; a torn final WAL
+// line (the signature of a crash mid-append) is tolerated and
+// truncates the replay there.
+type File struct {
+	mu  sync.Mutex
+	dir string
+	wal *os.File
+	st  *state
+}
+
+// OpenFile opens (creating if needed) the data directory and recovers
+// its contents. The returned backend holds the WAL open for appending
+// until Close.
+func OpenFile(dir string) (*File, error) {
+	if dir == "" {
+		return nil, errors.New("jobstore: empty data directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobstore: creating data dir: %w", err)
+	}
+
+	st := newState()
+	snapPath := filepath.Join(dir, snapshotName)
+	if f, err := os.Open(snapPath); err == nil {
+		var snap fileSnapshot
+		decodeErr := json.NewDecoder(f).Decode(&snap)
+		_ = f.Close()
+		if decodeErr != nil {
+			return nil, fmt.Errorf("jobstore: decoding snapshot %s: %w", snapPath, decodeErr)
+		}
+		if snap.Version != fileSnapshotVersion {
+			return nil, fmt.Errorf("jobstore: snapshot version %d, want %d", snap.Version, fileSnapshotVersion)
+		}
+		st = fromSnapshot(snap.Snapshot)
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("jobstore: opening snapshot: %w", err)
+	}
+
+	walPath := filepath.Join(dir, walName)
+	if err := replayWAL(walPath, st); err != nil {
+		return nil, err
+	}
+	wal, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobstore: opening WAL: %w", err)
+	}
+	return &File{dir: dir, wal: wal, st: st}, nil
+}
+
+// replayWAL folds every decodable WAL line into st. Decoding stops at
+// the first malformed line: anything after a torn write is garbage by
+// definition, and losing the torn tail is exactly the durability the
+// journal promises.
+func replayWAL(path string, st *state) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("jobstore: opening WAL: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil // torn tail: stop replay here
+		}
+		st.apply(ev)
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, io.EOF) {
+		return fmt.Errorf("jobstore: reading WAL: %w", err)
+	}
+	return nil
+}
+
+// Append implements Backend: one JSON line per event.
+func (f *File) Append(ev Event) error {
+	if err := ev.Validate(); err != nil {
+		return err
+	}
+	line, err := json.Marshal(ev)
+	if err != nil {
+		return fmt.Errorf("jobstore: encoding event: %w", err)
+	}
+	line = append(line, '\n')
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.wal == nil {
+		return errors.New("jobstore: backend closed")
+	}
+	if _, err := f.wal.Write(line); err != nil {
+		return fmt.Errorf("jobstore: appending event: %w", err)
+	}
+	f.st.apply(ev)
+	return nil
+}
+
+// Compact implements Backend: write the folded state to a temp file
+// in the same directory, rename it into place, then truncate the
+// WAL. The rename is the commit point — a crash between rename and
+// truncate replays WAL events that the snapshot already contains,
+// which the fold absorbs (replay is idempotent per event). The
+// backend's own mutex orders it against concurrent Appends, so the
+// caller holds no lock across this disk work.
+func (f *File) Compact() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.wal == nil {
+		return errors.New("jobstore: backend closed")
+	}
+	snap := f.st.snapshot()
+
+	tmp, err := os.CreateTemp(f.dir, ".jobs-snapshot-*.json")
+	if err != nil {
+		return fmt.Errorf("jobstore: creating temp snapshot: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer func() { _ = os.Remove(tmpName) }() // no-op after rename
+	enc := json.NewEncoder(tmp)
+	if err := enc.Encode(fileSnapshot{Version: fileSnapshotVersion, Snapshot: snap}); err != nil {
+		_ = tmp.Close()
+		return fmt.Errorf("jobstore: encoding snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("jobstore: closing temp snapshot: %w", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(f.dir, snapshotName)); err != nil {
+		return fmt.Errorf("jobstore: installing snapshot: %w", err)
+	}
+
+	if err := f.wal.Truncate(0); err != nil {
+		return fmt.Errorf("jobstore: truncating WAL: %w", err)
+	}
+	if _, err := f.wal.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("jobstore: rewinding WAL: %w", err)
+	}
+	return nil
+}
+
+// Load implements Backend.
+func (f *File) Load() (Snapshot, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.st.snapshot(), nil
+}
+
+// Close implements Backend.
+func (f *File) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.wal == nil {
+		return nil
+	}
+	err := f.wal.Close()
+	f.wal = nil
+	return err
+}

@@ -1,0 +1,271 @@
+// Package jobstore is the persistence layer under the async job
+// subsystem: an append-only journal of job lifecycle events plus a
+// periodically compacted snapshot, the same shape the telemetry store
+// uses for its on-disk state. The jobs package journals every
+// submit/start/progress/finish transition through a Backend and
+// replays the backend's contents on start, so queued work and
+// finished results survive broker restarts.
+//
+// Two backends ship: Memory (journal kept in process memory — the
+// default wiring for tests and for brokers that opt out of
+// durability) and File (JSON-lines WAL plus an atomically written
+// snapshot file in a data directory).
+//
+// The split of responsibilities:
+//
+//   - Append journals one event durably.
+//   - Compact replaces journal + snapshot with a flat snapshot of the
+//     live records, bounding replay time and disk growth.
+//   - Load returns the recovered state: the latest snapshot with the
+//     WAL replayed on top.
+//
+// Interpretation of the replayed state (requeue queued jobs, fail
+// jobs that were mid-run at the crash) belongs to the jobs package,
+// not the backends.
+package jobstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// EventType discriminates journal entries.
+type EventType string
+
+// Journal event types.
+const (
+	// EventSubmitted records a new job entering the queue; it carries
+	// the job's kind, serialized payload and the store's ID sequence.
+	EventSubmitted EventType = "submitted"
+
+	// EventStarted records a worker picking the job up.
+	EventStarted EventType = "started"
+
+	// EventProgress records enumeration progress (evaluated /
+	// space_size); journaled on a throttle, not per evaluation.
+	EventProgress EventType = "progress"
+
+	// EventFinished records the terminal transition with its state,
+	// result or error.
+	EventFinished EventType = "finished"
+
+	// EventSwept records TTL garbage collection of a terminal job so
+	// replay does not resurrect it.
+	EventSwept EventType = "swept"
+)
+
+// Event is one journaled job lifecycle change. Fields beyond Type,
+// Time and ID are populated per event type as documented on the
+// constants.
+type Event struct {
+	Type EventType `json:"type"`
+	Time time.Time `json:"time"`
+	ID   string    `json:"id"`
+
+	// Seq is the store's ID sequence after this submission; persisting
+	// it keeps job IDs strictly increasing across restarts.
+	Seq uint64 `json:"seq,omitempty"`
+
+	// Kind and Payload describe the submitted work (EventSubmitted).
+	Kind    string          `json:"kind,omitempty"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+
+	// State is the terminal state (EventFinished): done, failed or
+	// cancelled.
+	State string `json:"state,omitempty"`
+
+	// Result is the serialized job result (EventFinished, done).
+	Result json.RawMessage `json:"result,omitempty"`
+
+	// Error and ErrClass carry the failure text and its stable class
+	// (EventFinished, failed or cancelled).
+	Error    string `json:"error,omitempty"`
+	ErrClass string `json:"err_class,omitempty"`
+
+	// Evaluated and SpaceSize report search progress (EventProgress).
+	Evaluated int64 `json:"evaluated,omitempty"`
+	SpaceSize int64 `json:"space_size,omitempty"`
+}
+
+// Record is the recovered form of one job: the fold of its journal
+// events. State strings mirror the jobs package's State values.
+type Record struct {
+	ID         string          `json:"id"`
+	Kind       string          `json:"kind"`
+	Payload    json.RawMessage `json:"payload,omitempty"`
+	State      string          `json:"state"`
+	CreatedAt  time.Time       `json:"created_at"`
+	StartedAt  time.Time       `json:"started_at,omitzero"`
+	FinishedAt time.Time       `json:"finished_at,omitzero"`
+	Result     json.RawMessage `json:"result,omitempty"`
+	Error      string          `json:"error,omitempty"`
+	ErrClass   string          `json:"err_class,omitempty"`
+	Evaluated  int64           `json:"evaluated,omitempty"`
+	SpaceSize  int64           `json:"space_size,omitempty"`
+}
+
+// Record state strings, mirroring jobs.State without importing it
+// (jobs imports jobstore, not the reverse).
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// Snapshot is the full recoverable state: every live record plus the
+// ID sequence high-water mark.
+type Snapshot struct {
+	// Seq is the last ID sequence value handed out.
+	Seq uint64 `json:"seq"`
+
+	// Jobs are the live records in submission order.
+	Jobs []Record `json:"jobs"`
+}
+
+// Backend is the pluggable persistence surface the jobs package
+// journals through. Implementations must be safe for concurrent use.
+// Each backend folds appended events into its own record state, so
+// compaction needs no input from the caller — it cannot race with
+// concurrent appends the way an externally supplied snapshot could
+// (gather state, lose the event appended in between, truncate it
+// away).
+type Backend interface {
+	// Append journals one event.
+	Append(ev Event) error
+
+	// Compact replaces the journal with a snapshot of the folded
+	// state, bounding replay cost. Events appended concurrently are
+	// either in the snapshot or in the journal after it — never lost.
+	Compact() error
+
+	// Load returns the recovered snapshot: the last compaction with
+	// all later events replayed on top.
+	Load() (Snapshot, error)
+
+	// Close releases the backend's resources. The jobs store calls it
+	// after its final compaction.
+	Close() error
+}
+
+// state is the mutable replay accumulator shared by the backends:
+// records keyed by job ID plus insertion order.
+type state struct {
+	seq     uint64
+	records map[string]*Record
+	order   []string
+}
+
+func newState() *state {
+	return &state{records: make(map[string]*Record)}
+}
+
+// fromSnapshot seeds the accumulator from a compacted snapshot.
+func fromSnapshot(snap Snapshot) *state {
+	st := newState()
+	st.seq = snap.Seq
+	for i := range snap.Jobs {
+		rec := snap.Jobs[i]
+		st.records[rec.ID] = &rec
+		st.order = append(st.order, rec.ID)
+	}
+	return st
+}
+
+// apply folds one event into the accumulator. Events referencing
+// unknown IDs (other than submissions) are dropped: the job was
+// compacted or swept away, so its tail events carry no information.
+func (st *state) apply(ev Event) {
+	switch ev.Type {
+	case EventSubmitted:
+		if ev.Seq > st.seq {
+			st.seq = ev.Seq
+		}
+		if _, dup := st.records[ev.ID]; dup {
+			return
+		}
+		st.records[ev.ID] = &Record{
+			ID:        ev.ID,
+			Kind:      ev.Kind,
+			Payload:   ev.Payload,
+			State:     StateQueued,
+			CreatedAt: ev.Time,
+		}
+		st.order = append(st.order, ev.ID)
+	case EventStarted:
+		if rec, ok := st.records[ev.ID]; ok {
+			rec.State = StateRunning
+			rec.StartedAt = ev.Time
+		}
+	case EventProgress:
+		if rec, ok := st.records[ev.ID]; ok {
+			if ev.Evaluated > rec.Evaluated {
+				rec.Evaluated = ev.Evaluated
+			}
+			if ev.SpaceSize > 0 {
+				rec.SpaceSize = ev.SpaceSize
+			}
+		}
+	case EventFinished:
+		if rec, ok := st.records[ev.ID]; ok {
+			rec.State = ev.State
+			rec.FinishedAt = ev.Time
+			rec.Result = ev.Result
+			rec.Error = ev.Error
+			rec.ErrClass = ev.ErrClass
+		}
+	case EventSwept:
+		if _, ok := st.records[ev.ID]; ok {
+			delete(st.records, ev.ID)
+			for i, id := range st.order {
+				if id == ev.ID {
+					st.order = append(st.order[:i], st.order[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+}
+
+// snapshot flattens the accumulator back into a Snapshot in
+// submission order.
+func (st *state) snapshot() Snapshot {
+	snap := Snapshot{Seq: st.seq}
+	for _, id := range st.order {
+		rec, ok := st.records[id]
+		if !ok {
+			continue
+		}
+		snap.Jobs = append(snap.Jobs, cloneRecord(*rec))
+	}
+	return snap
+}
+
+// cloneRecord deep-copies the raw JSON members so callers cannot
+// alias backend-owned buffers.
+func cloneRecord(rec Record) Record {
+	rec.Payload = append(json.RawMessage(nil), rec.Payload...)
+	rec.Result = append(json.RawMessage(nil), rec.Result...)
+	if len(rec.Payload) == 0 {
+		rec.Payload = nil
+	}
+	if len(rec.Result) == 0 {
+		rec.Result = nil
+	}
+	return rec
+}
+
+// Validate rejects events the journal cannot fold.
+func (ev Event) Validate() error {
+	if ev.ID == "" {
+		return fmt.Errorf("jobstore: event %q without a job ID", ev.Type)
+	}
+	switch ev.Type {
+	case EventSubmitted, EventStarted, EventProgress, EventFinished, EventSwept:
+		return nil
+	default:
+		return fmt.Errorf("jobstore: unknown event type %q", ev.Type)
+	}
+}

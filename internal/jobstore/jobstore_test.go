@@ -1,0 +1,212 @@
+package jobstore
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var t0 = time.Unix(1_700_000_000, 0).UTC()
+
+// lifecycle appends a full submit→start→finish history for one job.
+func lifecycle(t *testing.T, b Backend, id, state string, result string) {
+	t.Helper()
+	events := []Event{
+		{Type: EventSubmitted, Time: t0, ID: id, Kind: "recommend", Seq: seqOf(id), Payload: json.RawMessage(`{"x":1}`)},
+		{Type: EventStarted, Time: t0.Add(time.Second), ID: id},
+		{Type: EventFinished, Time: t0.Add(2 * time.Second), ID: id, State: state},
+	}
+	if result != "" {
+		events[2].Result = json.RawMessage(result)
+	}
+	for _, ev := range events {
+		if err := b.Append(ev); err != nil {
+			t.Fatalf("Append(%s %s): %v", ev.Type, id, err)
+		}
+	}
+}
+
+// seqOf derives a deterministic sequence from the test ID's suffix.
+func seqOf(id string) uint64 {
+	return uint64(id[len(id)-1] - '0')
+}
+
+func TestMemoryReplay(t *testing.T) {
+	b := NewMemory()
+	lifecycle(t, b, "job-1", StateDone, `{"best":3}`)
+	if err := b.Append(Event{Type: EventSubmitted, Time: t0, ID: "job-2", Kind: "pareto", Seq: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := b.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Seq != 2 || len(snap.Jobs) != 2 {
+		t.Fatalf("snapshot = seq %d, %d jobs; want seq 2, 2 jobs", snap.Seq, len(snap.Jobs))
+	}
+	if snap.Jobs[0].State != StateDone || string(snap.Jobs[0].Result) != `{"best":3}` {
+		t.Fatalf("job-1 record = %+v", snap.Jobs[0])
+	}
+	if snap.Jobs[1].State != StateQueued || snap.Jobs[1].Kind != "pareto" {
+		t.Fatalf("job-2 record = %+v", snap.Jobs[1])
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	b, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lifecycle(t, b, "job-1", StateDone, `{"best":1}`)
+	lifecycle(t, b, "job-2", StateFailed, "")
+	if err := b.Append(Event{Type: EventSubmitted, Time: t0, ID: "job-3", Kind: "recommend", Seq: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Append(Event{Type: EventStarted, Time: t0, ID: "job-3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: snapshot absent, WAL replays everything.
+	b2, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = b2.Close() }()
+	snap, err := b2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Seq != 3 || len(snap.Jobs) != 3 {
+		t.Fatalf("recovered seq %d with %d jobs, want 3 and 3", snap.Seq, len(snap.Jobs))
+	}
+	byID := map[string]Record{}
+	for _, rec := range snap.Jobs {
+		byID[rec.ID] = rec
+	}
+	if byID["job-1"].State != StateDone || string(byID["job-1"].Result) != `{"best":1}` {
+		t.Fatalf("job-1 = %+v", byID["job-1"])
+	}
+	if byID["job-2"].State != StateFailed {
+		t.Fatalf("job-2 = %+v", byID["job-2"])
+	}
+	// job-3 was started but never finished: replay shows it running,
+	// the state the jobs package converts to a restart_lost failure.
+	if byID["job-3"].State != StateRunning {
+		t.Fatalf("job-3 = %+v", byID["job-3"])
+	}
+}
+
+func TestFileCompactionTruncatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	b, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lifecycle(t, b, "job-1", StateDone, `{"n":1}`)
+	if err := b.Compact(); err != nil {
+		t.Fatal(err)
+	}
+
+	walInfo, err := os.Stat(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if walInfo.Size() != 0 {
+		t.Fatalf("WAL size after compaction = %d, want 0", walInfo.Size())
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotName)); err != nil {
+		t.Fatalf("snapshot missing after compaction: %v", err)
+	}
+
+	// Events after compaction land in the fresh WAL and replay on top
+	// of the snapshot.
+	lifecycle(t, b, "job-2", StateCancelled, "")
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = b2.Close() }()
+	snap2, err := b2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap2.Jobs) != 2 {
+		t.Fatalf("recovered %d jobs, want 2", len(snap2.Jobs))
+	}
+}
+
+func TestFileToleratesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	b, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lifecycle(t, b, "job-1", StateDone, `{"n":1}`)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: a half-written JSON line.
+	walPath := filepath.Join(dir, walName)
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"type":"submitted","id":"job-2","k`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	b2, err := OpenFile(dir)
+	if err != nil {
+		t.Fatalf("OpenFile with torn WAL tail: %v", err)
+	}
+	defer func() { _ = b2.Close() }()
+	snap, err := b2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Jobs) != 1 || snap.Jobs[0].ID != "job-1" {
+		t.Fatalf("recovered %+v, want just job-1", snap.Jobs)
+	}
+}
+
+func TestSweptEventRemovesRecord(t *testing.T) {
+	b := NewMemory()
+	lifecycle(t, b, "job-1", StateDone, "")
+	if err := b.Append(Event{Type: EventSwept, Time: t0, ID: "job-1"}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := b.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Jobs) != 0 {
+		t.Fatalf("swept job survived replay: %+v", snap.Jobs)
+	}
+	// Sequence survives the sweep so IDs never regress.
+	if snap.Seq != 1 {
+		t.Fatalf("seq = %d, want 1", snap.Seq)
+	}
+}
+
+func TestEventValidate(t *testing.T) {
+	if err := (Event{Type: EventStarted}).Validate(); err == nil {
+		t.Fatal("event without ID must not validate")
+	}
+	if err := (Event{Type: "weird", ID: "job-1"}).Validate(); err == nil {
+		t.Fatal("unknown event type must not validate")
+	}
+}

@@ -1,0 +1,43 @@
+package jobstore
+
+import "sync"
+
+// Memory is an in-process Backend: the journal folds straight into a
+// record map and never touches disk. It gives tests (and embedders
+// that want restart-shaped recovery semantics without files) the
+// exact replay behavior of the file backend.
+type Memory struct {
+	mu sync.Mutex
+	st *state
+}
+
+// NewMemory returns an empty in-memory backend.
+func NewMemory() *Memory {
+	return &Memory{st: newState()}
+}
+
+// Append implements Backend.
+func (m *Memory) Append(ev Event) error {
+	if err := ev.Validate(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.st.apply(ev)
+	return nil
+}
+
+// Compact implements Backend; the in-memory journal is always
+// compact already.
+func (m *Memory) Compact() error { return nil }
+
+// Load implements Backend.
+func (m *Memory) Load() (Snapshot, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.st.snapshot(), nil
+}
+
+// Close implements Backend; the journal stays readable afterwards so
+// a successor store can recover from it.
+func (m *Memory) Close() error { return nil }

@@ -287,12 +287,15 @@ func (p *Problem) Exhaustive() (Result, error) {
 
 // ExhaustiveContext is Exhaustive with cooperative cancellation:
 // the enumeration aborts with ctx.Err() shortly after ctx is done.
+// A WithProgress hook on the context receives periodic
+// evaluated/space reports.
 func (p *Problem) ExhaustiveContext(ctx context.Context) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
 	var res Result
 	cc := canceler{ctx: ctx}
+	pt := newProgressTicker(ctx, p)
 	a := make(Assignment, len(p.Components))
 	for {
 		if err := cc.check(); err != nil {
@@ -303,7 +306,9 @@ func (p *Problem) ExhaustiveContext(ctx context.Context) (Result, error) {
 			return Result{}, err
 		}
 		res.observe(c, p.SLA)
+		pt.advance(1)
 		if !p.advance(a) {
+			pt.done()
 			return res, nil
 		}
 	}
@@ -317,13 +322,15 @@ func (p *Problem) All() ([]Candidate, error) {
 }
 
 // AllContext is All with cooperative cancellation: the enumeration
-// aborts with ctx.Err() shortly after ctx is done.
+// aborts with ctx.Err() shortly after ctx is done. A WithProgress
+// hook on the context receives periodic evaluated/space reports.
 func (p *Problem) AllContext(ctx context.Context) ([]Candidate, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	out := make([]Candidate, 0, p.SpaceSize())
 	cc := canceler{ctx: ctx}
+	pt := newProgressTicker(ctx, p)
 	a := make(Assignment, len(p.Components))
 	for {
 		if err := cc.check(); err != nil {
@@ -334,7 +341,9 @@ func (p *Problem) AllContext(ctx context.Context) ([]Candidate, error) {
 			return nil, err
 		}
 		out = append(out, c)
+		pt.advance(1)
 		if !p.advance(a) {
+			pt.done()
 			return out, nil
 		}
 	}

@@ -19,7 +19,10 @@ func (p *Problem) Pruned() (Result, error) {
 }
 
 // PrunedContext is Pruned with cooperative cancellation: the level
-// walk aborts with ctx.Err() shortly after ctx is done.
+// walk aborts with ctx.Err() shortly after ctx is done. A
+// WithProgress hook on the context receives periodic reports; clipped
+// candidates count toward progress (they are resolved work), so the
+// bar approaches the full space even when pruning bites.
 func (p *Problem) PrunedContext(ctx context.Context) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
@@ -32,18 +35,20 @@ func (p *Problem) PrunedContext(ctx context.Context) (Result, error) {
 	)
 
 	cc := canceler{ctx: ctx}
+	pt := newProgressTicker(ctx, p)
 	n := len(p.Components)
 	for level := 0; level <= n; level++ {
-		if err := p.enumerateLevel(&cc, level, &res, &met); err != nil {
+		if err := p.enumerateLevel(&cc, &pt, level, &res, &met); err != nil {
 			return Result{}, err
 		}
 	}
+	pt.done()
 	return res, nil
 }
 
 // enumerateLevel visits every assignment with exactly `level` clustered
 // components, skipping supersets of already-met assignments.
-func (p *Problem) enumerateLevel(cc *canceler, level int, res *Result, met *[]Assignment) error {
+func (p *Problem) enumerateLevel(cc *canceler, pt *progressTicker, level int, res *Result, met *[]Assignment) error {
 	a := make(Assignment, len(p.Components))
 	var walk func(idx, remaining int) error
 	walk = func(idx, remaining int) error {
@@ -57,6 +62,7 @@ func (p *Problem) enumerateLevel(cc *canceler, level int, res *Result, met *[]As
 			for _, m := range *met {
 				if coveredBy(m, a) {
 					res.Skipped++
+					pt.advance(1)
 					return nil
 				}
 			}
@@ -65,6 +71,7 @@ func (p *Problem) enumerateLevel(cc *canceler, level int, res *Result, met *[]As
 				return err
 			}
 			res.observe(c, p.SLA)
+			pt.advance(1)
 			if c.MeetsSLA(p.SLA) {
 				*met = append(*met, a.Clone())
 			}

@@ -62,6 +62,7 @@ import (
 	"uptimebroker/internal/failsim"
 	"uptimebroker/internal/httpapi"
 	"uptimebroker/internal/jobs"
+	"uptimebroker/internal/jobstore"
 	"uptimebroker/internal/lifecycle"
 	"uptimebroker/internal/report"
 	"uptimebroker/internal/telemetry"
@@ -137,6 +138,16 @@ type (
 	APIError = httpapi.APIError
 	// JobStatus is one async job's client-side state.
 	JobStatus = httpapi.JobStatus
+	// JobProgress is one live progress observation delivered to a
+	// WithProgress callback while waiting on a job.
+	JobProgress = httpapi.JobProgress
+	// WaitOption customizes one Client.WaitJob call.
+	WaitOption = httpapi.WaitOption
+	// ListOption narrows one Client.ListJobs call.
+	ListOption = httpapi.ListOption
+	// JobStoreBackend is the pluggable persistence surface under the
+	// async job store (memory and file implementations ship).
+	JobStoreBackend = jobstore.Backend
 	// BatchItem is one request's outcome within RecommendBatch.
 	BatchItem = broker.BatchItem
 	// JobMetrics are the job subsystem's operational counters.
@@ -247,11 +258,34 @@ func WithRateLimit(rate float64, burst int) ServerOption {
 	return httpapi.WithRateLimit(rate, burst)
 }
 
+// WithPerClientRateLimit enables per-client token buckets keyed on
+// the client IP; WithRateLimit stays the overall cap.
+func WithPerClientRateLimit(rate float64, burst int) ServerOption {
+	return httpapi.WithPerClientRateLimit(rate, burst)
+}
+
+// WithTrustedProxy keys per-client limits on the rightmost
+// X-Forwarded-For entry; only set it behind a trusted reverse proxy.
+func WithTrustedProxy() ServerOption { return httpapi.WithTrustedProxy() }
+
 // WithJobTTL sets how long the server retains finished async jobs.
 func WithJobTTL(d time.Duration) ServerOption { return httpapi.WithJobTTL(d) }
 
 // WithJobWorkers sets the server's async job worker pool size.
 func WithJobWorkers(n int) ServerOption { return httpapi.WithJobWorkers(n) }
+
+// WithJobDir makes the server's async job store durable: submissions,
+// transitions, progress and results are journaled to a WAL in dir and
+// recovered on the next start (queued jobs re-queued, mid-run jobs
+// failed with a restart_lost error, finished results kept, IDs
+// strictly increasing across restarts).
+func WithJobDir(dir string) ServerOption { return httpapi.WithJobDir(dir) }
+
+// WithJobSnapshotInterval sets how often the durable job store
+// compacts its WAL into a snapshot.
+func WithJobSnapshotInterval(d time.Duration) ServerOption {
+	return httpapi.WithJobSnapshotInterval(d)
+}
 
 // NewClient builds a typed client for a brokerage service URL.
 func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
@@ -269,6 +303,18 @@ func WithRetryBackoff(d time.Duration) ClientOption { return httpapi.WithRetryBa
 
 // WithPollInterval sets WaitJob's initial poll interval.
 func WithPollInterval(d time.Duration) ClientOption { return httpapi.WithPollInterval(d) }
+
+// WithProgress makes one Client.WaitJob call stream live progress
+// (state transitions plus evaluated/space_size from the enumeration)
+// to the callback, over Server-Sent Events with a polling fallback.
+func WithProgress(fn func(JobProgress)) WaitOption { return httpapi.WithProgress(fn) }
+
+// WithStateFilter restricts one Client.ListJobs call to a lifecycle
+// state (queued, running, done, failed or cancelled).
+func WithStateFilter(state string) ListOption { return httpapi.WithStateFilter(state) }
+
+// WithLimit caps how many jobs one Client.ListJobs call returns.
+func WithLimit(n int) ListOption { return httpapi.WithLimit(n) }
 
 // WireRequest converts a domain Request to the wire form the HTTP
 // client sends — the bridge between in-process and over-the-wire use.
