@@ -5,13 +5,21 @@
 //
 //	brokerd [-addr :8080] [-quiet] [-rate-limit 0] [-rate-limit-per-client 0]
 //	        [-job-ttl 15m] [-job-workers 0] [-data-dir DIR] [-snapshot-interval 1m]
+//	        [-fsync] [-default-strategy auto] [-sse-ping 15s]
 //
 // With -data-dir the async job store is durable: every submission,
 // state transition and result is journaled to a write-ahead log in
 // DIR (compacted into a snapshot every -snapshot-interval), and a
 // restart recovers it — completed results stay fetchable, queued jobs
 // re-run, and jobs that were mid-run report a restart_lost failure.
-// Without -data-dir the store is in-memory, as before.
+// Without -data-dir the store is in-memory, as before. -fsync
+// additionally flushes every WAL append to disk for power-loss
+// durability at a per-submission latency cost.
+//
+// -default-strategy picks the solver used for requests that do not
+// name one ("auto", "exhaustive", "pruned", "branch-and-bound" or
+// "parallel-pruned"); individual requests override it with their
+// "strategy" field.
 //
 // Routes (see docs/api.md for request/response shapes):
 //
@@ -76,6 +84,9 @@ func run(args []string) error {
 		jobWorkers      = fs.Int("job-workers", 0, "async job worker pool size (0 = GOMAXPROCS)")
 		dataDir         = fs.String("data-dir", "", "directory for the durable job store WAL + snapshots (empty = in-memory jobs)")
 		snapInterval    = fs.Duration("snapshot-interval", time.Minute, "how often the job WAL is compacted into a snapshot (with -data-dir)")
+		fsync           = fs.Bool("fsync", false, "fsync every job WAL append for power-loss durability (with -data-dir)")
+		defaultStrategy = fs.String("default-strategy", "", "solver for requests that do not name one: auto (default), exhaustive, pruned, branch-and-bound or parallel-pruned")
+		ssePing         = fs.Duration("sse-ping", 15*time.Second, "keep-alive comment interval on /v2/jobs/{id}/events streams (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -106,12 +117,13 @@ func run(args []string) error {
 		Store:            store,
 		Fallback:         broker.CatalogParams{Catalog: cat},
 		MinExposureYears: 1,
-	})
+	}, broker.WithDefaultStrategy(*defaultStrategy))
 	if err != nil {
 		return err
 	}
 	opts := []httpapi.ServerOption{
 		httpapi.WithJobTTL(*jobTTL),
+		httpapi.WithSSEPingInterval(*ssePing),
 	}
 	if *rateLimit > 0 {
 		opts = append(opts, httpapi.WithRateLimit(*rateLimit, *rateBurst))
@@ -127,6 +139,9 @@ func run(args []string) error {
 	}
 	if *dataDir != "" {
 		opts = append(opts, httpapi.WithJobDir(*dataDir), httpapi.WithJobSnapshotInterval(*snapInterval))
+		if *fsync {
+			opts = append(opts, httpapi.WithJobFsync())
+		}
 	}
 	server, err := httpapi.NewServer(engine, store, logger, opts...)
 	if err != nil {

@@ -7,12 +7,12 @@
 // Subcommands:
 //
 //	recommend   submit a recommendation request (-topology file.json or
-//	            -casestudy; -local -format text|markdown|csv runs the
-//	            brokerage in-process)
+//	            -casestudy; -strategy picks the solver; -local -format
+//	            text|markdown|csv runs the brokerage in-process)
 //	pareto      print the cost × uptime frontier for a request
 //	job         async brokerage over /v2/jobs:
 //	              job submit -kind recommend|pareto (-topology|-casestudy)
-//	                         [-wait] [-quiet]
+//	                         [-strategy S] [-wait] [-quiet]
 //	              job status JOB-ID
 //	              job wait   [-quiet] JOB-ID   (streams evaluated/space_size
 //	                         progress to stderr unless -quiet)
@@ -94,13 +94,14 @@ func run(args []string) error {
 	}
 }
 
-// loadRequest resolves the request from -casestudy / -topology flags.
-func loadRequest(topologyPath string, caseStudy bool) (httpapi.RecommendationRequest, error) {
+// loadRequest resolves the request from -casestudy / -topology flags;
+// a non-empty strategy overrides whatever the topology file carries.
+func loadRequest(topologyPath string, caseStudy bool, strategy string) (httpapi.RecommendationRequest, error) {
+	var req httpapi.RecommendationRequest
 	switch {
 	case caseStudy:
-		return caseStudyRequest(), nil
+		req = caseStudyRequest()
 	case topologyPath != "":
-		var req httpapi.RecommendationRequest
 		data, err := os.ReadFile(topologyPath)
 		if err != nil {
 			return req, fmt.Errorf("reading topology: %w", err)
@@ -108,24 +109,32 @@ func loadRequest(topologyPath string, caseStudy bool) (httpapi.RecommendationReq
 		if err := json.Unmarshal(data, &req); err != nil {
 			return req, fmt.Errorf("parsing topology: %w", err)
 		}
-		return req, nil
 	default:
-		return httpapi.RecommendationRequest{}, fmt.Errorf("need -topology FILE or -casestudy")
+		return req, fmt.Errorf("need -topology FILE or -casestudy")
 	}
+	if strategy != "" {
+		req.Strategy = strategy
+	}
+	return req, nil
 }
+
+// strategyUsage documents the -strategy flag shared by the request
+// subcommands.
+const strategyUsage = "solver strategy: auto (default), exhaustive, pruned, branch-and-bound or parallel-pruned"
 
 func cmdRecommend(ctx context.Context, client *httpapi.Client, args []string) error {
 	fs := flag.NewFlagSet("recommend", flag.ContinueOnError)
 	var (
 		topologyPath = fs.String("topology", "", "path to a recommendation request JSON file")
 		caseStudy    = fs.Bool("casestudy", false, "use the paper's built-in case study request")
+		strategy     = fs.String("strategy", "", strategyUsage)
 		local        = fs.Bool("local", false, "run the brokerage in-process instead of calling a server")
 		format       = fs.String("format", "text", "output format with -local: text, markdown or csv")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	req, err := loadRequest(*topologyPath, *caseStudy)
+	req, err := loadRequest(*topologyPath, *caseStudy, *strategy)
 	if err != nil {
 		return err
 	}
@@ -169,11 +178,12 @@ func cmdPareto(ctx context.Context, client *httpapi.Client, args []string) error
 	var (
 		topologyPath = fs.String("topology", "", "path to a recommendation request JSON file")
 		caseStudy    = fs.Bool("casestudy", false, "use the paper's built-in case study request")
+		strategy     = fs.String("strategy", "", strategyUsage)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	req, err := loadRequest(*topologyPath, *caseStudy)
+	req, err := loadRequest(*topologyPath, *caseStudy, *strategy)
 	if err != nil {
 		return err
 	}
@@ -212,6 +222,12 @@ func printRecommendation(resp httpapi.RecommendationResponse) error {
 		fmt.Printf("   as-is: option #%d (savings %.1f%%)", resp.AsIsOption, resp.SavingsPercent)
 	}
 	fmt.Println()
+	strategy := resp.Search.Strategy
+	if strategy == "" {
+		strategy = "unknown" // pre-strategy server
+	}
+	fmt.Printf("search: %s solver, %d evaluated + %d skipped of %d\n",
+		strategy, resp.Search.Evaluated, resp.Search.Skipped, resp.Search.SpaceSize)
 	return nil
 }
 
@@ -346,13 +362,14 @@ func cmdJob(ctx context.Context, client *httpapi.Client, args []string) error {
 			kind         = fs.String("kind", "recommend", "job kind: recommend or pareto")
 			topologyPath = fs.String("topology", "", "path to a recommendation request JSON file")
 			caseStudy    = fs.Bool("casestudy", false, "use the paper's built-in case study request")
+			strategy     = fs.String("strategy", "", strategyUsage)
 			wait         = fs.Bool("wait", false, "block until the job finishes and print its result")
 			quiet        = fs.Bool("quiet", false, "with -wait: suppress the live progress display")
 		)
 		if err := fs.Parse(args[1:]); err != nil {
 			return err
 		}
-		req, err := loadRequest(*topologyPath, *caseStudy)
+		req, err := loadRequest(*topologyPath, *caseStudy, *strategy)
 		if err != nil {
 			return err
 		}
@@ -431,11 +448,15 @@ func waitJobVerbose(ctx context.Context, client *httpapi.Client, id string, quie
 	shown := false
 	if !quiet {
 		opts = append(opts, httpapi.WithProgress(func(p httpapi.JobProgress) {
+			solver := ""
+			if p.Strategy != "" {
+				solver = " [" + p.Strategy + "]"
+			}
 			if p.SpaceSize > 0 {
-				fmt.Fprintf(os.Stderr, "\r%s %s: %d/%d evaluated (%.1f%%)  ",
-					p.JobID, p.State, p.Evaluated, p.SpaceSize, 100*p.Fraction())
+				fmt.Fprintf(os.Stderr, "\r%s %s%s: %d/%d evaluated (%.1f%%)  ",
+					p.JobID, p.State, solver, p.Evaluated, p.SpaceSize, 100*p.Fraction())
 			} else {
-				fmt.Fprintf(os.Stderr, "\r%s %s...  ", p.JobID, p.State)
+				fmt.Fprintf(os.Stderr, "\r%s %s%s...  ", p.JobID, p.State, solver)
 			}
 			shown = true
 		}))

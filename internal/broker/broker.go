@@ -13,6 +13,7 @@ import (
 	"uptimebroker/internal/availability"
 	"uptimebroker/internal/catalog"
 	"uptimebroker/internal/cost"
+	"uptimebroker/internal/optimize"
 	"uptimebroker/internal/telemetry"
 	"uptimebroker/internal/topology"
 )
@@ -86,6 +87,13 @@ type Request struct {
 	// the component's layer is in play. The case study restricts each
 	// layer to its single classic mechanism, giving k = 2.
 	AllowedTechs map[string][]string
+
+	// Strategy names the optimize solver the search runs on: one of
+	// optimize.Strategies() ("exhaustive", "pruned", "branch-and-bound",
+	// "parallel-pruned", "auto"). Empty falls back to the engine's
+	// default, then to "auto". Every strategy is exact, so the choice
+	// only moves the latency and the evaluated/skipped effort split.
+	Strategy string
 }
 
 // Validate reports whether the request is well-formed (catalog
@@ -107,24 +115,57 @@ func (r Request) Validate() error {
 			return fmt.Errorf("broker: allowed-techs names unknown component %q", name)
 		}
 	}
+	if !optimize.ValidStrategy(r.Strategy) {
+		return fmt.Errorf("broker: unknown strategy %q (choose from %v, or leave empty for auto)",
+			r.Strategy, optimize.Strategies())
+	}
 	return nil
 }
 
 // Engine is the brokerage service core.
 type Engine struct {
-	catalog *catalog.Catalog
-	params  ParamSource
+	catalog         *catalog.Catalog
+	params          ParamSource
+	defaultStrategy string
+}
+
+// EngineOption customizes New.
+type EngineOption func(*Engine)
+
+// WithDefaultStrategy sets the solver strategy used for requests that
+// do not name one (the built-in default is "auto"). The strategy must
+// be registered with the optimize package; New rejects unknown names.
+func WithDefaultStrategy(strategy string) EngineOption {
+	return func(e *Engine) { e.defaultStrategy = strategy }
 }
 
 // New builds an engine over a catalog and a parameter source.
-func New(cat *catalog.Catalog, params ParamSource) (*Engine, error) {
+func New(cat *catalog.Catalog, params ParamSource, opts ...EngineOption) (*Engine, error) {
 	if cat == nil {
 		return nil, fmt.Errorf("broker: nil catalog")
 	}
 	if params == nil {
 		return nil, fmt.Errorf("broker: nil parameter source")
 	}
-	return &Engine{catalog: cat, params: params}, nil
+	e := &Engine{catalog: cat, params: params}
+	for _, opt := range opts {
+		opt(e)
+	}
+	if !optimize.ValidStrategy(e.defaultStrategy) {
+		return nil, fmt.Errorf("broker: unknown default strategy %q (choose from %v)",
+			e.defaultStrategy, optimize.Strategies())
+	}
+	return e, nil
+}
+
+// strategyFor resolves the solver strategy for one request: the
+// request's choice, else the engine default, else auto (the empty
+// string, which optimize.Solve resolves to auto).
+func (e *Engine) strategyFor(req Request) string {
+	if req.Strategy != "" {
+		return req.Strategy
+	}
+	return e.defaultStrategy
 }
 
 // Catalog exposes the engine's catalog for read-only use by the HTTP

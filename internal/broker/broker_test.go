@@ -9,6 +9,7 @@ import (
 	"uptimebroker/internal/availability"
 	"uptimebroker/internal/catalog"
 	"uptimebroker/internal/cost"
+	"uptimebroker/internal/optimize"
 	"uptimebroker/internal/telemetry"
 	"uptimebroker/internal/topology"
 )
@@ -429,4 +430,86 @@ func TestOptionCardLabelEdgeCases(t *testing.T) {
 	if !strings.Contains(OptionCard{Choices: []Choice{{Component: "a", TechID: "t1"}, {Component: "b", TechID: "t2"}}}.Label(), ",") {
 		t.Fatal("multi-choice label should be comma separated")
 	}
+}
+
+// TestStrategySelection covers the three-level strategy resolution:
+// request > engine default > auto, plus validation of unknown names.
+func TestStrategySelection(t *testing.T) {
+	cat := catalog.Default()
+	ctx := context.Background()
+
+	t.Run("unknown request strategy rejected", func(t *testing.T) {
+		req := CaseStudy()
+		req.Strategy = "simulated-annealing"
+		if err := req.Validate(); err == nil || !strings.Contains(err.Error(), "simulated-annealing") {
+			t.Fatalf("Validate = %v, want unknown-strategy error", err)
+		}
+	})
+
+	t.Run("unknown engine default rejected", func(t *testing.T) {
+		if _, err := New(cat, CatalogParams{Catalog: cat}, WithDefaultStrategy("nope")); err == nil {
+			t.Fatal("unknown default strategy should fail New")
+		}
+	})
+
+	t.Run("request strategy echoed in search stats", func(t *testing.T) {
+		e := newTestEngine(t)
+		req := CaseStudy()
+		req.Strategy = optimize.StrategyExhaustive
+		rec, err := e.Recommend(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Search.Strategy != optimize.StrategyExhaustive {
+			t.Fatalf("Search.Strategy = %q, want exhaustive", rec.Search.Strategy)
+		}
+		if rec.Search.Evaluated != rec.Search.SpaceSize || rec.Search.Skipped != 0 {
+			t.Fatalf("exhaustive stats = %+v", rec.Search)
+		}
+	})
+
+	t.Run("engine default applies when request silent", func(t *testing.T) {
+		e, err := New(cat, CatalogParams{Catalog: cat}, WithDefaultStrategy(optimize.StrategyBranchAndBound))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := e.Recommend(ctx, CaseStudy())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Search.Strategy != optimize.StrategyBranchAndBound {
+			t.Fatalf("Search.Strategy = %q, want the engine default", rec.Search.Strategy)
+		}
+	})
+
+	t.Run("auto resolves to pruned on the case study", func(t *testing.T) {
+		e := newTestEngine(t)
+		rec, err := e.Recommend(ctx, CaseStudy())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Search.Strategy != optimize.StrategyPruned {
+			t.Fatalf("Search.Strategy = %q, want pruned", rec.Search.Strategy)
+		}
+	})
+
+	t.Run("every strategy agrees on the recommendation", func(t *testing.T) {
+		e := newTestEngine(t)
+		base, err := e.Recommend(ctx, CaseStudy())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, strategy := range optimize.Strategies() {
+			req := CaseStudy()
+			req.Strategy = strategy
+			rec, err := e.Recommend(ctx, req)
+			if err != nil {
+				t.Fatalf("Recommend(%s): %v", strategy, err)
+			}
+			if rec.BestOption != base.BestOption || rec.MinRiskOption != base.MinRiskOption {
+				t.Fatalf("strategy %q changed the answer: %d/%d vs %d/%d",
+					strategy, rec.BestOption, rec.MinRiskOption, base.BestOption, base.MinRiskOption)
+			}
+		}
+	})
 }

@@ -84,25 +84,40 @@ func (c OptionCard) Plan() Plan {
 // context: the enumeration loops underneath Recommend and Pareto
 // report (candidates accounted for, space size k^n) through it on a
 // fixed cadence. Recommend runs two passes (full pricing for the
-// option cards, then the pruned search for the effort statistics);
+// option cards, then the selected solver for the effort statistics);
 // consumers wanting a monotone bar should clamp to the maximum seen,
-// which is what the jobs store's Progress does.
+// which is what the jobs store's Progress does. Parallel solvers may
+// invoke the hook concurrently.
 func WithSearchProgress(ctx context.Context, fn func(evaluated, spaceSize int64)) context.Context {
 	return optimize.WithProgress(ctx, fn)
 }
 
-// SearchStats reports how much work the Section III.C pruned search
-// saved relative to exhaustive enumeration.
+// WithStrategyReport attaches a hook that hears which concrete solver
+// strategy the search resolved to — for "auto" requests, the strategy
+// the heuristic picked. It fires once per solver pass, before the
+// enumeration starts, which is how the async job surface echoes the
+// choice into live progress.
+func WithStrategyReport(ctx context.Context, fn func(strategy string)) context.Context {
+	return optimize.WithStrategyReport(ctx, fn)
+}
+
+// SearchStats reports how much work the Section III.C search saved
+// relative to exhaustive enumeration, and which solver did it.
 type SearchStats struct {
 	// SpaceSize is k^n, the total number of permutations.
 	SpaceSize int `json:"space_size"`
 
-	// Evaluated is how many permutations the pruned search priced.
+	// Evaluated is how many permutations the search priced.
 	Evaluated int `json:"evaluated"`
 
-	// Skipped is how many permutations were clipped as supersets of an
-	// SLA-meeting permutation.
+	// Skipped is how many permutations were clipped without pricing
+	// (supersets of an SLA-meeting permutation, or subtrees whose cost
+	// bound could not win).
 	Skipped int `json:"skipped"`
+
+	// Strategy is the concrete solver that ran: "auto" requests echo
+	// what the heuristic resolved to.
+	Strategy string `json:"strategy"`
 }
 
 // Recommendation is the brokerage's answer: every option card plus the
@@ -167,13 +182,14 @@ func (e *Engine) Recommend(ctx context.Context, req Request) (*Recommendation, e
 	}
 
 	// Price every option (the paper's figures show all of them), and
-	// run the pruned search for the effort statistics; their optima
-	// must agree, which the optimize package's tests guarantee.
+	// run the selected solver for the effort statistics; every
+	// registered strategy returns the same optimum, which the optimize
+	// package's equivalence tests guarantee.
 	cands, err := c.problem.AllContext(ctx)
 	if err != nil {
 		return nil, err
 	}
-	pruned, err := c.problem.PrunedContext(ctx)
+	searched, err := optimize.Solve(ctx, c.problem, e.strategyFor(req))
 	if err != nil {
 		return nil, err
 	}
@@ -211,8 +227,9 @@ func (e *Engine) Recommend(ctx context.Context, req Request) (*Recommendation, e
 		Cards:    cards,
 		Search: SearchStats{
 			SpaceSize: c.problem.SpaceSize(),
-			Evaluated: pruned.Evaluated,
-			Skipped:   pruned.Skipped,
+			Evaluated: searched.Evaluated,
+			Skipped:   searched.Skipped,
+			Strategy:  searched.Strategy,
 		},
 	}
 

@@ -54,6 +54,7 @@ type Client struct {
 	retries  int
 	backoff  time.Duration
 	pollBase time.Duration
+	strategy string
 }
 
 // ClientOption customizes NewClient.
@@ -99,6 +100,23 @@ func WithPollInterval(d time.Duration) ClientOption {
 	}
 }
 
+// WithStrategy sets a default solver strategy stamped onto every
+// outgoing recommendation-type request (Recommend, Pareto, SubmitJob,
+// RecommendBatch) that does not name one itself. A per-request
+// Strategy field always wins; the server default remains "auto".
+func WithStrategy(strategy string) ClientOption {
+	return func(c *Client) { c.strategy = strategy }
+}
+
+// withDefaultStrategy returns req with the client's default strategy
+// applied when the request leaves the choice open.
+func (c *Client) withDefaultStrategy(req RecommendationRequest) RecommendationRequest {
+	if req.Strategy == "" {
+		req.Strategy = c.strategy
+	}
+	return req
+}
+
 // NewClient builds a client for the given base URL (for example
 // "http://127.0.0.1:8080"). httpClient may be nil to use
 // http.DefaultClient; options refine behavior further.
@@ -131,7 +149,7 @@ func (c *Client) Health(ctx context.Context) error {
 // Recommend submits a synchronous recommendation request.
 func (c *Client) Recommend(ctx context.Context, req RecommendationRequest) (RecommendationResponse, error) {
 	var out RecommendationResponse
-	err := c.do(ctx, http.MethodPost, "/v1/recommendations", req, &out)
+	err := c.do(ctx, http.MethodPost, "/v1/recommendations", c.withDefaultStrategy(req), &out)
 	return out, err
 }
 
@@ -139,7 +157,7 @@ func (c *Client) Recommend(ctx context.Context, req RecommendationRequest) (Reco
 // cards.
 func (c *Client) Pareto(ctx context.Context, req RecommendationRequest) ([]OptionCardDTO, error) {
 	var out []OptionCardDTO
-	err := c.do(ctx, http.MethodPost, "/v1/pareto", req, &out)
+	err := c.do(ctx, http.MethodPost, "/v1/pareto", c.withDefaultStrategy(req), &out)
 	return out, err
 }
 
@@ -252,7 +270,7 @@ func (j JobStatus) ParetoFront() ([]OptionCardDTO, error) {
 // returns its queued status immediately.
 func (c *Client) SubmitJob(ctx context.Context, kind string, req RecommendationRequest) (JobStatus, error) {
 	var out JobStatus
-	err := c.do(ctx, http.MethodPost, "/v2/jobs", JobRequest{Kind: kind, Request: req}, &out)
+	err := c.do(ctx, http.MethodPost, "/v2/jobs", JobRequest{Kind: kind, Request: c.withDefaultStrategy(req)}, &out)
 	return out, err
 }
 
@@ -284,6 +302,10 @@ type JobProgress struct {
 	// the job's search loops report anything.
 	Evaluated int64
 	SpaceSize int64
+
+	// Strategy is the concrete solver the job's search resolved to,
+	// once known ("auto" requests see the heuristic's pick).
+	Strategy string
 }
 
 // Fraction returns the completed share of the search space in [0, 1].
@@ -304,6 +326,7 @@ func progressOf(status JobStatus) JobProgress {
 	if status.Progress != nil {
 		p.Evaluated = status.Progress.Evaluated
 		p.SpaceSize = status.Progress.SpaceSize
+		p.Strategy = status.Progress.Strategy
 	}
 	return p
 }
@@ -483,8 +506,12 @@ func (c *Client) ListJobs(ctx context.Context, opts ...ListOption) ([]JobStatus,
 // them out across its worker pool. Per-item failures appear on the
 // corresponding result entries, not as a call error.
 func (c *Client) RecommendBatch(ctx context.Context, reqs []RecommendationRequest) (BatchResponse, error) {
+	stamped := make([]RecommendationRequest, len(reqs))
+	for i, req := range reqs {
+		stamped[i] = c.withDefaultStrategy(req)
+	}
 	var out BatchResponse
-	err := c.do(ctx, http.MethodPost, "/v2/recommendations/batch", BatchRequest{Requests: reqs}, &out)
+	err := c.do(ctx, http.MethodPost, "/v2/recommendations/batch", BatchRequest{Requests: stamped}, &out)
 	return out, err
 }
 

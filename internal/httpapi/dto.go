@@ -30,6 +30,13 @@ type RecommendationRequest struct {
 
 	// AllowedTechs optionally restricts per-component HA choices.
 	AllowedTechs map[string][]string `json:"allowed_techs,omitempty"`
+
+	// Strategy optionally names the solver the search runs on:
+	// "exhaustive", "pruned", "branch-and-bound", "parallel-pruned" or
+	// "auto" (the default). Every strategy returns the same
+	// recommendation; the choice trades latency against the effort
+	// statistics echoed in the response's "search" member.
+	Strategy string `json:"strategy,omitempty"`
 }
 
 // ToBroker converts the wire request to the domain request.
@@ -41,6 +48,7 @@ func (r RecommendationRequest) ToBroker() broker.Request {
 			Penalty:       cost.Penalty{PerHour: cost.Dollars(r.PenaltyPerHourUSD)},
 		},
 		AllowedTechs: r.AllowedTechs,
+		Strategy:     r.Strategy,
 	}
 	if r.AsIs != nil {
 		req.AsIs = broker.Plan(r.AsIs)
@@ -67,11 +75,14 @@ type OptionCardDTO struct {
 	MeetsSLA      bool        `json:"meets_sla"`
 }
 
-// SearchStatsDTO is the wire form of the pruned-search statistics.
+// SearchStatsDTO is the wire form of the search-effort statistics.
+// Strategy echoes the concrete solver that ran ("auto" requests see
+// what the heuristic resolved to).
 type SearchStatsDTO struct {
-	SpaceSize int `json:"space_size"`
-	Evaluated int `json:"evaluated"`
-	Skipped   int `json:"skipped"`
+	SpaceSize int    `json:"space_size"`
+	Evaluated int    `json:"evaluated"`
+	Skipped   int    `json:"skipped"`
+	Strategy  string `json:"strategy,omitempty"`
 }
 
 // RecommendationResponse is the wire form of broker.Recommendation.
@@ -125,6 +136,7 @@ func FromRecommendation(rec *broker.Recommendation) RecommendationResponse {
 			SpaceSize: rec.Search.SpaceSize,
 			Evaluated: rec.Search.Evaluated,
 			Skipped:   rec.Search.Skipped,
+			Strategy:  rec.Search.Strategy,
 		},
 	}
 }

@@ -33,6 +33,8 @@ type serverConfig struct {
 	jobQueue        int
 	jobDir          string
 	jobSnapInterval time.Duration
+	jobFsync        bool
+	ssePing         time.Duration
 }
 
 // ServerOption customizes NewServer.
@@ -87,6 +89,22 @@ func WithJobSnapshotInterval(d time.Duration) ServerOption {
 	return func(c *serverConfig) { c.jobSnapInterval = d }
 }
 
+// WithJobFsync makes the durable job store fsync every WAL append, so
+// acknowledged submissions survive a power loss, not just a process
+// crash — at a per-append disk-flush latency cost (the jobstore
+// benchmarks report the difference). Only meaningful with WithJobDir.
+func WithJobFsync() ServerOption {
+	return func(c *serverConfig) { c.jobFsync = true }
+}
+
+// WithSSEPingInterval sets how often the /v2/jobs/{id}/events stream
+// emits ": ping" keep-alive comments while a job is quiet (default
+// 15s), so idle proxies do not reap long streams. SSE parsers discard
+// comment frames per specification. d <= 0 disables keep-alives.
+func WithSSEPingInterval(d time.Duration) ServerOption {
+	return func(c *serverConfig) { c.ssePing = d }
+}
+
 // WithJobTTL sets how long finished async jobs are retained for
 // polling (default 15m).
 func WithJobTTL(d time.Duration) ServerOption {
@@ -120,6 +138,7 @@ type Server struct {
 	logger  *log.Logger
 	jobs    *jobs.Store
 	handler http.Handler
+	ssePing time.Duration
 }
 
 // NewServer wires the routes and starts the async job workers. store
@@ -129,7 +148,7 @@ func NewServer(engine *broker.Engine, store *telemetry.Store, logger *log.Logger
 	if engine == nil {
 		return nil, fmt.Errorf("httpapi: nil engine")
 	}
-	cfg := serverConfig{}
+	cfg := serverConfig{ssePing: 15 * time.Second}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
@@ -152,12 +171,17 @@ func NewServer(engine *broker.Engine, store *telemetry.Store, logger *log.Logger
 	}
 
 	s := &Server{
-		engine: engine,
-		store:  store,
-		logger: logger,
+		engine:  engine,
+		store:   store,
+		logger:  logger,
+		ssePing: cfg.ssePing,
 	}
 	if cfg.jobDir != "" {
-		backend, err := jobstore.OpenFile(cfg.jobDir)
+		var fileOpts []jobstore.FileOption
+		if cfg.jobFsync {
+			fileOpts = append(fileOpts, jobstore.WithFsync())
+		}
+		backend, err := jobstore.OpenFile(cfg.jobDir, fileOpts...)
 		if err != nil {
 			return nil, fmt.Errorf("httpapi: opening job store: %w", err)
 		}

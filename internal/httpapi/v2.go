@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -81,6 +82,11 @@ type JobProgressDTO struct {
 
 	// Percent is 100 × Evaluated/SpaceSize, clamped to [0, 100].
 	Percent float64 `json:"percent"`
+
+	// Strategy is the concrete solver strategy the job's search
+	// resolved to, once it has reported one ("auto" requests see the
+	// heuristic's pick).
+	Strategy string `json:"strategy,omitempty"`
 }
 
 // JobListResponse is the body of GET /v2/jobs.
@@ -114,11 +120,12 @@ func fromJob(snap jobs.Snapshot, withResult bool) JobDTO {
 		t := snap.FinishedAt
 		dto.FinishedAt = &t
 	}
-	if snap.SpaceSize > 0 {
+	if snap.SpaceSize > 0 || snap.Strategy != "" {
 		dto.Progress = &JobProgressDTO{
 			Evaluated: snap.Evaluated,
 			SpaceSize: snap.SpaceSize,
 			Percent:   100 * snap.Fraction(),
+			Strategy:  snap.Strategy,
 		}
 	}
 	if withResult && snap.Result != nil {
@@ -176,6 +183,9 @@ func (s *Server) jobFn(kind string, req RecommendationRequest) (jobs.Fn, error) 
 		jobCtx := ctx
 		ctx = broker.WithSearchProgress(ctx, func(evaluated, spaceSize int64) {
 			jobs.ReportProgress(jobCtx, evaluated, spaceSize)
+		})
+		ctx = broker.WithStrategyReport(ctx, func(strategy string) {
+			jobs.ReportStrategy(jobCtx, strategy)
 		})
 		return run(ctx)
 	}, nil
@@ -304,9 +314,13 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 // "state" event on every lifecycle transition, "progress" events as
 // the enumeration advances, and a final "state" event (including the
 // error for failed/cancelled jobs) when the job finishes, after
-// which the stream closes. Event payloads never embed the result —
-// one can be arbitrarily large, and the progress channel must stay
-// cheap — so clients fetch GET /v2/jobs/{id} once the terminal event
+// which the stream closes. While the job is quiet the stream carries
+// ": ping" comment frames on a timer (WithSSEPingInterval, default
+// 15s) so idle proxies do not reap a connection that is merely
+// waiting on a long enumeration; SSE parsers discard comment lines
+// by specification. Event payloads never embed the result — one can
+// be arbitrarily large, and the progress channel must stay cheap —
+// so clients fetch GET /v2/jobs/{id} once the terminal event
 // arrives. Clients that cannot speak SSE get a polling fallback: the
 // current job snapshot (sans result) as a single JSON document.
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
@@ -331,6 +345,15 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
+
+	// A nil channel (pings disabled) blocks forever in the select.
+	var pingC <-chan time.Time
+	var ping *time.Ticker
+	if s.ssePing > 0 {
+		ping = time.NewTicker(s.ssePing)
+		defer ping.Stop()
+		pingC = ping.C
+	}
 
 	lastState := ""
 	seq := 0
@@ -358,6 +381,14 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 			if snap.State.Terminal() {
 				return
 			}
+			if ping != nil {
+				ping.Reset(s.ssePing)
+			}
+		case <-pingC:
+			if _, err := io.WriteString(w, ": ping\n\n"); err != nil {
+				return // client went away
+			}
+			flusher.Flush()
 		case <-r.Context().Done():
 			return
 		}

@@ -99,9 +99,13 @@ type Snapshot struct {
 
 	// Evaluated and SpaceSize report the enumeration progress of a
 	// running job (zero until the job's Fn reports any); for the
-	// brokerage they are the pruned search's evaluated count and k^n.
+	// brokerage they are the search's evaluated count and k^n.
 	Evaluated int64
 	SpaceSize int64
+
+	// Strategy is the solver strategy the job's search resolved to
+	// (empty until the job's Fn reports one).
+	Strategy string
 }
 
 // Fraction returns the completed share of the search space in
@@ -548,6 +552,19 @@ func ReportProgress(ctx context.Context, evaluated, spaceSize int64) {
 	}
 }
 
+// strategyReporterKey carries the job's strategy reporter in its Fn's
+// context.
+type strategyReporterKey struct{}
+
+// ReportStrategy records which solver strategy the job's search
+// resolved to, from inside a running job's Fn. Outside a job it is a
+// no-op.
+func ReportStrategy(ctx context.Context, strategy string) {
+	if report, ok := ctx.Value(strategyReporterKey{}).(func(string)); ok {
+		report(strategy)
+	}
+}
+
 // runOne executes a single queued job end to end.
 func (s *Store) runOne(id string) {
 	s.mu.Lock()
@@ -563,6 +580,9 @@ func (s *Store) runOne(id string) {
 	ctx = context.WithValue(ctx, jobIDKey{}, id)
 	ctx = context.WithValue(ctx, reporterKey{}, func(evaluated, spaceSize int64) {
 		s.Progress(id, evaluated, spaceSize)
+	})
+	ctx = context.WithValue(ctx, strategyReporterKey{}, func(strategy string) {
+		s.SetStrategy(id, strategy)
 	})
 	j.cancel = cancel
 	j.snap.State = StateRunning

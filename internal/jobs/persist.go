@@ -130,6 +130,7 @@ func Open(backend jobstore.Backend, resolver Resolver, opts ...Option) (*Store, 
 				FinishedAt: rec.FinishedAt,
 				Evaluated:  rec.Evaluated,
 				SpaceSize:  rec.SpaceSize,
+				Strategy:   rec.Strategy,
 			},
 			payload: append([]byte(nil), rec.Payload...),
 		}

@@ -79,10 +79,36 @@ func (s *Store) Watch(id string) (<-chan Snapshot, func(), error) {
 // search space (plus the final one).
 const progressJournalShards = 16
 
+// SetStrategy records the solver strategy a running job's search
+// resolved to and fans the update out to watchers. Empty and
+// duplicate reports are dropped; the journaled form is a progress
+// event carrying the strategy alongside the current position.
+func (s *Store) SetStrategy(id, strategy string) {
+	if strategy == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok || j.snap.State != StateRunning || j.snap.Strategy == strategy {
+		return
+	}
+	j.snap.Strategy = strategy
+	j.notifyLocked()
+	s.appendLocked(jobstore.Event{
+		Type:      jobstore.EventProgress,
+		Time:      s.now(),
+		ID:        id,
+		Evaluated: j.snap.Evaluated,
+		SpaceSize: j.snap.SpaceSize,
+		Strategy:  strategy,
+	})
+}
+
 // Progress records enumeration progress for a running job and fans it
 // out to watchers. Updates are monotonic — a phase that re-enumerates
-// a prefix of the space (the pruned search after the exhaustive card
-// pricing) cannot move the bar backwards. Journal writes are
+// a prefix of the space (the effort-stats solver after the exhaustive
+// card pricing) cannot move the bar backwards. Journal writes are
 // throttled to progressJournalShards per job so a hot enumeration
 // loop does not bloat the WAL.
 func (s *Store) Progress(id string, evaluated, spaceSize int64) {

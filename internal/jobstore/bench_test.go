@@ -9,28 +9,40 @@ import (
 
 // BenchmarkFileAppend measures the hot journaling path: one event per
 // job state transition, every submit/finish on the serving path pays
-// this.
+// this. The fsync variant is the power-loss-durable mode behind
+// brokerd -fsync; the delta between the two sub-benchmarks is the
+// submit-latency cost of that guarantee.
 func BenchmarkFileAppend(b *testing.B) {
-	backend, err := OpenFile(b.TempDir())
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer func() { _ = backend.Close() }()
-	payload := json.RawMessage(`{"sla_percent":98,"penalty_per_hour_usd":100}`)
-	now := time.Unix(1_700_000_000, 0)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		ev := Event{
-			Type:    EventSubmitted,
-			Time:    now,
-			ID:      fmt.Sprintf("job-%08d", i+1),
-			Seq:     uint64(i + 1),
-			Kind:    "recommend",
-			Payload: payload,
-		}
-		if err := backend.Append(ev); err != nil {
-			b.Fatal(err)
-		}
+	for _, mode := range []struct {
+		name string
+		opts []FileOption
+	}{
+		{name: "nosync"},
+		{name: "fsync", opts: []FileOption{WithFsync()}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			backend, err := OpenFile(b.TempDir(), mode.opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() { _ = backend.Close() }()
+			payload := json.RawMessage(`{"sla_percent":98,"penalty_per_hour_usd":100}`)
+			now := time.Unix(1_700_000_000, 0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev := Event{
+					Type:    EventSubmitted,
+					Time:    now,
+					ID:      fmt.Sprintf("job-%08d", i+1),
+					Seq:     uint64(i + 1),
+					Kind:    "recommend",
+					Payload: payload,
+				}
+				if err := backend.Append(ev); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

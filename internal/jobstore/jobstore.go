@@ -86,6 +86,10 @@ type Event struct {
 	// Evaluated and SpaceSize report search progress (EventProgress).
 	Evaluated int64 `json:"evaluated,omitempty"`
 	SpaceSize int64 `json:"space_size,omitempty"`
+
+	// Strategy records the solver strategy the job's search resolved
+	// to (EventProgress, set once known).
+	Strategy string `json:"strategy,omitempty"`
 }
 
 // Record is the recovered form of one job: the fold of its journal
@@ -103,6 +107,7 @@ type Record struct {
 	ErrClass   string          `json:"err_class,omitempty"`
 	Evaluated  int64           `json:"evaluated,omitempty"`
 	SpaceSize  int64           `json:"space_size,omitempty"`
+	Strategy   string          `json:"strategy,omitempty"`
 }
 
 // Record state strings, mirroring jobs.State without importing it
@@ -206,6 +211,9 @@ func (st *state) apply(ev Event) {
 			}
 			if ev.SpaceSize > 0 {
 				rec.SpaceSize = ev.SpaceSize
+			}
+			if ev.Strategy != "" {
+				rec.Strategy = ev.Strategy
 			}
 		}
 	case EventFinished:

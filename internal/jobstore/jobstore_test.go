@@ -210,3 +210,48 @@ func TestEventValidate(t *testing.T) {
 		t.Fatal("unknown event type must not validate")
 	}
 }
+
+// TestFileFsyncRoundTrip exercises the power-loss-durable mode: the
+// same append/compact/replay contract must hold with WithFsync, and
+// strategy-bearing progress events must fold into the record.
+func TestFileFsyncRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	b, err := OpenFile(dir, WithFsync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []Event{
+		{Type: EventSubmitted, Time: t0, ID: "job-1", Kind: "recommend", Seq: 1, Payload: json.RawMessage(`{"x":1}`)},
+		{Type: EventStarted, Time: t0, ID: "job-1"},
+		{Type: EventProgress, Time: t0, ID: "job-1", Evaluated: 64, SpaceSize: 512, Strategy: "parallel-pruned"},
+		{Type: EventFinished, Time: t0, ID: "job-1", State: StateDone, Result: json.RawMessage(`{"best":2}`)},
+	}
+	for _, ev := range events {
+		if err := b.Append(ev); err != nil {
+			t.Fatalf("Append(%s): %v", ev.Type, err)
+		}
+	}
+	if err := b.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	b2, err := OpenFile(dir, WithFsync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = b2.Close() }()
+	snap, err := b2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Jobs) != 1 {
+		t.Fatalf("recovered %d jobs, want 1", len(snap.Jobs))
+	}
+	rec := snap.Jobs[0]
+	if rec.State != StateDone || rec.Strategy != "parallel-pruned" || rec.Evaluated != 64 || rec.SpaceSize != 512 {
+		t.Fatalf("recovered record = %+v", rec)
+	}
+}

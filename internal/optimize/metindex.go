@@ -1,0 +1,127 @@
+package optimize
+
+// coverIndex answers the pruned search's superset question: has any
+// recorded SLA-meeting assignment m with coveredBy(m, a)? Both the
+// linear reference implementation and the trie index below satisfy
+// exactly the same contract, so the searches built on them report
+// identical Evaluated/Skipped accounting.
+type coverIndex interface {
+	// insert records one SLA-meeting assignment.
+	insert(a Assignment)
+
+	// covers reports whether any recorded assignment is a clustered
+	// subset of a (same variant wherever the subset clusters).
+	covers(a Assignment) bool
+}
+
+// linearIndex is the original O(|met|)-per-leaf scan, kept as the
+// reference implementation: the equivalence tests pin the trie to it
+// and the solver benchmarks quantify the gap on SLA-dense instances.
+type linearIndex struct {
+	met []Assignment
+}
+
+func (ix *linearIndex) insert(a Assignment) {
+	ix.met = append(ix.met, a.Clone())
+}
+
+func (ix *linearIndex) covers(a Assignment) bool {
+	for _, m := range ix.met {
+		if coveredBy(m, a) {
+			return true
+		}
+	}
+	return false
+}
+
+// metIndex is a trie over met assignments keyed on the clustered-
+// component choices, one level per decision dimension. A lookup walks
+// only the paths consistent with the queried assignment: at depth i it
+// may descend into child 0 ("the subset leaves component i at the
+// baseline", compatible with anything) and child a[i] ("the subset
+// clusters component i the same way", only when a clusters i at all).
+// The cost is bounded by the consistent portion of the trie instead of
+// the full met list, which is what collapses the quadratic blow-up the
+// linear scan hits when many low-level assignments meet the SLA.
+//
+// Inserted assignments are trailing-zero compressed: a node whose
+// remaining components are all baseline is marked terminal instead of
+// growing a chain of zero children, so lookups covered by a low-level
+// subset exit near the root.
+type metIndex struct {
+	arity []int // variants per component, sizing child slices
+	root  *metNode
+}
+
+type metNode struct {
+	// terminal marks a stored assignment whose non-baseline choices are
+	// all at depths above this node.
+	terminal bool
+
+	// children[v] continues the walk with variant v chosen for the
+	// node's component; nil slices and entries are allocated lazily.
+	children []*metNode
+}
+
+func newMetIndex(p *Problem) *metIndex {
+	arity := make([]int, len(p.Components))
+	for i, comp := range p.Components {
+		arity[i] = len(comp.Variants)
+	}
+	return &metIndex{arity: arity, root: &metNode{}}
+}
+
+func (ix *metIndex) insert(a Assignment) {
+	// Depth of the last clustered component; everything after it is
+	// baseline and compresses into the terminal flag.
+	last := -1
+	for i, v := range a {
+		if v != 0 {
+			last = i
+		}
+	}
+	n := ix.root
+	for i := 0; i <= last; i++ {
+		if n.terminal {
+			// An already-stored subset covers this assignment; storing
+			// the superset would only slow lookups down. (The pruned
+			// searches never insert covered assignments, but the index
+			// stays correct for callers that do.)
+			return
+		}
+		if n.children == nil {
+			n.children = make([]*metNode, ix.arity[i])
+		}
+		child := n.children[a[i]]
+		if child == nil {
+			child = &metNode{}
+			n.children[a[i]] = child
+		}
+		n = child
+	}
+	n.terminal = true
+	// Subtrees below a terminal node are supersets of it; drop them.
+	n.children = nil
+}
+
+func (ix *metIndex) covers(a Assignment) bool {
+	return coversFrom(ix.root, a, 0)
+}
+
+func coversFrom(n *metNode, a Assignment, depth int) bool {
+	if n.terminal {
+		return true
+	}
+	if n.children == nil || depth == len(a) {
+		return false
+	}
+	if c := n.children[0]; c != nil && coversFrom(c, a, depth+1) {
+		return true
+	}
+	if v := a[depth]; v != 0 {
+		if c := n.children[v]; c != nil && coversFrom(c, a, depth+1) {
+			return true
+		}
+	}
+	return false
+}

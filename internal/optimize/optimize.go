@@ -223,6 +223,11 @@ type Result struct {
 	// Skipped counts candidates clipped without evaluation (pruned and
 	// branch-and-bound searches; zero for exhaustive).
 	Skipped int
+
+	// Strategy is the name of the concrete solver that produced the
+	// result when it came through Solve ("auto" resolves to the
+	// strategy the heuristic picked); empty for direct method calls.
+	Strategy string
 }
 
 func (r *Result) observe(c Candidate, sla cost.SLA) {

@@ -1,6 +1,9 @@
 package optimize
 
-import "context"
+import (
+	"context"
+	"sync/atomic"
+)
 
 // ProgressFunc receives periodic search-progress reports: how many of
 // the space's candidates have been accounted for (evaluated or
@@ -67,5 +70,66 @@ func (t *progressTicker) advance(k int64) {
 func (t *progressTicker) done() {
 	if t.fn != nil {
 		t.fn(t.n, t.space)
+	}
+}
+
+// sharedTicker is the progressTicker for concurrent enumerations:
+// workers advance a single atomic counter, and whichever worker
+// crosses a cadence boundary emits the report. The hook may therefore
+// be called concurrently; the consumers (the jobs store's monotonic
+// Progress) already tolerate out-of-order deliveries.
+type sharedTicker struct {
+	fn    ProgressFunc
+	space int64
+	n     atomic.Int64
+}
+
+func newSharedTicker(ctx context.Context, p *Problem) *sharedTicker {
+	fn := progressFrom(ctx)
+	if fn == nil {
+		return &sharedTicker{}
+	}
+	return &sharedTicker{fn: fn, space: int64(p.SpaceSize())}
+}
+
+func (t *sharedTicker) advance(k int64) {
+	if t.fn == nil {
+		return
+	}
+	after := t.n.Add(k)
+	if after/progressEvery != (after-k)/progressEvery {
+		t.fn(after, t.space)
+	}
+}
+
+func (t *sharedTicker) done() {
+	if t.fn != nil {
+		t.fn(t.n.Load(), t.space)
+	}
+}
+
+// StrategyFunc receives the name of the concrete solver a Solve call
+// resolved to — for "auto" that is the strategy the heuristic picked,
+// for explicit strategies it echoes the request. Like ProgressFunc it
+// must be fast and non-blocking.
+type StrategyFunc func(strategy string)
+
+// strategyKey carries the hook in a context.
+type strategyKey struct{}
+
+// WithStrategyReport attaches a strategy hook to the context: Solve
+// reports the resolved solver through it once per call, before the
+// enumeration starts. A nil fn detaches.
+func WithStrategyReport(ctx context.Context, fn StrategyFunc) context.Context {
+	return context.WithValue(ctx, strategyKey{}, fn)
+}
+
+// reportStrategy invokes the context's strategy hook, if any.
+func reportStrategy(ctx context.Context, strategy string) {
+	if ctx == nil {
+		return
+	}
+	if fn, ok := ctx.Value(strategyKey{}).(StrategyFunc); ok && fn != nil {
+		fn(strategy)
 	}
 }

@@ -23,22 +23,36 @@ func (p *Problem) Pruned() (Result, error) {
 // WithProgress hook on the context receives periodic reports; clipped
 // candidates count toward progress (they are resolved work), so the
 // bar approaches the full space even when pruning bites.
+//
+// Superset checks go through a trie index keyed on the clustered-
+// component choices, so each leaf pays for the consistent portion of
+// the met set instead of a linear scan over all of it.
 func (p *Problem) PrunedContext(ctx context.Context) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
-	var (
-		res Result
-		// met holds SLA-meeting assignments discovered so far; any
-		// assignment covered by one of them is a superset and skipped.
-		met []Assignment
-	)
+	return p.prunedWith(ctx, newMetIndex(p))
+}
 
+// prunedLinear is PrunedContext with the original linear met scan; it
+// exists so the equivalence tests and benchmarks can pin the indexed
+// search against the reference implementation.
+func (p *Problem) prunedLinear(ctx context.Context) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	return p.prunedWith(ctx, &linearIndex{})
+}
+
+// prunedWith runs the level walk over an already-validated problem
+// with the given superset index.
+func (p *Problem) prunedWith(ctx context.Context, ix coverIndex) (Result, error) {
+	var res Result
 	cc := canceler{ctx: ctx}
 	pt := newProgressTicker(ctx, p)
 	n := len(p.Components)
 	for level := 0; level <= n; level++ {
-		if err := p.enumerateLevel(&cc, &pt, level, &res, &met); err != nil {
+		if err := p.enumerateLevel(&cc, &pt, level, &res, ix); err != nil {
 			return Result{}, err
 		}
 	}
@@ -48,34 +62,28 @@ func (p *Problem) PrunedContext(ctx context.Context) (Result, error) {
 
 // enumerateLevel visits every assignment with exactly `level` clustered
 // components, skipping supersets of already-met assignments.
-func (p *Problem) enumerateLevel(cc *canceler, pt *progressTicker, level int, res *Result, met *[]Assignment) error {
+func (p *Problem) enumerateLevel(cc *canceler, pt *progressTicker, level int, res *Result, ix coverIndex) error {
 	a := make(Assignment, len(p.Components))
+	return p.walkLevel(a, 0, level, func() error {
+		return p.prunedLeaf(a, cc, ix.covers, res, pt.advance, ix.insert)
+	})
+}
+
+// walkLevel enumerates every completion of a from index `start` with
+// exactly `remaining` additional clustered components, invoking leaf
+// at each complete assignment. It is the single combination walker
+// under both the sequential and the parallel pruned searches — any
+// change to the walk order changes both identically, which the
+// parallel-vs-sequential accounting tests then re-verify.
+func (p *Problem) walkLevel(a Assignment, start, remaining int, leaf func() error) error {
+	n := len(p.Components)
 	var walk func(idx, remaining int) error
 	walk = func(idx, remaining int) error {
-		if remaining > len(p.Components)-idx {
+		if remaining > n-idx {
 			return nil // not enough components left to reach the level
 		}
-		if idx == len(p.Components) {
-			if err := cc.check(); err != nil {
-				return err
-			}
-			for _, m := range *met {
-				if coveredBy(m, a) {
-					res.Skipped++
-					pt.advance(1)
-					return nil
-				}
-			}
-			c, err := p.Evaluate(a)
-			if err != nil {
-				return err
-			}
-			res.observe(c, p.SLA)
-			pt.advance(1)
-			if c.MeetsSLA(p.SLA) {
-				*met = append(*met, a.Clone())
-			}
-			return nil
+		if idx == n {
+			return leaf()
 		}
 
 		// Choice 1: leave component idx at the baseline.
@@ -96,7 +104,33 @@ func (p *Problem) enumerateLevel(cc *canceler, pt *progressTicker, level int, re
 		}
 		return nil
 	}
-	return walk(0, level)
+	return walk(start, remaining)
+}
+
+// prunedLeaf is the shared leaf protocol of the pruned searches: poll
+// cancellation, clip covered supersets, evaluate the rest, and hand
+// SLA-meeting assignments to onMet (immediate index insertion for the
+// sequential walk, barrier collection for the parallel one). advance
+// accounts for one resolved candidate, evaluated or clipped.
+func (p *Problem) prunedLeaf(a Assignment, cc *canceler, covers func(Assignment) bool, res *Result, advance func(int64), onMet func(Assignment)) error {
+	if err := cc.check(); err != nil {
+		return err
+	}
+	if covers(a) {
+		res.Skipped++
+		advance(1)
+		return nil
+	}
+	c, err := p.Evaluate(a)
+	if err != nil {
+		return err
+	}
+	res.observe(c, p.SLA)
+	advance(1)
+	if c.MeetsSLA(p.SLA) {
+		onMet(a)
+	}
+	return nil
 }
 
 // BranchAndBound searches depth-first with an admissible cost bound:
@@ -105,48 +139,94 @@ func (p *Problem) enumerateLevel(cc *canceler, pt *progressTicker, level int, re
 // variant (expected penalty is never negative). Subtrees whose bound
 // cannot beat the incumbent are clipped. Like Pruned, it is exact.
 func (p *Problem) BranchAndBound() (Result, error) {
+	return p.BranchAndBoundContext(context.Background())
+}
+
+// BranchAndBoundContext is BranchAndBound with the same cooperative
+// cancellation and progress reporting as the other searches: the walk
+// aborts with ctx.Err() shortly after ctx is done, and a WithProgress
+// hook on the context sees clipped subtrees counted as resolved work.
+//
+// The clip rule preserves both orderings, so the result matches the
+// other solvers on Best *and* BestNoPenalty. A subtree is clipped only
+// when its cost bound cannot beat the incumbent optimum and it cannot
+// improve the no-penalty answer either — because no completion can
+// meet the SLA (the system uptime is at most the product of cluster
+// up-probabilities, so an upper bound over the subtree is the
+// committed clusters' product times each remaining component's best
+// variant), or because the cost bound already exceeds the incumbent
+// no-penalty cost (SLA-meeting candidates pay no penalty, so their TCO
+// is exactly their HA cost, which the bound floors).
+func (p *Problem) BranchAndBoundContext(ctx context.Context) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
 
 	n := len(p.Components)
-	// minTail[i] is the cheapest possible cost of components i..n-1.
+	// minTail[i] is the cheapest possible cost of components i..n-1;
+	// maxUpTail[i] the largest possible up-probability product.
 	minTail := make([]int64, n+1)
+	maxUpTail := make([]float64, n+1)
+	maxUpTail[n] = 1
 	for i := n - 1; i >= 0; i-- {
 		cheapest := p.Components[i].Variants[0].MonthlyCost
-		for _, v := range p.Components[i].Variants[1:] {
+		bestUp := 0.0
+		for _, v := range p.Components[i].Variants {
 			if v.MonthlyCost < cheapest {
 				cheapest = v.MonthlyCost
 			}
+			if up := v.Cluster.UpProbability(); up > bestUp {
+				bestUp = up
+			}
 		}
 		minTail[i] = minTail[i+1] + int64(cheapest)
+		maxUpTail[i] = maxUpTail[i+1] * bestUp
 	}
 
+	target := p.SLA.Target()
 	var res Result
+	cc := canceler{ctx: ctx}
+	pt := newProgressTicker(ctx, p)
 	a := make(Assignment, n)
 	var committed int64
-	haveIncumbent := false
 
-	var walk func(idx int) error
-	walk = func(idx int) error {
-		if haveIncumbent && committed+minTail[idx] > int64(res.Best.TCO.Total()) {
-			res.Skipped += p.subtreeSize(idx)
-			return nil
+	var walk func(idx int, upCommitted float64) error
+	walk = func(idx int, upCommitted float64) error {
+		if res.Evaluated > 0 && committed+minTail[idx] > int64(res.Best.TCO.Total()) {
+			subtreeCanMeetSLA := upCommitted*maxUpTail[idx] >= target
+			canImproveNoPenalty := subtreeCanMeetSLA &&
+				!(res.NoPenaltyFound && committed+minTail[idx] > int64(res.BestNoPenalty.TCO.Total()))
+			if !canImproveNoPenalty {
+				// Clip-dominated tails (an unattainable SLA after a
+				// strong incumbent) may never reach another evaluated
+				// leaf, so cancellation must be polled here too.
+				if err := cc.check(); err != nil {
+					return err
+				}
+				clipped := p.subtreeSize(idx)
+				res.Skipped += clipped
+				pt.advance(int64(clipped))
+				return nil
+			}
 		}
 		if idx == n {
+			if err := cc.check(); err != nil {
+				return err
+			}
 			c, err := p.Evaluate(a)
 			if err != nil {
 				return err
 			}
 			res.observe(c, p.SLA)
-			haveIncumbent = true
+			pt.advance(1)
 			return nil
 		}
 		for v := range p.Components[idx].Variants {
 			a[idx] = v
-			delta := int64(p.Components[idx].Variants[v].MonthlyCost)
+			variant := p.Components[idx].Variants[v]
+			delta := int64(variant.MonthlyCost)
 			committed += delta
-			if err := walk(idx + 1); err != nil {
+			if err := walk(idx+1, upCommitted*variant.Cluster.UpProbability()); err != nil {
 				return err
 			}
 			committed -= delta
@@ -154,9 +234,10 @@ func (p *Problem) BranchAndBound() (Result, error) {
 		a[idx] = 0
 		return nil
 	}
-	if err := walk(0); err != nil {
+	if err := walk(0, 1); err != nil {
 		return Result{}, err
 	}
+	pt.done()
 	return res, nil
 }
 

@@ -1,0 +1,260 @@
+package optimize
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"uptimebroker/internal/availability"
+)
+
+// Solver is one search algorithm over a Problem. Every registered
+// solver is exact — identical Best/BestNoPenalty for the same problem
+// (a property the equivalence tests enforce on randomized instances) —
+// and uniformly supports context cancellation, WithProgress hooks and
+// WithStrategyReport hooks; they differ only in how much of the space
+// they touch and how they spend cores doing it.
+type Solver interface {
+	// Name is the strategy's registry key, e.g. "pruned".
+	Name() string
+
+	// Solve runs the search. The context carries cancellation plus the
+	// optional progress/strategy hooks.
+	Solve(ctx context.Context, p *Problem) (Result, error)
+}
+
+// Built-in strategy names.
+const (
+	// StrategyExhaustive prices every one of the k^n candidates
+	// (Equation 6 verbatim). The only strategy whose Evaluated always
+	// equals the space size — pick it when the per-option report
+	// matters more than latency.
+	StrategyExhaustive = "exhaustive"
+
+	// StrategyPruned is the Section III.C level search with the
+	// trie-indexed superset check: SLA-meeting assignments clip all of
+	// their supersets from later levels.
+	StrategyPruned = "pruned"
+
+	// StrategyBranchAndBound clips subtrees whose admissible cost
+	// bound cannot beat the incumbent; effective even when the SLA is
+	// unattainable and superset pruning never fires.
+	StrategyBranchAndBound = "branch-and-bound"
+
+	// StrategyParallelPruned is the pruned level search with each
+	// level's walk sharded across GOMAXPROCS workers (work-stealing,
+	// deterministic merge).
+	StrategyParallelPruned = "parallel-pruned"
+
+	// StrategyAuto picks a concrete strategy from the space size and a
+	// cheap SLA-attainability probe; it is the default everywhere a
+	// strategy is selectable.
+	StrategyAuto = "auto"
+)
+
+// solverFunc adapts a function to the Solver interface.
+type solverFunc struct {
+	name string
+	fn   func(ctx context.Context, p *Problem) (Result, error)
+}
+
+func (s solverFunc) Name() string { return s.name }
+func (s solverFunc) Solve(ctx context.Context, p *Problem) (Result, error) {
+	return s.fn(ctx, p)
+}
+
+// registry holds the named strategies. The built-ins register at init;
+// RegisterSolver admits additional ones.
+var registry = struct {
+	sync.RWMutex
+	m map[string]Solver
+}{m: make(map[string]Solver)}
+
+func init() {
+	mustRegister(solverFunc{StrategyExhaustive, func(ctx context.Context, p *Problem) (Result, error) {
+		return p.ExhaustiveContext(ctx)
+	}})
+	mustRegister(solverFunc{StrategyPruned, func(ctx context.Context, p *Problem) (Result, error) {
+		return p.PrunedContext(ctx)
+	}})
+	mustRegister(solverFunc{StrategyBranchAndBound, func(ctx context.Context, p *Problem) (Result, error) {
+		return p.BranchAndBoundContext(ctx)
+	}})
+	mustRegister(solverFunc{StrategyParallelPruned, func(ctx context.Context, p *Problem) (Result, error) {
+		return p.ParallelPrunedContext(ctx, 0)
+	}})
+	mustRegister(autoSolver{})
+}
+
+func mustRegister(s Solver) {
+	if err := RegisterSolver(s); err != nil {
+		panic(err)
+	}
+}
+
+// RegisterSolver adds a named strategy to the registry. Registered
+// solvers must be exact (same optimum as exhaustive) for the brokerage
+// layers to treat strategy purely as a performance knob. Duplicate or
+// empty names are an error.
+func RegisterSolver(s Solver) error {
+	if s == nil || s.Name() == "" {
+		return fmt.Errorf("optimize: solver must have a name")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.m[s.Name()]; dup {
+		return fmt.Errorf("optimize: solver %q already registered", s.Name())
+	}
+	registry.m[s.Name()] = s
+	return nil
+}
+
+// Strategies returns the registered strategy names, sorted.
+func Strategies() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]string, 0, len(registry.m))
+	for name := range registry.m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ValidStrategy reports whether name is registered ("" counts as
+// valid: it means the caller's default, auto).
+func ValidStrategy(name string) bool {
+	if name == "" {
+		return true
+	}
+	registry.RLock()
+	defer registry.RUnlock()
+	_, ok := registry.m[name]
+	return ok
+}
+
+// solverByName resolves a registered strategy; "" resolves to auto.
+func solverByName(name string) (Solver, error) {
+	if name == "" {
+		name = StrategyAuto
+	}
+	registry.RLock()
+	s, ok := registry.m[name]
+	registry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("optimize: unknown strategy %q (registered: %v)", name, Strategies())
+	}
+	return s, nil
+}
+
+// Solve runs the named strategy ("" or "auto" lets the heuristic
+// pick) and stamps the result with the concrete strategy that ran. A
+// WithStrategyReport hook on the context hears the resolved name
+// before the enumeration starts, which is how the async job surface
+// echoes the choice into live progress.
+func Solve(ctx context.Context, p *Problem, strategy string) (Result, error) {
+	s, err := solverByName(strategy)
+	if err != nil {
+		return Result{}, err
+	}
+	if auto, ok := s.(autoSolver); ok {
+		if err := p.Validate(); err != nil {
+			return Result{}, err
+		}
+		s = auto.pick(p)
+	}
+	reportStrategy(ctx, s.Name())
+	res, err := s.Solve(ctx, p)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Strategy = s.Name()
+	return res, nil
+}
+
+// Auto-selection thresholds: unattainable spaces at or below
+// autoSmallSpace go exhaustive (the clip bookkeeping costs more than
+// it saves on a handful of candidates); attainable spaces at or above
+// autoParallelSpace get the sharded level search.
+const (
+	autoSmallSpace    = 1 << 10
+	autoParallelSpace = 1 << 15
+)
+
+// autoSolver picks a concrete strategy from the problem's shape:
+//
+//   - SLA attainable, large space  → parallel-pruned
+//   - SLA attainable, otherwise    → pruned (the paper's Section
+//     III.C search, whose effort statistics the case study reports)
+//   - unattainable, small space    → exhaustive (nothing to prune,
+//     nothing worth bounding)
+//   - unattainable, otherwise      → branch-and-bound (superset
+//     pruning can never fire, but the cost bound still clips)
+//
+// Attainability is probed with a single evaluation of the per-
+// component max-uptime assignment: the serial-chain uptime model is
+// monotone in each component's reliability, so if even that candidate
+// misses the SLA, nothing meets it.
+type autoSolver struct{}
+
+func (autoSolver) Name() string { return StrategyAuto }
+
+func (a autoSolver) Solve(ctx context.Context, p *Problem) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	s := a.pick(p)
+	res, err := s.Solve(ctx, p)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Strategy = s.Name()
+	return res, nil
+}
+
+// pick resolves the concrete strategy for an already-validated
+// problem.
+func (autoSolver) pick(p *Problem) Solver {
+	var name string
+	switch {
+	case !p.slaAttainable():
+		name = StrategyBranchAndBound
+		if p.SpaceSize() <= autoSmallSpace {
+			name = StrategyExhaustive
+		}
+	case p.SpaceSize() >= autoParallelSpace:
+		name = StrategyParallelPruned
+	default:
+		name = StrategyPruned
+	}
+	s, err := solverByName(name)
+	if err != nil {
+		// The built-ins cannot be unregistered; this is unreachable.
+		panic(err)
+	}
+	return s
+}
+
+// slaAttainable reports whether any candidate meets the SLA, by
+// evaluating the assignment that picks each component's most reliable
+// variant (lowest single-cluster downtime).
+func (p *Problem) slaAttainable() bool {
+	a := make(Assignment, len(p.Components))
+	for i, comp := range p.Components {
+		bestDowntime := 0.0
+		for v, variant := range comp.Variants {
+			sys := availability.System{Clusters: []availability.Cluster{variant.Cluster}}
+			d := sys.Downtime()
+			if v == 0 || d < bestDowntime {
+				a[i] = v
+				bestDowntime = d
+			}
+		}
+	}
+	c, err := p.Evaluate(a)
+	if err != nil {
+		return false
+	}
+	return c.MeetsSLA(p.SLA)
+}

@@ -1,0 +1,120 @@
+package optimize
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"uptimebroker/internal/availability"
+	"uptimebroker/internal/cost"
+)
+
+// slaDenseProblem builds the adversarial shape ROADMAP recorded
+// minutes-long searches on: n symmetric two-choice components with the
+// SLA attainable at a low level, so the met list holds thousands of
+// minimal SLA-meeting assignments and every higher-level leaf pays a
+// superset check against them. At n=19 / SLA 94.4% the minimal met
+// level is 5 — C(19,5) = 11628 met assignments against 2^19 leaves;
+// tightening the SLA further steepens the linear scan's quadratic cost
+// while the trie lookup stays near-flat.
+func slaDenseProblem(n int, slaPercent float64) *Problem {
+	comps := make([]ComponentChoices, n)
+	for i := range comps {
+		comps[i] = ComponentChoices{
+			Name: "c",
+			Variants: []Variant{
+				{
+					Label:   "none",
+					Cluster: availability.Cluster{Name: "c", Nodes: 1, NodeDown: 0.004, FailuresPerYear: 4},
+				},
+				{
+					Label: "ha",
+					Cluster: availability.Cluster{
+						Name: "c", Nodes: 2, Tolerated: 1, NodeDown: 0.004,
+						FailuresPerYear: 4, Failover: 30 * time.Second,
+					},
+					MonthlyCost: cost.Dollars(250),
+				},
+			},
+		}
+	}
+	return &Problem{
+		Components: comps,
+		SLA:        cost.SLA{UptimePercent: slaPercent, Penalty: cost.Penalty{PerHour: cost.Dollars(200)}},
+	}
+}
+
+// TestSLADenseShape pins the benchmark instance to the regime it
+// claims to measure: pruning bites on most of the space and the met
+// set is large enough that the linear scan's quadratic cost shows.
+func TestSLADenseShape(t *testing.T) {
+	p := slaDenseProblem(19, benchSLA)
+	res, err := p.Pruned()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped < p.SpaceSize()/2 {
+		t.Fatalf("instance is not SLA-dense: only %d of %d skipped", res.Skipped, p.SpaceSize())
+	}
+	// The cheaper 93.6% variant (met level 3) keeps the indexed-vs-
+	// linear accounting pin fast; density-independence of the
+	// equivalence itself is covered by the randomized solver tests.
+	q := slaDenseProblem(19, 93.6)
+	idx, err := q.PrunedContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := q.prunedLinear(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lin.Evaluated != idx.Evaluated || lin.Skipped != idx.Skipped {
+		t.Fatalf("indexed (%d, %d) != linear (%d, %d) on the benchmark shape",
+			idx.Evaluated, idx.Skipped, lin.Evaluated, lin.Skipped)
+	}
+}
+
+// benchSLA is the benchmark instance's uptime target: minimal met
+// level 5 on the n=19 shape.
+const benchSLA = 94.4
+
+// BenchmarkSupersetPruning is the headline comparison: the trie-
+// indexed superset check against the original linear met scan on the
+// SLA-dense n=19 instance.
+func BenchmarkSupersetPruning(b *testing.B) {
+	p := slaDenseProblem(19, benchSLA)
+	b.Run("indexed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.PrunedContext(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("linear", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.prunedLinear(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSolverStrategies compares every strategy on the same
+// SLA-dense instance (auto resolves per its heuristic).
+func BenchmarkSolverStrategies(b *testing.B) {
+	p := slaDenseProblem(19, benchSLA)
+	for _, strategy := range []string{
+		StrategyExhaustive, StrategyPruned, StrategyParallelPruned, StrategyBranchAndBound, StrategyAuto,
+	} {
+		b.Run(strategy, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Solve(context.Background(), p, strategy); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

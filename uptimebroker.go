@@ -64,6 +64,7 @@ import (
 	"uptimebroker/internal/jobs"
 	"uptimebroker/internal/jobstore"
 	"uptimebroker/internal/lifecycle"
+	"uptimebroker/internal/optimize"
 	"uptimebroker/internal/report"
 	"uptimebroker/internal/telemetry"
 	"uptimebroker/internal/topology"
@@ -101,8 +102,30 @@ type (
 
 	// Engine is the brokerage core.
 	Engine = broker.Engine
+	// EngineOption customizes NewEngine (default solver strategy).
+	EngineOption = broker.EngineOption
 	// Request is a brokerage request.
 	Request = broker.Request
+	// Solver is one pluggable search strategy over a compiled problem;
+	// register custom exact strategies with RegisterSolver.
+	Solver = optimize.Solver
+	// Problem is the compiled search instance a Solver runs on; obtain
+	// one from Engine.Compile.
+	Problem = optimize.Problem
+	// SolverResult is a Solver's outcome: the optimum under both
+	// orderings plus effort statistics.
+	SolverResult = optimize.Result
+	// Candidate is one fully evaluated deployment option.
+	Candidate = optimize.Candidate
+	// Assignment selects one variant index per component.
+	Assignment = optimize.Assignment
+	// ComponentChoices is one decision dimension of a Problem.
+	ComponentChoices = optimize.ComponentChoices
+	// Variant is one HA choice for one component.
+	Variant = optimize.Variant
+	// SearchStats reports a recommendation's search effort and the
+	// concrete solver strategy that ran.
+	SearchStats = broker.SearchStats
 	// Recommendation is a brokerage answer.
 	Recommendation = broker.Recommendation
 	// OptionCard is one priced solution option.
@@ -204,6 +227,33 @@ const (
 	ProviderStratus      = catalog.ProviderStratus
 )
 
+// Solver strategy names, selectable per request (Request.Strategy /
+// the wire "strategy" field), per engine (WithDefaultStrategy), per
+// client (WithStrategy) and per uptimectl invocation (-strategy).
+// Every strategy is exact; they differ only in latency and effort
+// statistics.
+const (
+	StrategyAuto           = optimize.StrategyAuto
+	StrategyExhaustive     = optimize.StrategyExhaustive
+	StrategyPruned         = optimize.StrategyPruned
+	StrategyBranchAndBound = optimize.StrategyBranchAndBound
+	StrategyParallelPruned = optimize.StrategyParallelPruned
+)
+
+// Strategies lists the registered solver strategy names.
+func Strategies() []string { return optimize.Strategies() }
+
+// RegisterSolver adds a custom named strategy to the solver registry.
+// Registered solvers must be exact (identical optimum to exhaustive);
+// the brokerage treats strategy purely as a performance knob.
+func RegisterSolver(s Solver) error { return optimize.RegisterSolver(s) }
+
+// WithDefaultStrategy sets the engine-wide solver strategy for
+// requests that do not name one (built-in default: auto).
+func WithDefaultStrategy(strategy string) EngineOption {
+	return broker.WithDefaultStrategy(strategy)
+}
+
 // Dollars converts a dollar amount to Money.
 func Dollars(d float64) Money { return cost.Dollars(d) }
 
@@ -213,9 +263,10 @@ func Dollars(d float64) Money { return cost.Dollars(d) }
 func DefaultCatalog() *Catalog { return catalog.Default() }
 
 // NewEngine builds a brokerage engine over a catalog and parameter
-// source.
-func NewEngine(cat *Catalog, params ParamSource) (*Engine, error) {
-	return broker.New(cat, params)
+// source; options set engine-wide defaults such as the solver
+// strategy.
+func NewEngine(cat *Catalog, params ParamSource, opts ...EngineOption) (*Engine, error) {
+	return broker.New(cat, params, opts...)
 }
 
 // DefaultEngine builds an engine over the built-in catalog with
@@ -287,6 +338,16 @@ func WithJobSnapshotInterval(d time.Duration) ServerOption {
 	return httpapi.WithJobSnapshotInterval(d)
 }
 
+// WithJobFsync makes the durable job store fsync every WAL append for
+// power-loss durability (only meaningful with WithJobDir).
+func WithJobFsync() ServerOption { return httpapi.WithJobFsync() }
+
+// WithSSEPingInterval sets the keep-alive comment cadence on job
+// event streams (default 15s).
+func WithSSEPingInterval(d time.Duration) ServerOption {
+	return httpapi.WithSSEPingInterval(d)
+}
+
 // NewClient builds a typed client for a brokerage service URL.
 func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
 	return httpapi.NewClient(baseURL, nil, opts...)
@@ -303,6 +364,10 @@ func WithRetryBackoff(d time.Duration) ClientOption { return httpapi.WithRetryBa
 
 // WithPollInterval sets WaitJob's initial poll interval.
 func WithPollInterval(d time.Duration) ClientOption { return httpapi.WithPollInterval(d) }
+
+// WithStrategy stamps a default solver strategy onto every outgoing
+// recommendation-type request that does not name one.
+func WithStrategy(strategy string) ClientOption { return httpapi.WithStrategy(strategy) }
 
 // WithProgress makes one Client.WaitJob call stream live progress
 // (state transitions plus evaluated/space_size from the enumeration)
@@ -325,6 +390,7 @@ func WireRequest(req Request) RecommendationRequest {
 		PenaltyPerHourUSD: req.SLA.Penalty.PerHour.Dollars(),
 		AsIs:              map[string]string(req.AsIs),
 		AllowedTechs:      req.AllowedTechs,
+		Strategy:          req.Strategy,
 	}
 }
 
