@@ -5,7 +5,7 @@
 //
 //	brokerd [-addr :8080] [-quiet] [-rate-limit 0] [-rate-limit-per-client 0]
 //	        [-job-ttl 15m] [-job-workers 0] [-data-dir DIR] [-snapshot-interval 1m]
-//	        [-fsync] [-default-strategy auto] [-sse-ping 15s]
+//	        [-fsync] [-default-strategy auto] [-parallel-pricing=true] [-sse-ping 15s]
 //
 // With -data-dir the async job store is durable: every submission,
 // state transition and result is journaled to a write-ahead log in
@@ -19,7 +19,9 @@
 // -default-strategy picks the solver used for requests that do not
 // name one ("auto", "exhaustive", "pruned", "branch-and-bound" or
 // "parallel-pruned"); individual requests override it with their
-// "strategy" field.
+// "strategy" field. -parallel-pricing=false keeps the full
+// card-pricing pass on one core (requests override it with their
+// "pricing" field); the default shards it across GOMAXPROCS workers.
 //
 // Routes (see docs/api.md for request/response shapes):
 //
@@ -86,6 +88,7 @@ func run(args []string) error {
 		snapInterval    = fs.Duration("snapshot-interval", time.Minute, "how often the job WAL is compacted into a snapshot (with -data-dir)")
 		fsync           = fs.Bool("fsync", false, "fsync every job WAL append for power-loss durability (with -data-dir)")
 		defaultStrategy = fs.String("default-strategy", "", "solver for requests that do not name one: auto (default), exhaustive, pruned, branch-and-bound or parallel-pruned")
+		parallelPricing = fs.Bool("parallel-pricing", true, "shard the full card-pricing pass across GOMAXPROCS workers (requests override with their \"pricing\" field)")
 		ssePing         = fs.Duration("sse-ping", 15*time.Second, "keep-alive comment interval on /v2/jobs/{id}/events streams (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -117,7 +120,7 @@ func run(args []string) error {
 		Store:            store,
 		Fallback:         broker.CatalogParams{Catalog: cat},
 		MinExposureYears: 1,
-	}, broker.WithDefaultStrategy(*defaultStrategy))
+	}, broker.WithDefaultStrategy(*defaultStrategy), broker.WithParallelPricing(*parallelPricing))
 	if err != nil {
 		return err
 	}

@@ -7,12 +7,13 @@
 // Subcommands:
 //
 //	recommend   submit a recommendation request (-topology file.json or
-//	            -casestudy; -strategy picks the solver; -local -format
-//	            text|markdown|csv runs the brokerage in-process)
+//	            -casestudy; -strategy picks the solver, -pricing the
+//	            card-pricing mode; -local -format text|markdown|csv
+//	            runs the brokerage in-process)
 //	pareto      print the cost × uptime frontier for a request
 //	job         async brokerage over /v2/jobs:
 //	              job submit -kind recommend|pareto (-topology|-casestudy)
-//	                         [-strategy S] [-wait] [-quiet]
+//	                         [-strategy S] [-pricing M] [-wait] [-quiet]
 //	              job status JOB-ID
 //	              job wait   [-quiet] JOB-ID   (streams evaluated/space_size
 //	                         progress to stderr unless -quiet)
@@ -95,8 +96,9 @@ func run(args []string) error {
 }
 
 // loadRequest resolves the request from -casestudy / -topology flags;
-// a non-empty strategy overrides whatever the topology file carries.
-func loadRequest(topologyPath string, caseStudy bool, strategy string) (httpapi.RecommendationRequest, error) {
+// a non-empty strategy or pricing mode overrides whatever the
+// topology file carries.
+func loadRequest(topologyPath string, caseStudy bool, strategy, pricing string) (httpapi.RecommendationRequest, error) {
 	var req httpapi.RecommendationRequest
 	switch {
 	case caseStudy:
@@ -115,12 +117,18 @@ func loadRequest(topologyPath string, caseStudy bool, strategy string) (httpapi.
 	if strategy != "" {
 		req.Strategy = strategy
 	}
+	if pricing != "" {
+		req.Pricing = pricing
+	}
 	return req, nil
 }
 
-// strategyUsage documents the -strategy flag shared by the request
-// subcommands.
-const strategyUsage = "solver strategy: auto (default), exhaustive, pruned, branch-and-bound or parallel-pruned"
+// strategyUsage and pricingUsage document the flags shared by the
+// request subcommands.
+const (
+	strategyUsage = "solver strategy: auto (default), exhaustive, pruned, branch-and-bound or parallel-pruned"
+	pricingUsage  = "card-pricing mode: parallel (server default) or sequential"
+)
 
 func cmdRecommend(ctx context.Context, client *httpapi.Client, args []string) error {
 	fs := flag.NewFlagSet("recommend", flag.ContinueOnError)
@@ -128,13 +136,14 @@ func cmdRecommend(ctx context.Context, client *httpapi.Client, args []string) er
 		topologyPath = fs.String("topology", "", "path to a recommendation request JSON file")
 		caseStudy    = fs.Bool("casestudy", false, "use the paper's built-in case study request")
 		strategy     = fs.String("strategy", "", strategyUsage)
+		pricing      = fs.String("pricing", "", pricingUsage)
 		local        = fs.Bool("local", false, "run the brokerage in-process instead of calling a server")
 		format       = fs.String("format", "text", "output format with -local: text, markdown or csv")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	req, err := loadRequest(*topologyPath, *caseStudy, *strategy)
+	req, err := loadRequest(*topologyPath, *caseStudy, *strategy, *pricing)
 	if err != nil {
 		return err
 	}
@@ -179,11 +188,12 @@ func cmdPareto(ctx context.Context, client *httpapi.Client, args []string) error
 		topologyPath = fs.String("topology", "", "path to a recommendation request JSON file")
 		caseStudy    = fs.Bool("casestudy", false, "use the paper's built-in case study request")
 		strategy     = fs.String("strategy", "", strategyUsage)
+		pricing      = fs.String("pricing", "", pricingUsage)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	req, err := loadRequest(*topologyPath, *caseStudy, *strategy)
+	req, err := loadRequest(*topologyPath, *caseStudy, *strategy, *pricing)
 	if err != nil {
 		return err
 	}
@@ -363,13 +373,14 @@ func cmdJob(ctx context.Context, client *httpapi.Client, args []string) error {
 			topologyPath = fs.String("topology", "", "path to a recommendation request JSON file")
 			caseStudy    = fs.Bool("casestudy", false, "use the paper's built-in case study request")
 			strategy     = fs.String("strategy", "", strategyUsage)
+			pricing      = fs.String("pricing", "", pricingUsage)
 			wait         = fs.Bool("wait", false, "block until the job finishes and print its result")
 			quiet        = fs.Bool("quiet", false, "with -wait: suppress the live progress display")
 		)
 		if err := fs.Parse(args[1:]); err != nil {
 			return err
 		}
-		req, err := loadRequest(*topologyPath, *caseStudy, *strategy)
+		req, err := loadRequest(*topologyPath, *caseStudy, *strategy, *pricing)
 		if err != nil {
 			return err
 		}

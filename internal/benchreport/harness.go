@@ -1,0 +1,74 @@
+package benchreport
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// runFunc performs n operations of one scenario.
+type runFunc func(n int) error
+
+// maxIterations bounds the growth loop against pathologically fast
+// operations (or a broken clock).
+const maxIterations = 1 << 28
+
+// measure runs fn with growing iteration counts until a single run
+// lasts at least benchTime, then reports per-operation statistics
+// from that final run — the same shape testing.B produces, without
+// needing the testing harness in a plain binary. Allocation counts
+// come from runtime.MemStats deltas around the timed run; in the
+// dedicated benchreport process they are attributable to the
+// scenario.
+func measure(fn runFunc, benchTime time.Duration) (Scenario, error) {
+	if benchTime <= 0 {
+		return Scenario{}, fmt.Errorf("benchreport: bench time %v, must be positive", benchTime)
+	}
+	// Warm-up: first iteration pays one-time costs (page faults, lazy
+	// init) that would skew a short measurement.
+	if err := fn(1); err != nil {
+		return Scenario{}, err
+	}
+
+	n := 1
+	for {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		if err := fn(n); err != nil {
+			return Scenario{}, err
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+
+		if elapsed >= benchTime || n >= maxIterations {
+			if elapsed <= 0 {
+				elapsed = 1
+			}
+			return Scenario{
+				Iterations:  n,
+				NsPerOp:     elapsed.Nanoseconds() / int64(n),
+				AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(n),
+				BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(n),
+			}, nil
+		}
+
+		// Predict the iteration count that lands past benchTime with
+		// 20% headroom, bounded to sane growth per round.
+		next := n
+		if elapsed > 0 {
+			next = int(float64(n) * 1.2 * float64(benchTime) / float64(elapsed))
+		}
+		if next <= n {
+			next = n + 1
+		}
+		if next > 100*n {
+			next = 100 * n
+		}
+		if next > maxIterations {
+			next = maxIterations
+		}
+		n = next
+	}
+}

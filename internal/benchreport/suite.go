@@ -1,0 +1,303 @@
+package benchreport
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"time"
+
+	"uptimebroker/internal/jobstore"
+	"uptimebroker/internal/optimize"
+)
+
+// Spec is one runnable scenario definition. Setup prepares the
+// workload in a scratch directory and returns the per-iteration run
+// function plus a cleanup; the harness times run only.
+type Spec struct {
+	Name    string
+	Group   string
+	Tracked bool
+	Setup   func(scratch string) (run runFunc, cleanup func(), err error)
+}
+
+// pricingProblem builds the n-component instance shared by the
+// pricing and solver scenarios: optimize.BenchProblem at the
+// canonical SLA, the exact shape the optimize package's
+// BenchmarkAllPricing / solver benchmarks measure, so the committed
+// BENCH_*.json trajectory and the in-repo benchmarks stay about the
+// same workload by construction.
+func pricingProblem(n int) *optimize.Problem {
+	return optimize.BenchProblem(n, optimize.BenchSLAPercent)
+}
+
+// pricingSpec builds one card-pricing scenario: the full k^n
+// enumeration, sequential or parallel.
+func pricingSpec(n int, parallel bool) Spec {
+	mode := "sequential"
+	if parallel {
+		mode = "parallel"
+	}
+	return Spec{
+		Name:    fmt.Sprintf("pricing/%s/n=%d", mode, n),
+		Group:   "pricing",
+		Tracked: true,
+		Setup: func(string) (runFunc, func(), error) {
+			p := pricingProblem(n)
+			space := p.SpaceSize()
+			return func(iters int) error {
+				for i := 0; i < iters; i++ {
+					var (
+						cands []optimize.Candidate
+						err   error
+					)
+					if parallel {
+						cands, err = p.ParallelAllContext(context.Background(), 0)
+					} else {
+						cands, err = p.AllContext(context.Background())
+					}
+					if err != nil {
+						return err
+					}
+					if len(cands) != space {
+						return fmt.Errorf("pricing returned %d candidates, want %d", len(cands), space)
+					}
+				}
+				return nil
+			}, func() {}, nil
+		},
+	}
+}
+
+// solverSpec builds one effort-stats solver scenario on the SLA-dense
+// n=19 instance.
+func solverSpec(strategy string) Spec {
+	return Spec{
+		Name:    fmt.Sprintf("solver/%s/n=19", strategy),
+		Group:   "solver",
+		Tracked: true,
+		Setup: func(string) (runFunc, func(), error) {
+			p := pricingProblem(19)
+			return func(iters int) error {
+				for i := 0; i < iters; i++ {
+					if _, err := optimize.Solve(context.Background(), p, strategy); err != nil {
+						return err
+					}
+				}
+				return nil
+			}, func() {}, nil
+		},
+	}
+}
+
+// appendSpec measures the job store's WAL append path, with or
+// without per-append fsync (brokerd -fsync).
+func appendSpec(fsync bool) Spec {
+	mode := "nosync"
+	var opts []jobstore.FileOption
+	if fsync {
+		mode = "fsync"
+		opts = []jobstore.FileOption{jobstore.WithFsync()}
+	}
+	return Spec{
+		Name:    "jobstore/append/" + mode,
+		Group:   "jobstore",
+		Tracked: true,
+		Setup: func(scratch string) (runFunc, func(), error) {
+			backend, err := jobstore.OpenFile(scratch, opts...)
+			if err != nil {
+				return nil, nil, err
+			}
+			payload := json.RawMessage(`{"sla_percent":98,"penalty_per_hour_usd":100}`)
+			now := time.Unix(1_700_000_000, 0)
+			seq := uint64(0)
+			return func(iters int) error {
+					for i := 0; i < iters; i++ {
+						seq++
+						ev := jobstore.Event{
+							Type:    jobstore.EventSubmitted,
+							Time:    now,
+							ID:      fmt.Sprintf("job-%08d", seq),
+							Seq:     seq,
+							Kind:    "recommend",
+							Payload: payload,
+						}
+						if err := backend.Append(ev); err != nil {
+							return err
+						}
+					}
+					return nil
+				}, func() {
+					_ = backend.Close()
+				}, nil
+		},
+	}
+}
+
+// recoverySpec measures reopening a data directory whose WAL holds
+// 1000 complete job lifecycles — the startup cost a broker restart
+// pays before serving.
+func recoverySpec() Spec {
+	return Spec{
+		Name:    "jobstore/recovery/1000jobs",
+		Group:   "jobstore",
+		Tracked: true,
+		Setup: func(scratch string) (runFunc, func(), error) {
+			backend, err := jobstore.OpenFile(scratch)
+			if err != nil {
+				return nil, nil, err
+			}
+			now := time.Unix(1_700_000_000, 0)
+			result := json.RawMessage(`{"best_option":3}`)
+			for i := 0; i < 1000; i++ {
+				id := fmt.Sprintf("job-%08d", i+1)
+				events := []jobstore.Event{
+					{Type: jobstore.EventSubmitted, Time: now, ID: id, Seq: uint64(i + 1), Kind: "recommend"},
+					{Type: jobstore.EventStarted, Time: now, ID: id},
+					{Type: jobstore.EventProgress, Time: now, ID: id, Evaluated: 8, SpaceSize: 16},
+					{Type: jobstore.EventFinished, Time: now, ID: id, State: jobstore.StateDone, Result: result},
+				}
+				for _, ev := range events {
+					if err := backend.Append(ev); err != nil {
+						_ = backend.Close()
+						return nil, nil, err
+					}
+				}
+			}
+			if err := backend.Close(); err != nil {
+				return nil, nil, err
+			}
+			return func(iters int) error {
+				for i := 0; i < iters; i++ {
+					reopened, err := jobstore.OpenFile(scratch)
+					if err != nil {
+						return err
+					}
+					snap, err := reopened.Load()
+					if err != nil {
+						return err
+					}
+					if len(snap.Jobs) != 1000 {
+						return fmt.Errorf("recovered %d jobs, want 1000", len(snap.Jobs))
+					}
+					if err := reopened.Close(); err != nil {
+						return err
+					}
+				}
+				return nil
+			}, func() {}, nil
+		},
+	}
+}
+
+// Suite is the named scenario set a report covers. Order is stable;
+// comparisons join on scenario name, not position.
+func Suite() []Spec {
+	specs := []Spec{
+		pricingSpec(12, false), pricingSpec(12, true),
+		pricingSpec(16, false), pricingSpec(16, true),
+		pricingSpec(19, false), pricingSpec(19, true),
+		solverSpec(optimize.StrategyPruned),
+		solverSpec(optimize.StrategyParallelPruned),
+		solverSpec(optimize.StrategyBranchAndBound),
+		appendSpec(false), appendSpec(true),
+		recoverySpec(),
+	}
+	return specs
+}
+
+// ratioSpecs are the derived comparisons computed over a run's
+// scenarios. A ratio is emitted only when both scenarios ran.
+var ratioSpecs = []Ratio{
+	{Name: "pricing_parallel_speedup_n12", Numerator: "pricing/sequential/n=12", Denominator: "pricing/parallel/n=12", HigherIsBetter: true},
+	{Name: "pricing_parallel_speedup_n16", Numerator: "pricing/sequential/n=16", Denominator: "pricing/parallel/n=16", HigherIsBetter: true},
+	{Name: "pricing_parallel_speedup_n19", Numerator: "pricing/sequential/n=19", Denominator: "pricing/parallel/n=19", HigherIsBetter: true},
+	{Name: "parallel_pruned_speedup_n19", Numerator: "solver/pruned/n=19", Denominator: "solver/parallel-pruned/n=19", HigherIsBetter: true},
+	{Name: "fsync_cost_x", Numerator: "jobstore/append/fsync", Denominator: "jobstore/append/nosync", HigherIsBetter: false},
+}
+
+// Options configures one suite run.
+type Options struct {
+	// Label names the run in the report (e.g. "pr4").
+	Label string
+
+	// BenchTime is the per-scenario measurement budget (default 1s).
+	BenchTime time.Duration
+
+	// Filter restricts the run to scenarios whose name it matches;
+	// nil runs everything.
+	Filter *regexp.Regexp
+
+	// Log receives human-readable progress lines; nil discards them.
+	Log func(format string, args ...any)
+}
+
+// Run executes the (optionally filtered) suite and assembles the
+// report. Scenarios whose ratio counterpart was filtered out simply
+// produce no ratio — nothing fails.
+func Run(opts Options) (Report, error) {
+	if opts.BenchTime <= 0 {
+		opts.BenchTime = time.Second
+	}
+	logf := opts.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	report := Report{
+		SchemaVersion: SchemaVersion,
+		Label:         opts.Label,
+		GoVersion:     runtime.Version(),
+		BenchTime:     opts.BenchTime.String(),
+		Host:          CurrentHost(),
+	}
+
+	for _, spec := range Suite() {
+		if opts.Filter != nil && !opts.Filter.MatchString(spec.Name) {
+			continue
+		}
+		scratch, err := os.MkdirTemp("", "benchreport-*")
+		if err != nil {
+			return Report{}, err
+		}
+		sc, err := runSpec(spec, scratch, opts.BenchTime)
+		_ = os.RemoveAll(scratch)
+		if err != nil {
+			return Report{}, fmt.Errorf("benchreport: scenario %s: %w", spec.Name, err)
+		}
+		logf("%-32s %12d ns/op  %8d allocs/op  (%d iterations)",
+			spec.Name, sc.NsPerOp, sc.AllocsPerOp, sc.Iterations)
+		report.Scenarios = append(report.Scenarios, sc)
+	}
+
+	for _, rs := range ratioSpecs {
+		num, okN := report.Scenario(rs.Numerator)
+		den, okD := report.Scenario(rs.Denominator)
+		if !okN || !okD || den.NsPerOp == 0 {
+			continue
+		}
+		rs.Value = float64(num.NsPerOp) / float64(den.NsPerOp)
+		logf("%-32s %12.2fx  (%s / %s)", rs.Name, rs.Value, rs.Numerator, rs.Denominator)
+		report.Ratios = append(report.Ratios, rs)
+	}
+	return report, nil
+}
+
+// runSpec prepares and measures one scenario.
+func runSpec(spec Spec, scratch string, benchTime time.Duration) (Scenario, error) {
+	run, cleanup, err := spec.Setup(scratch)
+	if err != nil {
+		return Scenario{}, err
+	}
+	defer cleanup()
+	sc, err := measure(run, benchTime)
+	if err != nil {
+		return Scenario{}, err
+	}
+	sc.Name = spec.Name
+	sc.Group = spec.Group
+	sc.Tracked = spec.Tracked
+	return sc, nil
+}

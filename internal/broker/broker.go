@@ -94,6 +94,36 @@ type Request struct {
 	// default, then to "auto". Every strategy is exact, so the choice
 	// only moves the latency and the evaluated/skipped effort split.
 	Strategy string
+
+	// Pricing selects how the full card-pricing pass enumerates the
+	// k^n options: PricingParallel shards it across GOMAXPROCS
+	// workers, PricingSequential prices on one core. Empty falls back
+	// to the engine's configuration (parallel unless
+	// WithParallelPricing(false)). Both modes produce byte-identical
+	// option cards; the choice only moves latency.
+	Pricing string
+}
+
+// Pricing modes for the full card-pricing pass (Request.Pricing, the
+// wire "pricing" field).
+const (
+	// PricingParallel shards the k^n enumeration across GOMAXPROCS
+	// workers (optimize.ParallelAllContext).
+	PricingParallel = "parallel"
+
+	// PricingSequential prices every option on one core
+	// (optimize.AllContext).
+	PricingSequential = "sequential"
+)
+
+// ValidPricing reports whether mode is a known pricing mode (""
+// counts as valid: it means the caller's default).
+func ValidPricing(mode string) bool {
+	switch mode {
+	case "", PricingParallel, PricingSequential:
+		return true
+	}
+	return false
 }
 
 // Validate reports whether the request is well-formed (catalog
@@ -119,6 +149,10 @@ func (r Request) Validate() error {
 		return fmt.Errorf("broker: unknown strategy %q (choose from %v, or leave empty for auto)",
 			r.Strategy, optimize.Strategies())
 	}
+	if !ValidPricing(r.Pricing) {
+		return fmt.Errorf("broker: unknown pricing mode %q (choose %q or %q, or leave empty for the engine default)",
+			r.Pricing, PricingParallel, PricingSequential)
+	}
 	return nil
 }
 
@@ -127,6 +161,7 @@ type Engine struct {
 	catalog         *catalog.Catalog
 	params          ParamSource
 	defaultStrategy string
+	parallelPricing bool
 }
 
 // EngineOption customizes New.
@@ -139,6 +174,17 @@ func WithDefaultStrategy(strategy string) EngineOption {
 	return func(e *Engine) { e.defaultStrategy = strategy }
 }
 
+// WithParallelPricing controls whether the full card-pricing pass —
+// every one of the k^n option cards, run on each Recommend/Pareto —
+// is sharded across GOMAXPROCS workers (the default) or kept on one
+// core. Both settings produce byte-identical cards; sequential
+// pricing exists for single-core deployments and for isolating the
+// pricing pass in benchmarks. Requests override it per call with
+// Request.Pricing.
+func WithParallelPricing(on bool) EngineOption {
+	return func(e *Engine) { e.parallelPricing = on }
+}
+
 // New builds an engine over a catalog and a parameter source.
 func New(cat *catalog.Catalog, params ParamSource, opts ...EngineOption) (*Engine, error) {
 	if cat == nil {
@@ -147,7 +193,7 @@ func New(cat *catalog.Catalog, params ParamSource, opts ...EngineOption) (*Engin
 	if params == nil {
 		return nil, fmt.Errorf("broker: nil parameter source")
 	}
-	e := &Engine{catalog: cat, params: params}
+	e := &Engine{catalog: cat, params: params, parallelPricing: true}
 	for _, opt := range opts {
 		opt(e)
 	}
@@ -166,6 +212,18 @@ func (e *Engine) strategyFor(req Request) string {
 		return req.Strategy
 	}
 	return e.defaultStrategy
+}
+
+// parallelPricingFor resolves the pricing mode for one request: the
+// request's choice, else the engine configuration.
+func (e *Engine) parallelPricingFor(req Request) bool {
+	switch req.Pricing {
+	case PricingParallel:
+		return true
+	case PricingSequential:
+		return false
+	}
+	return e.parallelPricing
 }
 
 // Catalog exposes the engine's catalog for read-only use by the HTTP

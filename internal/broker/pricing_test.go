@@ -1,0 +1,177 @@
+package broker
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"uptimebroker/internal/catalog"
+	"uptimebroker/internal/cost"
+	"uptimebroker/internal/optimize"
+)
+
+// TestParallelPricingMatchesSequential pins the tentpole guarantee at
+// the brokerage layer: parallel and sequential pricing produce
+// byte-identical recommendations — same cards in the same
+// presentation order, same option numbers, same savings.
+func TestParallelPricingMatchesSequential(t *testing.T) {
+	e := newTestEngine(t)
+
+	seqReq := CaseStudy()
+	seqReq.Pricing = PricingSequential
+	seq, err := e.Recommend(context.Background(), seqReq)
+	if err != nil {
+		t.Fatalf("sequential Recommend: %v", err)
+	}
+
+	parReq := CaseStudy()
+	parReq.Pricing = PricingParallel
+	par, err := e.Recommend(context.Background(), parReq)
+	if err != nil {
+		t.Fatalf("parallel Recommend: %v", err)
+	}
+
+	if len(par.Cards) != len(seq.Cards) {
+		t.Fatalf("parallel %d cards, sequential %d", len(par.Cards), len(seq.Cards))
+	}
+	for i := range seq.Cards {
+		sc, pc := seq.Cards[i], par.Cards[i]
+		if sc.Option != pc.Option || sc.Label() != pc.Label() || sc.HACost != pc.HACost ||
+			sc.Uptime != pc.Uptime || sc.Penalty != pc.Penalty || sc.TCO != pc.TCO || sc.MeetsSLA != pc.MeetsSLA {
+			t.Fatalf("card %d diverges:\n  sequential %+v\n  parallel   %+v", i, sc, pc)
+		}
+	}
+	if par.BestOption != seq.BestOption || par.MinRiskOption != seq.MinRiskOption ||
+		par.AsIsOption != seq.AsIsOption || par.SavingsFraction != seq.SavingsFraction {
+		t.Fatalf("summary diverges: sequential %+v, parallel %+v", seq, par)
+	}
+}
+
+func TestPricingModeValidation(t *testing.T) {
+	for _, mode := range []string{"", PricingParallel, PricingSequential} {
+		if !ValidPricing(mode) {
+			t.Fatalf("ValidPricing(%q) = false", mode)
+		}
+	}
+	if ValidPricing("warp") {
+		t.Fatal("unknown pricing mode should be invalid")
+	}
+
+	e := newTestEngine(t)
+	req := CaseStudy()
+	req.Pricing = "warp"
+	if _, err := e.Recommend(context.Background(), req); err == nil || !strings.Contains(err.Error(), "pricing") {
+		t.Fatalf("Recommend with unknown pricing = %v, want pricing-mode error", err)
+	}
+}
+
+// TestEnginePricingDefaults covers the WithParallelPricing option and
+// the per-request override in both directions.
+func TestEnginePricingDefaults(t *testing.T) {
+	cat := catalog.Default()
+	e, err := New(cat, CatalogParams{Catalog: cat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.parallelPricingFor(Request{}) {
+		t.Fatal("parallel pricing should default on")
+	}
+	if e.parallelPricingFor(Request{Pricing: PricingSequential}) {
+		t.Fatal("request sequential should override the engine default")
+	}
+
+	seq, err := New(cat, CatalogParams{Catalog: cat}, WithParallelPricing(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.parallelPricingFor(Request{}) {
+		t.Fatal("WithParallelPricing(false) should turn the default off")
+	}
+	if !seq.parallelPricingFor(Request{Pricing: PricingParallel}) {
+		t.Fatal("request parallel should override the engine default")
+	}
+}
+
+// TestSavingsFractionIdentity pins the edge the division used to
+// leave implicit: when the incumbent already is the optimum, the
+// savings are exactly zero.
+func TestSavingsFractionIdentity(t *testing.T) {
+	e := newTestEngine(t)
+	req := CaseStudy()
+	req.AsIs = Plan{"storage": catalog.TechRAID1} // the case study's optimum (option #3)
+	rec, err := e.Recommend(context.Background(), req)
+	if err != nil {
+		t.Fatalf("Recommend: %v", err)
+	}
+	if rec.AsIsOption != rec.BestOption {
+		t.Fatalf("as-is option %d != best option %d; the fixture no longer makes the incumbent optimal",
+			rec.AsIsOption, rec.BestOption)
+	}
+	if rec.SavingsFraction != 0 {
+		t.Fatalf("savings against an already-optimal incumbent = %v, want exactly 0", rec.SavingsFraction)
+	}
+}
+
+// TestSavingsFractionZeroTCOAsIs pins the division-by-zero edge: a
+// penalty-free SLA makes the no-HA incumbent's TCO zero, and the
+// savings must come out zero, not Inf or NaN.
+func TestSavingsFractionZeroTCOAsIs(t *testing.T) {
+	e := newTestEngine(t)
+	req := CaseStudy()
+	req.SLA = cost.SLA{UptimePercent: 98, Penalty: cost.Penalty{}}
+	req.AsIs = Plan{} // no HA anywhere: zero HA cost, zero penalty, zero TCO
+	rec, err := e.Recommend(context.Background(), req)
+	if err != nil {
+		t.Fatalf("Recommend: %v", err)
+	}
+	if rec.AsIsOption != 1 {
+		t.Fatalf("as-is option = %d, want 1 (no HA)", rec.AsIsOption)
+	}
+	if card := rec.Cards[0]; card.TCO != 0 {
+		t.Fatalf("no-HA card TCO = %v, want 0 with a penalty-free SLA", card.TCO)
+	}
+	if rec.SavingsFraction != 0 {
+		t.Fatalf("savings against a zero-TCO incumbent = %v, want exactly 0", rec.SavingsFraction)
+	}
+}
+
+// TestRecommendCombinedProgress asserts the de-double-counted bar:
+// the pricing and solver passes report into one combined space of
+// 2·k^n, monotonically, finishing exactly at the top.
+func TestRecommendCombinedProgress(t *testing.T) {
+	e := newTestEngine(t)
+	req := CaseStudy()
+	req.Strategy = optimize.StrategyExhaustive
+
+	var mu sync.Mutex
+	var evals []int64
+	var spaces []int64
+	ctx := WithSearchProgress(context.Background(), func(evaluated, spaceSize int64) {
+		mu.Lock()
+		defer mu.Unlock()
+		evals = append(evals, evaluated)
+		spaces = append(spaces, spaceSize)
+	})
+	rec, err := e.Recommend(ctx, req)
+	if err != nil {
+		t.Fatalf("Recommend: %v", err)
+	}
+	if len(evals) == 0 {
+		t.Fatal("progress hook never fired")
+	}
+	combined := int64(2 * rec.Search.SpaceSize)
+	for i, s := range spaces {
+		if s != combined {
+			t.Fatalf("report %d: space = %d, want combined %d", i, s, combined)
+		}
+	}
+	for i := 1; i < len(evals); i++ {
+		if evals[i] < evals[i-1] {
+			t.Fatalf("progress went backwards at %d: %d after %d", i, evals[i], evals[i-1])
+		}
+	}
+	if final := evals[len(evals)-1]; final != combined {
+		t.Fatalf("final progress = %d, want %d", final, combined)
+	}
+}

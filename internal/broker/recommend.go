@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"uptimebroker/internal/cost"
 	"uptimebroker/internal/optimize"
@@ -82,14 +83,51 @@ func (c OptionCard) Plan() Plan {
 
 // WithSearchProgress attaches a live search-progress hook to the
 // context: the enumeration loops underneath Recommend and Pareto
-// report (candidates accounted for, space size k^n) through it on a
-// fixed cadence. Recommend runs two passes (full pricing for the
-// option cards, then the selected solver for the effort statistics);
-// consumers wanting a monotone bar should clamp to the maximum seen,
-// which is what the jobs store's Progress does. Parallel solvers may
-// invoke the hook concurrently.
+// report (candidates accounted for, total work) through it on a fixed
+// cadence. Recommend runs two passes — full pricing for the option
+// cards, then the selected solver for the effort statistics — and
+// reports them as one combined space of 2·k^n: the pricing pass
+// covers [0, k^n], the solver pass [k^n, 2·k^n], each clamped to its
+// half, so the bar advances monotonically from zero to done instead
+// of double-counting the space per pass. Parallel passes may invoke
+// the hook concurrently.
 func WithSearchProgress(ctx context.Context, fn func(evaluated, spaceSize int64)) context.Context {
 	return optimize.WithProgress(ctx, fn)
+}
+
+// splitProgress re-scopes a caller's WithSearchProgress hook over
+// Recommend's two passes: both returned contexts report into one
+// combined, monotone space of 2·space (pricing first half, solver
+// second half). Without a hook on ctx both passes run on ctx itself.
+func splitProgress(ctx context.Context, space int64) (pricing, solver context.Context) {
+	fn := optimize.ContextProgress(ctx)
+	if fn == nil {
+		return ctx, ctx
+	}
+	total := 2 * space
+	var mu sync.Mutex
+	var high int64
+	report := func(v int64) {
+		mu.Lock()
+		defer mu.Unlock()
+		if v < high {
+			return
+		}
+		high = v
+		fn(v, total)
+	}
+	clamp := func(done int64) int64 {
+		if done < 0 {
+			return 0
+		}
+		if done > space {
+			return space
+		}
+		return done
+	}
+	pricing = optimize.WithProgress(ctx, func(done, _ int64) { report(clamp(done)) })
+	solver = optimize.WithProgress(ctx, func(done, _ int64) { report(space + clamp(done)) })
+	return pricing, solver
 }
 
 // WithStrategyReport attaches a hook that hears which concrete solver
@@ -184,12 +222,19 @@ func (e *Engine) Recommend(ctx context.Context, req Request) (*Recommendation, e
 	// Price every option (the paper's figures show all of them), and
 	// run the selected solver for the effort statistics; every
 	// registered strategy returns the same optimum, which the optimize
-	// package's equivalence tests guarantee.
-	cands, err := c.problem.AllContext(ctx)
+	// package's equivalence tests guarantee. The two passes share one
+	// combined progress space so watchers see a single monotone bar.
+	pricingCtx, solverCtx := splitProgress(ctx, int64(c.problem.SpaceSize()))
+	var cands []optimize.Candidate
+	if e.parallelPricingFor(req) {
+		cands, err = c.problem.ParallelAllContext(pricingCtx, 0)
+	} else {
+		cands, err = c.problem.AllContext(pricingCtx)
+	}
 	if err != nil {
 		return nil, err
 	}
-	searched, err := optimize.Solve(ctx, c.problem, e.strategyFor(req))
+	searched, err := optimize.Solve(solverCtx, c.problem, e.strategyFor(req))
 	if err != nil {
 		return nil, err
 	}
@@ -263,7 +308,13 @@ func (e *Engine) Recommend(ctx context.Context, req Request) (*Recommendation, e
 	if minRiskIdx >= 0 {
 		rec.MinRiskOption = minRiskIdx + 1
 	}
-	if rec.AsIsOption > 0 {
+	// Savings against the incumbent. Two edges are pinned to exactly
+	// zero rather than left to the division: the incumbent already
+	// being the optimum (recommending what the customer runs saves
+	// nothing, and float noise must not report otherwise), and a
+	// zero-TCO incumbent (nothing to save from; the ratio would be
+	// undefined).
+	if rec.AsIsOption > 0 && rec.AsIsOption != rec.BestOption {
 		asIs := cards[rec.AsIsOption-1]
 		if asIs.TCO > 0 {
 			rec.SavingsFraction = 1 - float64(cards[bestIdx].TCO)/float64(asIs.TCO)

@@ -55,6 +55,7 @@ type Client struct {
 	backoff  time.Duration
 	pollBase time.Duration
 	strategy string
+	pricing  string
 }
 
 // ClientOption customizes NewClient.
@@ -108,11 +109,22 @@ func WithStrategy(strategy string) ClientOption {
 	return func(c *Client) { c.strategy = strategy }
 }
 
-// withDefaultStrategy returns req with the client's default strategy
-// applied when the request leaves the choice open.
-func (c *Client) withDefaultStrategy(req RecommendationRequest) RecommendationRequest {
+// WithPricing sets a default card-pricing mode ("parallel" or
+// "sequential") stamped onto every outgoing recommendation-type
+// request that does not set one itself. A per-request Pricing field
+// always wins; the server default remains parallel.
+func WithPricing(mode string) ClientOption {
+	return func(c *Client) { c.pricing = mode }
+}
+
+// withDefaults returns req with the client's default strategy and
+// pricing mode applied where the request leaves the choice open.
+func (c *Client) withDefaults(req RecommendationRequest) RecommendationRequest {
 	if req.Strategy == "" {
 		req.Strategy = c.strategy
+	}
+	if req.Pricing == "" {
+		req.Pricing = c.pricing
 	}
 	return req
 }
@@ -149,7 +161,7 @@ func (c *Client) Health(ctx context.Context) error {
 // Recommend submits a synchronous recommendation request.
 func (c *Client) Recommend(ctx context.Context, req RecommendationRequest) (RecommendationResponse, error) {
 	var out RecommendationResponse
-	err := c.do(ctx, http.MethodPost, "/v1/recommendations", c.withDefaultStrategy(req), &out)
+	err := c.do(ctx, http.MethodPost, "/v1/recommendations", c.withDefaults(req), &out)
 	return out, err
 }
 
@@ -157,7 +169,7 @@ func (c *Client) Recommend(ctx context.Context, req RecommendationRequest) (Reco
 // cards.
 func (c *Client) Pareto(ctx context.Context, req RecommendationRequest) ([]OptionCardDTO, error) {
 	var out []OptionCardDTO
-	err := c.do(ctx, http.MethodPost, "/v1/pareto", c.withDefaultStrategy(req), &out)
+	err := c.do(ctx, http.MethodPost, "/v1/pareto", c.withDefaults(req), &out)
 	return out, err
 }
 
@@ -270,7 +282,7 @@ func (j JobStatus) ParetoFront() ([]OptionCardDTO, error) {
 // returns its queued status immediately.
 func (c *Client) SubmitJob(ctx context.Context, kind string, req RecommendationRequest) (JobStatus, error) {
 	var out JobStatus
-	err := c.do(ctx, http.MethodPost, "/v2/jobs", JobRequest{Kind: kind, Request: c.withDefaultStrategy(req)}, &out)
+	err := c.do(ctx, http.MethodPost, "/v2/jobs", JobRequest{Kind: kind, Request: c.withDefaults(req)}, &out)
 	return out, err
 }
 
@@ -508,7 +520,7 @@ func (c *Client) ListJobs(ctx context.Context, opts ...ListOption) ([]JobStatus,
 func (c *Client) RecommendBatch(ctx context.Context, reqs []RecommendationRequest) (BatchResponse, error) {
 	stamped := make([]RecommendationRequest, len(reqs))
 	for i, req := range reqs {
-		stamped[i] = c.withDefaultStrategy(req)
+		stamped[i] = c.withDefaults(req)
 	}
 	var out BatchResponse
 	err := c.do(ctx, http.MethodPost, "/v2/recommendations/batch", BatchRequest{Requests: stamped}, &out)

@@ -37,6 +37,12 @@ type RecommendationRequest struct {
 	// recommendation; the choice trades latency against the effort
 	// statistics echoed in the response's "search" member.
 	Strategy string `json:"strategy,omitempty"`
+
+	// Pricing optionally selects how the full card-pricing pass
+	// enumerates the k^n options: "parallel" (shard across the
+	// server's cores — the default) or "sequential". Both modes
+	// produce byte-identical cards; the choice only moves latency.
+	Pricing string `json:"pricing,omitempty"`
 }
 
 // ToBroker converts the wire request to the domain request.
@@ -49,6 +55,7 @@ func (r RecommendationRequest) ToBroker() broker.Request {
 		},
 		AllowedTechs: r.AllowedTechs,
 		Strategy:     r.Strategy,
+		Pricing:      r.Pricing,
 	}
 	if r.AsIs != nil {
 		req.AsIs = broker.Plan(r.AsIs)

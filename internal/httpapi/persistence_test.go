@@ -339,7 +339,9 @@ func TestWaitJobWithProgress(t *testing.T) {
 		if p.JobID != job.ID {
 			t.Fatalf("update %d for job %q, want %q", i, p.JobID, job.ID)
 		}
-		if p.SpaceSize == 1<<13 {
+		// Recommend jobs report one combined progress space covering
+		// both passes (pricing + solver): 2 · k^n.
+		if p.SpaceSize == 1<<14 {
 			sawSpace = true
 		}
 		if f := p.Fraction(); f < 0 || f > 1 {

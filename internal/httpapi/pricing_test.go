@@ -1,0 +1,122 @@
+package httpapi
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+
+	"uptimebroker/internal/broker"
+)
+
+// TestPricingSelectableEndToEnd drives both card-pricing modes
+// through the wire "pricing" field: identical cards and summary
+// either way — pricing is a performance knob, never a correctness
+// one.
+func TestPricingSelectableEndToEnd(t *testing.T) {
+	_, client, _ := newTestServer(t)
+	ctx := context.Background()
+
+	seqReq := caseStudyWire()
+	seqReq.Pricing = broker.PricingSequential
+	seq, err := client.Recommend(ctx, seqReq)
+	if err != nil {
+		t.Fatalf("Recommend(sequential): %v", err)
+	}
+
+	parReq := caseStudyWire()
+	parReq.Pricing = broker.PricingParallel
+	par, err := client.Recommend(ctx, parReq)
+	if err != nil {
+		t.Fatalf("Recommend(parallel): %v", err)
+	}
+
+	if len(par.Cards) != len(seq.Cards) {
+		t.Fatalf("parallel %d cards, sequential %d", len(par.Cards), len(seq.Cards))
+	}
+	for i := range seq.Cards {
+		if !equalCardDTO(par.Cards[i], seq.Cards[i]) {
+			t.Fatalf("card %d diverges:\n  sequential %+v\n  parallel   %+v", i, seq.Cards[i], par.Cards[i])
+		}
+	}
+	if par.BestOption != seq.BestOption || par.MinRiskOption != seq.MinRiskOption ||
+		par.SavingsPercent != seq.SavingsPercent {
+		t.Fatalf("summary diverges: sequential best=%d, parallel best=%d", seq.BestOption, par.BestOption)
+	}
+}
+
+// equalCardDTO compares the comparable fields of two option cards
+// (Choices is a slice, so the structs are not directly comparable).
+func equalCardDTO(a, b OptionCardDTO) bool {
+	if a.Option != b.Option || a.Label != b.Label || a.HACostUSD != b.HACostUSD ||
+		a.UptimePercent != b.UptimePercent || a.PenaltyUSD != b.PenaltyUSD ||
+		a.TCOUSD != b.TCOUSD || a.MeetsSLA != b.MeetsSLA || len(a.Choices) != len(b.Choices) {
+		return false
+	}
+	for i := range a.Choices {
+		if a.Choices[i] != b.Choices[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPricingUnknownRejected: a bogus pricing mode is a 422
+// invalid_request on the synchronous surface.
+func TestPricingUnknownRejected(t *testing.T) {
+	_, client, _ := newTestServer(t)
+	req := caseStudyWire()
+	req.Pricing = "warp"
+	_, err := client.Recommend(context.Background(), req)
+	apiErr, ok := err.(*APIError)
+	if !ok {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if apiErr.Status != http.StatusUnprocessableEntity || apiErr.Code != CodeInvalidRequest {
+		t.Fatalf("problem = %d/%s, want 422/%s", apiErr.Status, apiErr.Code, CodeInvalidRequest)
+	}
+	if !strings.Contains(apiErr.Detail, "warp") {
+		t.Fatalf("detail %q does not name the bad pricing mode", apiErr.Detail)
+	}
+}
+
+// TestClientDefaultPricing: WithPricing stamps outgoing requests that
+// leave the choice open, and the request round-trips the job surface
+// (the mode rides in the journaled payload like strategy does).
+func TestClientDefaultPricing(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	client, err := NewClient(ts.URL, ts.Client(), WithPricing(broker.PricingSequential))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	if _, err := client.Recommend(ctx, caseStudyWire()); err != nil {
+		t.Fatalf("Recommend with client pricing default: %v", err)
+	}
+
+	// An invalid client default surfaces as the server's 422, proving
+	// the stamp actually crosses the wire.
+	bad, err := NewClient(ts.URL, ts.Client(), WithPricing("warp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = bad.Recommend(ctx, caseStudyWire())
+	apiErr, ok := err.(*APIError)
+	if !ok || apiErr.Status != http.StatusUnprocessableEntity {
+		t.Fatalf("stamped bad pricing mode not rejected: %v", err)
+	}
+
+	// Job submissions carry it too.
+	job, err := client.SubmitJob(ctx, JobKindRecommend, caseStudyWire())
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, err := client.WaitJob(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.State != "done" {
+		t.Fatalf("job finished as %s (%+v)", status.State, status.Error)
+	}
+}

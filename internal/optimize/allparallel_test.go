@@ -1,0 +1,175 @@
+package optimize
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// equalCandidates reports whether two fully priced candidates are
+// byte-for-byte identical: same assignment digits, same uptime, same
+// TCO decomposition.
+func equalCandidates(a, b Candidate) bool {
+	if !equalAssignments(a.Assignment, b.Assignment) {
+		return false
+	}
+	return a.Uptime == b.Uptime && a.TCO == b.TCO
+}
+
+// TestParallelAllMatchesSequentialRandom is the full-pricing
+// equivalence guarantee: ParallelAllContext returns the identical
+// candidate slice — same length, same enumeration order, same values
+// — as AllContext, across randomized problem shapes, worker counts
+// and seeds.
+func TestParallelAllMatchesSequentialRandom(t *testing.T) {
+	for _, seed := range []int64{1, 20260730, 424242} {
+		rng := rand.New(rand.NewSource(seed))
+		for trial := 0; trial < 40; trial++ {
+			p := randomProblem(rng)
+			seq, err := p.AllContext(context.Background())
+			if err != nil {
+				t.Fatalf("seed %d trial %d: AllContext: %v", seed, trial, err)
+			}
+			for _, workers := range []int{2, 3, 8} {
+				par, err := p.ParallelAllContext(context.Background(), workers)
+				if err != nil {
+					t.Fatalf("seed %d trial %d workers %d: ParallelAllContext: %v", seed, trial, workers, err)
+				}
+				if len(par) != len(seq) {
+					t.Fatalf("seed %d trial %d workers %d: %d candidates, want %d", seed, trial, workers, len(par), len(seq))
+				}
+				for i := range seq {
+					if !equalCandidates(seq[i], par[i]) {
+						t.Fatalf("seed %d trial %d workers %d: candidate %d diverges: parallel %+v, sequential %+v",
+							seed, trial, workers, i, par[i], seq[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelAllMatchesSequentialWide covers the regime the random
+// shapes miss: many symmetric components (deep prefix blocks, large
+// contiguous suffix runs).
+func TestParallelAllMatchesSequentialWide(t *testing.T) {
+	for _, n := range []int{10, 13} {
+		p := bigProblem(n)
+		seq, err := p.AllContext(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := p.ParallelAllContext(context.Background(), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par) != len(seq) {
+			t.Fatalf("n=%d: %d candidates, want %d", n, len(par), len(seq))
+		}
+		for i := range seq {
+			if !equalCandidates(seq[i], par[i]) {
+				t.Fatalf("n=%d: candidate %d diverges: parallel %+v, sequential %+v", n, i, par[i], seq[i])
+			}
+		}
+	}
+}
+
+func TestParallelAllRejectsNegativeWorkers(t *testing.T) {
+	if _, err := bigProblem(4).ParallelAllContext(context.Background(), -1); err == nil {
+		t.Fatal("workers = -1 should be rejected")
+	}
+}
+
+func TestParallelAllCancelledUpfront(t *testing.T) {
+	p := bigProblem(12)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.ParallelAllContext(ctx, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ParallelAllContext on cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+// TestParallelAllCancelMidShard cancels while workers are inside
+// their blocks: the pool must drain and surface context.Canceled
+// instead of finishing the space.
+func TestParallelAllCancelMidShard(t *testing.T) {
+	p := bigProblem(20) // 2^20 candidates: plenty of runway
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.ParallelAllContext(ctx, 4)
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("ParallelAllContext = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("parallel pricing did not abort after cancel")
+	}
+}
+
+// TestParallelAllProgressMonotonic asserts the WithProgress contract:
+// reported evaluated counts never decrease across concurrent workers
+// and the final report covers the whole space.
+func TestParallelAllProgressMonotonic(t *testing.T) {
+	p := bigProblem(13)
+	var mu sync.Mutex
+	var reports []int64
+	ctx := WithProgress(context.Background(), func(evaluated, spaceSize int64) {
+		mu.Lock()
+		defer mu.Unlock()
+		reports = append(reports, evaluated)
+		if spaceSize != int64(p.SpaceSize()) {
+			t.Errorf("spaceSize = %d, want %d", spaceSize, p.SpaceSize())
+		}
+	})
+	if _, err := p.ParallelAllContext(ctx, 4); err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) == 0 {
+		t.Fatal("progress hook never fired")
+	}
+	for i := 1; i < len(reports); i++ {
+		if reports[i] < reports[i-1] {
+			t.Fatalf("progress went backwards at %d: %d after %d", i, reports[i], reports[i-1])
+		}
+	}
+	if final := reports[len(reports)-1]; final != int64(p.SpaceSize()) {
+		t.Fatalf("final progress = %d, want %d", final, p.SpaceSize())
+	}
+}
+
+// BenchmarkAllPricing is the card-pricing pass the brokerage pays on
+// every Recommend: full k^n enumeration, sequential vs parallel. The
+// n=19 split is the benchreport suite's headline pricing scenario;
+// speedup appears from GOMAXPROCS >= 2 and should reach >= 2x at
+// GOMAXPROCS >= 4.
+func BenchmarkAllPricing(b *testing.B) {
+	for _, n := range []int{12, 16, 19} {
+		p := slaDenseProblem(n, benchSLA)
+		b.Run(fmt.Sprintf("sequential/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.AllContext(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("parallel/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.ParallelAllContext(context.Background(), 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

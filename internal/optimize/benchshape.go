@@ -1,0 +1,47 @@
+package optimize
+
+import (
+	"time"
+
+	"uptimebroker/internal/availability"
+	"uptimebroker/internal/cost"
+)
+
+// BenchSLAPercent is the canonical SLA for the n=19 benchmark
+// instance: minimal met level 5, so the met set holds C(19,5) = 11628
+// assignments and superset pruning is exercised in the dense regime
+// the trie index was built for.
+const BenchSLAPercent = 94.4
+
+// BenchProblem builds the canonical benchmark instance shared by this
+// package's benchmarks and the benchreport suite: n symmetric
+// components with one no-HA baseline and one two-node HA variant
+// each, under a slippage-penalty SLA. It lives outside the test files
+// so cmd/benchreport measures exactly the shape the in-repo
+// benchmarks (and the committed BENCH_*.json trajectory) refer to.
+func BenchProblem(n int, slaPercent float64) *Problem {
+	comps := make([]ComponentChoices, n)
+	for i := range comps {
+		comps[i] = ComponentChoices{
+			Name: "c",
+			Variants: []Variant{
+				{
+					Label:   "none",
+					Cluster: availability.Cluster{Name: "c", Nodes: 1, NodeDown: 0.004, FailuresPerYear: 4},
+				},
+				{
+					Label: "ha",
+					Cluster: availability.Cluster{
+						Name: "c", Nodes: 2, Tolerated: 1, NodeDown: 0.004,
+						FailuresPerYear: 4, Failover: 30 * time.Second,
+					},
+					MonthlyCost: cost.Dollars(250),
+				},
+			},
+		}
+	}
+	return &Problem{
+		Components: comps,
+		SLA:        cost.SLA{UptimePercent: slaPercent, Penalty: cost.Penalty{PerHour: cost.Dollars(200)}},
+	}
+}

@@ -358,12 +358,5 @@ func (p *Problem) AllContext(ctx context.Context) ([]Candidate, error) {
 // order with the last component as the fastest digit; it returns false
 // after the final candidate.
 func (p *Problem) advance(a Assignment) bool {
-	for i := len(a) - 1; i >= 0; i-- {
-		a[i]++
-		if a[i] < len(p.Components[i].Variants) {
-			return true
-		}
-		a[i] = 0
-	}
-	return false
+	return p.advanceFrom(a, 0)
 }

@@ -114,16 +114,19 @@ func (p *Problem) exhaustiveShard(first int) (Result, error) {
 			return Result{}, err
 		}
 		res.observe(c, p.SLA)
-		if !p.advanceTail(a) {
+		if !p.advanceFrom(a, 1) {
 			return res, nil
 		}
 	}
 }
 
-// advanceTail steps dimensions 1..n-1, leaving the pinned first digit
-// untouched; it returns false after the shard's final candidate.
-func (p *Problem) advanceTail(a Assignment) bool {
-	for i := len(a) - 1; i >= 1; i-- {
+// advanceFrom steps dimensions from..n-1 in mixed-radix order, leaving
+// the pinned prefix untouched; it returns false after the suffix's
+// final candidate. from = 0 is the full advance, from = 1 the
+// first-digit shards of ExhaustiveParallel, larger prefixes the blocks
+// of ParallelAllContext.
+func (p *Problem) advanceFrom(a Assignment, from int) bool {
+	for i := len(a) - 1; i >= from; i-- {
 		a[i]++
 		if a[i] < len(p.Components[i].Variants) {
 			return true

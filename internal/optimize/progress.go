@@ -2,6 +2,7 @@ package optimize
 
 import (
 	"context"
+	"sync"
 	"sync/atomic"
 )
 
@@ -20,6 +21,14 @@ type progressKey struct{}
 // cadence plus once at completion; a nil fn detaches.
 func WithProgress(ctx context.Context, fn ProgressFunc) context.Context {
 	return context.WithValue(ctx, progressKey{}, fn)
+}
+
+// ContextProgress returns the WithProgress hook carried by ctx, or
+// nil when none is attached. Layers that re-scope a search's progress
+// — the broker maps its two Recommend passes onto one combined bar —
+// use it to wrap the caller's hook instead of losing it.
+func ContextProgress(ctx context.Context) ProgressFunc {
+	return progressFrom(ctx)
 }
 
 // progressFrom extracts the hook, or nil.
@@ -75,13 +84,17 @@ func (t *progressTicker) done() {
 
 // sharedTicker is the progressTicker for concurrent enumerations:
 // workers advance a single atomic counter, and whichever worker
-// crosses a cadence boundary emits the report. The hook may therefore
-// be called concurrently; the consumers (the jobs store's monotonic
-// Progress) already tolerate out-of-order deliveries.
+// crosses a cadence boundary emits the report. Emissions are
+// serialized through a high-water mark, so the hook observes a
+// strictly increasing evaluated count even when workers race across
+// cadence boundaries — consumers never see the bar move backwards.
 type sharedTicker struct {
 	fn    ProgressFunc
 	space int64
 	n     atomic.Int64
+
+	mu       sync.Mutex
+	reported int64
 }
 
 func newSharedTicker(ctx context.Context, p *Problem) *sharedTicker {
@@ -98,14 +111,29 @@ func (t *sharedTicker) advance(k int64) {
 	}
 	after := t.n.Add(k)
 	if after/progressEvery != (after-k)/progressEvery {
-		t.fn(after, t.space)
+		t.emit(after)
 	}
 }
 
 func (t *sharedTicker) done() {
 	if t.fn != nil {
-		t.fn(t.n.Load(), t.space)
+		t.emit(t.n.Load())
 	}
+}
+
+// emit reports v through the hook unless a higher value already went
+// out (a final done() report may repeat the last value). The hook
+// runs under the ticker's lock; ProgressFunc's contract (fast,
+// non-blocking) keeps the critical section negligible next to the
+// 64-candidate emission cadence.
+func (t *sharedTicker) emit(v int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if v < t.reported {
+		return
+	}
+	t.reported = v
+	t.fn(v, t.space)
 }
 
 // StrategyFunc receives the name of the concrete solver a Solve call

@@ -3,45 +3,20 @@ package optimize
 import (
 	"context"
 	"testing"
-	"time"
-
-	"uptimebroker/internal/availability"
-	"uptimebroker/internal/cost"
 )
 
-// slaDenseProblem builds the adversarial shape ROADMAP recorded
+// slaDenseProblem is the adversarial shape ROADMAP recorded
 // minutes-long searches on: n symmetric two-choice components with the
 // SLA attainable at a low level, so the met list holds thousands of
 // minimal SLA-meeting assignments and every higher-level leaf pays a
 // superset check against them. At n=19 / SLA 94.4% the minimal met
 // level is 5 — C(19,5) = 11628 met assignments against 2^19 leaves;
 // tightening the SLA further steepens the linear scan's quadratic cost
-// while the trie lookup stays near-flat.
+// while the trie lookup stays near-flat. The builder lives in
+// benchshape.go (BenchProblem) so cmd/benchreport measures the same
+// instance.
 func slaDenseProblem(n int, slaPercent float64) *Problem {
-	comps := make([]ComponentChoices, n)
-	for i := range comps {
-		comps[i] = ComponentChoices{
-			Name: "c",
-			Variants: []Variant{
-				{
-					Label:   "none",
-					Cluster: availability.Cluster{Name: "c", Nodes: 1, NodeDown: 0.004, FailuresPerYear: 4},
-				},
-				{
-					Label: "ha",
-					Cluster: availability.Cluster{
-						Name: "c", Nodes: 2, Tolerated: 1, NodeDown: 0.004,
-						FailuresPerYear: 4, Failover: 30 * time.Second,
-					},
-					MonthlyCost: cost.Dollars(250),
-				},
-			},
-		}
-	}
-	return &Problem{
-		Components: comps,
-		SLA:        cost.SLA{UptimePercent: slaPercent, Penalty: cost.Penalty{PerHour: cost.Dollars(200)}},
-	}
+	return BenchProblem(n, slaPercent)
 }
 
 // TestSLADenseShape pins the benchmark instance to the regime it
@@ -76,7 +51,7 @@ func TestSLADenseShape(t *testing.T) {
 
 // benchSLA is the benchmark instance's uptime target: minimal met
 // level 5 on the n=19 shape.
-const benchSLA = 94.4
+const benchSLA = BenchSLAPercent
 
 // BenchmarkSupersetPruning is the headline comparison: the trie-
 // indexed superset check against the original linear met scan on the

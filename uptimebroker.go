@@ -240,6 +240,15 @@ const (
 	StrategyParallelPruned = optimize.StrategyParallelPruned
 )
 
+// Card-pricing modes, selectable per request (Request.Pricing / the
+// wire "pricing" field), per engine (WithParallelPricing), per client
+// (WithPricing) and per uptimectl invocation (-pricing). Both modes
+// produce byte-identical option cards; the choice only moves latency.
+const (
+	PricingParallel   = broker.PricingParallel
+	PricingSequential = broker.PricingSequential
+)
+
 // Strategies lists the registered solver strategy names.
 func Strategies() []string { return optimize.Strategies() }
 
@@ -252,6 +261,14 @@ func RegisterSolver(s Solver) error { return optimize.RegisterSolver(s) }
 // requests that do not name one (built-in default: auto).
 func WithDefaultStrategy(strategy string) EngineOption {
 	return broker.WithDefaultStrategy(strategy)
+}
+
+// WithParallelPricing controls whether the engine's full card-pricing
+// pass shards the k^n enumeration across GOMAXPROCS workers (the
+// default) or prices on one core; requests override it per call with
+// Request.Pricing.
+func WithParallelPricing(on bool) EngineOption {
+	return broker.WithParallelPricing(on)
 }
 
 // Dollars converts a dollar amount to Money.
@@ -368,6 +385,11 @@ func WithPollInterval(d time.Duration) ClientOption { return httpapi.WithPollInt
 // WithStrategy stamps a default solver strategy onto every outgoing
 // recommendation-type request that does not name one.
 func WithStrategy(strategy string) ClientOption { return httpapi.WithStrategy(strategy) }
+
+// WithPricing stamps a default card-pricing mode (PricingParallel or
+// PricingSequential) onto every outgoing recommendation-type request
+// that does not set one.
+func WithPricing(mode string) ClientOption { return httpapi.WithPricing(mode) }
 
 // WithProgress makes one Client.WaitJob call stream live progress
 // (state transitions plus evaluated/space_size from the enumeration)
