@@ -1,0 +1,87 @@
+package availability
+
+// ClusterTerms is a cluster's contribution to the serial-system
+// downtime model, reduced to the three numbers the fold below needs.
+// Precomputing them once per cluster is what lets the optimizer's
+// compiled evaluator re-derive a system's uptime from a changed
+// suffix of clusters in amortized constant time.
+type ClusterTerms struct {
+	// Up is the cluster's UpProbability (Equation 2's per-cluster
+	// factor).
+	Up float64
+
+	// ActiveUp is (1-P_i)^(K_i-K̂_i): the probability that every
+	// currently active node is up (Equation 3's conditioning factor).
+	ActiveUp float64
+
+	// Failover is f_i · t_i · (K_i - K̂_i) / δ: the cluster's expected
+	// failover-downtime fraction before conditioning on the other
+	// clusters' health.
+	Failover float64
+}
+
+// Terms precomputes the cluster's fold inputs.
+func (c Cluster) Terms() ClusterTerms {
+	return ClusterTerms{
+		Up:       c.UpProbability(),
+		ActiveUp: c.activeUpProbability(),
+		Failover: c.failoverMinutesPerYear() / MinutesPerYear,
+	}
+}
+
+// Accumulator folds clusters into the serial-system downtime terms
+// one cluster at a time, in a fixed left-to-right association order.
+// It is the single canonical evaluation of Equations 1–4: both the
+// from-scratch System methods and the optimizer's incremental
+// evaluator run exactly this fold, which is what makes their results
+// bit-identical (same operations in the same order) rather than
+// merely close.
+//
+// The failover sum uses the scan recurrence
+//
+//	T_i = T_{i-1} · A_i + F_i · P_{i-1}
+//
+// where P is the running ActiveUp product: after cluster i, T equals
+// Equation 3's Σ_m F_m · Π_{j≤i, j≠m} A_j restricted to the first i+1
+// clusters. Because the state after cluster i depends only on
+// clusters 0..i, an evaluator that checkpoints the state per prefix
+// can re-fold just a changed suffix — turning Equation 3 from O(n²)
+// per system into O(1) amortized per enumeration step.
+type Accumulator struct {
+	// Up is the running product of cluster up-probabilities.
+	Up float64
+
+	// ActiveUp is the running product of active-up probabilities.
+	ActiveUp float64
+
+	// Failover is the running conditioned failover-downtime sum.
+	Failover float64
+}
+
+// NewAccumulator returns the fold's identity (the empty system).
+func NewAccumulator() Accumulator {
+	return Accumulator{Up: 1, ActiveUp: 1}
+}
+
+// Add folds one more cluster into the serial system.
+func (a *Accumulator) Add(t ClusterTerms) {
+	a.Failover = a.Failover*t.ActiveUp + t.Failover*a.ActiveUp
+	a.ActiveUp *= t.ActiveUp
+	a.Up *= t.Up
+}
+
+// Downtime returns D_s = B_s + F_s (Equation 1) for the folded
+// clusters, clamped to [0, 1] like System.Downtime.
+func (a Accumulator) Downtime() float64 {
+	d := (1 - a.Up) + a.Failover
+	if d < 0 {
+		return 0
+	}
+	if d > 1 {
+		return 1
+	}
+	return d
+}
+
+// Uptime returns U_s = 1 - D_s (Equation 4) for the folded clusters.
+func (a Accumulator) Uptime() float64 { return 1 - a.Downtime() }

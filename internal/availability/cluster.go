@@ -128,36 +128,30 @@ func (s System) Validate() error {
 	return nil
 }
 
+// accumulate folds every cluster through the canonical Accumulator.
+func (s System) accumulate() Accumulator {
+	acc := NewAccumulator()
+	for _, c := range s.Clusters {
+		acc.Add(c.Terms())
+	}
+	return acc
+}
+
 // Breakdown returns B_s (Equation 2): the probability that at least one
 // cluster has more than its tolerated number of nodes down.
 func (s System) Breakdown() float64 {
-	up := 1.0
-	for _, c := range s.Clusters {
-		up *= c.UpProbability()
-	}
-	return 1 - up
+	return 1 - s.accumulate().Up
 }
 
 // FailoverDowntime returns F_s (Equation 3): the expected downtime
 // fraction due to failover transitions, summed over clusters, each term
 // weighted by the probability that every active node in every other
-// cluster is up.
+// cluster is up. Since the Accumulator refactor the sum runs as a
+// single left-to-right scan (O(n) instead of the textbook O(n²)
+// double loop), in exactly the association order the optimizer's
+// incremental evaluator replays.
 func (s System) FailoverDowntime() float64 {
-	total := 0.0
-	for i, c := range s.Clusters {
-		term := c.failoverMinutesPerYear() / MinutesPerYear
-		if term == 0 {
-			continue
-		}
-		for j, other := range s.Clusters {
-			if j == i {
-				continue
-			}
-			term *= other.activeUpProbability()
-		}
-		total += term
-	}
-	return total
+	return s.accumulate().Failover
 }
 
 // Downtime returns D_s = B_s + F_s (Equation 1), clamped to [0, 1].
@@ -165,14 +159,7 @@ func (s System) FailoverDowntime() float64 {
 // paper; clamping guards against pathological parameter combinations
 // where the approximation exceeds certainty.
 func (s System) Downtime() float64 {
-	d := s.Breakdown() + s.FailoverDowntime()
-	if d < 0 {
-		return 0
-	}
-	if d > 1 {
-		return 1
-	}
-	return d
+	return s.accumulate().Downtime()
 }
 
 // Uptime returns U_s = 1 - D_s (Equation 4).

@@ -7,6 +7,8 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"uptimebroker/internal/jobstore"
@@ -71,6 +73,76 @@ func pricingSpec(n int, parallel bool) Spec {
 	}
 }
 
+// evalSpec builds the incremental-vs-scratch engine scenario: the
+// same full-space n=19 search, re-deriving every candidate through
+// Problem.Evaluate (scratch — the reference oracle and PR 4's
+// engine) or advancing the compiled evaluator (incremental). Both are
+// single-threaded, so the derived eval_incremental_speedup_n19 ratio
+// is a pure algorithmic win CI can floor on any host, 1-core runners
+// included.
+func evalSpec(incremental bool) Spec {
+	mode := "scratch"
+	if incremental {
+		mode = "incremental"
+	}
+	return Spec{
+		Name:  fmt.Sprintf("eval/%s/n=19", mode),
+		Group: "eval",
+		// The scratch reference is measured but untracked: it exists to
+		// anchor the ratio, not to be optimized.
+		Tracked: incremental,
+		Setup: func(string) (runFunc, func(), error) {
+			p := pricingProblem(19)
+			return func(iters int) error {
+				for i := 0; i < iters; i++ {
+					var err error
+					if incremental {
+						_, err = p.ExhaustiveContext(context.Background())
+					} else {
+						_, err = p.ExhaustiveScratch(context.Background())
+					}
+					if err != nil {
+						return err
+					}
+				}
+				return nil
+			}, func() {}, nil
+		},
+	}
+}
+
+// streamSpec measures the streaming pricing pass: every candidate
+// folded online through StreamContext with O(1) memory — the
+// counterpart of pricing/sequential/n=19's materialized O(k^n) slice,
+// and the engine under broker.Pareto's single-pass rewrite.
+func streamSpec() Spec {
+	return Spec{
+		Name:    "pricing/stream/n=19",
+		Group:   "pricing",
+		Tracked: true,
+		Setup: func(string) (runFunc, func(), error) {
+			p := pricingProblem(19)
+			space := p.SpaceSize()
+			return func(iters int) error {
+				for i := 0; i < iters; i++ {
+					seen := 0
+					err := p.StreamContext(context.Background(), func(*optimize.Cursor) error {
+						seen++
+						return nil
+					})
+					if err != nil {
+						return err
+					}
+					if seen != space {
+						return fmt.Errorf("stream visited %d candidates, want %d", seen, space)
+					}
+				}
+				return nil
+			}, func() {}, nil
+		},
+	}
+}
+
 // solverSpec builds one effort-stats solver scenario on the SLA-dense
 // n=19 instance.
 func solverSpec(strategy string) Spec {
@@ -125,6 +197,74 @@ func appendSpec(fsync bool) Spec {
 							Payload: payload,
 						}
 						if err := backend.Append(ev); err != nil {
+							return err
+						}
+					}
+					return nil
+				}, func() {
+					_ = backend.Close()
+				}, nil
+		},
+	}
+}
+
+// concurrentAppendSpec measures the WAL append path under 8
+// concurrent appenders — the shape a busy brokerd sees. The
+// interesting split is per-append fsync versus group commit: both
+// give power-loss durability, but group commit coalesces the
+// concurrent flushes, and the derived group_commit_speedup ratio is
+// the throughput the -group-commit flag recovers.
+func concurrentAppendSpec(group bool) Spec {
+	mode := "fsync-concurrent"
+	opts := []jobstore.FileOption{jobstore.WithFsync()}
+	if group {
+		mode = "group-commit"
+		opts = []jobstore.FileOption{jobstore.WithGroupCommit()}
+	}
+	return Spec{
+		Name:    "jobstore/append/" + mode,
+		Group:   "jobstore",
+		Tracked: true,
+		Setup: func(scratch string) (runFunc, func(), error) {
+			backend, err := jobstore.OpenFile(scratch, opts...)
+			if err != nil {
+				return nil, nil, err
+			}
+			payload := json.RawMessage(`{"sla_percent":98,"penalty_per_hour_usd":100}`)
+			now := time.Unix(1_700_000_000, 0)
+			var seq atomic.Uint64
+			const writers = 8
+			return func(iters int) error {
+					var wg sync.WaitGroup
+					errs := make([]error, writers)
+					for w := 0; w < writers; w++ {
+						count := iters / writers
+						if w < iters%writers {
+							count++
+						}
+						wg.Add(1)
+						go func(w, count int) {
+							defer wg.Done()
+							for i := 0; i < count; i++ {
+								n := seq.Add(1)
+								ev := jobstore.Event{
+									Type:    jobstore.EventSubmitted,
+									Time:    now,
+									ID:      fmt.Sprintf("job-%08d", n),
+									Seq:     n,
+									Kind:    "recommend",
+									Payload: payload,
+								}
+								if err := backend.Append(ev); err != nil {
+									errs[w] = err
+									return
+								}
+							}
+						}(w, count)
+					}
+					wg.Wait()
+					for _, err := range errs {
+						if err != nil {
 							return err
 						}
 					}
@@ -199,10 +339,13 @@ func Suite() []Spec {
 		pricingSpec(12, false), pricingSpec(12, true),
 		pricingSpec(16, false), pricingSpec(16, true),
 		pricingSpec(19, false), pricingSpec(19, true),
+		streamSpec(),
+		evalSpec(false), evalSpec(true),
 		solverSpec(optimize.StrategyPruned),
 		solverSpec(optimize.StrategyParallelPruned),
 		solverSpec(optimize.StrategyBranchAndBound),
 		appendSpec(false), appendSpec(true),
+		concurrentAppendSpec(false), concurrentAppendSpec(true),
 		recoverySpec(),
 	}
 	return specs
@@ -214,8 +357,11 @@ var ratioSpecs = []Ratio{
 	{Name: "pricing_parallel_speedup_n12", Numerator: "pricing/sequential/n=12", Denominator: "pricing/parallel/n=12", HigherIsBetter: true},
 	{Name: "pricing_parallel_speedup_n16", Numerator: "pricing/sequential/n=16", Denominator: "pricing/parallel/n=16", HigherIsBetter: true},
 	{Name: "pricing_parallel_speedup_n19", Numerator: "pricing/sequential/n=19", Denominator: "pricing/parallel/n=19", HigherIsBetter: true},
+	{Name: "eval_incremental_speedup_n19", Numerator: "eval/scratch/n=19", Denominator: "eval/incremental/n=19", HigherIsBetter: true},
+	{Name: "pricing_stream_speedup_n19", Numerator: "pricing/sequential/n=19", Denominator: "pricing/stream/n=19", HigherIsBetter: true},
 	{Name: "parallel_pruned_speedup_n19", Numerator: "solver/pruned/n=19", Denominator: "solver/parallel-pruned/n=19", HigherIsBetter: true},
 	{Name: "fsync_cost_x", Numerator: "jobstore/append/fsync", Denominator: "jobstore/append/nosync", HigherIsBetter: false},
+	{Name: "group_commit_speedup", Numerator: "jobstore/append/fsync-concurrent", Denominator: "jobstore/append/group-commit", HigherIsBetter: true},
 }
 
 // Options configures one suite run.

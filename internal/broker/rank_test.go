@@ -1,0 +1,74 @@
+package broker
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"uptimebroker/internal/optimize"
+)
+
+// shapeProblem builds a Problem with the given per-component variant
+// counts; the ranker only reads the shape, so clusters stay zero.
+func shapeProblem(arities []int) *optimize.Problem {
+	comps := make([]optimize.ComponentChoices, len(arities))
+	for i, k := range arities {
+		comps[i] = optimize.ComponentChoices{Name: "c", Variants: make([]optimize.Variant, k)}
+	}
+	return &optimize.Problem{Components: comps}
+}
+
+// TestRankerMatchesPresentationSort pins the combinatorial position
+// against the reference definition: enumerate every assignment, sort
+// by (clustered count, lexicographic), and require position() to name
+// exactly that index — the order the sort-based Recommend produced
+// before the streaming pass replaced it.
+func TestRankerMatchesPresentationSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260730))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(5)
+		arities := make([]int, n)
+		for i := range arities {
+			arities[i] = 1 + rng.Intn(4)
+		}
+		p := shapeProblem(arities)
+
+		var all []optimize.Assignment
+		a := make(optimize.Assignment, n)
+		for {
+			all = append(all, a.Clone())
+			done := true
+			for i := n - 1; i >= 0; i-- {
+				a[i]++
+				if a[i] < arities[i] {
+					done = false
+					break
+				}
+				a[i] = 0
+			}
+			if done {
+				break
+			}
+		}
+		sort.Slice(all, func(x, y int) bool {
+			ha, hb := haCount(all[x]), haCount(all[y])
+			if ha != hb {
+				return ha < hb
+			}
+			for i := range all[x] {
+				if all[x][i] != all[y][i] {
+					return all[x][i] < all[y][i]
+				}
+			}
+			return false
+		})
+
+		rk := newRanker(p)
+		for want, asg := range all {
+			if got := rk.position(asg); got != want {
+				t.Fatalf("trial %d (arities %v): position(%v) = %d, want %d",
+					trial, arities, asg, got, want)
+			}
+		}
+	}
+}

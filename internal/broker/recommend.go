@@ -3,7 +3,6 @@ package broker
 import (
 	"context"
 	"fmt"
-	"sort"
 	"sync"
 
 	"uptimebroker/internal/cost"
@@ -130,6 +129,26 @@ func splitProgress(ctx context.Context, space int64) (pricing, solver context.Co
 	return pricing, solver
 }
 
+// doubleProgress re-scopes a caller's WithSearchProgress hook over the
+// fused single-pass Recommend: the one streaming enumeration covers
+// both halves of the combined 2·space bar (each candidate is priced
+// and searched at once), so reports scale by two and watchers see the
+// same space and completion point as the two-pass shape.
+func doubleProgress(ctx context.Context, space int64) context.Context {
+	fn := optimize.ContextProgress(ctx)
+	if fn == nil {
+		return ctx
+	}
+	total := 2 * space
+	return optimize.WithProgress(ctx, func(done, _ int64) {
+		d := 2 * done
+		if d > total {
+			d = total
+		}
+		fn(d, total)
+	})
+}
+
 // WithStrategyReport attaches a hook that hears which concrete solver
 // strategy the search resolved to — for "auto" requests, the strategy
 // the heuristic picked. It fires once per solver pass, before the
@@ -207,9 +226,48 @@ func (r *Recommendation) Card(option int) (OptionCard, error) {
 // Best returns the minimum-TCO card.
 func (r *Recommendation) Best() OptionCard { return r.Cards[r.BestOption-1] }
 
+// priceState is one pricing worker's running fold over the candidates
+// it visited: the positions of the best-TCO, cheapest-SLA-meeting and
+// as-is cards. Position ties break toward the lower presentation
+// position, which makes the cross-worker merge deterministic — the
+// folded outcome is identical to a sequential presentation-order scan
+// regardless of how candidates land on workers.
+type priceState struct {
+	bestPos   int
+	bestTCO   cost.Money
+	minRisk   int
+	minRiskHA cost.Money
+	asIs      int
+}
+
+// fold merges another worker's state into s.
+func (s *priceState) fold(o priceState) {
+	if o.bestPos >= 0 && (s.bestPos < 0 || o.bestTCO < s.bestTCO || (o.bestTCO == s.bestTCO && o.bestPos < s.bestPos)) {
+		s.bestPos, s.bestTCO = o.bestPos, o.bestTCO
+	}
+	if o.minRisk >= 0 && (s.minRisk < 0 || o.minRiskHA < s.minRiskHA || (o.minRiskHA == s.minRiskHA && o.minRisk < s.minRisk)) {
+		s.minRisk, s.minRiskHA = o.minRisk, o.minRiskHA
+	}
+	if o.asIs >= 0 {
+		s.asIs = o.asIs
+	}
+}
+
 // Recommend runs the full brokerage flow for one request. The context
 // is observed throughout the compile-enumerate loop: cancelling it
 // aborts the permutation pricing mid-run with ctx.Err().
+//
+// The pricing pass streams: each candidate is priced once on the
+// compiled incremental evaluator and written straight into its
+// presentation-order card slot (positions come from the combinatorial
+// ranker, so parallel shards write disjoint slots), with the best-TCO
+// and min-risk incumbents folded online — no materialized candidate
+// slice, no order permutation, no sort pass. When the requested
+// strategy resolves to exhaustive, the search IS the pricing pass, so
+// the solver pass is skipped entirely and its statistics fall out of
+// the stream; pruning strategies still run their (much cheaper)
+// search for the paper's effort statistics. Both shapes report one
+// combined monotone progress space of 2·k^n.
 func (e *Engine) Recommend(ctx context.Context, req Request) (*Recommendation, error) {
 	c, err := e.compile(req)
 	if err != nil {
@@ -218,51 +276,63 @@ func (e *Engine) Recommend(ctx context.Context, req Request) (*Recommendation, e
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-
-	// Price every option (the paper's figures show all of them), and
-	// run the selected solver for the effort statistics; every
-	// registered strategy returns the same optimum, which the optimize
-	// package's equivalence tests guarantee. The two passes share one
-	// combined progress space so watchers see a single monotone bar.
-	pricingCtx, solverCtx := splitProgress(ctx, int64(c.problem.SpaceSize()))
-	var cands []optimize.Candidate
-	if e.parallelPricingFor(req) {
-		cands, err = c.problem.ParallelAllContext(pricingCtx, 0)
-	} else {
-		cands, err = c.problem.AllContext(pricingCtx)
-	}
-	if err != nil {
-		return nil, err
-	}
-	searched, err := optimize.Solve(solverCtx, c.problem, e.strategyFor(req))
-	if err != nil {
-		return nil, err
-	}
-
-	cards := make([]OptionCard, len(cands))
-	order := make([]int, len(cands))
-	for i := range cands {
-		order[i] = i
-	}
-	// Paper presentation order: by number of clustered components, then
-	// lexicographically by assignment.
-	sort.Slice(order, func(x, y int) bool {
-		a, b := cands[order[x]].Assignment, cands[order[y]].Assignment
-		ha, hb := haCount(a), haCount(b)
-		if ha != hb {
-			return ha < hb
-		}
-		for i := range a {
-			if a[i] != b[i] {
-				return a[i] < b[i]
-			}
-		}
-		return false
-	})
-
 	asIsAssignment, err := c.assignmentForPlan(req.AsIs)
 	if err != nil {
 		return nil, err
+	}
+	strategy := e.strategyFor(req)
+	resolved, err := optimize.ResolveStrategy(c.problem, strategy)
+	if err != nil {
+		return nil, err
+	}
+
+	space := c.problem.SpaceSize()
+	cards := make([]OptionCard, space)
+	rk := newRanker(c.problem)
+
+	// fork hands each pricing worker its own fold state; the states
+	// are merged once the stream (and with it every worker) is done.
+	var mu sync.Mutex
+	var states []*priceState
+	fork := func() func(*optimize.Cursor) error {
+		st := &priceState{bestPos: -1, minRisk: -1, asIs: -1}
+		mu.Lock()
+		states = append(states, st)
+		mu.Unlock()
+		return func(cur *optimize.Cursor) error {
+			a := cur.Assignment()
+			pos := rk.position(a)
+			tco := cur.TCO()
+			uptime := cur.Uptime()
+			total := tco.Total()
+			meets := cur.MeetsSLA()
+			cards[pos] = OptionCard{
+				Option:        pos + 1,
+				Choices:       c.choicesFor(a),
+				HACost:        tco.HA,
+				Uptime:        uptime,
+				SlippageHours: req.SLA.SlippageHoursPerMonth(uptime),
+				Penalty:       tco.ExpectedPenalty,
+				TCO:           total,
+				MeetsSLA:      meets,
+			}
+			if st.bestPos < 0 || total < st.bestTCO || (total == st.bestTCO && pos < st.bestPos) {
+				st.bestPos, st.bestTCO = pos, total
+			}
+			if meets && (st.minRisk < 0 || tco.HA < st.minRiskHA || (tco.HA == st.minRiskHA && pos < st.minRisk)) {
+				st.minRisk, st.minRiskHA = pos, tco.HA
+			}
+			if asIsAssignment != nil && sameAssignment(a, asIsAssignment) {
+				st.asIs = pos
+			}
+			return nil
+		}
+	}
+	runPricing := func(pctx context.Context) error {
+		if e.parallelPricingFor(req) {
+			return c.problem.ParallelStreamContext(pctx, 0, fork)
+		}
+		return c.problem.StreamContext(pctx, fork())
 	}
 
 	rec := &Recommendation{
@@ -270,43 +340,46 @@ func (e *Engine) Recommend(ctx context.Context, req Request) (*Recommendation, e
 		Provider: req.Base.Provider,
 		SLA:      req.SLA,
 		Cards:    cards,
-		Search: SearchStats{
-			SpaceSize: c.problem.SpaceSize(),
-			Evaluated: searched.Evaluated,
-			Skipped:   searched.Skipped,
-			Strategy:  searched.Strategy,
-		},
+		Search:   SearchStats{SpaceSize: space},
 	}
 
-	bestIdx, minRiskIdx := -1, -1
-	for pos, idx := range order {
-		cand := cands[idx]
-		card := OptionCard{
-			Option:        pos + 1,
-			Choices:       c.choicesFor(cand.Assignment),
-			HACost:        cand.TCO.HA,
-			Uptime:        cand.Uptime,
-			SlippageHours: req.SLA.SlippageHoursPerMonth(cand.Uptime),
-			Penalty:       cand.TCO.ExpectedPenalty,
-			TCO:           cand.TCO.Total(),
-			MeetsSLA:      cand.MeetsSLA(req.SLA),
+	if resolved == optimize.StrategyExhaustive {
+		// Fused: the exhaustive search is the pricing pass, so one
+		// streaming enumeration serves both and its statistics are
+		// known by construction. Progress maps onto the combined 2·k^n
+		// space watchers already expect, and the strategy hook still
+		// hears the resolved choice.
+		optimize.ReportStrategy(ctx, resolved)
+		if err := runPricing(doubleProgress(ctx, int64(space))); err != nil {
+			return nil, err
 		}
-		cards[pos] = card
-
-		if bestIdx < 0 || card.TCO < cards[bestIdx].TCO {
-			bestIdx = pos
+		rec.Search.Evaluated = space
+		rec.Search.Strategy = resolved
+	} else {
+		pricingCtx, solverCtx := splitProgress(ctx, int64(space))
+		if err := runPricing(pricingCtx); err != nil {
+			return nil, err
 		}
-		if card.MeetsSLA && (minRiskIdx < 0 || card.HACost < cards[minRiskIdx].HACost) {
-			minRiskIdx = pos
+		searched, err := optimize.Solve(solverCtx, c.problem, strategy)
+		if err != nil {
+			return nil, err
 		}
-		if asIsAssignment != nil && sameAssignment(cand.Assignment, asIsAssignment) {
-			rec.AsIsOption = pos + 1
-		}
+		rec.Search.Evaluated = searched.Evaluated
+		rec.Search.Skipped = searched.Skipped
+		rec.Search.Strategy = searched.Strategy
 	}
 
-	rec.BestOption = bestIdx + 1
-	if minRiskIdx >= 0 {
-		rec.MinRiskOption = minRiskIdx + 1
+	merged := priceState{bestPos: -1, minRisk: -1, asIs: -1}
+	for _, st := range states {
+		merged.fold(*st)
+	}
+
+	rec.BestOption = merged.bestPos + 1
+	if merged.minRisk >= 0 {
+		rec.MinRiskOption = merged.minRisk + 1
+	}
+	if merged.asIs >= 0 {
+		rec.AsIsOption = merged.asIs + 1
 	}
 	// Savings against the incumbent. Two edges are pinned to exactly
 	// zero rather than left to the division: the incumbent already
@@ -317,7 +390,7 @@ func (e *Engine) Recommend(ctx context.Context, req Request) (*Recommendation, e
 	if rec.AsIsOption > 0 && rec.AsIsOption != rec.BestOption {
 		asIs := cards[rec.AsIsOption-1]
 		if asIs.TCO > 0 {
-			rec.SavingsFraction = 1 - float64(cards[bestIdx].TCO)/float64(asIs.TCO)
+			rec.SavingsFraction = 1 - float64(cards[merged.bestPos].TCO)/float64(asIs.TCO)
 		}
 	}
 	return rec, nil

@@ -34,6 +34,7 @@ type serverConfig struct {
 	jobDir          string
 	jobSnapInterval time.Duration
 	jobFsync        bool
+	jobGroupCommit  bool
 	ssePing         time.Duration
 }
 
@@ -95,6 +96,15 @@ func WithJobSnapshotInterval(d time.Duration) ServerOption {
 // benchmarks report the difference). Only meaningful with WithJobDir.
 func WithJobFsync() ServerOption {
 	return func(c *serverConfig) { c.jobFsync = true }
+}
+
+// WithJobGroupCommit gives job WAL appends fsync durability with
+// concurrent appends coalesced into shared flushes (group commit):
+// under load most of the nosync throughput comes back at the same
+// power-loss guarantee. Supersedes WithJobFsync when both are set.
+// Only meaningful with WithJobDir.
+func WithJobGroupCommit() ServerOption {
+	return func(c *serverConfig) { c.jobGroupCommit = true }
 }
 
 // WithSSEPingInterval sets how often the /v2/jobs/{id}/events stream
@@ -180,6 +190,9 @@ func NewServer(engine *broker.Engine, store *telemetry.Store, logger *log.Logger
 		var fileOpts []jobstore.FileOption
 		if cfg.jobFsync {
 			fileOpts = append(fileOpts, jobstore.WithFsync())
+		}
+		if cfg.jobGroupCommit {
+			fileOpts = append(fileOpts, jobstore.WithGroupCommit())
 		}
 		backend, err := jobstore.OpenFile(cfg.jobDir, fileOpts...)
 		if err != nil {

@@ -129,15 +129,30 @@ func TestJobSubmitLocationHeader(t *testing.T) {
 }
 
 func TestJobCancelMidRun(t *testing.T) {
-	_, client, _ := newTestServer(t)
+	ts, srv, client := newDurableServer(t, t.TempDir())
+	defer func() { ts.Close(); srv.Close() }()
 	ctx := context.Background()
 
-	job, err := client.SubmitJob(ctx, JobKindRecommend, wideWireRequest(18))
+	// A gated job stands in for a long enumeration: it blocks until
+	// its context is cancelled, so the test observes the running state
+	// deterministically instead of racing the evaluator (which prices
+	// even wide instances faster than an HTTP round-trip since the
+	// incremental-evaluation engine landed). Enumeration-level
+	// cancellation is covered by the optimize and broker context
+	// tests.
+	started := make(chan struct{})
+	snap, err := srv.jobs.Submit("recommend", nil, func(jctx context.Context) (any, error) {
+		close(started)
+		<-jctx.Done()
+		return nil, jctx.Err()
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	<-started
+	job := JobStatus{ID: snap.ID}
 
-	// Wait for the enumeration to actually start, then cancel it.
+	// Wait for the job surface to report it running, then cancel it.
 	deadline := time.Now().Add(10 * time.Second)
 	for {
 		got, err := client.GetJob(ctx, job.ID)

@@ -2,9 +2,6 @@ package optimize
 
 import (
 	"context"
-	"fmt"
-	"runtime"
-	"sync"
 )
 
 // ParallelAll is ParallelAllContext with a background context and
@@ -20,113 +17,28 @@ func (p *Problem) ParallelAll(workers int) ([]Candidate, error) {
 // tests assert. It is the parallel engine under the brokerage's
 // full-pricing pass (every option card of Figures 3–9).
 //
-// The space is split into prefix blocks — the first splitDepth
-// component choices pinned, exactly the task scheme
-// ParallelPrunedContext uses for its level walks — and idle workers
-// steal the next block off a shared feed, so an uneven block cannot
-// strand the pool behind one worker. Because the last component is
-// the fastest mixed-radix digit, each block is a contiguous run of
-// the output slice; workers write their block's candidates straight
-// into place and no reassembly pass is needed.
-//
-// Cancellation is honored between blocks and, via the shared
-// cancellation poll cadence, inside them; a WithProgress hook on the
-// context sees one monotonically advancing evaluated count across
-// all workers. workers = 0 means GOMAXPROCS.
+// It is ParallelStreamContext materialized: each worker's visitor
+// writes its candidates straight into their enumeration-order slots
+// of the output (blocks are contiguous runs because the last
+// component is the fastest mixed-radix digit, so writers never
+// contend on an index). Cancellation is honored between blocks and,
+// via the shared cancellation poll cadence, inside them; a
+// WithProgress hook on the context sees one monotonically advancing
+// evaluated count across all workers. workers = 0 means GOMAXPROCS.
 func (p *Problem) ParallelAllContext(ctx context.Context, workers int) ([]Candidate, error) {
-	if err := p.Validate(); err != nil {
+	ev, err := NewEvaluator(p)
+	if err != nil {
 		return nil, err
 	}
-	if workers < 0 {
-		return nil, fmt.Errorf("optimize: workers = %d, must be >= 0", workers)
-	}
-	if workers == 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers <= 1 || len(p.Components) == 1 {
-		return p.AllContext(ctx)
-	}
-
-	// Grow the pinned prefix until there are enough blocks for the
-	// pool to steal from; never past n-1 so every block keeps at
-	// least one free digit.
-	n := len(p.Components)
-	want := workers * 4
-	splitDepth, blocks := 0, 1
-	for splitDepth < n-1 && blocks < want {
-		blocks *= len(p.Components[splitDepth].Variants)
-		splitDepth++
-	}
-	space := p.SpaceSize()
-	blockSize := space / blocks
-
-	out := make([]Candidate, space)
-	errs := make([]error, blocks)
-	feed := make(chan int)
-	st := newSharedTicker(ctx, p)
-	if workers > blocks {
-		workers = blocks
-	}
-
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			cc := canceler{ctx: ctx}
-			for bi := range feed {
-				errs[bi] = p.priceBlock(bi, splitDepth, out[bi*blockSize:(bi+1)*blockSize], &cc, st)
-			}
-		}()
-	}
-
-	var cancelErr error
-dispatch:
-	for bi := 0; bi < blocks; bi++ {
-		select {
-		case feed <- bi:
-		case <-ctx.Done():
-			cancelErr = ctx.Err()
-			break dispatch
+	out := make([]Candidate, p.SpaceSize())
+	err = ev.parallelStream(ctx, workers, func() func(*Cursor) error {
+		return func(cur *Cursor) error {
+			out[cur.Index()] = cur.Candidate()
+			return nil
 		}
+	})
+	if err != nil {
+		return nil, err
 	}
-	close(feed)
-	wg.Wait()
-
-	if cancelErr != nil {
-		return nil, cancelErr
-	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	st.done()
 	return out, nil
-}
-
-// priceBlock evaluates one prefix block's candidates into dst, which
-// is the block's contiguous slot of the full enumeration-order output.
-// block is the mixed-radix value of the pinned prefix digits.
-func (p *Problem) priceBlock(block, splitDepth int, dst []Candidate, cc *canceler, st *sharedTicker) error {
-	a := make(Assignment, len(p.Components))
-	rem := block
-	for i := splitDepth - 1; i >= 0; i-- {
-		k := len(p.Components[i].Variants)
-		a[i] = rem % k
-		rem /= k
-	}
-	for j := range dst {
-		if err := cc.check(); err != nil {
-			return err
-		}
-		c, err := p.Evaluate(a)
-		if err != nil {
-			return err
-		}
-		dst[j] = c
-		st.advance(1)
-		p.advanceFrom(a, splitDepth)
-	}
-	return nil
 }

@@ -15,7 +15,8 @@ import (
 // Worth using when k^n climbs into the hundreds of thousands; below
 // that the sequential search wins on overhead.
 func (p *Problem) ExhaustiveParallel(ctx context.Context, workers int) (Result, error) {
-	if err := p.Validate(); err != nil {
+	ev, err := NewEvaluator(p)
+	if err != nil {
 		return Result{}, err
 	}
 	if workers < 0 {
@@ -43,8 +44,10 @@ func (p *Problem) ExhaustiveParallel(ctx context.Context, workers int) (Result, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			cur := ev.NewCursor()
+			scratch := make(Assignment, len(p.Components))
 			for first := range shards {
-				results[first], errs[first] = p.exhaustiveShard(first)
+				results[first], errs[first] = p.exhaustiveShard(cur, scratch, first)
 			}
 		}()
 	}
@@ -103,18 +106,17 @@ func mergeResults(results []Result) Result {
 }
 
 // exhaustiveShard enumerates all candidates whose first choice is
-// pinned to `first`.
-func (p *Problem) exhaustiveShard(first int) (Result, error) {
+// pinned to `first` on the worker's reusable cursor.
+func (p *Problem) exhaustiveShard(cur *Cursor, scratch Assignment, first int) (Result, error) {
+	for i := range scratch {
+		scratch[i] = 0
+	}
+	scratch[0] = first
+	cur.Sync(scratch)
 	var res Result
-	a := make(Assignment, len(p.Components))
-	a[0] = first
 	for {
-		c, err := p.Evaluate(a)
-		if err != nil {
-			return Result{}, err
-		}
-		res.observe(c, p.SLA)
-		if !p.advanceFrom(a, 1) {
+		res.observeCursor(cur, p.SLA)
+		if !cur.AdvanceFrom(1) {
 			return res, nil
 		}
 	}
@@ -160,7 +162,8 @@ func (p *Problem) ParallelPruned() (Result, error) {
 // an uneven subtree cannot strand the pool behind one worker.
 // workers = 0 means GOMAXPROCS.
 func (p *Problem) ParallelPrunedContext(ctx context.Context, workers int) (Result, error) {
-	if err := p.Validate(); err != nil {
+	ev, err := NewEvaluator(p)
+	if err != nil {
 		return Result{}, err
 	}
 	if workers < 0 {
@@ -179,7 +182,7 @@ func (p *Problem) ParallelPrunedContext(ctx context.Context, workers int) (Resul
 	var res Result
 
 	for level := 0; level <= n; level++ {
-		levelRes, met, err := p.parallelLevel(ctx, workers, level, ix, st)
+		levelRes, met, err := p.parallelLevel(ctx, ev, workers, level, ix, st)
 		if err != nil {
 			return Result{}, err
 		}
@@ -202,7 +205,7 @@ type levelTask struct {
 // parallelLevel shards one level's combination walk across workers and
 // returns the level's merged result plus the assignments that newly
 // met the SLA (for insertion after the barrier).
-func (p *Problem) parallelLevel(ctx context.Context, workers, level int, ix *metIndex, st *sharedTicker) (Result, []Assignment, error) {
+func (p *Problem) parallelLevel(ctx context.Context, ev *Evaluator, workers, level int, ix *metIndex, st *sharedTicker) (Result, []Assignment, error) {
 	tasks := p.levelTasks(level, workers)
 	if len(tasks) == 0 {
 		return Result{}, nil, nil
@@ -222,8 +225,9 @@ func (p *Problem) parallelLevel(ctx context.Context, workers, level int, ix *met
 		go func() {
 			defer wg.Done()
 			cc := canceler{ctx: ctx}
+			cur := ev.NewCursor()
 			for ti := range feed {
-				results[ti], metLists[ti], errs[ti] = p.walkTask(&cc, tasks[ti], ix, st)
+				results[ti], metLists[ti], errs[ti] = p.walkTask(&cc, tasks[ti], ix, st, cur)
 			}
 		}()
 	}
@@ -300,7 +304,7 @@ func (p *Problem) levelTasks(level, workers int) []levelTask {
 // shared walkLevel/prunedLeaf machinery against the frozen index.
 // Newly met assignments are collected rather than inserted — the
 // caller merges them at the level barrier.
-func (p *Problem) walkTask(cc *canceler, task levelTask, ix *metIndex, st *sharedTicker) (Result, []Assignment, error) {
+func (p *Problem) walkTask(cc *canceler, task levelTask, ix *metIndex, st *sharedTicker, cur *Cursor) (Result, []Assignment, error) {
 	a := make(Assignment, len(p.Components))
 	copy(a, task.prefix)
 
@@ -311,7 +315,7 @@ func (p *Problem) walkTask(cc *canceler, task levelTask, ix *metIndex, st *share
 	err := p.walkLevel(a, len(task.prefix), task.remaining, func() error {
 		return p.prunedLeaf(a, cc, ix.covers, &res, st.advance, func(m Assignment) {
 			met = append(met, m.Clone())
-		})
+		}, cur)
 	})
 	if err != nil {
 		return Result{}, nil, err

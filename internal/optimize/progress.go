@@ -152,6 +152,14 @@ func WithStrategyReport(ctx context.Context, fn StrategyFunc) context.Context {
 	return context.WithValue(ctx, strategyKey{}, fn)
 }
 
+// ReportStrategy invokes the context's strategy hook, if any. Solve
+// calls it on every search; layers that resolve a strategy without
+// running Solve (the broker's fused streaming pass) call it
+// themselves so async watchers still hear the resolved choice.
+func ReportStrategy(ctx context.Context, strategy string) {
+	reportStrategy(ctx, strategy)
+}
+
 // reportStrategy invokes the context's strategy hook, if any.
 func reportStrategy(ctx context.Context, strategy string) {
 	if ctx == nil {

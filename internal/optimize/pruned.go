@@ -28,9 +28,6 @@ func (p *Problem) Pruned() (Result, error) {
 // component choices, so each leaf pays for the consistent portion of
 // the met set instead of a linear scan over all of it.
 func (p *Problem) PrunedContext(ctx context.Context) (Result, error) {
-	if err := p.Validate(); err != nil {
-		return Result{}, err
-	}
 	return p.prunedWith(ctx, newMetIndex(p))
 }
 
@@ -38,21 +35,25 @@ func (p *Problem) PrunedContext(ctx context.Context) (Result, error) {
 // exists so the equivalence tests and benchmarks can pin the indexed
 // search against the reference implementation.
 func (p *Problem) prunedLinear(ctx context.Context) (Result, error) {
-	if err := p.Validate(); err != nil {
-		return Result{}, err
-	}
 	return p.prunedWith(ctx, &linearIndex{})
 }
 
-// prunedWith runs the level walk over an already-validated problem
-// with the given superset index.
+// prunedWith runs the level walk with the given superset index on the
+// compiled incremental evaluator: leaves that survive the superset
+// check re-fold only the digits the level walk changed since the
+// previous evaluated leaf.
 func (p *Problem) prunedWith(ctx context.Context, ix coverIndex) (Result, error) {
+	ev, err := NewEvaluator(p)
+	if err != nil {
+		return Result{}, err
+	}
 	var res Result
 	cc := canceler{ctx: ctx}
 	pt := newProgressTicker(ctx, p)
+	cur := ev.NewCursor()
 	n := len(p.Components)
 	for level := 0; level <= n; level++ {
-		if err := p.enumerateLevel(&cc, &pt, level, &res, ix); err != nil {
+		if err := p.enumerateLevel(&cc, &pt, level, &res, ix, cur); err != nil {
 			return Result{}, err
 		}
 	}
@@ -62,10 +63,10 @@ func (p *Problem) prunedWith(ctx context.Context, ix coverIndex) (Result, error)
 
 // enumerateLevel visits every assignment with exactly `level` clustered
 // components, skipping supersets of already-met assignments.
-func (p *Problem) enumerateLevel(cc *canceler, pt *progressTicker, level int, res *Result, ix coverIndex) error {
+func (p *Problem) enumerateLevel(cc *canceler, pt *progressTicker, level int, res *Result, ix coverIndex, cur *Cursor) error {
 	a := make(Assignment, len(p.Components))
 	return p.walkLevel(a, 0, level, func() error {
-		return p.prunedLeaf(a, cc, ix.covers, res, pt.advance, ix.insert)
+		return p.prunedLeaf(a, cc, ix.covers, res, pt.advance, ix.insert, cur)
 	})
 }
 
@@ -112,7 +113,7 @@ func (p *Problem) walkLevel(a Assignment, start, remaining int, leaf func() erro
 // SLA-meeting assignments to onMet (immediate index insertion for the
 // sequential walk, barrier collection for the parallel one). advance
 // accounts for one resolved candidate, evaluated or clipped.
-func (p *Problem) prunedLeaf(a Assignment, cc *canceler, covers func(Assignment) bool, res *Result, advance func(int64), onMet func(Assignment)) error {
+func (p *Problem) prunedLeaf(a Assignment, cc *canceler, covers func(Assignment) bool, res *Result, advance func(int64), onMet func(Assignment), cur *Cursor) error {
 	if err := cc.check(); err != nil {
 		return err
 	}
@@ -121,13 +122,10 @@ func (p *Problem) prunedLeaf(a Assignment, cc *canceler, covers func(Assignment)
 		advance(1)
 		return nil
 	}
-	c, err := p.Evaluate(a)
-	if err != nil {
-		return err
-	}
-	res.observe(c, p.SLA)
+	cur.Sync(a)
+	res.observeCursor(cur, p.SLA)
 	advance(1)
-	if c.MeetsSLA(p.SLA) {
+	if cur.MeetsSLA() {
 		onMet(a)
 	}
 	return nil
@@ -158,9 +156,11 @@ func (p *Problem) BranchAndBound() (Result, error) {
 // no-penalty cost (SLA-meeting candidates pay no penalty, so their TCO
 // is exactly their HA cost, which the bound floors).
 func (p *Problem) BranchAndBoundContext(ctx context.Context) (Result, error) {
-	if err := p.Validate(); err != nil {
+	ev, err := NewEvaluator(p)
+	if err != nil {
 		return Result{}, err
 	}
+	cur := ev.NewCursor()
 
 	n := len(p.Components)
 	// minTail[i] is the cheapest possible cost of components i..n-1;
@@ -213,11 +213,8 @@ func (p *Problem) BranchAndBoundContext(ctx context.Context) (Result, error) {
 			if err := cc.check(); err != nil {
 				return err
 			}
-			c, err := p.Evaluate(a)
-			if err != nil {
-				return err
-			}
-			res.observe(c, p.SLA)
+			cur.Sync(a)
+			res.observeCursor(cur, p.SLA)
 			pt.advance(1)
 			return nil
 		}

@@ -148,6 +148,27 @@ func solverByName(name string) (Solver, error) {
 	return s, nil
 }
 
+// ResolveStrategy reports the concrete solver a Solve call with this
+// strategy would run on the given problem: "" and "auto" resolve
+// through the heuristic (which needs a valid problem), anything else
+// echoes the registered name. Layers that can answer a request
+// without a separate solver pass — the broker's fused streaming
+// Recommend when the resolved strategy is exhaustive — use it to make
+// that call before starting the enumeration.
+func ResolveStrategy(p *Problem, strategy string) (string, error) {
+	s, err := solverByName(strategy)
+	if err != nil {
+		return "", err
+	}
+	if auto, ok := s.(autoSolver); ok {
+		if err := p.Validate(); err != nil {
+			return "", err
+		}
+		s = auto.pick(p)
+	}
+	return s.Name(), nil
+}
+
 // Solve runs the named strategy ("" or "auto" lets the heuristic
 // pick) and stamps the result with the concrete strategy that ran. A
 // WithStrategyReport hook on the context hears the resolved name

@@ -123,6 +123,18 @@ type (
 	ComponentChoices = optimize.ComponentChoices
 	// Variant is one HA choice for one component.
 	Variant = optimize.Variant
+	// Evaluator is a Problem compiled for incremental evaluation:
+	// per-variant availability terms and costs derived once, shared
+	// read-only across any number of Cursors.
+	Evaluator = optimize.Evaluator
+	// Cursor is a position in a compiled Problem's candidate space
+	// with checkpointed evaluation state: moving it re-folds only the
+	// changed assignment digits (amortized O(1) per enumeration step,
+	// zero steady-state allocations), with uptime/TCO bit-identical
+	// to the from-scratch Problem.Evaluate. Problem.StreamContext and
+	// Problem.ParallelStreamContext present every candidate through
+	// one for O(1)-memory streaming consumption.
+	Cursor = optimize.Cursor
 	// SearchStats reports a recommendation's search effort and the
 	// concrete solver strategy that ran.
 	SearchStats = broker.SearchStats
@@ -256,6 +268,12 @@ func Strategies() []string { return optimize.Strategies() }
 // Registered solvers must be exact (identical optimum to exhaustive);
 // the brokerage treats strategy purely as a performance knob.
 func RegisterSolver(s Solver) error { return optimize.RegisterSolver(s) }
+
+// NewEvaluator validates and compiles a problem for incremental
+// evaluation; custom Solvers use it to price candidates in amortized
+// O(1) per enumeration step with values bit-identical to
+// Problem.Evaluate.
+func NewEvaluator(p *Problem) (*Evaluator, error) { return optimize.NewEvaluator(p) }
 
 // WithDefaultStrategy sets the engine-wide solver strategy for
 // requests that do not name one (built-in default: auto).
