@@ -5,8 +5,8 @@
 //
 //	brokerd [-addr :8080] [-quiet] [-rate-limit 0] [-rate-limit-per-client 0]
 //	        [-job-ttl 15m] [-job-workers 0] [-data-dir DIR] [-snapshot-interval 1m]
-//	        [-fsync] [-group-commit] [-default-strategy auto]
-//	        [-parallel-pricing=true] [-sse-ping 15s]
+//	        [-fsync] [-group-commit] [-default-strategy auto] [-pricing auto]
+//	        [-cache-entries 1024] [-cache-bytes 0] [-cache-ttl 0] [-sse-ping 15s]
 //
 // With -data-dir the async job store is durable: every submission,
 // state transition and result is journaled to a write-ahead log in
@@ -23,13 +23,28 @@
 // -default-strategy picks the solver used for requests that do not
 // name one ("auto", "exhaustive", "pruned", "branch-and-bound" or
 // "parallel-pruned"); individual requests override it with their
-// "strategy" field. -parallel-pricing=false keeps the full
-// card-pricing pass on one core (requests override it with their
-// "pricing" field); the default shards it across GOMAXPROCS workers.
+// "strategy" field. -pricing picks how the full card-pricing pass
+// enumerates the k^n options when a request leaves it open: "auto"
+// (the default — parallel only when the host has at least two cores
+// and the space is big enough to amortize the workers), "parallel" or
+// "sequential". The deprecated -parallel-pricing=false spelling still
+// works and maps onto -pricing sequential.
+//
+// Completed recommendations are cached by content address: a stable
+// hash of the catalog epoch, the telemetry epoch and the normalized
+// request. Identical requests are answered from memory (X-Cache: hit)
+// and concurrent identical requests collapse onto one solver run
+// (X-Cache: shared); any catalog mutation or telemetry observation
+// re-addresses everything, so stale answers are never served.
+// -cache-entries bounds the cache (0 disables caching entirely),
+// -cache-bytes adds an approximate memory budget (0 = unlimited), and
+// -cache-ttl ages entries out (0 = no expiry). GET /v1/metrics
+// reports the hit/miss/shared/inflight counters and both epochs.
 //
 // Routes (see docs/api.md for request/response shapes):
 //
 //	GET    /healthz                      liveness
+//	GET    /v1/metrics                   job + result-cache counters, epochs
 //	POST   /v1/recommendations           run the brokerage synchronously
 //	POST   /v1/pareto                    cost × uptime frontier
 //	GET    /v1/catalog/technologies      list HA mechanisms
@@ -65,6 +80,7 @@ import (
 	"uptimebroker/internal/broker"
 	"uptimebroker/internal/catalog"
 	"uptimebroker/internal/httpapi"
+	"uptimebroker/internal/reccache"
 	"uptimebroker/internal/telemetry"
 )
 
@@ -93,11 +109,35 @@ func run(args []string) error {
 		fsync           = fs.Bool("fsync", false, "fsync every job WAL append for power-loss durability (with -data-dir)")
 		groupCommit     = fs.Bool("group-commit", false, "fsync durability with concurrent WAL appends coalesced into shared flushes (with -data-dir)")
 		defaultStrategy = fs.String("default-strategy", "", "solver for requests that do not name one: auto (default), exhaustive, pruned, branch-and-bound or parallel-pruned")
-		parallelPricing = fs.Bool("parallel-pricing", true, "shard the full card-pricing pass across GOMAXPROCS workers (requests override with their \"pricing\" field)")
+		pricing         = fs.String("pricing", broker.PricingAuto, "card-pricing mode for requests that do not set one: auto, parallel or sequential")
+		parallelPricing = fs.Bool("parallel-pricing", true, "deprecated: use -pricing; false maps to -pricing sequential, true to -pricing parallel")
+		cacheEntries    = fs.Int("cache-entries", 1024, "max cached recommendation results (0 disables the result cache)")
+		cacheBytes      = fs.Int64("cache-bytes", 0, "approximate memory budget for cached results in bytes (0 = bounded by -cache-entries only)")
+		cacheTTL        = fs.Duration("cache-ttl", 0, "drop cached results older than this (0 = no expiry; epochs already invalidate on data changes)")
 		ssePing         = fs.Duration("sse-ping", 15*time.Second, "keep-alive comment interval on /v2/jobs/{id}/events streams (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// -pricing wins when both spellings appear; an explicit legacy
+	// -parallel-pricing keeps its old meaning otherwise.
+	pricingMode := *pricing
+	pricingSet, legacySet := false, false
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "pricing":
+			pricingSet = true
+		case "parallel-pricing":
+			legacySet = true
+		}
+	})
+	if !pricingSet && legacySet {
+		if *parallelPricing {
+			pricingMode = broker.PricingParallel
+		} else {
+			pricingMode = broker.PricingSequential
+		}
 	}
 
 	var logger *log.Logger
@@ -121,11 +161,22 @@ func run(args []string) error {
 			return err
 		}
 	}
+	engineOpts := []broker.EngineOption{
+		broker.WithDefaultStrategy(*defaultStrategy),
+		broker.WithPricing(pricingMode),
+	}
+	if *cacheEntries > 0 {
+		engineOpts = append(engineOpts, broker.WithResultCache(reccache.New(reccache.Config{
+			MaxEntries: *cacheEntries,
+			MaxBytes:   *cacheBytes,
+			TTL:        *cacheTTL,
+		})))
+	}
 	engine, err := broker.New(cat, broker.TelemetryParams{
 		Store:            store,
 		Fallback:         broker.CatalogParams{Catalog: cat},
 		MinExposureYears: 1,
-	}, broker.WithDefaultStrategy(*defaultStrategy), broker.WithParallelPricing(*parallelPricing))
+	}, engineOpts...)
 	if err != nil {
 		return err
 	}

@@ -23,6 +23,8 @@
 //	catalog     list the HA technologies and providers
 //	params      show the parameter estimate for -provider and -class
 //	observe     submit one telemetry observation
+//	metrics     show job and result-cache counters and the
+//	            invalidation epochs
 //	health      check service liveness
 package main
 
@@ -59,7 +61,7 @@ func run(args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("missing subcommand (recommend, pareto, job, scenarios, catalog, params, observe, health)")
+		return fmt.Errorf("missing subcommand (recommend, pareto, job, scenarios, catalog, params, observe, metrics, health)")
 	}
 
 	client, err := httpapi.NewClient(*server, nil)
@@ -84,6 +86,8 @@ func run(args []string) error {
 		return cmdParams(ctx, client, rest[1:])
 	case "observe":
 		return cmdObserve(ctx, client, rest[1:])
+	case "metrics":
+		return cmdMetrics(ctx, client)
 	case "health":
 		if err := client.Health(ctx); err != nil {
 			return err
@@ -127,7 +131,7 @@ func loadRequest(topologyPath string, caseStudy bool, strategy, pricing string) 
 // request subcommands.
 const (
 	strategyUsage = "solver strategy: auto (default), exhaustive, pruned, branch-and-bound or parallel-pruned"
-	pricingUsage  = "card-pricing mode: parallel (server default) or sequential"
+	pricingUsage  = "card-pricing mode: auto (server default), parallel or sequential"
 )
 
 func cmdRecommend(ctx context.Context, client *httpapi.Client, args []string) error {
@@ -238,6 +242,35 @@ func printRecommendation(resp httpapi.RecommendationResponse) error {
 	}
 	fmt.Printf("search: %s solver, %d evaluated + %d skipped of %d\n",
 		strategy, resp.Search.Evaluated, resp.Search.Skipped, resp.Search.SpaceSize)
+	if resp.Cache != "" {
+		fmt.Printf("cache: %s\n", resp.Cache)
+	}
+	return nil
+}
+
+// cmdMetrics prints the server's operational counters: async job
+// metrics always, result-cache counters and epochs when the server
+// caches.
+func cmdMetrics(ctx context.Context, client *httpapi.Client) error {
+	m, err := client.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("jobs: %d submitted, %d done, %d failed, %d cancelled, queue depth %d\n",
+		m.Jobs.Submitted, m.Jobs.Done, m.Jobs.Failed, m.Jobs.Cancelled, m.Jobs.QueueDepth)
+	fmt.Printf("catalog epoch: %d\n", m.CatalogEpoch)
+	if m.ParamsEpoch != nil {
+		fmt.Printf("params epoch: %d\n", *m.ParamsEpoch)
+	}
+	if m.Cache == nil {
+		fmt.Println("result cache: disabled")
+		return nil
+	}
+	c := m.Cache
+	fmt.Printf("result cache: %d hits, %d misses, %d shared (hit rate %.1f%%), %d inflight\n",
+		c.Hits, c.Misses, c.Shared, 100*c.HitRate, c.Inflight)
+	fmt.Printf("occupancy: %d entries, ~%d bytes (%d evicted, %d expired)\n",
+		c.Entries, c.Bytes, c.Evictions, c.Expired)
 	return nil
 }
 

@@ -98,6 +98,11 @@ type Scenario struct {
 	NsPerOp     int64 `json:"ns_per_op"`
 	AllocsPerOp int64 `json:"allocs_per_op"`
 	BytesPerOp  int64 `json:"bytes_per_op"`
+
+	// Extra carries scenario-specific derived measurements — latency
+	// percentiles, hit rates — that do not fit the per-op triple.
+	// Comparisons ignore it; it exists for humans and dashboards.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Ratio is a derived cross-scenario comparison: Value =

@@ -23,6 +23,11 @@ type Spec struct {
 	Group   string
 	Tracked bool
 	Setup   func(scratch string) (run runFunc, cleanup func(), err error)
+
+	// Extra, when non-nil, is sampled once after the measurement and
+	// attached to the scenario (latency percentiles, hit rates). The
+	// callback sees whatever state the last run left behind.
+	Extra func() map[string]float64
 }
 
 // pricingProblem builds the n-component instance shared by the
@@ -347,6 +352,8 @@ func Suite() []Spec {
 		appendSpec(false), appendSpec(true),
 		concurrentAppendSpec(false), concurrentAppendSpec(true),
 		recoverySpec(),
+		cacheSpec(false), cacheSpec(true),
+		concurrentV2Spec(),
 	}
 	return specs
 }
@@ -362,6 +369,7 @@ var ratioSpecs = []Ratio{
 	{Name: "parallel_pruned_speedup_n19", Numerator: "solver/pruned/n=19", Denominator: "solver/parallel-pruned/n=19", HigherIsBetter: true},
 	{Name: "fsync_cost_x", Numerator: "jobstore/append/fsync", Denominator: "jobstore/append/nosync", HigherIsBetter: false},
 	{Name: "group_commit_speedup", Numerator: "jobstore/append/fsync-concurrent", Denominator: "jobstore/append/group-commit", HigherIsBetter: true},
+	{Name: "cache_hit_speedup", Numerator: "cache/miss/n=19", Denominator: "cache/hit/n=19", HigherIsBetter: true},
 }
 
 // Options configures one suite run.
@@ -445,5 +453,8 @@ func runSpec(spec Spec, scratch string, benchTime time.Duration) (Scenario, erro
 	sc.Name = spec.Name
 	sc.Group = spec.Group
 	sc.Tracked = spec.Tracked
+	if spec.Extra != nil {
+		sc.Extra = spec.Extra()
+	}
 	return sc, nil
 }

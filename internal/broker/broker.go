@@ -9,11 +9,13 @@ package broker
 
 import (
 	"fmt"
+	"runtime"
 
 	"uptimebroker/internal/availability"
 	"uptimebroker/internal/catalog"
 	"uptimebroker/internal/cost"
 	"uptimebroker/internal/optimize"
+	"uptimebroker/internal/reccache"
 	"uptimebroker/internal/telemetry"
 	"uptimebroker/internal/topology"
 )
@@ -22,6 +24,15 @@ import (
 // component class) pair — the P_i and f_i of the model.
 type ParamSource interface {
 	NodeParams(provider, class string) (availability.NodeParams, error)
+}
+
+// EpochSource is the optional second face of a ParamSource: a
+// mutation epoch that changes whenever the source could answer
+// NodeParams differently. The engine's result-cache keys embed it, so
+// fresh telemetry invalidates every cached recommendation that might
+// have used it. Sources that cannot change need not implement it.
+type EpochSource interface {
+	Epoch() uint64
 }
 
 // CatalogParams is a ParamSource backed by the catalog's long-term
@@ -34,6 +45,10 @@ type CatalogParams struct {
 func (c CatalogParams) NodeParams(provider, class string) (availability.NodeParams, error) {
 	return c.Catalog.DefaultNodeParams(provider, class)
 }
+
+// Epoch implements EpochSource: catalog defaults move only when the
+// catalog does.
+func (c CatalogParams) Epoch() uint64 { return c.Catalog.Epoch() }
 
 // TelemetryParams is a ParamSource that prefers fresh telemetry
 // estimates and falls back to another source (typically the catalog)
@@ -61,6 +76,21 @@ func (t TelemetryParams) NodeParams(provider, class string) (availability.NodePa
 		return availability.NodeParams{}, fmt.Errorf("broker: no telemetry and no fallback for %s/%s", provider, class)
 	}
 	return t.Fallback.NodeParams(provider, class)
+}
+
+// Epoch implements EpochSource by folding the store's observation
+// epoch with the fallback's (when it has one): an estimate can move
+// because new telemetry arrived or because the fallback changed.
+func (t TelemetryParams) Epoch() uint64 {
+	var e uint64
+	if t.Store != nil {
+		e = t.Store.Epoch()
+	}
+	if es, ok := t.Fallback.(EpochSource); ok {
+		// Shift keeps the two counters from cancelling each other out.
+		e = e*1_000_003 + es.Epoch()
+	}
+	return e
 }
 
 // Plan maps component names to HA technology IDs; a missing or empty
@@ -97,10 +127,11 @@ type Request struct {
 
 	// Pricing selects how the full card-pricing pass enumerates the
 	// k^n options: PricingParallel shards it across GOMAXPROCS
-	// workers, PricingSequential prices on one core. Empty falls back
-	// to the engine's configuration (parallel unless
-	// WithParallelPricing(false)). Both modes produce byte-identical
-	// option cards; the choice only moves latency.
+	// workers, PricingSequential prices on one core, PricingAuto lets
+	// the engine pick from the host shape and the space size. Empty
+	// falls back to the engine's configuration (auto unless an engine
+	// option overrides it). Every mode produces byte-identical option
+	// cards; the choice only moves latency.
 	Pricing string
 }
 
@@ -114,13 +145,20 @@ const (
 	// PricingSequential prices every option on one core
 	// (optimize.AllContext).
 	PricingSequential = "sequential"
+
+	// PricingAuto resolves to parallel or sequential from the host
+	// shape: sharding pays only when there is more than one core to
+	// shard across and enough candidates to amortize the worker
+	// scaffolding (on the single-core benchmark host, parallel pricing
+	// measures 0.90–0.98x sequential — pure overhead).
+	PricingAuto = "auto"
 )
 
 // ValidPricing reports whether mode is a known pricing mode (""
 // counts as valid: it means the caller's default).
 func ValidPricing(mode string) bool {
 	switch mode {
-	case "", PricingParallel, PricingSequential:
+	case "", PricingAuto, PricingParallel, PricingSequential:
 		return true
 	}
 	return false
@@ -150,8 +188,8 @@ func (r Request) Validate() error {
 			r.Strategy, optimize.Strategies())
 	}
 	if !ValidPricing(r.Pricing) {
-		return fmt.Errorf("broker: unknown pricing mode %q (choose %q or %q, or leave empty for the engine default)",
-			r.Pricing, PricingParallel, PricingSequential)
+		return fmt.Errorf("broker: unknown pricing mode %q (choose %q, %q or %q, or leave empty for the engine default)",
+			r.Pricing, PricingAuto, PricingParallel, PricingSequential)
 	}
 	return nil
 }
@@ -161,7 +199,8 @@ type Engine struct {
 	catalog         *catalog.Catalog
 	params          ParamSource
 	defaultStrategy string
-	parallelPricing bool
+	pricing         string
+	cache           *reccache.Cache
 }
 
 // EngineOption customizes New.
@@ -174,15 +213,41 @@ func WithDefaultStrategy(strategy string) EngineOption {
 	return func(e *Engine) { e.defaultStrategy = strategy }
 }
 
-// WithParallelPricing controls whether the full card-pricing pass —
-// every one of the k^n option cards, run on each Recommend/Pareto —
-// is sharded across GOMAXPROCS workers (the default) or kept on one
-// core. Both settings produce byte-identical cards; sequential
-// pricing exists for single-core deployments and for isolating the
-// pricing pass in benchmarks. Requests override it per call with
-// Request.Pricing.
+// WithPricing sets the card-pricing mode used for requests that do
+// not name one: PricingAuto (the built-in default, which shards the
+// pass across GOMAXPROCS workers only when the host has more than one
+// core and the space is large enough to amortize the workers),
+// PricingParallel or PricingSequential. Every mode produces
+// byte-identical cards; requests override it per call with
+// Request.Pricing. New rejects unknown modes.
+func WithPricing(mode string) EngineOption {
+	return func(e *Engine) { e.pricing = mode }
+}
+
+// WithParallelPricing forces the full card-pricing pass — every one
+// of the k^n option cards, run on each Recommend/Pareto — onto
+// GOMAXPROCS workers (true) or one core (false), overriding the auto
+// default. Kept for callers that predate WithPricing; it is exactly
+// WithPricing(PricingParallel) or WithPricing(PricingSequential).
 func WithParallelPricing(on bool) EngineOption {
-	return func(e *Engine) { e.parallelPricing = on }
+	return func(e *Engine) {
+		if on {
+			e.pricing = PricingParallel
+		} else {
+			e.pricing = PricingSequential
+		}
+	}
+}
+
+// WithResultCache attaches a content-addressed result cache:
+// Recommend and Pareto answer repeated identical requests from it in
+// O(1) and collapse concurrent identical requests into one search.
+// Keys embed the catalog epoch (and the parameter source's epoch,
+// when it exposes one), so catalog mutations and fresh telemetry
+// invalidate every dependent entry automatically. Cached results are
+// shared across callers and must be treated as read-only.
+func WithResultCache(c *reccache.Cache) EngineOption {
+	return func(e *Engine) { e.cache = c }
 }
 
 // New builds an engine over a catalog and a parameter source.
@@ -193,13 +258,17 @@ func New(cat *catalog.Catalog, params ParamSource, opts ...EngineOption) (*Engin
 	if params == nil {
 		return nil, fmt.Errorf("broker: nil parameter source")
 	}
-	e := &Engine{catalog: cat, params: params, parallelPricing: true}
+	e := &Engine{catalog: cat, params: params, pricing: PricingAuto}
 	for _, opt := range opts {
 		opt(e)
 	}
 	if !optimize.ValidStrategy(e.defaultStrategy) {
 		return nil, fmt.Errorf("broker: unknown default strategy %q (choose from %v)",
 			e.defaultStrategy, optimize.Strategies())
+	}
+	if !ValidPricing(e.pricing) {
+		return nil, fmt.Errorf("broker: unknown pricing mode %q (choose %q, %q or %q)",
+			e.pricing, PricingAuto, PricingParallel, PricingSequential)
 	}
 	return e, nil
 }
@@ -214,18 +283,56 @@ func (e *Engine) strategyFor(req Request) string {
 	return e.defaultStrategy
 }
 
+// autoParallelPricingSpace is the space size below which auto pricing
+// stays sequential even on multi-core hosts: with fewer candidates
+// than this the worker scaffolding costs more than the sharding wins.
+const autoParallelPricingSpace = 1 << 12
+
+// autoParallelPricing decides PricingAuto for a host with procs
+// schedulable cores pricing a space of the given size. Split out pure
+// so tests can probe shapes the test host does not have.
+func autoParallelPricing(procs, space int) bool {
+	return procs >= 2 && space >= autoParallelPricingSpace
+}
+
 // parallelPricingFor resolves the pricing mode for one request: the
-// request's choice, else the engine configuration.
-func (e *Engine) parallelPricingFor(req Request) bool {
-	switch req.Pricing {
+// request's choice, else the engine configuration, with auto resolved
+// from the host shape and the problem's space size.
+func (e *Engine) parallelPricingFor(req Request, space int) bool {
+	mode := req.Pricing
+	if mode == "" {
+		mode = e.pricing
+	}
+	switch mode {
 	case PricingParallel:
 		return true
 	case PricingSequential:
 		return false
 	}
-	return e.parallelPricing
+	return autoParallelPricing(runtime.GOMAXPROCS(0), space)
 }
 
 // Catalog exposes the engine's catalog for read-only use by the HTTP
 // layer.
 func (e *Engine) Catalog() *catalog.Catalog { return e.catalog }
+
+// CacheMetrics returns a snapshot of the result cache's counters; ok
+// is false when no cache is attached.
+func (e *Engine) CacheMetrics() (m reccache.Metrics, ok bool) {
+	if e.cache == nil {
+		return reccache.Metrics{}, false
+	}
+	return e.cache.Metrics(), true
+}
+
+// ParamsEpoch returns the parameter source's mutation epoch; ok is
+// false when the source does not expose one (its estimates are then
+// assumed immutable for the engine's lifetime, as CatalogParams' are
+// modulo the catalog epoch already in every cache key).
+func (e *Engine) ParamsEpoch() (epoch uint64, ok bool) {
+	es, ok := e.params.(EpochSource)
+	if !ok {
+		return 0, false
+	}
+	return es.Epoch(), true
+}

@@ -28,7 +28,7 @@ type compiled struct {
 // technology of the component's layer, with cluster parameters drawn
 // from the parameter source and prices from the provider's rate card.
 func (e *Engine) Compile(req Request) (*optimize.Problem, error) {
-	c, err := e.compile(req)
+	c, err := e.compile(e.normalize(req))
 	if err != nil {
 		return nil, err
 	}
@@ -107,8 +107,11 @@ func (e *Engine) compile(req Request) (*compiled, error) {
 }
 
 // allowedTechs resolves the HA technologies in play for one component:
-// the request's explicit allow-list when present (order preserved,
-// layer-checked), otherwise every catalog technology for the layer.
+// the request's explicit allow-list when present (layer-checked;
+// normalize has already sorted and deduplicated it, so variant order —
+// and with it option numbering — is sorted by technology ID exactly
+// like the unrestricted path), otherwise every catalog technology for
+// the layer.
 func (e *Engine) allowedTechs(req Request, name string, layer topology.Layer) ([]catalog.HATechnology, error) {
 	ids, restricted := req.AllowedTechs[name]
 	if !restricted {

@@ -104,8 +104,10 @@ func (f *frontier) consider(rk *ranker, a optimize.Assignment, uptime float64, t
 	f.entries = slices.Insert(f.entries, lo, e)
 }
 
-// Pareto runs the brokerage and returns only the frontier cards. The
-// context cancels the underlying enumeration like Recommend's.
+// pareto runs the frontier search for one normalized request; the
+// exported entry point is Pareto (cache.go), which layers
+// normalization and the result cache on top. The context cancels the
+// underlying enumeration like recommend's.
 //
 // Unlike Recommend, nothing here needs every card: the frontier is
 // folded online during a single streaming pricing pass, so the pass
@@ -113,7 +115,7 @@ func (f *frontier) consider(rk *ranker, a optimize.Assignment, uptime float64, t
 // list and discarding almost all of it — and no solver pass runs at
 // all, since the frontier is a property of the full card set, not of
 // the TCO optimum. Progress hooks see the single k^n pricing space.
-func (e *Engine) Pareto(ctx context.Context, req Request) ([]OptionCard, error) {
+func (e *Engine) pareto(ctx context.Context, req Request) ([]OptionCard, error) {
 	c, err := e.compile(req)
 	if err != nil {
 		return nil, err
@@ -141,7 +143,7 @@ func (e *Engine) Pareto(ctx context.Context, req Request) ([]OptionCard, error) 
 			return nil
 		}
 	}
-	if e.parallelPricingFor(req) {
+	if e.parallelPricingFor(req, c.problem.SpaceSize()) {
 		err = c.problem.ParallelStreamContext(ctx, 0, fork)
 	} else {
 		err = c.problem.StreamContext(ctx, fork())

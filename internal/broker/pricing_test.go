@@ -49,7 +49,7 @@ func TestParallelPricingMatchesSequential(t *testing.T) {
 }
 
 func TestPricingModeValidation(t *testing.T) {
-	for _, mode := range []string{"", PricingParallel, PricingSequential} {
+	for _, mode := range []string{"", PricingAuto, PricingParallel, PricingSequential} {
 		if !ValidPricing(mode) {
 			t.Fatalf("ValidPricing(%q) = false", mode)
 		}
@@ -66,30 +66,75 @@ func TestPricingModeValidation(t *testing.T) {
 	}
 }
 
-// TestEnginePricingDefaults covers the WithParallelPricing option and
-// the per-request override in both directions.
+// TestEnginePricingDefaults covers the WithPricing/WithParallelPricing
+// options and the per-request override in both directions. The
+// engine's built-in default is auto, which resolves from the host
+// shape and the space size — pinned separately in
+// TestAutoParallelPricing, since the test host's core count is not
+// ours to choose.
 func TestEnginePricingDefaults(t *testing.T) {
 	cat := catalog.Default()
+	const space = 1 << 20
+
 	e, err := New(cat, CatalogParams{Catalog: cat})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !e.parallelPricingFor(Request{}) {
-		t.Fatal("parallel pricing should default on")
+	if e.pricing != PricingAuto {
+		t.Fatalf("engine default pricing = %q, want auto", e.pricing)
 	}
-	if e.parallelPricingFor(Request{Pricing: PricingSequential}) {
+	if e.parallelPricingFor(Request{Pricing: PricingSequential}, space) {
 		t.Fatal("request sequential should override the engine default")
 	}
+	if !e.parallelPricingFor(Request{Pricing: PricingParallel}, 1) {
+		t.Fatal("request parallel should override the engine default")
+	}
 
-	seq, err := New(cat, CatalogParams{Catalog: cat}, WithParallelPricing(false))
+	par, err := New(cat, CatalogParams{Catalog: cat}, WithParallelPricing(true))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if seq.parallelPricingFor(Request{}) {
-		t.Fatal("WithParallelPricing(false) should turn the default off")
+	if !par.parallelPricingFor(Request{}, 1) {
+		t.Fatal("WithParallelPricing(true) should force parallel regardless of space")
 	}
-	if !seq.parallelPricingFor(Request{Pricing: PricingParallel}) {
+
+	seq, err := New(cat, CatalogParams{Catalog: cat}, WithPricing(PricingSequential))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.parallelPricingFor(Request{}, space) {
+		t.Fatal("WithPricing(sequential) should turn the default off")
+	}
+	if !seq.parallelPricingFor(Request{Pricing: PricingParallel}, space) {
 		t.Fatal("request parallel should override the engine default")
+	}
+
+	if _, err := New(cat, CatalogParams{Catalog: cat}, WithPricing("warp")); err == nil {
+		t.Fatal("New should reject an unknown engine pricing mode")
+	}
+}
+
+// TestAutoParallelPricing pins the auto decision itself: sharding
+// pays only with at least two schedulable cores AND a space big
+// enough to amortize the worker scaffolding. On the committed 1-core
+// benchmark baseline parallel pricing measured 0.90–0.98x sequential,
+// which is why a single core must always resolve sequential.
+func TestAutoParallelPricing(t *testing.T) {
+	cases := []struct {
+		procs, space int
+		want         bool
+	}{
+		{1, 1 << 20, false}, // single core: never worth it
+		{1, 1, false},
+		{2, autoParallelPricingSpace, true},
+		{2, autoParallelPricingSpace - 1, false}, // too few candidates
+		{8, 1 << 19, true},
+		{8, 64, false},
+	}
+	for _, c := range cases {
+		if got := autoParallelPricing(c.procs, c.space); got != c.want {
+			t.Errorf("autoParallelPricing(procs=%d, space=%d) = %v, want %v", c.procs, c.space, got, c.want)
+		}
 	}
 }
 

@@ -253,9 +253,11 @@ func (s *priceState) fold(o priceState) {
 	}
 }
 
-// Recommend runs the full brokerage flow for one request. The context
+// recommend runs the search for one normalized request. The context
 // is observed throughout the compile-enumerate loop: cancelling it
-// aborts the permutation pricing mid-run with ctx.Err().
+// aborts the permutation pricing mid-run with ctx.Err(). The exported
+// entry point is Recommend (cache.go), which layers normalization and
+// the result cache on top.
 //
 // The pricing pass streams: each candidate is priced once on the
 // compiled incremental evaluator and written straight into its
@@ -268,7 +270,7 @@ func (s *priceState) fold(o priceState) {
 // the stream; pruning strategies still run their (much cheaper)
 // search for the paper's effort statistics. Both shapes report one
 // combined monotone progress space of 2·k^n.
-func (e *Engine) Recommend(ctx context.Context, req Request) (*Recommendation, error) {
+func (e *Engine) recommend(ctx context.Context, req Request) (*Recommendation, error) {
 	c, err := e.compile(req)
 	if err != nil {
 		return nil, err
@@ -329,7 +331,7 @@ func (e *Engine) Recommend(ctx context.Context, req Request) (*Recommendation, e
 		}
 	}
 	runPricing := func(pctx context.Context) error {
-		if e.parallelPricingFor(req) {
+		if e.parallelPricingFor(req, space) {
 			return c.problem.ParallelStreamContext(pctx, 0, fork)
 		}
 		return c.problem.StreamContext(pctx, fork())

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"uptimebroker/internal/availability"
@@ -208,6 +209,14 @@ func (p Provider) Validate() error {
 type Catalog struct {
 	techs     map[string]HATechnology
 	providers map[string]Provider
+
+	// epoch fingerprints the catalog's content generation: every
+	// mutation bumps it, so derived artifacts (content-addressed
+	// recommendation cache keys in particular) that embed the epoch go
+	// stale the moment the inventory changes. The counter itself is
+	// safe for concurrent reads even while unsynchronized mutators run,
+	// but the usual discipline still applies: mutate before sharing.
+	epoch atomic.Uint64
 }
 
 // New returns an empty catalog.
@@ -228,6 +237,7 @@ func (c *Catalog) AddTechnology(t HATechnology) error {
 		return fmt.Errorf("catalog: duplicate technology %q", t.ID)
 	}
 	c.techs[t.ID] = t
+	c.epoch.Add(1)
 	return nil
 }
 
@@ -273,8 +283,22 @@ func (c *Catalog) AddProvider(p Provider) error {
 		return fmt.Errorf("catalog: duplicate provider %q", p.Name)
 	}
 	c.providers[p.Name] = p
+	c.epoch.Add(1)
 	return nil
 }
+
+// Epoch returns the catalog's content generation: a counter bumped by
+// every successful mutation (and by Invalidate). Two calls returning
+// the same value bracket a window in which the inventory did not
+// change, which is what lets content-addressed caches embed the epoch
+// in their keys and have every key go stale on any catalog change.
+func (c *Catalog) Epoch() uint64 { return c.epoch.Load() }
+
+// Invalidate bumps the epoch without changing the inventory and
+// returns the new value. It exists for callers that mutate catalog
+// contents out of band (future live-catalog reloads) or simply want
+// to force every epoch-keyed derivation to recompute.
+func (c *Catalog) Invalidate() uint64 { return c.epoch.Add(1) }
 
 // Provider returns the provider with the given name.
 func (c *Catalog) Provider(name string) (Provider, error) {

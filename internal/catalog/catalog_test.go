@@ -290,3 +290,41 @@ func TestTechnologyJSONRoundTrip(t *testing.T) {
 		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, tech)
 	}
 }
+
+func TestCatalogEpoch(t *testing.T) {
+	c := New()
+	if got := c.Epoch(); got != 0 {
+		t.Fatalf("fresh catalog epoch = %d, want 0", got)
+	}
+	if err := c.AddTechnology(validTech()); err != nil {
+		t.Fatalf("AddTechnology: %v", err)
+	}
+	afterTech := c.Epoch()
+	if afterTech == 0 {
+		t.Fatal("AddTechnology did not bump epoch")
+	}
+	// Failed mutations leave the epoch alone: nothing changed.
+	if err := c.AddTechnology(validTech()); err == nil {
+		t.Fatal("duplicate AddTechnology should fail")
+	}
+	if got := c.Epoch(); got != afterTech {
+		t.Fatalf("failed AddTechnology moved epoch %d -> %d", afterTech, got)
+	}
+	p := Provider{Name: "p1", RateCard: RateCard{LaborRate: cost.Dollars(10), InfraMultiplier: 1}}
+	if err := c.AddProvider(p); err != nil {
+		t.Fatalf("AddProvider: %v", err)
+	}
+	afterProvider := c.Epoch()
+	if afterProvider <= afterTech {
+		t.Fatalf("AddProvider did not bump epoch (%d -> %d)", afterTech, afterProvider)
+	}
+	if got := c.Invalidate(); got <= afterProvider {
+		t.Fatalf("Invalidate returned %d, want > %d", got, afterProvider)
+	}
+	if got := c.Epoch(); got != afterProvider+1 {
+		t.Fatalf("epoch after Invalidate = %d, want %d", got, afterProvider+1)
+	}
+	if Default().Epoch() == 0 {
+		t.Fatal("Default() catalog should have a non-zero epoch")
+	}
+}

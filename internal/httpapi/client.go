@@ -109,10 +109,11 @@ func WithStrategy(strategy string) ClientOption {
 	return func(c *Client) { c.strategy = strategy }
 }
 
-// WithPricing sets a default card-pricing mode ("parallel" or
-// "sequential") stamped onto every outgoing recommendation-type
-// request that does not set one itself. A per-request Pricing field
-// always wins; the server default remains parallel.
+// WithPricing sets a default card-pricing mode ("parallel",
+// "sequential" or "auto") stamped onto every outgoing
+// recommendation-type request that does not set one itself. A
+// per-request Pricing field always wins; the server default remains
+// auto (parallel only when the host shape pays for it).
 func WithPricing(mode string) ClientOption {
 	return func(c *Client) { c.pricing = mode }
 }
@@ -156,6 +157,15 @@ func NewClient(baseURL string, httpClient *http.Client, opts ...ClientOption) (*
 func (c *Client) Health(ctx context.Context) error {
 	var out map[string]string
 	return c.do(ctx, http.MethodGet, "/healthz", nil, &out)
+}
+
+// Metrics fetches the server's operational counters: job subsystem
+// metrics, result-cache hit/miss/inflight counters (when the server
+// caches) and the invalidation epochs behind the cache keys.
+func (c *Client) Metrics(ctx context.Context) (MetricsResponse, error) {
+	var out MetricsResponse
+	err := c.do(ctx, http.MethodGet, "/v1/metrics", nil, &out)
+	return out, err
 }
 
 // Recommend submits a synchronous recommendation request.

@@ -11,6 +11,8 @@ import (
 	"uptimebroker/internal/broker"
 	"uptimebroker/internal/catalog"
 	"uptimebroker/internal/cost"
+	"uptimebroker/internal/jobs"
+	"uptimebroker/internal/reccache"
 	"uptimebroker/internal/topology"
 )
 
@@ -40,8 +42,10 @@ type RecommendationRequest struct {
 
 	// Pricing optionally selects how the full card-pricing pass
 	// enumerates the k^n options: "parallel" (shard across the
-	// server's cores — the default) or "sequential". Both modes
-	// produce byte-identical cards; the choice only moves latency.
+	// server's cores), "sequential", or "auto" (the default: parallel
+	// only when the host has the cores and the space the size to pay
+	// for it). Every mode produces byte-identical cards; the choice
+	// only moves latency.
 	Pricing string `json:"pricing,omitempty"`
 }
 
@@ -103,6 +107,11 @@ type RecommendationResponse struct {
 	AsIsOption     int             `json:"as_is_option,omitempty"`
 	SavingsPercent float64         `json:"savings_percent,omitempty"`
 	Search         SearchStatsDTO  `json:"search"`
+
+	// Cache reports how the server's result cache answered this
+	// request — "hit", "miss" or "shared" — mirroring the X-Cache
+	// response header. Empty when the server runs without a cache.
+	Cache string `json:"cache,omitempty"`
 }
 
 // fromCard converts one option card to wire form.
@@ -247,6 +256,69 @@ type ParamsResponse struct {
 	FailoverP95Seconds float64 `json:"failover_p95_seconds,omitempty"`
 	ExposureYears      float64 `json:"exposure_years,omitempty"`
 	Source             string  `json:"source"`
+}
+
+// CacheMetricsDTO is the wire form of the result cache's counters,
+// reccache.Metrics plus the derived hit rate.
+type CacheMetricsDTO struct {
+	// Hits, Misses and Shared classify every cached engine call:
+	// answered from a completed entry, computed fresh, or collapsed
+	// onto another caller's in-flight computation.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Shared int64 `json:"shared"`
+
+	// Evictions and Expired count entries dropped for capacity and
+	// for age, respectively.
+	Evictions int64 `json:"evictions"`
+	Expired   int64 `json:"expired"`
+
+	// Inflight is the number of computations running right now.
+	Inflight int64 `json:"inflight"`
+
+	// Entries and Bytes are the current occupancy (Bytes is the sum
+	// of the engine's per-result size estimates).
+	Entries int64 `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+
+	// HitRate is the fraction of calls that avoided a solver run.
+	HitRate float64 `json:"hit_rate"`
+}
+
+// fromCacheMetrics converts the cache counters to wire form.
+func fromCacheMetrics(m reccache.Metrics) CacheMetricsDTO {
+	return CacheMetricsDTO{
+		Hits:      m.Hits,
+		Misses:    m.Misses,
+		Shared:    m.Shared,
+		Evictions: m.Evictions,
+		Expired:   m.Expired,
+		Inflight:  m.Inflight,
+		Entries:   m.Entries,
+		Bytes:     m.Bytes,
+		HitRate:   m.HitRate(),
+	}
+}
+
+// MetricsResponse is the body of GET /v1/metrics (and /v2/metrics):
+// the server's operational counters in one document.
+type MetricsResponse struct {
+	// Jobs are the async job subsystem's counters.
+	Jobs jobs.Metrics `json:"jobs"`
+
+	// Cache reports the result cache; absent when the engine runs
+	// without one.
+	Cache *CacheMetricsDTO `json:"cache,omitempty"`
+
+	// CatalogEpoch is the catalog's current mutation counter — the
+	// epoch stamped into every cache key, so a bump here explains a
+	// burst of cache misses.
+	CatalogEpoch uint64 `json:"catalog_epoch"`
+
+	// ParamsEpoch is the parameter source's mutation counter when the
+	// source exposes one (telemetry-backed engines do); absent
+	// otherwise.
+	ParamsEpoch *uint64 `json:"params_epoch,omitempty"`
 }
 
 // ScenarioDTO summarizes one built-in scenario.

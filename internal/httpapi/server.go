@@ -1,6 +1,7 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -214,6 +215,8 @@ func NewServer(engine *broker.Engine, store *telemetry.Store, logger *log.Logger
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v2/metrics", s.handleMetrics)
 
 	// v1: the original synchronous surface, now thin wrappers over
 	// the same context-aware handlers v2 uses.
@@ -362,17 +365,35 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, r, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// cacheStatusContext wires the engine's cache-report hook into the
+// response: the X-Cache header is set the moment the engine resolves
+// the request (synchronously, before any handler writes the status
+// line), and the captured status lets handlers with a response
+// envelope echo it in the body. On cache-less engines the hook never
+// fires, the header stays absent and the captured status empty.
+func cacheStatusContext(w http.ResponseWriter, r *http.Request) (context.Context, *string) {
+	status := new(string)
+	ctx := broker.WithCacheReport(r.Context(), func(st string) {
+		*status = st
+		w.Header().Set("X-Cache", st)
+	})
+	return ctx, status
+}
+
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	var req RecommendationRequest
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	rec, err := s.engine.Recommend(r.Context(), req.ToBroker())
+	ctx, cacheStatus := cacheStatusContext(w, r)
+	rec, err := s.engine.Recommend(ctx, req.ToBroker())
 	if err != nil {
 		s.problem(w, r, CodeInvalidRequest, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
-	s.writeJSON(w, r, http.StatusOK, FromRecommendation(rec))
+	resp := FromRecommendation(rec)
+	resp.Cache = *cacheStatus
+	s.writeJSON(w, r, http.StatusOK, resp)
 }
 
 func (s *Server) handlePareto(w http.ResponseWriter, r *http.Request) {
@@ -380,7 +401,10 @@ func (s *Server) handlePareto(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	front, err := s.engine.Pareto(r.Context(), req.ToBroker())
+	// The frontier response is a bare card array with no envelope for
+	// a cache member; X-Cache alone carries the disposition.
+	ctx, _ := cacheStatusContext(w, r)
+	front, err := s.engine.Pareto(ctx, req.ToBroker())
 	if err != nil {
 		s.problem(w, r, CodeInvalidRequest, http.StatusUnprocessableEntity, err.Error())
 		return
@@ -390,6 +414,24 @@ func (s *Server) handlePareto(w http.ResponseWriter, r *http.Request) {
 		out[i] = fromCard(c)
 	}
 	s.writeJSON(w, r, http.StatusOK, out)
+}
+
+// handleMetrics implements GET /v1/metrics and /v2/metrics: job
+// subsystem counters, result-cache counters (when caching is on) and
+// the invalidation epochs behind the cache's content addresses.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	resp := MetricsResponse{
+		Jobs:         s.jobs.Metrics(),
+		CatalogEpoch: s.engine.Catalog().Epoch(),
+	}
+	if m, ok := s.engine.CacheMetrics(); ok {
+		dto := fromCacheMetrics(m)
+		resp.Cache = &dto
+	}
+	if epoch, ok := s.engine.ParamsEpoch(); ok {
+		resp.ParamsEpoch = &epoch
+	}
+	s.writeJSON(w, r, http.StatusOK, resp)
 }
 
 func (s *Server) handleTechnologies(w http.ResponseWriter, r *http.Request) {
@@ -515,10 +557,13 @@ func (s *Server) handleScenarioRecommend(w http.ResponseWriter, r *http.Request)
 		s.problem(w, r, CodeNotFound, http.StatusNotFound, err.Error())
 		return
 	}
-	rec, err := s.engine.Recommend(r.Context(), sc.Request)
+	ctx, cacheStatus := cacheStatusContext(w, r)
+	rec, err := s.engine.Recommend(ctx, sc.Request)
 	if err != nil {
 		s.problem(w, r, CodeInvalidRequest, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
-	s.writeJSON(w, r, http.StatusOK, FromRecommendation(rec))
+	resp := FromRecommendation(rec)
+	resp.Cache = *cacheStatus
+	s.writeJSON(w, r, http.StatusOK, resp)
 }

@@ -158,11 +158,17 @@ func (s *Server) jobFn(kind string, req RecommendationRequest) (jobs.Fn, error) 
 	switch kind {
 	case JobKindRecommend:
 		run = func(ctx context.Context) (any, error) {
+			// The job has no response headers, so the cache disposition
+			// travels inside the persisted result instead.
+			var cacheStatus string
+			ctx = broker.WithCacheReport(ctx, func(st string) { cacheStatus = st })
 			rec, err := s.engine.Recommend(ctx, breq)
 			if err != nil {
 				return nil, err
 			}
-			return FromRecommendation(rec), nil
+			resp := FromRecommendation(rec)
+			resp.Cache = cacheStatus
+			return resp, nil
 		}
 	case JobKindPareto:
 		run = func(ctx context.Context) (any, error) {

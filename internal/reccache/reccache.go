@@ -1,0 +1,323 @@
+// Package reccache is the broker's content-addressed result cache:
+// the serving layer that turns repeated recommendation problems into
+// O(1) lookups instead of k^n searches, and collapses concurrent
+// identical requests into a single in-flight search (singleflight).
+//
+// The cache itself is deliberately dumb about domain types — it maps
+// opaque string keys to opaque values. Correctness lives entirely in
+// the key: callers (internal/broker) derive it as a stable hash over
+// everything the result depends on, including the catalog and
+// telemetry epochs, so any input mutation changes the key and stale
+// entries simply stop being addressable. They are never served again;
+// they age out through the LRU bound rather than through an explicit
+// invalidation sweep.
+//
+// Capacity is bounded two ways — a maximum entry count and an
+// approximate byte budget (callers supply a size estimate per value)
+// — with an optional TTL for deployments that want time-based
+// freshness on top of epoch addressing.
+package reccache
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"time"
+)
+
+// Status classifies how a Do call obtained its value.
+type Status string
+
+const (
+	// StatusHit means the value was served from the cache; no search ran.
+	StatusHit Status = "hit"
+
+	// StatusMiss means this call was the flight leader: it triggered
+	// the search whose result was (on success) inserted into the cache.
+	StatusMiss Status = "miss"
+
+	// StatusShared means the call joined an identical in-flight search
+	// started by an earlier caller and shared its result.
+	StatusShared Status = "shared"
+)
+
+// Config bounds a Cache.
+type Config struct {
+	// MaxEntries caps the number of cached results; <= 0 means
+	// DefaultMaxEntries.
+	MaxEntries int
+
+	// MaxBytes caps the cache's approximate memory footprint, using
+	// the per-value size estimates callers pass to Do; <= 0 means no
+	// byte budget. The newest entry is always retained, so a single
+	// oversized result can transiently exceed the budget rather than
+	// render the cache useless.
+	MaxBytes int64
+
+	// TTL expires entries this long after insertion; <= 0 means no
+	// time-based expiry (epoch-addressed keys already handle input
+	// staleness).
+	TTL time.Duration
+}
+
+// DefaultMaxEntries is the entry cap used when Config.MaxEntries is
+// unset.
+const DefaultMaxEntries = 1024
+
+// Metrics is a point-in-time snapshot of the cache counters.
+type Metrics struct {
+	// Hits counts Do calls answered from a completed cached entry.
+	Hits int64 `json:"hits"`
+
+	// Misses counts Do calls that became flight leaders and ran the
+	// computation.
+	Misses int64 `json:"misses"`
+
+	// Shared counts Do calls that joined another caller's in-flight
+	// computation instead of starting their own.
+	Shared int64 `json:"shared"`
+
+	// Evictions counts entries dropped to respect MaxEntries/MaxBytes.
+	Evictions int64 `json:"evictions"`
+
+	// Expired counts entries dropped because their TTL lapsed.
+	Expired int64 `json:"expired"`
+
+	// Inflight is the number of computations currently running.
+	Inflight int64 `json:"inflight"`
+
+	// Entries and Bytes are the current cache occupancy (Bytes uses
+	// the callers' size estimates).
+	Entries int64 `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// HitRate is the fraction of Do calls that avoided running the
+// computation (hits plus shared over all calls); 0 when no calls have
+// been made.
+func (m Metrics) HitRate() float64 {
+	total := m.Hits + m.Misses + m.Shared
+	if total == 0 {
+		return 0
+	}
+	return float64(m.Hits+m.Shared) / float64(total)
+}
+
+// entry is one cached value.
+type entry struct {
+	key   string
+	val   any
+	bytes int64
+	added time.Time
+}
+
+// flight is one in-flight computation with its waiters. The leader
+// and every joiner hold a waiter count; the computation runs on a
+// context detached from all of their cancellations, so one caller
+// bailing out cannot poison the result for the rest. Only when the
+// last waiter leaves is the run cancelled.
+type flight struct {
+	done      chan struct{} // closed after val/err are final
+	val       any
+	bytes     int64
+	err       error
+	waiters   int
+	cancel    context.CancelFunc
+	abandoned bool // all waiters left before completion
+}
+
+// Cache is a bounded LRU result cache with singleflight collapse. The
+// zero value is not usable; construct with New. Values handed back by
+// Do are shared across callers and must be treated as immutable.
+type Cache struct {
+	cfg Config
+	now func() time.Time // stubbed in tests
+
+	mu       sync.Mutex
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	inflight map[string]*flight
+	bytes    int64
+
+	hits, misses, shared, evictions, expired int64
+}
+
+// New builds a cache with the given bounds.
+func New(cfg Config) *Cache {
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = DefaultMaxEntries
+	}
+	return &Cache{
+		cfg:      cfg,
+		now:      time.Now,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// Fn computes a value when the cache cannot answer. It returns the
+// value, an estimate of its resident size in bytes (for the byte
+// budget), and an error. The context it receives is detached from any
+// single caller's cancellation; it is cancelled only when every
+// caller waiting on this computation has gone away.
+type Fn func(ctx context.Context) (val any, bytes int64, err error)
+
+// Do returns the cached value for key, or computes it with fn. N
+// concurrent Do calls for the same key run fn exactly once and share
+// the result. Errors are returned to every waiter and never cached.
+// The returned Status reports how the value was obtained; on error it
+// still reflects the caller's role (miss for the leader, shared for
+// joiners).
+func (c *Cache) Do(ctx context.Context, key string, fn Fn) (any, Status, error) {
+	c.mu.Lock()
+	if v, ok := c.lookupLocked(key); ok {
+		c.hits++
+		c.mu.Unlock()
+		return v, StatusHit, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		f.waiters++
+		c.shared++
+		c.mu.Unlock()
+		return c.wait(ctx, key, f, StatusShared)
+	}
+	// Become the flight leader. The computation runs on a context that
+	// inherits this caller's values (progress hooks and the like) but
+	// not its cancellation.
+	fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	f := &flight{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	c.inflight[key] = f
+	c.misses++
+	c.mu.Unlock()
+	go c.run(fctx, key, f, fn)
+	return c.wait(ctx, key, f, StatusMiss)
+}
+
+// run executes fn and publishes the outcome to the flight's waiters.
+func (c *Cache) run(fctx context.Context, key string, f *flight, fn Fn) {
+	val, bytes, err := fn(fctx)
+	c.mu.Lock()
+	f.val, f.bytes, f.err = val, bytes, err
+	if !f.abandoned {
+		delete(c.inflight, key)
+	}
+	if err == nil {
+		// Cache the result even if every waiter left: the search
+		// finished anyway, so the next identical request may as well
+		// hit. (An abandoned flight usually errors with Canceled
+		// instead and caches nothing.)
+		c.insertLocked(key, val, bytes)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	f.cancel()
+}
+
+// wait blocks until the flight completes or the caller's own context
+// is done. A caller that gives up stops waiting without disturbing
+// the others; the last one out cancels the computation.
+func (c *Cache) wait(ctx context.Context, key string, f *flight, status Status) (any, Status, error) {
+	select {
+	case <-f.done:
+		return f.val, status, f.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		f.waiters--
+		if f.waiters == 0 && !f.abandoned {
+			f.abandoned = true
+			delete(c.inflight, key)
+			f.cancel()
+		}
+		c.mu.Unlock()
+		return nil, status, ctx.Err()
+	}
+}
+
+// lookupLocked finds a live entry, handling TTL expiry and LRU
+// promotion.
+func (c *Cache) lookupLocked(key string) (any, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*entry)
+	if c.cfg.TTL > 0 && c.now().Sub(e.added) > c.cfg.TTL {
+		c.removeLocked(el)
+		c.expired++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return e.val, true
+}
+
+// insertLocked adds or refreshes an entry, then evicts from the LRU
+// tail until the bounds hold again.
+func (c *Cache) insertLocked(key string, val any, bytes int64) {
+	if bytes < 0 {
+		bytes = 0
+	}
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*entry)
+		c.bytes += bytes - e.bytes
+		e.val, e.bytes, e.added = val, bytes, c.now()
+		c.ll.MoveToFront(el)
+	} else {
+		el := c.ll.PushFront(&entry{key: key, val: val, bytes: bytes, added: c.now()})
+		c.items[key] = el
+		c.bytes += bytes
+	}
+	for c.ll.Len() > c.cfg.MaxEntries ||
+		(c.cfg.MaxBytes > 0 && c.bytes > c.cfg.MaxBytes && c.ll.Len() > 1) {
+		c.removeLocked(c.ll.Back())
+		c.evictions++
+	}
+}
+
+// removeLocked drops one entry.
+func (c *Cache) removeLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.bytes -= e.bytes
+}
+
+// Get returns the cached value for key without computing anything. It
+// counts as a hit or miss like Do, but never joins or starts flights.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v, ok := c.lookupLocked(key); ok {
+		c.hits++
+		return v, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Purge drops every cached entry (in-flight computations are left to
+// finish and re-insert). It exists for operational resets; routine
+// invalidation happens through epoch-bearing keys instead.
+func (c *Cache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element)
+	c.bytes = 0
+}
+
+// Metrics returns a snapshot of the counters.
+func (c *Cache) Metrics() Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Metrics{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Shared:    c.shared,
+		Evictions: c.evictions,
+		Expired:   c.expired,
+		Inflight:  int64(len(c.inflight)),
+		Entries:   int64(c.ll.Len()),
+		Bytes:     c.bytes,
+	}
+}

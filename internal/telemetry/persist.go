@@ -95,6 +95,7 @@ func (s *Store) Load(r io.Reader) error {
 	s.mu.Lock()
 	s.series = next
 	s.mu.Unlock()
+	s.epoch.Add(1)
 	return nil
 }
 

@@ -17,6 +17,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"uptimebroker/internal/availability"
@@ -40,7 +41,19 @@ type series struct {
 type Store struct {
 	mu     sync.RWMutex
 	series map[seriesKey]*series
+
+	// epoch counts mutations (records and snapshot loads). Estimates
+	// derived from the store are valid for exactly one epoch value, so
+	// content-addressed caches over telemetry-fed computations embed it
+	// in their keys.
+	epoch atomic.Uint64
 }
+
+// Epoch returns the store's mutation generation: bumped by every
+// recorded observation and by Load. Derivations that embed the epoch
+// (the broker's recommendation cache keys) go stale the moment a new
+// observation could move a parameter estimate.
+func (s *Store) Epoch() uint64 { return s.epoch.Load() }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
@@ -67,6 +80,7 @@ func (s *Store) RecordExposure(provider, class string, nodeTime time.Duration) e
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.bucket(provider, class).exposureMinutes += nodeTime.Minutes()
+	s.epoch.Add(1)
 	return nil
 }
 
@@ -80,6 +94,7 @@ func (s *Store) RecordOutage(provider, class string, downFor time.Duration) erro
 	b := s.bucket(provider, class)
 	b.downMinutes += downFor.Minutes()
 	b.failures++
+	s.epoch.Add(1)
 	return nil
 }
 
@@ -92,6 +107,7 @@ func (s *Store) RecordFailover(provider, class string, window time.Duration) err
 	defer s.mu.Unlock()
 	b := s.bucket(provider, class)
 	b.failoverMinutes = append(b.failoverMinutes, window.Minutes())
+	s.epoch.Add(1)
 	return nil
 }
 

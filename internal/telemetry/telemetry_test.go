@@ -275,3 +275,34 @@ func TestCollectorForSystemLengthMismatch(t *testing.T) {
 		t.Fatal("mismatched IDs should fail")
 	}
 }
+
+func TestStoreEpoch(t *testing.T) {
+	s := NewStore()
+	if got := s.Epoch(); got != 0 {
+		t.Fatalf("fresh store epoch = %d, want 0", got)
+	}
+	if err := s.RecordExposure("p", "c", time.Hour); err != nil {
+		t.Fatalf("RecordExposure: %v", err)
+	}
+	e1 := s.Epoch()
+	if e1 == 0 {
+		t.Fatal("RecordExposure did not bump epoch")
+	}
+	if err := s.RecordOutage("p", "c", time.Minute); err != nil {
+		t.Fatalf("RecordOutage: %v", err)
+	}
+	if err := s.RecordFailover("p", "c", time.Second); err != nil {
+		t.Fatalf("RecordFailover: %v", err)
+	}
+	e2 := s.Epoch()
+	if e2 != e1+2 {
+		t.Fatalf("epoch after outage+failover = %d, want %d", e2, e1+2)
+	}
+	// Rejected observations change nothing and leave the epoch alone.
+	if err := s.RecordExposure("p", "c", 0); err == nil {
+		t.Fatal("zero exposure should be rejected")
+	}
+	if got := s.Epoch(); got != e2 {
+		t.Fatalf("rejected observation moved epoch %d -> %d", e2, got)
+	}
+}

@@ -65,6 +65,7 @@ import (
 	"uptimebroker/internal/jobstore"
 	"uptimebroker/internal/lifecycle"
 	"uptimebroker/internal/optimize"
+	"uptimebroker/internal/reccache"
 	"uptimebroker/internal/report"
 	"uptimebroker/internal/telemetry"
 	"uptimebroker/internal/topology"
@@ -151,6 +152,17 @@ type (
 	// TelemetryParams prefers live telemetry estimates.
 	TelemetryParams = broker.TelemetryParams
 
+	// ResultCache is the content-addressed recommendation cache an
+	// engine can be fronted with (WithResultCache); build one with
+	// NewResultCache.
+	ResultCache = reccache.Cache
+	// CacheConfig bounds a ResultCache: max entries, approximate byte
+	// budget, optional TTL.
+	CacheConfig = reccache.Config
+	// CacheMetrics is a ResultCache's counter snapshot
+	// (Engine.CacheMetrics).
+	CacheMetrics = reccache.Metrics
+
 	// TelemetryStore aggregates reliability observations.
 	TelemetryStore = telemetry.Store
 
@@ -196,6 +208,10 @@ type (
 	OptionCardDTO = httpapi.OptionCardDTO
 	// BatchResponse is the wire form of a batch pricing reply.
 	BatchResponse = httpapi.BatchResponse
+	// MetricsResponse is the wire form of GET /v1/metrics: job
+	// counters, result-cache counters and the data epochs
+	// (Client.Metrics).
+	MetricsResponse = httpapi.MetricsResponse
 
 	// Cloud is a simulated IaaS provider control plane.
 	Cloud = cloudsim.Cloud
@@ -253,10 +269,15 @@ const (
 )
 
 // Card-pricing modes, selectable per request (Request.Pricing / the
-// wire "pricing" field), per engine (WithParallelPricing), per client
-// (WithPricing) and per uptimectl invocation (-pricing). Both modes
-// produce byte-identical option cards; the choice only moves latency.
+// wire "pricing" field), per engine (WithDefaultPricing), per client
+// (WithPricing) and per uptimectl invocation (-pricing). Every mode
+// produces byte-identical option cards; the choice only moves
+// latency. PricingAuto — the built-in default — resolves to parallel
+// or sequential from the host shape: parallel pays off only when
+// there are at least two cores and the candidate space is large
+// enough to amortize the workers.
 const (
+	PricingAuto       = broker.PricingAuto
 	PricingParallel   = broker.PricingParallel
 	PricingSequential = broker.PricingSequential
 )
@@ -281,12 +302,49 @@ func WithDefaultStrategy(strategy string) EngineOption {
 	return broker.WithDefaultStrategy(strategy)
 }
 
-// WithParallelPricing controls whether the engine's full card-pricing
-// pass shards the k^n enumeration across GOMAXPROCS workers (the
-// default) or prices on one core; requests override it per call with
-// Request.Pricing.
+// WithDefaultPricing sets the engine-wide card-pricing mode for
+// requests that do not set one: PricingAuto (the built-in default),
+// PricingParallel or PricingSequential. Requests override it per call
+// with Request.Pricing. (WithPricing is the client-side counterpart.)
+func WithDefaultPricing(mode string) EngineOption {
+	return broker.WithPricing(mode)
+}
+
+// WithParallelPricing forces the engine's full card-pricing pass
+// parallel (true) or sequential (false).
+//
+// Deprecated: use WithDefaultPricing; the built-in PricingAuto
+// default picks per host, which is what almost every caller wants.
 func WithParallelPricing(on bool) EngineOption {
 	return broker.WithParallelPricing(on)
+}
+
+// WithResultCache fronts the engine with a content-addressed
+// recommendation cache: completed Recommend and Pareto answers are
+// stored under a stable hash of the catalog epoch, the parameter
+// epoch and the normalized request, identical requests are answered
+// from memory, and concurrent identical requests collapse onto a
+// single solver run. Any catalog mutation or telemetry observation
+// changes the epoch and therefore every content address, so stale
+// answers are never served. Build the cache with NewResultCache.
+func WithResultCache(c *ResultCache) EngineOption {
+	return broker.WithResultCache(c)
+}
+
+// NewResultCache builds a bounded LRU result cache for
+// WithResultCache. The zero Config is usable: 1024 entries, no byte
+// budget, no TTL.
+func NewResultCache(cfg CacheConfig) *ResultCache {
+	return reccache.New(cfg)
+}
+
+// WithCacheReport returns a context that reports how the engine's
+// result cache answered the call — "hit", "miss" or "shared" — to fn,
+// synchronously, before the engine entry point returns. The HTTP
+// layer uses it to stamp the X-Cache response header; callers without
+// a cached engine simply never hear from fn.
+func WithCacheReport(ctx context.Context, fn func(status string)) context.Context {
+	return broker.WithCacheReport(ctx, fn)
 }
 
 // Dollars converts a dollar amount to Money.
@@ -404,9 +462,10 @@ func WithPollInterval(d time.Duration) ClientOption { return httpapi.WithPollInt
 // recommendation-type request that does not name one.
 func WithStrategy(strategy string) ClientOption { return httpapi.WithStrategy(strategy) }
 
-// WithPricing stamps a default card-pricing mode (PricingParallel or
-// PricingSequential) onto every outgoing recommendation-type request
-// that does not set one.
+// WithPricing stamps a default card-pricing mode (PricingParallel,
+// PricingSequential or PricingAuto) onto every outgoing
+// recommendation-type request that does not set one; left unset, the
+// server resolves its own default (auto).
 func WithPricing(mode string) ClientOption { return httpapi.WithPricing(mode) }
 
 // WithProgress makes one Client.WaitJob call stream live progress
