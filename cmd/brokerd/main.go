@@ -44,7 +44,13 @@
 // Routes (see docs/api.md for request/response shapes):
 //
 //	GET    /healthz                      liveness
-//	GET    /v1/metrics                   job + result-cache counters, epochs
+//	GET    /readyz                       readiness (job store open + recovered)
+//	GET    /metrics                      Prometheus text exposition
+//	GET    /v2/metrics/events            periodic metrics snapshots (SSE,
+//	                                     polling fallback; -metrics-interval
+//	                                     sets the default cadence)
+//	GET    /v1/metrics                   job + result-cache counters, epochs,
+//	                                     build info
 //	POST   /v1/recommendations           run the brokerage synchronously
 //	POST   /v1/pareto                    cost × uptime frontier
 //	GET    /v1/catalog/technologies      list HA mechanisms
@@ -80,6 +86,7 @@ import (
 	"uptimebroker/internal/broker"
 	"uptimebroker/internal/catalog"
 	"uptimebroker/internal/httpapi"
+	"uptimebroker/internal/obs"
 	"uptimebroker/internal/reccache"
 	"uptimebroker/internal/telemetry"
 )
@@ -115,6 +122,7 @@ func run(args []string) error {
 		cacheBytes      = fs.Int64("cache-bytes", 0, "approximate memory budget for cached results in bytes (0 = bounded by -cache-entries only)")
 		cacheTTL        = fs.Duration("cache-ttl", 0, "drop cached results older than this (0 = no expiry; epochs already invalidate on data changes)")
 		ssePing         = fs.Duration("sse-ping", 15*time.Second, "keep-alive comment interval on /v2/jobs/{id}/events streams (0 disables)")
+		metricsInterval = fs.Duration("metrics-interval", 2*time.Second, "default snapshot cadence of the /v2/metrics/events stream")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -161,9 +169,13 @@ func run(args []string) error {
 			return err
 		}
 	}
+	// One registry spans the engine, the job subsystem and the HTTP
+	// layer, so GET /metrics is the whole process in one scrape.
+	registry := obs.NewRegistry()
 	engineOpts := []broker.EngineOption{
 		broker.WithDefaultStrategy(*defaultStrategy),
 		broker.WithPricing(pricingMode),
+		broker.WithMetricsRegistry(registry),
 	}
 	if *cacheEntries > 0 {
 		engineOpts = append(engineOpts, broker.WithResultCache(reccache.New(reccache.Config{
@@ -183,6 +195,8 @@ func run(args []string) error {
 	opts := []httpapi.ServerOption{
 		httpapi.WithJobTTL(*jobTTL),
 		httpapi.WithSSEPingInterval(*ssePing),
+		httpapi.WithMetricsRegistry(registry),
+		httpapi.WithMetricsStreamInterval(*metricsInterval),
 	}
 	if *rateLimit > 0 {
 		opts = append(opts, httpapi.WithRateLimit(*rateLimit, *rateBurst))

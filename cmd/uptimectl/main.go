@@ -23,8 +23,10 @@
 //	catalog     list the HA technologies and providers
 //	params      show the parameter estimate for -provider and -class
 //	observe     submit one telemetry observation
-//	metrics     show job and result-cache counters and the
-//	            invalidation epochs
+//	metrics     show job and result-cache counters, the invalidation
+//	            epochs and the server's build info
+//	top         live terminal dashboard over the /v2/metrics/events
+//	            stream (-interval sets the refresh cadence)
 //	health      check service liveness
 package main
 
@@ -34,6 +36,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"text/tabwriter"
 	"time"
 
@@ -61,7 +65,7 @@ func run(args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("missing subcommand (recommend, pareto, job, scenarios, catalog, params, observe, metrics, health)")
+		return fmt.Errorf("missing subcommand (recommend, pareto, job, scenarios, catalog, params, observe, metrics, top, health)")
 	}
 
 	client, err := httpapi.NewClient(*server, nil)
@@ -88,6 +92,12 @@ func run(args []string) error {
 		return cmdObserve(ctx, client, rest[1:])
 	case "metrics":
 		return cmdMetrics(ctx, client)
+	case "top":
+		// The dashboard runs until interrupted, so it gets a
+		// signal-scoped context instead of the request timeout.
+		topCtx, topCancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer topCancel()
+		return cmdTop(topCtx, client, rest[1:])
 	case "health":
 		if err := client.Health(ctx); err != nil {
 			return err
@@ -264,14 +274,30 @@ func cmdMetrics(ctx context.Context, client *httpapi.Client) error {
 	}
 	if m.Cache == nil {
 		fmt.Println("result cache: disabled")
-		return nil
+	} else {
+		c := m.Cache
+		fmt.Printf("result cache: %d hits, %d misses, %d shared (hit rate %.1f%%), %d inflight\n",
+			c.Hits, c.Misses, c.Shared, 100*c.HitRate, c.Inflight)
+		fmt.Printf("occupancy: %d entries, ~%d bytes (%d evicted, %d expired)\n",
+			c.Entries, c.Bytes, c.Evictions, c.Expired)
 	}
-	c := m.Cache
-	fmt.Printf("result cache: %d hits, %d misses, %d shared (hit rate %.1f%%), %d inflight\n",
-		c.Hits, c.Misses, c.Shared, 100*c.HitRate, c.Inflight)
-	fmt.Printf("occupancy: %d entries, ~%d bytes (%d evicted, %d expired)\n",
-		c.Entries, c.Bytes, c.Evictions, c.Expired)
+	printBuildInfo(m)
 	return nil
+}
+
+// printBuildInfo appends the server's identity lines when the server
+// reports them (older servers omit the field).
+func printBuildInfo(m httpapi.MetricsResponse) {
+	if m.RateLimiter != nil {
+		fmt.Printf("rate limiter: %d client buckets\n", m.RateLimiter.ClientBuckets)
+	}
+	if m.Build == nil {
+		return
+	}
+	fmt.Printf("build: %s (%s)\n", m.Build.Version, m.Build.GoVersion)
+	fmt.Printf("up: %s (started %s)\n",
+		(time.Duration(m.Build.UptimeSeconds) * time.Second).Round(time.Second),
+		m.Build.StartedAt.Local().Format(time.RFC3339))
 }
 
 func cmdCatalog(ctx context.Context, client *httpapi.Client) error {

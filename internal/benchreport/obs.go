@@ -1,0 +1,55 @@
+package benchreport
+
+import (
+	"context"
+	"fmt"
+
+	"uptimebroker/internal/broker"
+	"uptimebroker/internal/catalog"
+	"uptimebroker/internal/obs"
+)
+
+// obsSpec measures the full brokerage pass with and without the
+// metrics registry attached. The instrumented engine records the
+// per-run solver counters and latency histogram that GET /metrics
+// exposes; the uninstrumented engine is the same workload with no
+// registry. The derived obs_overhead_headroom ratio
+// (uninstrumented / instrumented) is what CI floors: observability
+// must stay within a few percent of free, or the per-run bulk
+// instrumentation contract has been broken by a per-candidate hook.
+func obsSpec(instrumented bool) Spec {
+	mode := "uninstrumented"
+	if instrumented {
+		mode = "instrumented"
+	}
+	return Spec{
+		Name:  fmt.Sprintf("obs/%s/n=16", mode),
+		Group: "obs",
+		// The uninstrumented side anchors the ratio, like eval/scratch.
+		Tracked: instrumented,
+		Setup: func(string) (runFunc, func(), error) {
+			cat := catalog.Default()
+			var opts []broker.EngineOption
+			if instrumented {
+				opts = append(opts, broker.WithMetricsRegistry(obs.NewRegistry()))
+			}
+			e, err := broker.New(cat, broker.CatalogParams{Catalog: cat}, opts...)
+			if err != nil {
+				return nil, nil, err
+			}
+			req := cacheRequest(16, 98)
+			return func(iters int) error {
+				for i := 0; i < iters; i++ {
+					rec, err := e.Recommend(context.Background(), req)
+					if err != nil {
+						return err
+					}
+					if rec.BestOption == 0 {
+						return fmt.Errorf("recommendation has no best option")
+					}
+				}
+				return nil
+			}, func() {}, nil
+		},
+	}
+}

@@ -354,6 +354,7 @@ func Suite() []Spec {
 		recoverySpec(),
 		cacheSpec(false), cacheSpec(true),
 		concurrentV2Spec(),
+		obsSpec(false), obsSpec(true),
 	}
 	return specs
 }
@@ -370,6 +371,7 @@ var ratioSpecs = []Ratio{
 	{Name: "fsync_cost_x", Numerator: "jobstore/append/fsync", Denominator: "jobstore/append/nosync", HigherIsBetter: false},
 	{Name: "group_commit_speedup", Numerator: "jobstore/append/fsync-concurrent", Denominator: "jobstore/append/group-commit", HigherIsBetter: true},
 	{Name: "cache_hit_speedup", Numerator: "cache/miss/n=19", Denominator: "cache/hit/n=19", HigherIsBetter: true},
+	{Name: "obs_overhead_headroom", Numerator: "obs/uninstrumented/n=16", Denominator: "obs/instrumented/n=16", HigherIsBetter: true},
 }
 
 // Options configures one suite run.

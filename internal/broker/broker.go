@@ -10,10 +10,13 @@ package broker
 import (
 	"fmt"
 	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"uptimebroker/internal/availability"
 	"uptimebroker/internal/catalog"
 	"uptimebroker/internal/cost"
+	"uptimebroker/internal/obs"
 	"uptimebroker/internal/optimize"
 	"uptimebroker/internal/reccache"
 	"uptimebroker/internal/telemetry"
@@ -201,6 +204,14 @@ type Engine struct {
 	defaultStrategy string
 	pricing         string
 	cache           *reccache.Cache
+
+	// metrics is the engine's registry attachment (nil when
+	// uninstrumented); metricsOnce serializes InstrumentMetrics and
+	// pendingMetrics carries WithMetricsRegistry's argument to the end
+	// of New so it composes with WithResultCache in any order.
+	metrics        atomic.Pointer[engineMetrics]
+	metricsOnce    sync.Mutex
+	pendingMetrics *obs.Registry
 }
 
 // EngineOption customizes New.
@@ -270,6 +281,7 @@ func New(cat *catalog.Catalog, params ParamSource, opts ...EngineOption) (*Engin
 		return nil, fmt.Errorf("broker: unknown pricing mode %q (choose %q, %q or %q)",
 			e.pricing, PricingAuto, PricingParallel, PricingSequential)
 	}
+	e.InstrumentMetrics(e.pendingMetrics)
 	return e, nil
 }
 

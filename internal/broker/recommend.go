@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"uptimebroker/internal/cost"
 	"uptimebroker/internal/optimize"
@@ -271,6 +272,7 @@ func (s *priceState) fold(o priceState) {
 // search for the paper's effort statistics. Both shapes report one
 // combined monotone progress space of 2·k^n.
 func (e *Engine) recommend(ctx context.Context, req Request) (*Recommendation, error) {
+	start := time.Now()
 	c, err := e.compile(req)
 	if err != nil {
 		return nil, err
@@ -394,6 +396,16 @@ func (e *Engine) recommend(ctx context.Context, req Request) (*Recommendation, e
 		if asIs.TCO > 0 {
 			rec.SavingsFraction = 1 - float64(cards[merged.bestPos].TCO)/float64(asIs.TCO)
 		}
+	}
+	if m := e.metrics.Load(); m != nil {
+		// One bulk observation per run (the pricing pass plus, for
+		// pruning strategies, the solver's own evaluations) — the
+		// per-candidate loop above stays uninstrumented by design.
+		evals := int64(space)
+		if resolved != optimize.StrategyExhaustive {
+			evals += int64(rec.Search.Evaluated)
+		}
+		m.observeRun(rec.Search.Strategy, evals, int64(rec.Search.Skipped), time.Since(start).Seconds())
 	}
 	return rec, nil
 }

@@ -12,6 +12,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"uptimebroker/internal/obs"
 )
 
 // APIError is the typed client-side form of a server problem+json
@@ -153,10 +155,21 @@ func NewClient(baseURL string, httpClient *http.Client, opts ...ClientOption) (*
 	return c, nil
 }
 
+// BaseURL returns the server address the client was built with.
+func (c *Client) BaseURL() string { return c.baseURL }
+
 // Health checks GET /healthz.
 func (c *Client) Health(ctx context.Context) error {
 	var out map[string]string
 	return c.do(ctx, http.MethodGet, "/healthz", nil, &out)
+}
+
+// Ready checks GET /readyz: nil once the server's job store is open
+// and recovery is complete, a problem-typed error (503 unavailable)
+// before that.
+func (c *Client) Ready(ctx context.Context) error {
+	var out map[string]string
+	return c.do(ctx, http.MethodGet, "/readyz", nil, &out)
 }
 
 // Metrics fetches the server's operational counters: job subsystem
@@ -166,6 +179,96 @@ func (c *Client) Metrics(ctx context.Context) (MetricsResponse, error) {
 	var out MetricsResponse
 	err := c.do(ctx, http.MethodGet, "/v1/metrics", nil, &out)
 	return out, err
+}
+
+// MetricsSnapshot fetches one full metrics-registry snapshot — the
+// polling form of the /v2/metrics/events stream.
+func (c *Client) MetricsSnapshot(ctx context.Context) (obs.Snapshot, error) {
+	var out obs.Snapshot
+	err := c.do(ctx, http.MethodGet, "/v2/metrics/events", nil, &out)
+	return out, err
+}
+
+// WatchMetrics delivers registry snapshots to fn on a cadence until
+// ctx is done (when it returns ctx.Err()) or the server becomes
+// unreachable. It prefers the GET /v2/metrics/events SSE stream and
+// degrades to polling MetricsSnapshot when the stream is unavailable
+// — same contract as WaitJob's progress streaming. interval <= 0 uses
+// the server's default cadence.
+func (c *Client) WatchMetrics(ctx context.Context, interval time.Duration, fn func(obs.Snapshot)) error {
+	for {
+		if handled, err := c.streamMetrics(ctx, interval, fn); handled {
+			return err
+		}
+		// SSE unavailable: poll once, then retry the stream — a server
+		// restart mid-stream recovers without the caller noticing.
+		snap, err := c.MetricsSnapshot(ctx)
+		if err != nil {
+			return err
+		}
+		fn(snap)
+		wait := interval
+		if wait <= 0 {
+			wait = 2 * time.Second
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(wait):
+		}
+	}
+}
+
+// streamMetrics consumes the SSE metrics stream. handled=false means
+// the caller should fall back to polling.
+func (c *Client) streamMetrics(ctx context.Context, interval time.Duration, fn func(obs.Snapshot)) (handled bool, err error) {
+	path := c.baseURL + "/v2/metrics/events"
+	if interval > 0 {
+		path += "?interval=" + url.QueryEscape(interval.String())
+	}
+	req, reqErr := http.NewRequestWithContext(ctx, http.MethodGet, path, nil)
+	if reqErr != nil {
+		return false, nil
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, doErr := c.http.Do(req)
+	if doErr != nil {
+		if ctx.Err() != nil {
+			return true, ctx.Err()
+		}
+		return false, nil
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(resp.Header.Get("Content-Type"), "text/event-stream") {
+		return false, nil
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " ")...)
+		case line == "" && len(data) > 0:
+			var snap obs.Snapshot
+			if jsonErr := json.Unmarshal(data, &snap); jsonErr != nil {
+				return false, nil
+			}
+			data = data[:0]
+			fn(snap)
+		}
+	}
+	if ctx.Err() != nil {
+		return true, ctx.Err()
+	}
+	// Stream ended without cancellation (server restart, proxy
+	// timeout): resume by polling.
+	return false, nil
 }
 
 // Recommend submits a synchronous recommendation request.

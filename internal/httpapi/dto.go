@@ -319,6 +319,34 @@ type MetricsResponse struct {
 	// source exposes one (telemetry-backed engines do); absent
 	// otherwise.
 	ParamsEpoch *uint64 `json:"params_epoch,omitempty"`
+
+	// RateLimiter reports the per-client limiter's occupancy; absent
+	// when per-client limiting is off.
+	RateLimiter *RateLimiterMetricsDTO `json:"rate_limiter,omitempty"`
+
+	// Build identifies the running binary.
+	Build *BuildInfoDTO `json:"build,omitempty"`
+}
+
+// RateLimiterMetricsDTO is the per-client rate limiter's occupancy.
+type RateLimiterMetricsDTO struct {
+	// ClientBuckets is the number of live per-client token buckets —
+	// roughly the distinct clients seen within the idle TTL.
+	ClientBuckets int `json:"client_buckets"`
+}
+
+// BuildInfoDTO is the wire form of the binary's identity.
+type BuildInfoDTO struct {
+	// Version is the main module version ("(devel)" for local builds).
+	Version string `json:"version"`
+
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+
+	// StartedAt is when the process started; UptimeSeconds is the age
+	// at response time.
+	StartedAt     time.Time `json:"started_at"`
+	UptimeSeconds float64   `json:"uptime_seconds"`
 }
 
 // ScenarioDTO summarizes one built-in scenario.

@@ -1,0 +1,172 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"uptimebroker/internal/obs"
+)
+
+// Bounds on the SSE metrics stream's snapshot interval: fast enough
+// for a live dashboard, slow enough that a hostile ?interval cannot
+// turn the stream into a busy loop.
+const (
+	minMetricsInterval = 100 * time.Millisecond
+	maxMetricsInterval = time.Minute
+)
+
+// routeInstruments caches one route's counter and histogram so the
+// per-request path skips the registry's label-key rendering.
+type routeInstruments struct {
+	requests *obs.Counter
+	seconds  *obs.Histogram
+}
+
+// routeMetrics instruments every request with per-route counts and
+// latency plus a process-wide in-flight gauge. The route label is the
+// mux pattern the request matched ("GET /v2/jobs/{id}"), so path
+// parameters cannot explode the label space; unmatched requests share
+// one "unmatched" series.
+func routeMetrics(reg *obs.Registry, mux *http.ServeMux) Middleware {
+	inflight := reg.Gauge("http_inflight_requests",
+		"Requests currently being served.")
+	var routes sync.Map // pattern -> *routeInstruments
+	instrumentsFor := func(route string) *routeInstruments {
+		if ri, ok := routes.Load(route); ok {
+			return ri.(*routeInstruments)
+		}
+		l := obs.L("route", route)
+		ri := &routeInstruments{
+			requests: reg.Counter("http_requests_total", "Requests served per route.", l),
+			seconds:  reg.Histogram("http_request_seconds", "Request latency per route.", obs.DefBuckets, l),
+		}
+		actual, _ := routes.LoadOrStore(route, ri)
+		return actual.(*routeInstruments)
+	}
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			route := "unmatched"
+			if _, pattern := mux.Handler(r); pattern != "" {
+				route = pattern
+			}
+			ri := instrumentsFor(route)
+			ri.requests.Inc()
+			inflight.Inc()
+			start := time.Now()
+			defer func() {
+				inflight.Dec()
+				ri.seconds.ObserveSeconds(time.Since(start).Seconds())
+			}()
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// handlePrometheus implements GET /metrics: the registry in Prometheus
+// text exposition format, scrapeable by any Prometheus-compatible
+// collector.
+func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.ContentType)
+	if err := s.registry.WritePrometheus(w); err != nil {
+		s.logf("req=%s writing /metrics: %v", RequestIDFrom(r.Context()), err)
+	}
+}
+
+// handleReady implements GET /readyz: 200 once the job store is open
+// and recovery is complete, 503 before that and after Close. Load
+// balancers and replica supervisors gate traffic on it; /healthz stays
+// the pure liveness probe.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		s.problem(w, r, CodeUnavailable, http.StatusServiceUnavailable, "job store not ready")
+		return
+	}
+	s.writeJSON(w, r, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// handleMetricsEvents implements GET /v2/metrics/events.
+//
+// With "Accept: text/event-stream" it streams "metrics" events — each
+// a full registry snapshot (obs.Snapshot JSON) — on a fixed cadence:
+// the server's configured interval (WithMetricsStreamInterval, default
+// 2s) or the request's ?interval override, clamped to [100ms, 1m].
+// The first snapshot is sent immediately so dashboards paint without
+// waiting a full period, and ": ping" comment frames keep idle proxies
+// from reaping slow streams. Clients that cannot speak SSE get the
+// current snapshot as a single JSON document.
+func (s *Server) handleMetricsEvents(w http.ResponseWriter, r *http.Request) {
+	interval := s.metricsInterval
+	if q := r.URL.Query().Get("interval"); q != "" {
+		d, err := time.ParseDuration(q)
+		if err != nil {
+			s.problem(w, r, CodeInvalidRequest, http.StatusBadRequest, fmt.Sprintf("invalid interval %q: %v", q, err))
+			return
+		}
+		interval = d
+	}
+	if interval < minMetricsInterval {
+		interval = minMetricsInterval
+	}
+	if interval > maxMetricsInterval {
+		interval = maxMetricsInterval
+	}
+
+	flusher, canFlush := w.(http.Flusher)
+	if !canFlush || !acceptsEventStream(r) {
+		s.writeJSON(w, r, http.StatusOK, s.registry.Snapshot())
+		return
+	}
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	// A nil channel (pings disabled) blocks forever in the select.
+	var pingC <-chan time.Time
+	if s.ssePing > 0 {
+		ping := time.NewTicker(s.ssePing)
+		defer ping.Stop()
+		pingC = ping.C
+	}
+
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+
+	seq := 0
+	emit := func() bool {
+		payload, err := json.Marshal(s.registry.Snapshot())
+		if err != nil {
+			s.logf("req=%s encoding metrics snapshot: %v", RequestIDFrom(r.Context()), err)
+			return false
+		}
+		seq++
+		if _, err := fmt.Fprintf(w, "event: metrics\nid: %d\ndata: %s\n\n", seq, payload); err != nil {
+			return false // client went away
+		}
+		flusher.Flush()
+		return true
+	}
+	if !emit() {
+		return
+	}
+	for {
+		select {
+		case <-ticker.C:
+			if !emit() {
+				return
+			}
+		case <-pingC:
+			if _, err := io.WriteString(w, ": ping\n\n"); err != nil {
+				return // client went away
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

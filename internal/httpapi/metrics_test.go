@@ -1,0 +1,254 @@
+package httpapi
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"uptimebroker/internal/broker"
+	"uptimebroker/internal/catalog"
+	"uptimebroker/internal/obs"
+	"uptimebroker/internal/telemetry"
+)
+
+// scrape fetches GET /metrics and returns the exposition body.
+func scrape(t *testing.T, ts *httptest.Server) (string, string) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read /metrics: %v", err)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+func TestPrometheusEndpoint(t *testing.T) {
+	ts, client, _ := newTestServer(t)
+	ctx := context.Background()
+
+	// Drive every subsystem once so the scrape has real series: a
+	// synchronous recommend (solver + HTTP + cache families) and an
+	// async job (jobs families).
+	if _, err := client.Recommend(ctx, caseStudyWire()); err != nil {
+		t.Fatalf("Recommend: %v", err)
+	}
+	job, err := client.SubmitJob(ctx, JobKindRecommend, caseStudyWire())
+	if err != nil {
+		t.Fatalf("SubmitJob: %v", err)
+	}
+	if _, err := client.WaitJob(ctx, job.ID); err != nil {
+		t.Fatalf("WaitJob: %v", err)
+	}
+
+	body, contentType := scrape(t, ts)
+	if contentType != obs.ContentType {
+		t.Fatalf("Content-Type = %q, want %q", contentType, obs.ContentType)
+	}
+	for _, want := range []string{
+		"# TYPE jobs_submitted_total counter",
+		"# TYPE jobs_queue_wait_seconds histogram",
+		"jobs_done_total 1",
+		"jobs_run_seconds_count 1",
+		"# TYPE broker_evaluations_total counter",
+		"solver_runs_total{strategy=",
+		"# TYPE http_requests_total counter",
+		`http_requests_total{route="POST /v1/recommendations"} 1`,
+		"http_request_seconds_bucket{",
+		"# TYPE http_inflight_requests gauge",
+		"catalog_epoch ",
+		"build_info{",
+		"process_start_time_seconds ",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// le="+Inf" must appear for every histogram family in play.
+	if !strings.Contains(body, `http_request_seconds_bucket{le="+Inf",route="POST /v1/recommendations"}`) &&
+		!strings.Contains(body, `http_request_seconds_bucket{route="POST /v1/recommendations",le="+Inf"}`) {
+		// Label order is deterministic (sorted key + le appended), so
+		// the first spelling is the real contract; keep the message
+		// useful either way.
+		t.Errorf("exposition missing +Inf bucket for POST /v1/recommendations")
+	}
+}
+
+func TestHealthAndReadiness(t *testing.T) {
+	cat := catalog.Default()
+	store := telemetry.NewStore()
+	engine, err := broker.New(cat, broker.TelemetryParams{
+		Store:            store,
+		Fallback:         broker.CatalogParams{Catalog: cat},
+		MinExposureYears: 0.5,
+	})
+	if err != nil {
+		t.Fatalf("broker.New: %v", err)
+	}
+	srv, err := NewServer(engine, store, nil)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	get := func(path string) int {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200", got)
+	}
+	if got := get("/readyz"); got != http.StatusOK {
+		t.Fatalf("/readyz = %d, want 200", got)
+	}
+
+	// A closed server keeps answering liveness but drops readiness, so
+	// load balancers drain it before the listener goes away.
+	srv.Close()
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Fatalf("/healthz after Close = %d, want 200", got)
+	}
+	if got := get("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz after Close = %d, want 503", got)
+	}
+}
+
+func TestProbesExemptFromRateLimit(t *testing.T) {
+	// A one-token bucket that essentially never refills: the first
+	// API request spends it, everything but the probes then 429s.
+	ts, client, _ := newTestServer(t,
+		WithRateLimit(0.0001, 1),
+		WithPerClientRateLimit(0.0001, 1),
+	)
+	ctx := context.Background()
+	if _, err := client.Metrics(ctx); err != nil {
+		t.Fatalf("first request should pass: %v", err)
+	}
+	if _, err := client.Metrics(ctx); err == nil {
+		t.Fatal("second request should be rate limited")
+	}
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d, want 200 (probes must be exempt)", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestRateLimiterBucketGauge(t *testing.T) {
+	ts, client, _ := newTestServer(t, WithPerClientRateLimit(1000, 100))
+	if _, err := client.Metrics(context.Background()); err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	body, _ := scrape(t, ts)
+	if !strings.Contains(body, "# TYPE ratelimit_client_buckets gauge") {
+		t.Errorf("exposition missing ratelimit_client_buckets gauge")
+	}
+	m, err := client.Metrics(context.Background())
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	if m.RateLimiter == nil || m.RateLimiter.ClientBuckets < 1 {
+		t.Errorf("MetricsResponse.RateLimiter = %+v, want >= 1 tracked bucket", m.RateLimiter)
+	}
+}
+
+func TestMetricsResponseBuildInfo(t *testing.T) {
+	_, client, _ := newTestServer(t)
+	m, err := client.Metrics(context.Background())
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	if m.Build == nil {
+		t.Fatal("MetricsResponse.Build is nil")
+	}
+	if m.Build.GoVersion == "" || m.Build.Version == "" {
+		t.Errorf("Build = %+v, want version + go version", m.Build)
+	}
+	if m.Build.StartedAt.IsZero() || m.Build.UptimeSeconds < 0 {
+		t.Errorf("Build start/uptime = %v/%v", m.Build.StartedAt, m.Build.UptimeSeconds)
+	}
+}
+
+func TestMetricsEventStream(t *testing.T) {
+	_, client, _ := newTestServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	var snaps []obs.Snapshot
+	err := client.WatchMetrics(ctx, 150*time.Millisecond, func(s obs.Snapshot) {
+		snaps = append(snaps, s)
+		if len(snaps) >= 3 {
+			cancel()
+		}
+	})
+	if err != nil && ctx.Err() == nil {
+		t.Fatalf("WatchMetrics: %v", err)
+	}
+	if len(snaps) < 3 {
+		t.Fatalf("got %d snapshots, want >= 3", len(snaps))
+	}
+	// Each snapshot is a coherent registry dump: build info present,
+	// timestamps monotonic.
+	for i, s := range snaps {
+		if _, ok := s.Family("build_info"); !ok {
+			t.Fatalf("snapshot %d missing build_info", i)
+		}
+		if i > 0 && s.Time.Before(snaps[i-1].Time) {
+			t.Fatalf("snapshot %d time %v before predecessor %v", i, s.Time, snaps[i-1].Time)
+		}
+	}
+}
+
+func TestMetricsPollingFallback(t *testing.T) {
+	_, client, _ := newTestServer(t)
+	ctx := context.Background()
+	if _, err := client.Recommend(ctx, caseStudyWire()); err != nil {
+		t.Fatalf("Recommend: %v", err)
+	}
+	snap, err := client.MetricsSnapshot(ctx)
+	if err != nil {
+		t.Fatalf("MetricsSnapshot: %v", err)
+	}
+	if len(snap.Families) == 0 {
+		t.Fatal("polled snapshot has no families")
+	}
+	if v := snap.Value("http_requests_total"); v < 1 {
+		t.Errorf("http_requests_total = %v, want >= 1", v)
+	}
+	if _, ok := snap.Family("catalog_epoch"); !ok {
+		t.Error("polled snapshot missing catalog_epoch")
+	}
+}
+
+func TestMetricsStreamBadInterval(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	resp, err := ts.Client().Get(ts.URL + "/v2/metrics/events?interval=banana")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad interval = %d, want 400", resp.StatusCode)
+	}
+}

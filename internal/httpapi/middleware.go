@@ -174,14 +174,16 @@ func (b *tokenBucket) allow() bool {
 	return true
 }
 
-// exempt bypasses a middleware for one exact path.
-func exempt(path string, mw Middleware) Middleware {
+// exempt bypasses a middleware for a set of exact paths.
+func exempt(mw Middleware, paths ...string) Middleware {
 	return func(next http.Handler) http.Handler {
 		wrapped := mw(next)
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-			if r.URL.Path == path {
-				next.ServeHTTP(w, r)
-				return
+			for _, path := range paths {
+				if r.URL.Path == path {
+					next.ServeHTTP(w, r)
+					return
+				}
 			}
 			wrapped.ServeHTTP(w, r)
 		})
@@ -300,14 +302,21 @@ func PerClientRateLimit(rate float64, burst int, trustProxy bool) Middleware {
 // perClientRateLimitClock is PerClientRateLimit with an injectable
 // clock for tests.
 func perClientRateLimitClock(rate float64, burst int, trustProxy bool, now func() time.Time) Middleware {
+	if rate <= 0 {
+		return func(next http.Handler) http.Handler { return next }
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return perClientRateLimitBuckets(newClientBuckets(rate, burst, now), trustProxy)
+}
+
+// perClientRateLimitBuckets is the limiter over a caller-held bucket
+// map — NewServer holds the map itself so its occupancy can feed the
+// ratelimit_client_buckets gauge.
+func perClientRateLimitBuckets(buckets *clientBuckets, trustProxy bool) Middleware {
+	rate := buckets.rate
 	return func(next http.Handler) http.Handler {
-		if rate <= 0 {
-			return next
-		}
-		if burst < 1 {
-			burst = 1
-		}
-		buckets := newClientBuckets(rate, burst, now)
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			ip := clientIP(r, trustProxy)
 			if !buckets.allow(ip) {

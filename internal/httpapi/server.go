@@ -8,12 +8,14 @@ import (
 	"log"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"uptimebroker/internal/broker"
 	"uptimebroker/internal/catalog"
 	"uptimebroker/internal/jobs"
 	"uptimebroker/internal/jobstore"
+	"uptimebroker/internal/obs"
 	"uptimebroker/internal/scenario"
 	"uptimebroker/internal/telemetry"
 )
@@ -37,6 +39,8 @@ type serverConfig struct {
 	jobFsync        bool
 	jobGroupCommit  bool
 	ssePing         time.Duration
+	registry        *obs.Registry
+	metricsInterval time.Duration
 }
 
 // ServerOption customizes NewServer.
@@ -116,6 +120,26 @@ func WithSSEPingInterval(d time.Duration) ServerOption {
 	return func(c *serverConfig) { c.ssePing = d }
 }
 
+// WithMetricsRegistry makes the server publish on (and serve from) an
+// existing obs registry instead of creating its own — the way brokerd
+// shares one registry between the engine and the HTTP layer. By
+// default the server reuses the engine's registry when the engine is
+// already instrumented, else creates a fresh one.
+func WithMetricsRegistry(reg *obs.Registry) ServerOption {
+	return func(c *serverConfig) { c.registry = reg }
+}
+
+// WithMetricsStreamInterval sets the default snapshot cadence of the
+// GET /v2/metrics/events stream (default 2s); requests override it per
+// call with ?interval=, clamped to [100ms, 1m].
+func WithMetricsStreamInterval(d time.Duration) ServerOption {
+	return func(c *serverConfig) {
+		if d > 0 {
+			c.metricsInterval = d
+		}
+	}
+}
+
 // WithJobTTL sets how long finished async jobs are retained for
 // polling (default 15m).
 func WithJobTTL(d time.Duration) ServerOption {
@@ -150,6 +174,20 @@ type Server struct {
 	jobs    *jobs.Store
 	handler http.Handler
 	ssePing time.Duration
+
+	// registry is the server's metrics registry (never nil after
+	// NewServer); metricsInterval paces the SSE metrics stream.
+	registry        *obs.Registry
+	metricsInterval time.Duration
+
+	// ready flips true once the job store is open and recovery is
+	// complete, and back to false on Close — what GET /readyz reports.
+	ready atomic.Bool
+
+	// clientLimiter is the per-client bucket map when per-client rate
+	// limiting is on; nil otherwise. Held here so its occupancy feeds
+	// the ratelimit_client_buckets gauge.
+	clientLimiter *clientBuckets
 }
 
 // NewServer wires the routes and starts the async job workers. store
@@ -159,12 +197,28 @@ func NewServer(engine *broker.Engine, store *telemetry.Store, logger *log.Logger
 	if engine == nil {
 		return nil, fmt.Errorf("httpapi: nil engine")
 	}
-	cfg := serverConfig{ssePing: 15 * time.Second}
+	cfg := serverConfig{ssePing: 15 * time.Second, metricsInterval: 2 * time.Second}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
 
+	// Resolve the metrics registry: an explicit option wins, else share
+	// the engine's (when its constructor attached one), else create a
+	// private registry. Either way the engine ends up instrumented on
+	// it — InstrumentMetrics is idempotent, so an engine that already
+	// publishes elsewhere keeps its first registry.
+	reg := cfg.registry
+	if reg == nil {
+		reg = engine.MetricsRegistry()
+	}
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	engine.InstrumentMetrics(reg)
+	obs.RegisterBuildInfo(reg)
+
 	var jobOpts []jobs.Option
+	jobOpts = append(jobOpts, jobs.WithMetricsRegistry(reg))
 	if cfg.jobTTL > 0 {
 		jobOpts = append(jobOpts, jobs.WithTTL(cfg.jobTTL))
 	}
@@ -182,13 +236,15 @@ func NewServer(engine *broker.Engine, store *telemetry.Store, logger *log.Logger
 	}
 
 	s := &Server{
-		engine:  engine,
-		store:   store,
-		logger:  logger,
-		ssePing: cfg.ssePing,
+		engine:          engine,
+		store:           store,
+		logger:          logger,
+		ssePing:         cfg.ssePing,
+		registry:        reg,
+		metricsInterval: cfg.metricsInterval,
 	}
 	if cfg.jobDir != "" {
-		var fileOpts []jobstore.FileOption
+		fileOpts := []jobstore.FileOption{jobstore.WithMetricsRegistry(reg)}
 		if cfg.jobFsync {
 			fileOpts = append(fileOpts, jobstore.WithFsync())
 		}
@@ -215,8 +271,11 @@ func NewServer(engine *broker.Engine, store *telemetry.Store, logger *log.Logger
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
+	mux.HandleFunc("GET /metrics", s.handlePrometheus)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v2/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v2/metrics/events", s.handleMetricsEvents)
 
 	// v1: the original synchronous surface, now thin wrappers over
 	// the same context-aware handlers v2 uses.
@@ -253,18 +312,27 @@ func NewServer(engine *broker.Engine, store *telemetry.Store, logger *log.Logger
 		RequestID(),
 		Logging(logger),
 		Recover(logger),
+		routeMetrics(reg, mux),
 	}
 	if cfg.rateLimit > 0 {
-		// Liveness probes must keep answering under load: a limiter
-		// that 429s /healthz would get the server restarted by the
-		// very traffic it is absorbing.
-		mws = append(mws, exempt("/healthz", RateLimit(cfg.rateLimit, cfg.rateBurst)))
+		// Liveness and readiness probes must keep answering under
+		// load: a limiter that 429s /healthz would get the server
+		// restarted by the very traffic it is absorbing.
+		mws = append(mws, exempt(RateLimit(cfg.rateLimit, cfg.rateBurst), "/healthz", "/readyz"))
 	}
 	if cfg.clientRateLimit > 0 {
-		mws = append(mws, exempt("/healthz", PerClientRateLimit(cfg.clientRateLimit, cfg.clientRateBurst, cfg.trustProxy)))
+		burst := cfg.clientRateBurst
+		if burst < 1 {
+			burst = 1
+		}
+		s.clientLimiter = newClientBuckets(cfg.clientRateLimit, burst, nil)
+		reg.GaugeFunc("ratelimit_client_buckets", "Live per-client rate-limit buckets.",
+			func() float64 { return float64(s.clientLimiter.size()) })
+		mws = append(mws, exempt(perClientRateLimitBuckets(s.clientLimiter, cfg.trustProxy), "/healthz", "/readyz"))
 	}
 	mws = append(mws, MaxBody(maxBodyBytes))
 	s.handler = Chain(root, mws...)
+	s.ready.Store(true)
 	return s, nil
 }
 
@@ -319,8 +387,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // Close stops the async job subsystem: running jobs are cancelled,
-// queued jobs marked cancelled.
+// queued jobs marked cancelled. The server reports not-ready on
+// GET /readyz from the moment Close begins.
 func (s *Server) Close() {
+	s.ready.Store(false)
 	s.jobs.Close()
 }
 
@@ -430,6 +500,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	if epoch, ok := s.engine.ParamsEpoch(); ok {
 		resp.ParamsEpoch = &epoch
+	}
+	if s.clientLimiter != nil {
+		resp.RateLimiter = &RateLimiterMetricsDTO{ClientBuckets: s.clientLimiter.size()}
+	}
+	build := obs.CurrentBuild()
+	resp.Build = &BuildInfoDTO{
+		Version:       build.Version,
+		GoVersion:     build.GoVersion,
+		StartedAt:     obs.ProcessStart(),
+		UptimeSeconds: time.Since(obs.ProcessStart()).Seconds(),
 	}
 	s.writeJSON(w, r, http.StatusOK, resp)
 }

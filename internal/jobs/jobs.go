@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"uptimebroker/internal/jobstore"
+	"uptimebroker/internal/obs"
 )
 
 // State is a job's position in its lifecycle.
@@ -224,6 +225,11 @@ type Store struct {
 	snapInterval time.Duration
 
 	metrics Metrics
+
+	// queueWait/runSeconds are per-stage latency histograms; nil unless
+	// a metrics registry was attached with WithMetricsRegistry.
+	queueWait  *obs.Histogram
+	runSeconds *obs.Histogram
 }
 
 // Option configures a Store.
@@ -285,6 +291,50 @@ func WithSnapshotInterval(d time.Duration) Option {
 			s.snapInterval = d
 		}
 	}
+}
+
+// WithMetricsRegistry publishes the store's counters and per-stage
+// latency histograms on reg: jobs_*_total counters and queue-depth /
+// running gauges pulled from Metrics at collection time, plus
+// jobs_queue_wait_seconds and jobs_run_seconds histograms observed as
+// jobs move through the pool.
+func WithMetricsRegistry(reg *obs.Registry) Option {
+	return func(s *Store) {
+		if reg == nil {
+			return
+		}
+		s.registerMetrics(reg)
+	}
+}
+
+// registerMetrics wires the store onto reg. Callback instruments pull
+// from Metrics() at collection, so the journal counters need no second
+// bookkeeping; only the latency histograms are observed inline.
+func (s *Store) registerMetrics(reg *obs.Registry) {
+	counters := []struct {
+		name, help string
+		get        func(Metrics) int64
+	}{
+		{"jobs_submitted_total", "Jobs accepted into the queue.", func(m Metrics) int64 { return m.Submitted }},
+		{"jobs_done_total", "Jobs finished successfully.", func(m Metrics) int64 { return m.Done }},
+		{"jobs_failed_total", "Jobs finished in error.", func(m Metrics) int64 { return m.Failed }},
+		{"jobs_cancelled_total", "Jobs cancelled before completion.", func(m Metrics) int64 { return m.Cancelled }},
+		{"jobs_swept_total", "Finished jobs removed by TTL sweep.", func(m Metrics) int64 { return m.Swept }},
+		{"jobs_recovered_total", "Jobs recovered from the journal on start.", func(m Metrics) int64 { return m.Recovered }},
+		{"jobs_persist_errors_total", "Journal writes that failed.", func(m Metrics) int64 { return m.PersistErrors }},
+	}
+	for _, c := range counters {
+		get := c.get
+		reg.CounterFunc(c.name, c.help, func() float64 { return float64(get(s.Metrics())) })
+	}
+	reg.GaugeFunc("jobs_queue_depth", "Jobs waiting for a worker.",
+		func() float64 { return float64(s.Metrics().QueueDepth) })
+	reg.GaugeFunc("jobs_running", "Jobs currently executing.",
+		func() float64 { return float64(s.Metrics().Running) })
+	s.queueWait = reg.Histogram("jobs_queue_wait_seconds",
+		"Time jobs spent queued before a worker picked them up.", obs.DefBuckets)
+	s.runSeconds = reg.Histogram("jobs_run_seconds",
+		"Wall time jobs spent executing.", obs.ExponentialBuckets(0.001, 4, 12))
 }
 
 // newStore applies the options without starting any goroutines.
@@ -590,6 +640,9 @@ func (s *Store) runOne(id string) {
 	s.metrics.QueueDepth--
 	s.metrics.Running++
 	s.metrics.QueueLatency += j.snap.StartedAt.Sub(j.snap.CreatedAt)
+	if s.queueWait != nil {
+		s.queueWait.ObserveSeconds(j.snap.StartedAt.Sub(j.snap.CreatedAt).Seconds())
+	}
 	s.appendLocked(jobstore.Event{Type: jobstore.EventStarted, Time: j.snap.StartedAt, ID: id})
 	j.notifyLocked()
 	fn := j.fn
@@ -614,6 +667,9 @@ func (s *Store) runOne(id string) {
 	j.snap.FinishedAt = s.now()
 	s.metrics.Running--
 	s.metrics.RunLatency += j.snap.FinishedAt.Sub(j.snap.StartedAt)
+	if s.runSeconds != nil {
+		s.runSeconds.ObserveSeconds(j.snap.FinishedAt.Sub(j.snap.StartedAt).Seconds())
+	}
 	switch {
 	case err != nil && (errors.Is(err, context.Canceled) || interrupted):
 		j.snap.State = StateCancelled

@@ -9,6 +9,9 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
+
+	"uptimebroker/internal/obs"
 )
 
 // On-disk layout inside the data directory.
@@ -65,6 +68,11 @@ type File struct {
 		failSeq    uint64
 		failErr    error
 	}
+
+	// appendSeconds/fsyncSeconds time whole appends and individual WAL
+	// flushes; nil unless WithMetricsRegistry attached a registry.
+	appendSeconds *obs.Histogram
+	fsyncSeconds  *obs.Histogram
 }
 
 // FileOption customizes OpenFile.
@@ -90,6 +98,24 @@ func WithFsync() FileOption {
 // supersedes WithFsync when both are set.
 func WithGroupCommit() FileOption {
 	return func(f *File) { f.group = true }
+}
+
+// WithMetricsRegistry publishes WAL latency histograms on reg:
+// jobstore_wal_append_seconds times whole appends (including any wait
+// for a group-commit flush), jobstore_wal_fsync_seconds times the
+// individual disk flushes — under group commit one flush covers many
+// appends, which the two distributions together make visible.
+func WithMetricsRegistry(reg *obs.Registry) FileOption {
+	return func(f *File) {
+		if reg == nil {
+			return
+		}
+		buckets := obs.ExponentialBuckets(1e-6, 4, 11)
+		f.appendSeconds = reg.Histogram("jobstore_wal_append_seconds",
+			"Latency of WAL appends, including group-commit waits.", buckets)
+		f.fsyncSeconds = reg.Histogram("jobstore_wal_fsync_seconds",
+			"Latency of WAL fsync calls.", buckets)
+	}
 }
 
 // OpenFile opens (creating if needed) the data directory and recovers
@@ -171,6 +197,16 @@ func replayWAL(path string, st *state) error {
 
 // Append implements Backend: one JSON line per event.
 func (f *File) Append(ev Event) error {
+	if f.appendSeconds == nil {
+		return f.append(ev)
+	}
+	start := time.Now()
+	err := f.append(ev)
+	f.appendSeconds.ObserveSeconds(time.Since(start).Seconds())
+	return err
+}
+
+func (f *File) append(ev Event) error {
 	if err := ev.Validate(); err != nil {
 		return err
 	}
@@ -192,7 +228,7 @@ func (f *File) Append(ev Event) error {
 	f.writeSeq++
 	seq := f.writeSeq
 	if f.fsync && !f.group {
-		if err := f.wal.Sync(); err != nil {
+		if err := f.syncWAL(f.wal); err != nil {
 			f.mu.Unlock()
 			return fmt.Errorf("jobstore: syncing WAL: %w", err)
 		}
@@ -204,6 +240,17 @@ func (f *File) Append(ev Event) error {
 		return f.awaitFlush(seq)
 	}
 	return nil
+}
+
+// syncWAL flushes the WAL, timing the call when instrumented.
+func (f *File) syncWAL(wal *os.File) error {
+	if f.fsyncSeconds == nil {
+		return wal.Sync()
+	}
+	start := time.Now()
+	err := wal.Sync()
+	f.fsyncSeconds.ObserveSeconds(time.Since(start).Seconds())
+	return err
 }
 
 // awaitFlush blocks until a WAL flush covers write seq — leading the
@@ -238,7 +285,7 @@ func (f *File) awaitFlush(seq uint64) error {
 			var err error
 			if wal == nil {
 				err = errors.New("jobstore: backend closed")
-			} else if serr := wal.Sync(); serr != nil {
+			} else if serr := f.syncWAL(wal); serr != nil {
 				err = fmt.Errorf("jobstore: syncing WAL: %w", serr)
 			}
 

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// processStart is stamped at init and is what the
+// process_start_time_seconds gauge and uptime displays report.
+var processStart = time.Now()
+
+// ProcessStart returns when this process started (package init time).
+func ProcessStart() time.Time { return processStart }
+
+// BuildInfo identifies the running binary.
+type BuildInfo struct {
+	// Version is the main module's version: a tag or pseudo-version
+	// for released builds, "(devel)" for local ones.
+	Version string `json:"version"`
+
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+}
+
+// CurrentBuild reads the binary's build information.
+func CurrentBuild() BuildInfo {
+	info := BuildInfo{Version: "(devel)", GoVersion: runtime.Version()}
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	return info
+}
+
+// RegisterBuildInfo publishes the standard identity gauges: a
+// constant-1 build_info gauge carrying the version and Go toolchain
+// as labels (the Prometheus idiom for joining facts onto series), and
+// process_start_time_seconds as a Unix timestamp.
+func RegisterBuildInfo(r *Registry) {
+	b := CurrentBuild()
+	r.GaugeFunc("build_info",
+		"Build identity of the running broker; the value is always 1.",
+		func() float64 { return 1 },
+		L("version", b.Version), L("go_version", b.GoVersion))
+	r.GaugeFunc("process_start_time_seconds",
+		"Unix time the process started.",
+		func() float64 { return float64(processStart.UnixNano()) / 1e9 })
+}

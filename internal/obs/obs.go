@@ -1,0 +1,344 @@
+// Package obs is the broker's metrics subsystem: atomic counters,
+// gauges and fixed-bucket histograms behind one registry, with a
+// Prometheus text exposition and a JSON snapshot form for the SSE
+// metrics stream and the uptimectl dashboard.
+//
+// The package is dependency-free by design (the module vendors
+// nothing) and the observation hot path — Counter.Add,
+// Histogram.Observe — is lock-free and allocation-free, so
+// instruments can sit on the evaluation and WAL paths without
+// disturbing the zero-alloc pins the benchmarks enforce.
+//
+// Instruments are get-or-create: asking the registry twice for the
+// same (name, labels) returns the same instrument, so independent
+// subsystems can share a registry without coordinating registration
+// order. Callback instruments (CounterFunc, GaugeFunc) pull their
+// value at collection time from state another package already
+// maintains — the bridge that migrates the pre-existing mutex-guarded
+// counter structs (jobs.Metrics, reccache.Metrics) onto the registry
+// without rewriting them.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name=value dimension on a metric series.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Instrument kinds, as rendered in the exposition's # TYPE lines.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// atomicFloat is a float64 with atomic Add/Store/Load via bit-casts.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+func (f *atomicFloat) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Counter is a monotonically increasing count. The zero value is
+// ready to use; Add and Inc are lock-free and allocation-free.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n, which must be non-negative for the exposition to stay
+// a valid counter.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v atomicFloat }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.v.Store(v) }
+
+// Add moves the value by delta (negative deltas allowed).
+func (g *Gauge) Add(delta float64) { g.v.Add(delta) }
+
+// Inc and Dec move the value by one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v.Load() }
+
+// Histogram counts observations into fixed buckets. Observe is
+// lock-free and allocation-free; the bucket layout is immutable after
+// construction.
+type Histogram struct {
+	// bounds are the inclusive upper bounds, ascending; observations
+	// above the last land in the implicit +Inf bucket.
+	bounds []float64
+	// counts has len(bounds)+1 per-bucket (non-cumulative) tallies;
+	// the exposition renders them cumulatively.
+	counts []atomic.Uint64
+	sum    atomicFloat
+	count  atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveSeconds records a duration given in seconds — an alias of
+// Observe named for the call sites that time with time.Since.
+func (h *Histogram) ObserveSeconds(seconds float64) { h.Observe(seconds) }
+
+// Count returns how many observations the histogram has taken.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// DefBuckets are general-purpose latency buckets in seconds (the
+// Prometheus client default), suitable for request handling.
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// ExponentialBuckets returns count upper bounds starting at start and
+// multiplying by factor — the shape for latencies spanning orders of
+// magnitude (WAL fsyncs, solver runs).
+func ExponentialBuckets(start, factor float64, count int) []float64 {
+	if start <= 0 || factor <= 1 || count < 1 {
+		panic(fmt.Sprintf("obs: invalid exponential buckets (start=%g factor=%g count=%d)", start, factor, count))
+	}
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// series is one labeled member of a family: exactly one of the
+// instrument fields is set. fn-backed series are read at collection.
+type series struct {
+	labels []Label
+	// key is the rendered, sorted `a="b",c="d"` label set (no braces);
+	// empty for the unlabeled series.
+	key     string
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64
+	hist    *Histogram
+}
+
+// family groups every series sharing a metric name.
+type family struct {
+	name string
+	help string
+	typ  string
+
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// Registry holds the process's metric families. The zero value is
+// not usable; construct with NewRegistry. All methods are safe for
+// concurrent use, including collection concurrent with registration
+// and observation.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// familyFor returns the named family, creating it on first use and
+// panicking when the name is already registered under another type —
+// a programmer error no test should let ship.
+func (r *Registry) familyFor(name, help, typ string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, series: make(map[string]*series)}
+		r.families[name] = f
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.typ, typ))
+	}
+	return f
+}
+
+// seriesFor returns the family's series for the label set, creating
+// it with mk on first use.
+func (f *family) seriesFor(labels []Label, mk func() *series) *series {
+	key := labelKey(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := mk()
+	s.labels = sortedLabels(labels)
+	s.key = key
+	f.series[key] = s
+	return s
+}
+
+// Counter returns the counter for (name, labels), creating it on
+// first use. By convention counter names end in _total.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.familyFor(name, help, typeCounter).seriesFor(labels, func() *series {
+		return &series{counter: &Counter{}}
+	})
+	if s.counter == nil {
+		panic(fmt.Sprintf("obs: counter %q%s already registered as a callback", name, bracedKey(labelKey(labels))))
+	}
+	return s.counter
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first
+// use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.familyFor(name, help, typeGauge).seriesFor(labels, func() *series {
+		return &series{gauge: &Gauge{}}
+	})
+	if s.gauge == nil {
+		panic(fmt.Sprintf("obs: gauge %q%s already registered as a callback", name, bracedKey(labelKey(labels))))
+	}
+	return s.gauge
+}
+
+// CounterFunc registers a counter whose value is pulled from fn at
+// collection time — the bridge for counters another package already
+// maintains. Re-registering the same (name, labels) replaces the
+// callback (the latest owner of the underlying state wins, e.g. a
+// reopened job store).
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.registerFunc(name, help, typeCounter, fn, labels)
+}
+
+// GaugeFunc registers a gauge whose value is pulled from fn at
+// collection time. Re-registering replaces the callback.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.registerFunc(name, help, typeGauge, fn, labels)
+}
+
+func (r *Registry) registerFunc(name, help, typ string, fn func() float64, labels []Label) {
+	if fn == nil {
+		panic(fmt.Sprintf("obs: nil callback for metric %q", name))
+	}
+	f := r.familyFor(name, help, typ)
+	key := labelKey(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		if s.fn == nil {
+			panic(fmt.Sprintf("obs: metric %q%s already registered as a direct instrument", name, bracedKey(key)))
+		}
+		s.fn = fn
+		return
+	}
+	f.series[key] = &series{labels: sortedLabels(labels), key: key, fn: fn}
+}
+
+// Histogram returns the histogram for (name, labels), creating it
+// with the given bucket upper bounds on first use (later calls reuse
+// the first registration's buckets).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q buckets not strictly ascending", name))
+		}
+	}
+	s := r.familyFor(name, help, typeHistogram).seriesFor(labels, func() *series {
+		bounds := append([]float64(nil), buckets...)
+		return &series{hist: &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}}
+	})
+	if s.hist == nil {
+		panic(fmt.Sprintf("obs: histogram %q%s already registered as another kind", name, bracedKey(labelKey(labels))))
+	}
+	return s.hist
+}
+
+// sortedLabels returns a name-sorted copy of labels.
+func sortedLabels(labels []Label) []Label {
+	if len(labels) == 0 {
+		return nil
+	}
+	out := append([]Label(nil), labels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// labelKey renders the sorted `a="b",c="d"` form used both as the
+// series map key and (braced) in the exposition.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	sorted := sortedLabels(labels)
+	var b strings.Builder
+	for i, l := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// bracedKey wraps a non-empty label key in braces for messages and
+// sample lines.
+func bracedKey(key string) string {
+	if key == "" {
+		return ""
+	}
+	return "{" + key + "}"
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text
+// format: backslash, double quote and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}

@@ -1,0 +1,285 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "Requests.")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+
+	g := r.Gauge("depth", "Depth.")
+	g.Set(3)
+	g.Inc()
+	g.Dec()
+	g.Add(-0.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %g, want 2.5", got)
+	}
+}
+
+func TestGetOrCreateIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("hits_total", "Hits.", L("route", "/v1/recommend"))
+	b := r.Counter("hits_total", "Hits.", L("route", "/v1/recommend"))
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	other := r.Counter("hits_total", "Hits.", L("route", "/v1/pareto"))
+	if a == other {
+		t.Fatal("distinct label sets shared a counter")
+	}
+
+	// Label order must not matter for identity.
+	h1 := r.Histogram("lat_seconds", "Latency.", nil, L("a", "1"), L("b", "2"))
+	h2 := r.Histogram("lat_seconds", "Latency.", nil, L("b", "2"), L("a", "1"))
+	if h1 != h2 {
+		t.Fatal("label order changed histogram identity")
+	}
+}
+
+func TestTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "X.")
+	assertPanics(t, "family type conflict", func() { r.Gauge("x_total", "X.") })
+	assertPanics(t, "callback over direct", func() {
+		r.CounterFunc("x_total", "X.", func() float64 { return 0 })
+	})
+	r.GaugeFunc("cb", "CB.", func() float64 { return 1 })
+	assertPanics(t, "direct over callback", func() { r.Gauge("cb", "CB.") })
+	assertPanics(t, "nil callback", func() { r.GaugeFunc("nilfn", "N.", nil) })
+	assertPanics(t, "unsorted buckets", func() {
+		r.Histogram("bad", "B.", []float64{1, 1})
+	})
+	assertPanics(t, "bad exponential", func() { ExponentialBuckets(0, 2, 3) })
+}
+
+func assertPanics(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestCallbackReplacement(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("owner", "O.", func() float64 { return 1 })
+	r.GaugeFunc("owner", "O.", func() float64 { return 2 })
+	if got := r.Snapshot().Value("owner"); got != 2 {
+		t.Fatalf("callback value = %g, want 2 (latest registration wins)", got)
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "H.", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 106 {
+		t.Fatalf("sum = %g, want 106", h.Sum())
+	}
+	snap := r.Snapshot()
+	fam, ok := snap.Family("h")
+	if !ok {
+		t.Fatal("family h missing from snapshot")
+	}
+	s := fam.Series[0]
+	want := []Bucket{{LE: 1, Count: 2}, {LE: 2, Count: 3}, {LE: 4, Count: 4}}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %v, want %v", s.Buckets, want)
+	}
+	for i, b := range want {
+		if s.Buckets[i] != b {
+			t.Fatalf("bucket[%d] = %+v, want %+v", i, s.Buckets[i], b)
+		}
+	}
+	if s.Count != 5 {
+		t.Fatalf("series count = %d, want 5", s.Count)
+	}
+}
+
+func TestSnapshotHelpers(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "C.", L("k", "a")).Add(3)
+	r.Counter("c_total", "C.", L("k", "b")).Add(4)
+	snap := r.Snapshot()
+	if got := snap.Value("c_total"); got != 7 {
+		t.Fatalf("Value = %g, want 7", got)
+	}
+	if got := snap.Value("absent"); got != 0 {
+		t.Fatalf("Value(absent) = %g, want 0", got)
+	}
+
+	h1 := r.Histogram("lat", "L.", []float64{1, 2}, L("r", "x"))
+	h2 := r.Histogram("lat", "L.", []float64{1, 2}, L("r", "y"))
+	h1.Observe(0.5)
+	h2.Observe(1.5)
+	fam, _ := r.Snapshot().Family("lat")
+	m := fam.Merged()
+	if m.Count != 2 || m.Sum != 2 {
+		t.Fatalf("merged count/sum = %d/%g, want 2/2", m.Count, m.Sum)
+	}
+	if m.Buckets[0].Count != 1 || m.Buckets[1].Count != 2 {
+		t.Fatalf("merged buckets = %v", m.Buckets)
+	}
+}
+
+func TestDelta(t *testing.T) {
+	prev := Series{Sum: 10, Count: 4, Buckets: []Bucket{{LE: 1, Count: 2}, {LE: 2, Count: 4}}}
+	cur := Series{Sum: 16, Count: 7, Buckets: []Bucket{{LE: 1, Count: 3}, {LE: 2, Count: 7}}}
+	d := Delta(cur, prev)
+	if d.Sum != 6 || d.Count != 3 {
+		t.Fatalf("delta sum/count = %g/%d, want 6/3", d.Sum, d.Count)
+	}
+	if d.Buckets[0].Count != 1 || d.Buckets[1].Count != 3 {
+		t.Fatalf("delta buckets = %v", d.Buckets)
+	}
+
+	// A counter reset (cur < prev) clamps to the current window.
+	reset := Delta(prev, cur)
+	if reset.Count != 4 || reset.Sum != 10 {
+		t.Fatalf("reset delta = %+v, want current-window values", reset)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := Series{Count: 100, Buckets: []Bucket{
+		{LE: 0.1, Count: 50},
+		{LE: 0.2, Count: 90},
+		{LE: 0.4, Count: 100},
+	}}
+	if got := Quantile(0.5, s); got != 0.1 {
+		t.Fatalf("p50 = %g, want 0.1", got)
+	}
+	// p75: rank 75 lies in (0.1, 0.2]; 25/40 of the way through.
+	if got := Quantile(0.75, s); math.Abs(got-0.1625) > 1e-9 {
+		t.Fatalf("p75 = %g, want 0.1625", got)
+	}
+	if got := Quantile(1, s); got != 0.4 {
+		t.Fatalf("p100 = %g, want 0.4", got)
+	}
+	if got := Quantile(0.5, Series{}); !math.IsNaN(got) {
+		t.Fatalf("empty quantile = %g, want NaN", got)
+	}
+
+	// Quantile falling in the +Inf bucket returns the last finite bound.
+	inf := Series{Count: 10, Buckets: []Bucket{{LE: 1, Count: 2}}}
+	if got := Quantile(0.99, inf); got != 1 {
+		t.Fatalf("+Inf-bucket quantile = %g, want 1", got)
+	}
+}
+
+func TestBuildInfo(t *testing.T) {
+	b := CurrentBuild()
+	if b.GoVersion == "" {
+		t.Fatal("empty GoVersion")
+	}
+	if ProcessStart().IsZero() || ProcessStart().After(time.Now()) {
+		t.Fatalf("implausible process start %v", ProcessStart())
+	}
+	r := NewRegistry()
+	RegisterBuildInfo(r)
+	snap := r.Snapshot()
+	fam, ok := snap.Family("build_info")
+	if !ok || len(fam.Series) != 1 || fam.Series[0].Value != 1 {
+		t.Fatalf("build_info family = %+v", fam)
+	}
+	if fam.Series[0].Labels["go_version"] == "" {
+		t.Fatal("build_info missing go_version label")
+	}
+	if snap.Value("process_start_time_seconds") <= 0 {
+		t.Fatal("process_start_time_seconds not positive")
+	}
+}
+
+// TestConcurrentScrape races observation, registration and collection;
+// run under -race it is the data-race canary for the whole package.
+func TestConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("ops_total", "Ops.", L("w", string(rune('a'+w))))
+			h := r.Histogram("op_seconds", "Op time.", nil)
+			g := r.Gauge("busy", "Busy.")
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				h.Observe(float64(i%100) / 1000)
+				g.Set(float64(i % 10))
+			}
+		}(w)
+	}
+	deadline := time.Now().Add(50 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatalf("WritePrometheus: %v", err)
+		}
+		r.Snapshot()
+	}
+	close(stop)
+	wg.Wait()
+
+	// After quiescence the exposition invariants must hold exactly.
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	checkExposition(t, sb.String())
+}
+
+func TestObserveAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "C.")
+	h := r.Histogram("h_seconds", "H.", nil)
+	g := r.Gauge("g", "G.")
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Fatalf("Counter.Inc allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.017) }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(3) }); n != 0 {
+		t.Fatalf("Gauge.Set allocates %v/op, want 0", n)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "B.")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "B.", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.042)
+	}
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Content-Type for the text exposition format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): a # HELP and # TYPE line per
+// family, counter/gauge samples as name{labels} value, histograms as
+// cumulative _bucket series with an explicit le="+Inf" plus _sum and
+// _count. Families and series render in sorted order, so the output
+// is deterministic for golden tests and diffs.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.typ)
+		bw.WriteByte('\n')
+		for _, s := range f.sortedSeries() {
+			switch {
+			case s.counter != nil:
+				writeSample(bw, f.name, s.key, "", strconv.FormatInt(s.counter.Value(), 10))
+			case s.gauge != nil:
+				writeSample(bw, f.name, s.key, "", formatFloat(s.gauge.Value()))
+			case s.fn != nil:
+				writeSample(bw, f.name, s.key, "", formatFloat(s.fn()))
+			case s.hist != nil:
+				cum := uint64(0)
+				for i, le := range s.hist.bounds {
+					cum += s.hist.counts[i].Load()
+					writeSample(bw, f.name+"_bucket", s.key, `le="`+formatFloat(le)+`"`, strconv.FormatUint(cum, 10))
+				}
+				// The +Inf bucket re-reads the total rather than adding
+				// the overflow bucket to cum: concurrent Observes may
+				// have advanced buckets already rendered, and the text
+				// format only requires le="+Inf" to equal _count.
+				count := s.hist.Count()
+				writeSample(bw, f.name+"_bucket", s.key, `le="+Inf"`, strconv.FormatUint(count, 10))
+				writeSample(bw, f.name+"_sum", s.key, "", formatFloat(s.hist.Sum()))
+				writeSample(bw, f.name+"_count", s.key, "", strconv.FormatUint(count, 10))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample emits one sample line, merging the series label key
+// with an extra label (the histogram le).
+func writeSample(w *bufio.Writer, name, key, extra, value string) {
+	w.WriteString(name)
+	if key != "" || extra != "" {
+		w.WriteByte('{')
+		w.WriteString(key)
+		if key != "" && extra != "" {
+			w.WriteByte(',')
+		}
+		w.WriteString(extra)
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(value)
+	w.WriteByte('\n')
+}
+
+// formatFloat renders a float per the text format: shortest
+// round-trip representation, with the special values spelled +Inf,
+// -Inf and NaN.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP text: backslash and newline.
+func escapeHelp(h string) string {
+	if !strings.ContainsAny(h, "\\\n") {
+		return h
+	}
+	return strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace(h)
+}

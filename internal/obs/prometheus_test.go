@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs_done_total", "Jobs completed.").Add(3)
+	r.Counter("http_requests_total", "Requests.", L("route", "/v1/recommend")).Add(7)
+	r.Counter("http_requests_total", "Requests.", L("route", "/v1/pareto")).Add(2)
+	r.Gauge("jobs_queue_depth", "Queued jobs.").Set(4)
+	r.GaugeFunc("catalog_epoch", "Catalog epoch.", func() float64 { return 12 })
+	h := r.Histogram("rt_seconds", "Round trip.", []float64{0.1, 0.5})
+	h.Observe(0.05)
+	h.Observe(0.25)
+	h.Observe(2)
+	r.Gauge("weird", "W.", L("q", "a\"b\\c\nd")).Set(1)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+
+	want := strings.Join([]string{
+		`# HELP catalog_epoch Catalog epoch.`,
+		`# TYPE catalog_epoch gauge`,
+		`catalog_epoch 12`,
+		`# HELP http_requests_total Requests.`,
+		`# TYPE http_requests_total counter`,
+		`http_requests_total{route="/v1/pareto"} 2`,
+		`http_requests_total{route="/v1/recommend"} 7`,
+		`# HELP jobs_done_total Jobs completed.`,
+		`# TYPE jobs_done_total counter`,
+		`jobs_done_total 3`,
+		`# HELP jobs_queue_depth Queued jobs.`,
+		`# TYPE jobs_queue_depth gauge`,
+		`jobs_queue_depth 4`,
+		`# HELP rt_seconds Round trip.`,
+		`# TYPE rt_seconds histogram`,
+		`rt_seconds_bucket{le="0.1"} 1`,
+		`rt_seconds_bucket{le="0.5"} 2`,
+		`rt_seconds_bucket{le="+Inf"} 3`,
+		`rt_seconds_sum 2.3`,
+		`rt_seconds_count 3`,
+		`# HELP weird W.`,
+		`# TYPE weird gauge`,
+		`weird{q="a\"b\\c\nd"} 1`,
+		``,
+	}, "\n")
+	if got != want {
+		t.Fatalf("exposition mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	checkExposition(t, got)
+}
+
+// checkExposition validates the structural rules of the text format:
+// every sample belongs to a # TYPE'd family declared before it,
+// histogram buckets are cumulative (monotone non-decreasing), the
+// le="+Inf" bucket equals _count, and _sum/_count are present.
+func checkExposition(t *testing.T, text string) {
+	t.Helper()
+	type histState struct {
+		last    uint64
+		infSeen bool
+		inf     uint64
+		count   uint64
+		hasSum  bool
+		hasCnt  bool
+	}
+	typed := map[string]string{}
+	hists := map[string]*histState{}
+	var current string
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("line %d: malformed TYPE line %q", ln+1, line)
+			}
+			name, typ := parts[2], parts[3]
+			if _, dup := typed[name]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %s", ln+1, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: unknown type %q", ln+1, typ)
+			}
+			typed[name] = typ
+			current = name
+			continue
+		}
+		name := line
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		} else if i := strings.IndexByte(name, ' '); i >= 0 {
+			name = name[:i]
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suf)
+			if trimmed != name && typed[trimmed] == "histogram" {
+				base = trimmed
+			}
+		}
+		if base != current {
+			t.Fatalf("line %d: sample %q outside its TYPE block (current %q)", ln+1, name, current)
+		}
+		if typed[base] != "histogram" {
+			continue
+		}
+		// Histogram structural checks keyed by base name + label key
+		// (ignoring le), so multi-series families validate per series.
+		hkey := base + "|" + labelsSansLE(line)
+		st := hists[hkey]
+		if st == nil {
+			st = &histState{}
+			hists[hkey] = st
+		}
+		val := line[strings.LastIndexByte(line, ' ')+1:]
+		switch {
+		case strings.HasPrefix(name, base) && strings.HasSuffix(name, "_bucket"):
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				t.Fatalf("line %d: bucket value %q: %v", ln+1, val, err)
+			}
+			if strings.Contains(line, `le="+Inf"`) {
+				st.infSeen = true
+				st.inf = n
+			} else {
+				if st.infSeen {
+					t.Fatalf("line %d: finite bucket after +Inf", ln+1)
+				}
+				if n < st.last {
+					t.Fatalf("line %d: bucket counts not cumulative (%d < %d)", ln+1, n, st.last)
+				}
+				st.last = n
+			}
+		case strings.HasSuffix(name, "_sum"):
+			st.hasSum = true
+		case strings.HasSuffix(name, "_count"):
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				t.Fatalf("line %d: count value %q: %v", ln+1, val, err)
+			}
+			st.hasCnt = true
+			st.count = n
+		}
+	}
+	keys := make([]string, 0, len(hists))
+	for k := range hists {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		st := hists[k]
+		if !st.infSeen || !st.hasSum || !st.hasCnt {
+			t.Fatalf("histogram %s missing +Inf/_sum/_count (%+v)", k, st)
+		}
+		if st.inf != st.count {
+			t.Fatalf("histogram %s: le=\"+Inf\" (%d) != _count (%d)", k, st.inf, st.count)
+		}
+		if st.last > st.inf {
+			t.Fatalf("histogram %s: finite bucket %d exceeds +Inf %d", k, st.last, st.inf)
+		}
+	}
+}
+
+// labelsSansLE extracts the label block of a sample line with any le
+// label removed — the per-series key for histogram validation.
+func labelsSansLE(line string) string {
+	open := strings.IndexByte(line, '{')
+	if open < 0 {
+		return ""
+	}
+	close := strings.IndexByte(line, '}')
+	if close < open {
+		return ""
+	}
+	parts := strings.Split(line[open+1:close], ",")
+	kept := parts[:0]
+	for _, p := range parts {
+		if !strings.HasPrefix(p, `le="`) {
+			kept = append(kept, p)
+		}
+	}
+	return strings.Join(kept, ",")
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0.25: "0.25",
+		1:    "1",
+		1e9:  "1e+09",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%g) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Snapshot is a point-in-time JSON-friendly copy of a registry's
+// contents — the payload of the SSE metrics stream and the input the
+// uptimectl dashboard diffs between frames.
+type Snapshot struct {
+	// Time stamps the collection.
+	Time time.Time `json:"time"`
+
+	// Families lists every metric family, sorted by name.
+	Families []Family `json:"families"`
+}
+
+// Family is one metric name with its type and series.
+type Family struct {
+	Name string `json:"name"`
+
+	// Type is "counter", "gauge" or "histogram".
+	Type string `json:"type"`
+
+	Help string `json:"help,omitempty"`
+
+	// Series lists the labeled members, sorted by label key.
+	Series []Series `json:"series"`
+}
+
+// Series is one labeled member of a family. Counters and gauges carry
+// Value; histograms carry Buckets/Sum/Count (JSON cannot encode +Inf,
+// so the implicit +Inf bucket is omitted — its cumulative count is
+// Count).
+type Series struct {
+	Labels map[string]string `json:"labels,omitempty"`
+
+	Value float64 `json:"value"`
+
+	// Buckets are cumulative counts per upper bound, ascending.
+	Buckets []Bucket `json:"buckets,omitempty"`
+	Sum     float64  `json:"sum,omitempty"`
+	Count   uint64   `json:"count,omitempty"`
+}
+
+// Bucket is one cumulative histogram bucket.
+type Bucket struct {
+	// LE is the inclusive upper bound in the observed unit.
+	LE float64 `json:"le"`
+
+	// Count is the cumulative number of observations at or below LE.
+	Count uint64 `json:"count"`
+}
+
+// Snapshot collects the registry's current values. It is safe to call
+// concurrently with observation and registration; each series is read
+// atomically but the snapshot as a whole is not a consistent cut
+// (metrics move while it is taken, as with any scrape).
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{Time: time.Now()}
+	for _, f := range r.sortedFamilies() {
+		fam := Family{Name: f.name, Type: f.typ, Help: f.help}
+		for _, s := range f.sortedSeries() {
+			out := Series{}
+			if len(s.labels) > 0 {
+				out.Labels = make(map[string]string, len(s.labels))
+				for _, l := range s.labels {
+					out.Labels[l.Name] = l.Value
+				}
+			}
+			switch {
+			case s.counter != nil:
+				out.Value = float64(s.counter.Value())
+			case s.gauge != nil:
+				out.Value = s.gauge.Value()
+			case s.fn != nil:
+				out.Value = s.fn()
+			case s.hist != nil:
+				out.Buckets = make([]Bucket, len(s.hist.bounds))
+				cum := uint64(0)
+				for i, le := range s.hist.bounds {
+					cum += s.hist.counts[i].Load()
+					out.Buckets[i] = Bucket{LE: le, Count: cum}
+				}
+				out.Sum = s.hist.Sum()
+				out.Count = s.hist.Count()
+			}
+			fam.Series = append(fam.Series, out)
+		}
+		snap.Families = append(snap.Families, fam)
+	}
+	return snap
+}
+
+// sortedFamilies returns the families ordered by name.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	out := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// sortedSeries returns the family's series ordered by label key.
+func (f *family) sortedSeries() []*series {
+	f.mu.Lock()
+	out := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		out = append(out, s)
+	}
+	f.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+// Family returns the named family, if present.
+func (s Snapshot) Family(name string) (Family, bool) {
+	for _, f := range s.Families {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Family{}, false
+}
+
+// Total sums the family's series values — the all-labels total of a
+// counter or gauge family. Histogram families total zero; use Merged.
+func (f Family) Total() float64 {
+	t := 0.0
+	for _, s := range f.Series {
+		t += s.Value
+	}
+	return t
+}
+
+// Value returns the family's all-series total, or 0 when the family
+// is absent — the one-liner dashboards want.
+func (s Snapshot) Value(name string) float64 {
+	f, ok := s.Family(name)
+	if !ok {
+		return 0
+	}
+	return f.Total()
+}
+
+// Merged folds a histogram family's series into one: cumulative
+// bucket counts, sums and counts added pointwise. Series with
+// differing bucket layouts contribute their counts only (every
+// histogram a family shares a registry-enforced layout, so in
+// practice the buckets align).
+func (f Family) Merged() Series {
+	var out Series
+	for _, s := range f.Series {
+		out.Sum += s.Sum
+		out.Count += s.Count
+		if len(out.Buckets) == 0 {
+			out.Buckets = append([]Bucket(nil), s.Buckets...)
+			continue
+		}
+		if len(s.Buckets) == len(out.Buckets) {
+			for i := range out.Buckets {
+				out.Buckets[i].Count += s.Buckets[i].Count
+			}
+		}
+	}
+	return out
+}
+
+// Delta returns cur minus prev for one histogram series: the
+// observations that arrived between two snapshots. Counts clamp at
+// zero, so a counter reset (process restart) degrades to the current
+// window instead of going negative.
+func Delta(cur, prev Series) Series {
+	out := Series{Labels: cur.Labels}
+	out.Sum = cur.Sum - prev.Sum
+	if out.Sum < 0 {
+		out.Sum = cur.Sum
+	}
+	out.Count = subClamp(cur.Count, prev.Count)
+	out.Buckets = make([]Bucket, len(cur.Buckets))
+	for i, b := range cur.Buckets {
+		c := b.Count
+		if i < len(prev.Buckets) && prev.Buckets[i].LE == b.LE {
+			c = subClamp(b.Count, prev.Buckets[i].Count)
+		}
+		out.Buckets[i] = Bucket{LE: b.LE, Count: c}
+	}
+	return out
+}
+
+func subClamp(a, b uint64) uint64 {
+	if b > a {
+		return a
+	}
+	return a - b
+}
+
+// Quantile estimates the q-th quantile (q in [0, 1]) of a histogram
+// series by linear interpolation within the containing bucket — the
+// standard Prometheus histogram_quantile estimate. It returns NaN
+// when the series has no observations, and the last finite bound when
+// the quantile falls in the +Inf bucket (the estimate cannot exceed
+// what the layout can resolve).
+func Quantile(q float64, s Series) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	lower := 0.0
+	prevCount := uint64(0)
+	for _, b := range s.Buckets {
+		if float64(b.Count) >= rank {
+			in := b.Count - prevCount
+			if in == 0 {
+				return b.LE
+			}
+			frac := (rank - float64(prevCount)) / float64(in)
+			return lower + (b.LE-lower)*frac
+		}
+		lower = b.LE
+		prevCount = b.Count
+	}
+	return s.Buckets[len(s.Buckets)-1].LE
+}
