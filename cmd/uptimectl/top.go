@@ -84,8 +84,9 @@ func renderTop(w *os.File, server string, snap obs.Snapshot, prev *obs.Snapshot)
 		snap.Value("jobs_running"), snap.Value("jobs_queue_depth"), rate("jobs_done_total"),
 		snap.Value("jobs_submitted_total"), snap.Value("jobs_done_total"), snap.Value("jobs_failed_total"))
 
-	line("solver   %s evals/s   %.0f total evaluations   %.1f runs/s",
-		humanRate(rate("broker_evaluations_total")), snap.Value("broker_evaluations_total"), rate("solver_runs_total"))
+	line("solver   %s evals/s   %s lookups/s   %.0f total evaluations   %.0f clipped   %.1f runs/s",
+		humanRate(rate("broker_evaluations_total")), humanRate(rate("solver_cover_lookups_total")),
+		snap.Value("broker_evaluations_total"), snap.Value("solver_clipped_total"), rate("solver_runs_total"))
 
 	hits, misses, shared := snap.Value("reccache_hits_total"), snap.Value("reccache_misses_total"), snap.Value("reccache_shared_total")
 	if total := hits + misses + shared; total > 0 {

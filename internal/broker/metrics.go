@@ -22,10 +22,12 @@ type engineMetrics struct {
 
 // solverMetrics is one strategy's run/throughput series.
 type solverMetrics struct {
-	runs      *obs.Counter
-	evaluated *obs.Counter
-	skipped   *obs.Counter
-	seconds   *obs.Histogram
+	runs         *obs.Counter
+	evaluated    *obs.Counter
+	skipped      *obs.Counter
+	coverLookups *obs.Counter
+	clipped      *obs.Counter
+	seconds      *obs.Histogram
 }
 
 // solverFor returns the strategy's series, creating them on first use.
@@ -39,10 +41,12 @@ func (m *engineMetrics) solverFor(strategy string) *solverMetrics {
 	}
 	l := obs.L("strategy", strategy)
 	s := &solverMetrics{
-		runs:      m.reg.Counter("solver_runs_total", "Completed solver runs per strategy.", l),
-		evaluated: m.reg.Counter("solver_evaluated_total", "Candidates the solver priced, per strategy.", l),
-		skipped:   m.reg.Counter("solver_skipped_total", "Candidates clipped without pricing, per strategy.", l),
-		seconds:   m.reg.Histogram("solver_run_seconds", "End-to-end recommendation search time per strategy.", obs.ExponentialBuckets(0.0001, 4, 12), l),
+		runs:         m.reg.Counter("solver_runs_total", "Completed solver runs per strategy.", l),
+		evaluated:    m.reg.Counter("solver_evaluated_total", "Candidates the solver priced, per strategy.", l),
+		skipped:      m.reg.Counter("solver_skipped_total", "Candidates clipped without pricing, per strategy.", l),
+		coverLookups: m.reg.Counter("solver_cover_lookups_total", "Superset-index lookups the solver performed, per strategy.", l),
+		clipped:      m.reg.Counter("solver_clipped_total", "Candidates clipped by a covering SLA-meeting assignment, per strategy.", l),
+		seconds:      m.reg.Histogram("solver_run_seconds", "End-to-end recommendation search time per strategy.", obs.ExponentialBuckets(0.0001, 4, 12), l),
 	}
 	m.solvers[strategy] = s
 	return s
@@ -50,13 +54,17 @@ func (m *engineMetrics) solverFor(strategy string) *solverMetrics {
 
 // observeRun records one completed recommendation: total candidate
 // evaluations across pricing and search, the strategy's search
-// statistics, and the run's wall time.
-func (m *engineMetrics) observeRun(strategy string, evaluated, skipped int64, seconds float64) {
+// statistics (including superset-index lookups and cover clips), and
+// the run's wall time. One bulk add per run — the per-candidate hot
+// loop stays uninstrumented.
+func (m *engineMetrics) observeRun(strategy string, evaluated, skipped, coverLookups, clipped int64, seconds float64) {
 	m.evaluations.Add(evaluated)
 	s := m.solverFor(strategy)
 	s.runs.Inc()
 	s.evaluated.Add(evaluated)
 	s.skipped.Add(skipped)
+	s.coverLookups.Add(coverLookups)
+	s.clipped.Add(clipped)
 	s.seconds.Observe(seconds)
 }
 

@@ -173,6 +173,15 @@ type SearchStats struct {
 	// bound could not win).
 	Skipped int `json:"skipped"`
 
+	// CoverLookups is how many superset-index lookups the search
+	// performed (zero for the exhaustive strategy).
+	CoverLookups int `json:"cover_lookups"`
+
+	// Clipped is how many permutations were clipped specifically by a
+	// covering SLA-meeting assignment — a subset of Skipped, which for
+	// branch-and-bound also counts bound-clipped subtrees.
+	Clipped int `json:"clipped"`
+
 	// Strategy is the concrete solver that ran: "auto" requests echo
 	// what the heuristic resolved to.
 	Strategy string `json:"strategy"`
@@ -370,6 +379,8 @@ func (e *Engine) recommend(ctx context.Context, req Request) (*Recommendation, e
 		}
 		rec.Search.Evaluated = searched.Evaluated
 		rec.Search.Skipped = searched.Skipped
+		rec.Search.CoverLookups = searched.CoverLookups
+		rec.Search.Clipped = searched.Clipped
 		rec.Search.Strategy = searched.Strategy
 	}
 
@@ -405,7 +416,8 @@ func (e *Engine) recommend(ctx context.Context, req Request) (*Recommendation, e
 		if resolved != optimize.StrategyExhaustive {
 			evals += int64(rec.Search.Evaluated)
 		}
-		m.observeRun(rec.Search.Strategy, evals, int64(rec.Search.Skipped), time.Since(start).Seconds())
+		m.observeRun(rec.Search.Strategy, evals, int64(rec.Search.Skipped),
+			int64(rec.Search.CoverLookups), int64(rec.Search.Clipped), time.Since(start).Seconds())
 	}
 	return rec, nil
 }

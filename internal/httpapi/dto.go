@@ -90,10 +90,12 @@ type OptionCardDTO struct {
 // Strategy echoes the concrete solver that ran ("auto" requests see
 // what the heuristic resolved to).
 type SearchStatsDTO struct {
-	SpaceSize int    `json:"space_size"`
-	Evaluated int    `json:"evaluated"`
-	Skipped   int    `json:"skipped"`
-	Strategy  string `json:"strategy,omitempty"`
+	SpaceSize    int    `json:"space_size"`
+	Evaluated    int    `json:"evaluated"`
+	Skipped      int    `json:"skipped"`
+	CoverLookups int    `json:"cover_lookups,omitempty"`
+	Clipped      int    `json:"clipped,omitempty"`
+	Strategy     string `json:"strategy,omitempty"`
 }
 
 // RecommendationResponse is the wire form of broker.Recommendation.
@@ -149,10 +151,12 @@ func FromRecommendation(rec *broker.Recommendation) RecommendationResponse {
 		AsIsOption:     rec.AsIsOption,
 		SavingsPercent: rec.SavingsFraction * 100,
 		Search: SearchStatsDTO{
-			SpaceSize: rec.Search.SpaceSize,
-			Evaluated: rec.Search.Evaluated,
-			Skipped:   rec.Search.Skipped,
-			Strategy:  rec.Search.Strategy,
+			SpaceSize:    rec.Search.SpaceSize,
+			Evaluated:    rec.Search.Evaluated,
+			Skipped:      rec.Search.Skipped,
+			CoverLookups: rec.Search.CoverLookups,
+			Clipped:      rec.Search.Clipped,
+			Strategy:     rec.Search.Strategy,
 		},
 	}
 }

@@ -13,6 +13,15 @@ import (
 // the trie index was built for.
 const BenchSLAPercent = 94.4
 
+// BenchSLADeepPercent is the denser adversarial variant of the same
+// instance: 95.4% sits between the level-7 (95.291%) and level-8
+// (95.672%) uptime rungs of the symmetric n=19 ladder, so the minimal
+// met level is 8 — C(19,8) = 75582 met assignments, a ~6.5x larger
+// superset index than BenchSLAPercent's, with every level above 8
+// clipped through it. It stresses cover lookups against a deep, wide
+// trie where checkpointed suffix walks matter most.
+const BenchSLADeepPercent = 95.4
+
 // BenchProblem builds the canonical benchmark instance shared by this
 // package's benchmarks and the benchreport suite: n symmetric
 // components with one no-HA baseline and one two-node HA variant

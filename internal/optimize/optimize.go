@@ -224,6 +224,16 @@ type Result struct {
 	// branch-and-bound searches; zero for exhaustive).
 	Skipped int
 
+	// CoverLookups counts superset-index lookups performed (one per
+	// leaf reached by the pruned and branch-and-bound searches; zero
+	// for exhaustive).
+	CoverLookups int
+
+	// Clipped counts candidates clipped because a recorded SLA-meeting
+	// assignment covered them. It is a subset of Skipped, which for
+	// branch-and-bound also includes bound-clipped subtrees.
+	Clipped int
+
 	// Strategy is the name of the concrete solver that produced the
 	// result when it came through Solve ("auto" resolves to the
 	// strategy the heuristic picked); empty for direct method calls.

@@ -80,13 +80,16 @@ feed:
 
 // mergeResults folds shard results with the same ordering rules the
 // sequential searches apply, so the merged optimum is independent of
-// shard completion order. Evaluated/Skipped accounting always sums;
-// Best only considers shards that evaluated anything.
+// shard completion order. Evaluated/Skipped/CoverLookups/Clipped
+// accounting always sums; Best only considers shards that evaluated
+// anything.
 func mergeResults(results []Result) Result {
 	var merged Result
 	seen := false
 	for _, r := range results {
 		merged.Skipped += r.Skipped
+		merged.CoverLookups += r.CoverLookups
+		merged.Clipped += r.Clipped
 		if r.Evaluated == 0 {
 			continue
 		}
@@ -156,6 +159,11 @@ func (p *Problem) ParallelPruned() (Result, error) {
 // — Evaluated, Skipped, Best and BestNoPenalty are all identical,
 // which the equivalence tests assert.
 //
+// The frozen index is the flat arena trie of flatindex.go: workers
+// share the arena read-only (no per-level copy or rebuild) and carry
+// private checkpointed walkers, so each worker's lookups amortize its
+// own task's changed suffixes without sharing any mutable state.
+//
 // Work distribution is dynamic (work-stealing over a task channel):
 // each level is split into prefix tasks — the first splitDepth
 // component choices pinned — and idle workers pull the next prefix, so
@@ -177,7 +185,7 @@ func (p *Problem) ParallelPrunedContext(ctx context.Context, workers int) (Resul
 	}
 
 	n := len(p.Components)
-	ix := newMetIndex(p)
+	ix := newFlatMetIndex(p)
 	st := newSharedTicker(ctx, p)
 	var res Result
 
@@ -205,7 +213,7 @@ type levelTask struct {
 // parallelLevel shards one level's combination walk across workers and
 // returns the level's merged result plus the assignments that newly
 // met the SLA (for insertion after the barrier).
-func (p *Problem) parallelLevel(ctx context.Context, ev *Evaluator, workers, level int, ix *metIndex, st *sharedTicker) (Result, []Assignment, error) {
+func (p *Problem) parallelLevel(ctx context.Context, ev *Evaluator, workers, level int, ix *flatMetIndex, st *sharedTicker) (Result, []Assignment, error) {
 	tasks := p.levelTasks(level, workers)
 	if len(tasks) == 0 {
 		return Result{}, nil, nil
@@ -226,8 +234,11 @@ func (p *Problem) parallelLevel(ctx context.Context, ev *Evaluator, workers, lev
 			defer wg.Done()
 			cc := canceler{ctx: ctx}
 			cur := ev.NewCursor()
+			// Each worker's private checkpointed walker over the shared
+			// frozen arena; walk state is the only mutable part.
+			w := ix.newWalker()
 			for ti := range feed {
-				results[ti], metLists[ti], errs[ti] = p.walkTask(&cc, tasks[ti], ix, st, cur)
+				results[ti], metLists[ti], errs[ti] = p.walkTask(&cc, tasks[ti], w, st, cur)
 			}
 		}()
 	}
@@ -301,10 +312,10 @@ func (p *Problem) levelTasks(level, workers int) []levelTask {
 }
 
 // walkTask enumerates the suffix of one prefix task through the
-// shared walkLevel/prunedLeaf machinery against the frozen index.
-// Newly met assignments are collected rather than inserted — the
-// caller merges them at the level barrier.
-func (p *Problem) walkTask(cc *canceler, task levelTask, ix *metIndex, st *sharedTicker, cur *Cursor) (Result, []Assignment, error) {
+// shared walkLevel/prunedLeaf machinery against the worker's walker
+// over the frozen index. Newly met assignments are collected rather
+// than inserted — the caller merges them at the level barrier.
+func (p *Problem) walkTask(cc *canceler, task levelTask, w *flatWalker, st *sharedTicker, cur *Cursor) (Result, []Assignment, error) {
 	a := make(Assignment, len(p.Components))
 	copy(a, task.prefix)
 
@@ -312,8 +323,8 @@ func (p *Problem) walkTask(cc *canceler, task levelTask, ix *metIndex, st *share
 		res Result
 		met []Assignment
 	)
-	err := p.walkLevel(a, len(task.prefix), task.remaining, func() error {
-		return p.prunedLeaf(a, cc, ix.covers, &res, st.advance, func(m Assignment) {
+	err := p.walkLevel(a, len(task.prefix), task.remaining, func(changedFrom int) error {
+		return p.prunedLeaf(a, changedFrom, cc, w.coversFrom, &res, st.advance, func(m Assignment) {
 			met = append(met, m.Clone())
 		}, cur)
 	})

@@ -1,6 +1,9 @@
 package optimize
 
-import "context"
+import (
+	"context"
+	"math"
+)
 
 // Pruned implements the Section III.C search: candidates are evaluated
 // level by level — first the baseline, then every permutation with one
@@ -24,16 +27,35 @@ func (p *Problem) Pruned() (Result, error) {
 // candidates count toward progress (they are resolved work), so the
 // bar approaches the full space even when pruning bites.
 //
-// Superset checks go through a trie index keyed on the clustered-
-// component choices, so each leaf pays for the consistent portion of
-// the met set instead of a linear scan over all of it.
+// Superset checks go through the flat arena met-trie with a
+// checkpointed walker (flatindex.go): each lookup pays for the
+// consistent portion of the met set below the first digit the level
+// walk changed since the previous leaf, instead of a root-down
+// pointer chase per leaf.
 func (p *Problem) PrunedContext(ctx context.Context) (Result, error) {
+	return p.prunedWith(ctx, newFlatMetIndex(p))
+}
+
+// PrunedPointerTrie is PrunedContext on the previous pointer-linked
+// trie index. It is kept as an equivalence oracle and as the
+// benchmark reference the trie_flat_speedup ratios measure the flat
+// arena against; production paths use PrunedContext.
+func (p *Problem) PrunedPointerTrie(ctx context.Context) (Result, error) {
 	return p.prunedWith(ctx, newMetIndex(p))
+}
+
+// PrunedFlatRescan is PrunedContext on the flat arena with the
+// checkpointed resume disabled: every lookup re-descends from the
+// root. It isolates the arena-layout win from the changed-suffix
+// amortization in the benchmark split (solver/pruned-flat vs
+// solver/pruned); production paths use PrunedContext.
+func (p *Problem) PrunedFlatRescan(ctx context.Context) (Result, error) {
+	return p.prunedWith(ctx, flatRescanIndex{newFlatMetIndex(p)})
 }
 
 // prunedLinear is PrunedContext with the original linear met scan; it
 // exists so the equivalence tests and benchmarks can pin the indexed
-// search against the reference implementation.
+// searches against the reference implementation.
 func (p *Problem) prunedLinear(ctx context.Context) (Result, error) {
 	return p.prunedWith(ctx, &linearIndex{})
 }
@@ -65,8 +87,8 @@ func (p *Problem) prunedWith(ctx context.Context, ix coverIndex) (Result, error)
 // components, skipping supersets of already-met assignments.
 func (p *Problem) enumerateLevel(cc *canceler, pt *progressTicker, level int, res *Result, ix coverIndex, cur *Cursor) error {
 	a := make(Assignment, len(p.Components))
-	return p.walkLevel(a, 0, level, func() error {
-		return p.prunedLeaf(a, cc, ix.covers, res, pt.advance, ix.insert, cur)
+	return p.walkLevel(a, 0, level, func(changedFrom int) error {
+		return p.prunedLeaf(a, changedFrom, cc, ix.coversFrom, res, pt.advance, ix.insert, cur)
 	})
 }
 
@@ -76,19 +98,36 @@ func (p *Problem) enumerateLevel(cc *canceler, pt *progressTicker, level int, re
 // under both the sequential and the parallel pruned searches — any
 // change to the walk order changes both identically, which the
 // parallel-vs-sequential accounting tests then re-verify.
-func (p *Problem) walkLevel(a Assignment, start, remaining int, leaf func() error) error {
+//
+// leaf receives the lowest digit the walk changed since the previous
+// leaf (0 on the first leaf, so resumable cover walkers start every
+// level/task from the root) — the same changed-suffix information
+// Cursor.Sync derives by diffing, handed to the superset index so its
+// checkpointed walker can resume mid-trie.
+func (p *Problem) walkLevel(a Assignment, start, remaining int, leaf func(changedFrom int) error) error {
 	n := len(p.Components)
+	lo := 0
+	set := func(idx, v int) {
+		if a[idx] != v {
+			a[idx] = v
+			if idx < lo {
+				lo = idx
+			}
+		}
+	}
 	var walk func(idx, remaining int) error
 	walk = func(idx, remaining int) error {
 		if remaining > n-idx {
 			return nil // not enough components left to reach the level
 		}
 		if idx == n {
-			return leaf()
+			changedFrom := lo
+			lo = n
+			return leaf(changedFrom)
 		}
 
 		// Choice 1: leave component idx at the baseline.
-		a[idx] = 0
+		set(idx, 0)
 		if err := walk(idx+1, remaining); err != nil {
 			return err
 		}
@@ -96,12 +135,12 @@ func (p *Problem) walkLevel(a Assignment, start, remaining int, leaf func() erro
 		// Choice 2: cluster component idx with each non-baseline variant.
 		if remaining > 0 {
 			for v := 1; v < len(p.Components[idx].Variants); v++ {
-				a[idx] = v
+				set(idx, v)
 				if err := walk(idx+1, remaining-1); err != nil {
 					return err
 				}
 			}
-			a[idx] = 0
+			set(idx, 0)
 		}
 		return nil
 	}
@@ -112,13 +151,18 @@ func (p *Problem) walkLevel(a Assignment, start, remaining int, leaf func() erro
 // cancellation, clip covered supersets, evaluate the rest, and hand
 // SLA-meeting assignments to onMet (immediate index insertion for the
 // sequential walk, barrier collection for the parallel one). advance
-// accounts for one resolved candidate, evaluated or clipped.
-func (p *Problem) prunedLeaf(a Assignment, cc *canceler, covers func(Assignment) bool, res *Result, advance func(int64), onMet func(Assignment), cur *Cursor) error {
+// accounts for one resolved candidate, evaluated or clipped. Exactly
+// one cover lookup happens per leaf, and every covering lookup clips
+// exactly one candidate — the per-index accounting the three-way
+// equivalence tests pin byte-identical.
+func (p *Problem) prunedLeaf(a Assignment, changedFrom int, cc *canceler, covers func(Assignment, int) bool, res *Result, advance func(int64), onMet func(Assignment), cur *Cursor) error {
 	if err := cc.check(); err != nil {
 		return err
 	}
-	if covers(a) {
+	res.CoverLookups++
+	if covers(a, changedFrom) {
 		res.Skipped++
+		res.Clipped++
 		advance(1)
 		return nil
 	}
@@ -155,6 +199,27 @@ func (p *Problem) BranchAndBound() (Result, error) {
 // variant), or because the cost bound already exceeds the incumbent
 // no-penalty cost (SLA-meeting candidates pay no penalty, so their TCO
 // is exactly their HA cost, which the bound floors).
+//
+// Leaves that survive the cost bound additionally pass through the
+// flat superset index: SLA-meeting leaves are recorded, and a later
+// leaf covered by one is clipped without evaluation — sound by the
+// same argument as the level search (a covered superset costs at
+// least its subset while its penalty stays zero). The lookup is
+// gated twice, which makes it nearly free. First, on a cost tie: a
+// covering subset m satisfies TCO(m) = cost(m) ≤ committed, and m was
+// evaluated, so Best.TCO ≤ committed and (m meets the SLA)
+// BestNoPenalty.TCO ≤ committed — while surviving the cost bound
+// requires committed ≤ Best.TCO, or committed ≤ BestNoPenalty.TCO on
+// the can-improve-no-penalty branch. A reached leaf can therefore
+// only be covered when its committed cost exactly ties an incumbent
+// total. Second, on level: a cover clusters a strict subset of the
+// leaf's components — an equal-level cover could only be the leaf
+// itself, and depth-first search visits each assignment once — so the
+// leaf's level must exceed the lowest recorded one. SLA-met leaves
+// queue in a flat pending arena and fold into the trie only when a
+// lookup actually fires: on instances where the admissible bound
+// subsumes every cover clip (no exact ties), the index is never built
+// at all.
 func (p *Problem) BranchAndBoundContext(ctx context.Context) (Result, error) {
 	ev, err := NewEvaluator(p)
 	if err != nil {
@@ -187,8 +252,14 @@ func (p *Problem) BranchAndBoundContext(ctx context.Context) (Result, error) {
 	var res Result
 	cc := canceler{ctx: ctx}
 	pt := newProgressTicker(ctx, p)
+	ix := newFlatMetIndex(p)
+	var pending pendingMets // met leaves queued until a lookup needs them
+	pendingMin := math.MaxInt
+	scratch := make(Assignment, n)
 	a := make(Assignment, n)
 	var committed int64
+	lo := 0
+	lvl := 0 // clustered components in a[:idx]
 
 	var walk func(idx int, upCommitted float64) error
 	walk = func(idx int, upCommitted float64) error {
@@ -213,22 +284,64 @@ func (p *Problem) BranchAndBoundContext(ctx context.Context) (Result, error) {
 			if err := cc.check(); err != nil {
 				return err
 			}
+			coverPossible := res.Evaluated > 0 &&
+				(lvl > ix.minLevel || lvl > pendingMin) &&
+				(committed == int64(res.Best.TCO.Total()) ||
+					(res.NoPenaltyFound && committed == int64(res.BestNoPenalty.TCO.Total())))
+			if coverPossible {
+				pending.flush(ix, scratch)
+				pendingMin = math.MaxInt
+				// lo accumulates the lowest digit changed since the last
+				// *performed* lookup — gated-out leaves must keep
+				// widening the hint, so it only resets here.
+				changedFrom := lo
+				lo = n
+				res.CoverLookups++
+				if ix.coversFrom(a, changedFrom) {
+					res.Skipped++
+					res.Clipped++
+					pt.advance(1)
+					return nil
+				}
+			}
 			cur.Sync(a)
 			res.observeCursor(cur, p.SLA)
 			pt.advance(1)
+			if cur.MeetsSLA() {
+				pending.add(a)
+				if lvl < pendingMin {
+					pendingMin = lvl
+				}
+			}
 			return nil
 		}
 		for v := range p.Components[idx].Variants {
-			a[idx] = v
+			if a[idx] != v {
+				a[idx] = v
+				if idx < lo {
+					lo = idx
+				}
+			}
 			variant := p.Components[idx].Variants[v]
 			delta := int64(variant.MonthlyCost)
 			committed += delta
+			if v != 0 {
+				lvl++
+			}
 			if err := walk(idx+1, upCommitted*variant.Cluster.UpProbability()); err != nil {
 				return err
 			}
+			if v != 0 {
+				lvl--
+			}
 			committed -= delta
 		}
-		a[idx] = 0
+		if a[idx] != 0 {
+			a[idx] = 0
+			if idx < lo {
+				lo = idx
+			}
+		}
 		return nil
 	}
 	if err := walk(0, 1); err != nil {
@@ -236,6 +349,43 @@ func (p *Problem) BranchAndBoundContext(ctx context.Context) (Result, error) {
 	}
 	pt.done()
 	return res, nil
+}
+
+// pendingMets queues SLA-met leaves as packed (component, variant)
+// pairs — one word per clustered component — until a gated lookup
+// folds them into the trie. Met leaves are dense in components but
+// sparse in clusters, so packing keeps the queue's append traffic
+// well below re-copying whole assignments; on instances where the
+// admissible bound subsumes every cover clip (no exact cost ties) the
+// queue is the only cover-clipping cost branch-and-bound pays.
+type pendingMets struct {
+	packed []int64 // (component << 32) | variant, grouped per met leaf
+	ends   []int32 // end offset into packed, one per met leaf
+}
+
+func (q *pendingMets) add(a Assignment) {
+	for i, v := range a {
+		if v != 0 {
+			q.packed = append(q.packed, int64(i)<<32|int64(v))
+		}
+	}
+	q.ends = append(q.ends, int32(len(q.packed)))
+}
+
+// flush inserts every queued met into ix, unpacking through scratch
+// (len of the problem's component count), and empties the queue.
+func (q *pendingMets) flush(ix *flatMetIndex, scratch Assignment) {
+	start := int32(0)
+	for _, end := range q.ends {
+		clear(scratch)
+		for _, pv := range q.packed[start:end] {
+			scratch[pv>>32] = int(pv & 0xffffffff)
+		}
+		ix.insert(scratch)
+		start = end
+	}
+	q.packed = q.packed[:0]
+	q.ends = q.ends[:0]
 }
 
 // subtreeSize returns the number of complete assignments below a

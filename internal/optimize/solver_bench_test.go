@@ -53,27 +53,49 @@ func TestSLADenseShape(t *testing.T) {
 // level 5 on the n=19 shape.
 const benchSLA = BenchSLAPercent
 
-// BenchmarkSupersetPruning is the headline comparison: the trie-
-// indexed superset check against the original linear met scan on the
-// SLA-dense n=19 instance.
+// BenchmarkSupersetPruning is the headline comparison: the superset
+// index implementations against each other and the original linear
+// met scan on the SLA-dense n=19 instance. "flat" is the arena trie
+// with checkpoint resume disabled, "checkpointed" the production
+// index — the gap between them is the changed-suffix amortization,
+// the gap from "pointer" to either is the arena layout.
 func BenchmarkSupersetPruning(b *testing.B) {
 	p := slaDenseProblem(19, benchSLA)
-	b.Run("indexed", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := p.PrunedContext(context.Background()); err != nil {
-				b.Fatal(err)
+	run := func(name string, search func(context.Context) (Result, error)) {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := search(context.Background()); err != nil {
+					b.Fatal(err)
+				}
 			}
-		}
-	})
-	b.Run("linear", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := p.prunedLinear(context.Background()); err != nil {
-				b.Fatal(err)
+		})
+	}
+	run("checkpointed", p.PrunedContext)
+	run("flat", p.PrunedFlatRescan)
+	run("pointer", p.PrunedPointerTrie)
+	run("linear", p.prunedLinear)
+}
+
+// BenchmarkSupersetPruningDeep is BenchmarkSupersetPruning on the
+// denser adversarial shape (minimal met level 8, C(19,8) = 75582 met
+// assignments): a deeper, ~6.5x wider trie where lookups dominate the
+// level walk even harder.
+func BenchmarkSupersetPruningDeep(b *testing.B) {
+	p := slaDenseProblem(19, BenchSLADeepPercent)
+	run := func(name string, search func(context.Context) (Result, error)) {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := search(context.Background()); err != nil {
+					b.Fatal(err)
+				}
 			}
-		}
-	})
+		})
+	}
+	run("checkpointed", p.PrunedContext)
+	run("flat", p.PrunedFlatRescan)
+	run("pointer", p.PrunedPointerTrie)
 }
 
 // BenchmarkSolverStrategies compares every strategy on the same

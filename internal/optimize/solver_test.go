@@ -109,9 +109,11 @@ func TestIndexedPrunedMatchesLinear(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: linear: %v", trial, err)
 		}
-		if indexed.Evaluated != linear.Evaluated || indexed.Skipped != linear.Skipped {
-			t.Fatalf("trial %d: indexed accounting (%d, %d) != linear (%d, %d)",
-				trial, indexed.Evaluated, indexed.Skipped, linear.Evaluated, linear.Skipped)
+		if indexed.Evaluated != linear.Evaluated || indexed.Skipped != linear.Skipped ||
+			indexed.CoverLookups != linear.CoverLookups || indexed.Clipped != linear.Clipped {
+			t.Fatalf("trial %d: indexed accounting (ev=%d sk=%d cl=%d clip=%d) != linear (ev=%d sk=%d cl=%d clip=%d)",
+				trial, indexed.Evaluated, indexed.Skipped, indexed.CoverLookups, indexed.Clipped,
+				linear.Evaluated, linear.Skipped, linear.CoverLookups, linear.Clipped)
 		}
 		if !equalAssignments(indexed.Best.Assignment, linear.Best.Assignment) {
 			t.Fatalf("trial %d: indexed best %v != linear %v", trial, indexed.Best.Assignment, linear.Best.Assignment)
@@ -135,9 +137,11 @@ func TestParallelPrunedMatchesSequentialAccounting(t *testing.T) {
 			if err != nil {
 				t.Fatalf("trial %d: ParallelPruned(%d): %v", trial, workers, err)
 			}
-			if par.Evaluated != seq.Evaluated || par.Skipped != seq.Skipped {
-				t.Fatalf("trial %d workers=%d: parallel accounting (%d, %d) != sequential (%d, %d)",
-					trial, workers, par.Evaluated, par.Skipped, seq.Evaluated, seq.Skipped)
+			if par.Evaluated != seq.Evaluated || par.Skipped != seq.Skipped ||
+				par.CoverLookups != seq.CoverLookups || par.Clipped != seq.Clipped {
+				t.Fatalf("trial %d workers=%d: parallel accounting (ev=%d sk=%d cl=%d clip=%d) != sequential (ev=%d sk=%d cl=%d clip=%d)",
+					trial, workers, par.Evaluated, par.Skipped, par.CoverLookups, par.Clipped,
+					seq.Evaluated, seq.Skipped, seq.CoverLookups, seq.Clipped)
 			}
 			if !equalAssignments(par.Best.Assignment, seq.Best.Assignment) {
 				t.Fatalf("trial %d workers=%d: parallel best %v != sequential %v",
