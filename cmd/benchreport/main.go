@@ -8,7 +8,8 @@
 //
 //	benchreport [-label pr] [-benchtime 1s] [-run REGEX] [-out FILE]
 //	            [-compare BASELINE.json] [-fail-over 25]
-//	            [-require RATIO>=MIN[@PROCS]] [-list]
+//	            [-require 'RATIO>=MIN[@PROCS]'] [-require 'RATIO<=MAX[@PROCS]']
+//	            [-list]
 //
 // Without -out the report goes to stdout; progress and comparison
 // summaries go to stderr either way.
@@ -21,11 +22,13 @@
 // machine-shaped — so the regression gate arms once the baseline was
 // generated on a comparable machine (in practice: by CI itself).
 //
-// -require pins a hard floor on a ratio regardless of any baseline,
-// e.g. `-require 'pricing_parallel_speedup_n19>=2@4'` asserts the
-// parallel pricing pass is at least twice as fast as sequential, on
-// hosts with at least 4 schedulable cores (the @PROCS guard skips the
-// check on smaller machines, where the speedup cannot exist).
+// -require pins a hard bound on a ratio regardless of any baseline:
+// `-require 'pricing_parallel_speedup_n19>=2@4'` asserts the parallel
+// pricing pass is at least twice as fast as sequential, on hosts with
+// at least 4 schedulable cores (the @PROCS guard skips the check on
+// smaller machines, where the speedup cannot exist); `-require
+// 'beam_n30_gap<=0.05'` caps a quality ratio — the certified
+// optimality gap of the budgeted n=30 beam run — at 5%.
 package main
 
 import (
@@ -57,7 +60,7 @@ func run(args []string) error {
 		list      = fs.Bool("list", false, "list scenario names and exit")
 	)
 	var requires []benchreport.Requirement
-	fs.Func("require", "hard ratio floor RATIO>=MIN[@PROCS]; repeatable", func(s string) error {
+	fs.Func("require", "hard ratio bound RATIO>=MIN[@PROCS] or RATIO<=MAX[@PROCS]; repeatable", func(s string) error {
 		req, err := benchreport.ParseRequirement(s)
 		if err != nil {
 			return err
@@ -114,10 +117,10 @@ func run(args []string) error {
 			fmt.Fprintln(os.Stderr, "REQUIREMENT FAILED:", err)
 			failed = true
 		case !enforced:
-			fmt.Fprintf(os.Stderr, "requirement %s>=%.2f skipped (GOMAXPROCS %d < %d)\n",
-				req.Ratio, req.Min, report.Host.GOMAXPROCS, req.MinGOMAXPROCS)
+			fmt.Fprintf(os.Stderr, "requirement %s skipped (GOMAXPROCS %d < %d)\n",
+				req, report.Host.GOMAXPROCS, req.MinGOMAXPROCS)
 		default:
-			fmt.Fprintf(os.Stderr, "requirement %s>=%.2f ok\n", req.Ratio, req.Min)
+			fmt.Fprintf(os.Stderr, "requirement %s ok\n", req)
 		}
 	}
 

@@ -8,12 +8,15 @@
 //
 //	recommend   submit a recommendation request (-topology file.json or
 //	            -casestudy; -strategy picks the solver, -pricing the
-//	            card-pricing mode; -local -format text|markdown|csv
-//	            runs the brokerage in-process)
+//	            card-pricing mode; -budget/-max-evaluations cap an
+//	            anytime search, -beam-width/-max-discrepancies/-epsilon
+//	            tune one; -local -format text|markdown|csv runs the
+//	            brokerage in-process)
 //	pareto      print the cost × uptime frontier for a request
 //	job         async brokerage over /v2/jobs:
 //	              job submit -kind recommend|pareto (-topology|-casestudy)
-//	                         [-strategy S] [-pricing M] [-wait] [-quiet]
+//	                         [-strategy S] [-pricing M] [-budget D]
+//	                         [-beam-width N] [-epsilon E] [-wait] [-quiet]
 //	              job status JOB-ID
 //	              job wait   [-quiet] JOB-ID   (streams evaluated/space_size
 //	                         progress to stderr unless -quiet)
@@ -140,9 +143,57 @@ func loadRequest(topologyPath string, caseStudy bool, strategy, pricing string) 
 // strategyUsage and pricingUsage document the flags shared by the
 // request subcommands.
 const (
-	strategyUsage = "solver strategy: auto (default), exhaustive, pruned, branch-and-bound or parallel-pruned"
+	strategyUsage = "solver strategy: auto (default), the exact exhaustive, pruned, branch-and-bound or parallel-pruned, or the anytime beam, lds or bounded"
 	pricingUsage  = "card-pricing mode: auto (server default), parallel or sequential"
 )
+
+// solverFlags are the anytime-lane knobs shared by recommend, pareto
+// and job submit. They populate the request's nested solver spec only
+// when set, so flag-less invocations keep the flat wire form (and its
+// cache address) untouched.
+type solverFlags struct {
+	budget    time.Duration
+	maxEvals  int64
+	beamWidth int
+	maxDisc   int
+	epsilon   float64
+}
+
+// registerSolverFlags attaches the shared anytime flags to fs.
+func registerSolverFlags(fs *flag.FlagSet) *solverFlags {
+	sf := &solverFlags{}
+	fs.DurationVar(&sf.budget, "budget", 0, "wall-clock search budget, e.g. 500ms; anytime strategies stop and certify a gap (0 = unlimited)")
+	fs.Int64Var(&sf.maxEvals, "max-evaluations", 0, "cap on candidates the search prices; anytime strategies only (0 = unlimited)")
+	fs.IntVar(&sf.beamWidth, "beam-width", 0, "beam strategy: survivors kept per level (0 = server default)")
+	fs.IntVar(&sf.maxDisc, "max-discrepancies", 0, "lds strategy: discrepancy budget (0 = server default)")
+	fs.Float64Var(&sf.epsilon, "epsilon", 0, "bounded strategy: admissible suboptimality fraction in [0,1] (0 = server default)")
+	return sf
+}
+
+// apply folds any set flags into the request's nested solver spec.
+func (sf *solverFlags) apply(req *httpapi.RecommendationRequest) {
+	if sf.budget == 0 && sf.maxEvals == 0 && sf.beamWidth == 0 && sf.maxDisc == 0 && sf.epsilon == 0 {
+		return
+	}
+	if req.Solver == nil {
+		req.Solver = &httpapi.SolverConfigDTO{}
+	}
+	if sf.budget != 0 {
+		req.Solver.BudgetMS = sf.budget.Milliseconds()
+	}
+	if sf.maxEvals != 0 {
+		req.Solver.MaxEvaluations = sf.maxEvals
+	}
+	if sf.beamWidth != 0 {
+		req.Solver.BeamWidth = sf.beamWidth
+	}
+	if sf.maxDisc != 0 {
+		req.Solver.MaxDiscrepancies = sf.maxDisc
+	}
+	if sf.epsilon != 0 {
+		req.Solver.Epsilon = sf.epsilon
+	}
+}
 
 func cmdRecommend(ctx context.Context, client *httpapi.Client, args []string) error {
 	fs := flag.NewFlagSet("recommend", flag.ContinueOnError)
@@ -154,6 +205,7 @@ func cmdRecommend(ctx context.Context, client *httpapi.Client, args []string) er
 		local        = fs.Bool("local", false, "run the brokerage in-process instead of calling a server")
 		format       = fs.String("format", "text", "output format with -local: text, markdown or csv")
 	)
+	solver := registerSolverFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -161,6 +213,7 @@ func cmdRecommend(ctx context.Context, client *httpapi.Client, args []string) er
 	if err != nil {
 		return err
 	}
+	solver.apply(&req)
 
 	if *local {
 		return recommendLocal(req, *format)
@@ -204,6 +257,7 @@ func cmdPareto(ctx context.Context, client *httpapi.Client, args []string) error
 		strategy     = fs.String("strategy", "", strategyUsage)
 		pricing      = fs.String("pricing", "", pricingUsage)
 	)
+	solver := registerSolverFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -211,6 +265,7 @@ func cmdPareto(ctx context.Context, client *httpapi.Client, args []string) error
 	if err != nil {
 		return err
 	}
+	solver.apply(&req)
 	front, err := client.Pareto(ctx, req)
 	if err != nil {
 		return err
@@ -252,6 +307,22 @@ func printRecommendation(resp httpapi.RecommendationResponse) error {
 	}
 	fmt.Printf("search: %s solver, %d evaluated + %d skipped of %d\n",
 		strategy, resp.Search.Evaluated, resp.Search.Skipped, resp.Search.SpaceSize)
+	if resp.Search.Approximate {
+		cert := "no lower bound proven"
+		switch {
+		case resp.Search.Optimal != nil && *resp.Search.Optimal:
+			cert = "proven optimal"
+		case resp.Search.Gap != nil:
+			cert = fmt.Sprintf("within %.2f%% of optimal", 100**resp.Search.Gap)
+		}
+		if resp.Search.BoundUSD != nil {
+			cert += fmt.Sprintf(" (certified bound $%.2f/mo)", *resp.Search.BoundUSD)
+		}
+		if resp.Search.BudgetExhausted != nil && *resp.Search.BudgetExhausted {
+			cert += ", budget exhausted"
+		}
+		fmt.Printf("certificate: %s\n", cert)
+	}
 	if resp.Cache != "" {
 		fmt.Printf("cache: %s\n", resp.Cache)
 	}
@@ -436,6 +507,7 @@ func cmdJob(ctx context.Context, client *httpapi.Client, args []string) error {
 			wait         = fs.Bool("wait", false, "block until the job finishes and print its result")
 			quiet        = fs.Bool("quiet", false, "with -wait: suppress the live progress display")
 		)
+		solver := registerSolverFlags(fs)
 		if err := fs.Parse(args[1:]); err != nil {
 			return err
 		}
@@ -443,6 +515,7 @@ func cmdJob(ctx context.Context, client *httpapi.Client, args []string) error {
 		if err != nil {
 			return err
 		}
+		solver.apply(&req)
 		status, err := client.SubmitJob(ctx, *kind, req)
 		if err != nil {
 			return err

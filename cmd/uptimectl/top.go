@@ -84,9 +84,16 @@ func renderTop(w *os.File, server string, snap obs.Snapshot, prev *obs.Snapshot)
 		snap.Value("jobs_running"), snap.Value("jobs_queue_depth"), rate("jobs_done_total"),
 		snap.Value("jobs_submitted_total"), snap.Value("jobs_done_total"), snap.Value("jobs_failed_total"))
 
-	line("solver   %s evals/s   %s lookups/s   %.0f total evaluations   %.0f clipped   %.1f runs/s",
+	solver := fmt.Sprintf("solver   %s evals/s   %s lookups/s   %.0f total evaluations   %.0f clipped   %.1f runs/s",
 		humanRate(rate("broker_evaluations_total")), humanRate(rate("solver_cover_lookups_total")),
 		snap.Value("broker_evaluations_total"), snap.Value("solver_clipped_total"), rate("solver_runs_total"))
+	if gap, ok := worstSolverGap(snap); ok {
+		solver += fmt.Sprintf("   gap %.2f%%", 100*gap)
+		if exhausted := snap.Value("solver_budget_exhausted_total"); exhausted > 0 {
+			solver += fmt.Sprintf(" (%.0f budget-stopped)", exhausted)
+		}
+	}
+	line("%s", solver)
 
 	hits, misses, shared := snap.Value("reccache_hits_total"), snap.Value("reccache_misses_total"), snap.Value("reccache_shared_total")
 	if total := hits + misses + shared; total > 0 {
@@ -159,6 +166,23 @@ func windowQuantiles(snap obs.Snapshot, prev *obs.Snapshot, family string) (p50,
 		win = cur
 	}
 	return obs.Quantile(0.5, win), obs.Quantile(0.99, win)
+}
+
+// worstSolverGap reads the solver_gap gauge family — one series per
+// approximate strategy that has run — and reports the largest last
+// certified gap. Max across series, never a sum: gauges are levels,
+// and the operator cares about the worst certificate on display.
+func worstSolverGap(snap obs.Snapshot) (gap float64, ok bool) {
+	fam, found := snap.Family("solver_gap")
+	if !found || len(fam.Series) == 0 {
+		return 0, false
+	}
+	for _, s := range fam.Series {
+		if s.Value > gap {
+			gap = s.Value
+		}
+	}
+	return gap, true
 }
 
 // windowedHitRate renders the cache hit rate across the last window,

@@ -185,7 +185,19 @@ func TestParseRequirement(t *testing.T) {
 		t.Fatalf("parsed %+v", req)
 	}
 
-	for _, bad := range []string{"", "name", "name>=", "name>=x", "name>=1@x"} {
+	// The ceiling spelling, used by the anytime-lane quality gates.
+	req, err = ParseRequirement("beam_n30_gap<=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Ratio != "beam_n30_gap" || req.Min != 0.05 || req.Op != "<=" {
+		t.Fatalf("parsed %+v", req)
+	}
+	if got := req.String(); got != "beam_n30_gap<=0.05" {
+		t.Fatalf("String() = %q", got)
+	}
+
+	for _, bad := range []string{"", "name", "name>=", "name>=x", "name>=1@x", "name<=", "name<=y"} {
 		if _, err := ParseRequirement(bad); err == nil {
 			t.Fatalf("ParseRequirement(%q) should fail", bad)
 		}
@@ -220,5 +232,21 @@ func TestRequirementCheck(t *testing.T) {
 	// Unknown ratio is always an error.
 	if _, err := (Requirement{Ratio: "nope", Min: 1}).Check(&r); err == nil {
 		t.Fatal("unknown ratio should fail")
+	}
+
+	// Ceilings invert the direction: a value at or below passes, above
+	// fails.
+	gapped := Report{
+		SchemaVersion: SchemaVersion,
+		Host:          Host{GOMAXPROCS: 2},
+		Ratios:        []Ratio{{Name: "beam_n30_gap", Value: 0.03}},
+	}
+	enforced, err = (Requirement{Ratio: "beam_n30_gap", Min: 0.05, Op: "<="}).Check(&gapped)
+	if !enforced || err != nil {
+		t.Fatalf("met ceiling: enforced=%v err=%v", enforced, err)
+	}
+	enforced, err = (Requirement{Ratio: "beam_n30_gap", Min: 0.01, Op: "<="}).Check(&gapped)
+	if !enforced || err == nil {
+		t.Fatalf("exceeded ceiling should fail: enforced=%v err=%v", enforced, err)
 	}
 }

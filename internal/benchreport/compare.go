@@ -127,15 +127,20 @@ func (c *Comparison) add(d Delta) {
 	}
 }
 
-// Requirement is a hard floor on a ratio, e.g. the CI assertion that
-// the n=19 pricing speedup stays at or above 2x on multi-core
-// runners.
+// Requirement is a hard bound on a ratio: a floor for speedups (the
+// CI assertion that the n=19 pricing speedup stays at or above 2x on
+// multi-core runners), or a ceiling for quality figures (the
+// certified n=30 beam gap staying at or below 5%).
 type Requirement struct {
-	// Ratio names the ratio the floor applies to.
+	// Ratio names the ratio the bound applies to.
 	Ratio string
 
-	// Min is the inclusive minimum value.
+	// Min is the inclusive bound. With Op ">=" it is a floor, with
+	// "<=" a ceiling.
 	Min float64
+
+	// Op is ">=" (floor, the default when empty) or "<=" (ceiling).
+	Op string
 
 	// MinGOMAXPROCS skips the check on hosts with fewer schedulable
 	// cores — parallel speedups do not exist on one core. Zero means
@@ -143,19 +148,35 @@ type Requirement struct {
 	MinGOMAXPROCS int
 }
 
-// ParseRequirement parses "name>=value" or "name>=value@procs", the
-// cmd/benchreport -require syntax; "@procs" sets MinGOMAXPROCS.
+// String renders the requirement back in -require syntax (without the
+// @procs suffix), for log lines.
+func (req Requirement) String() string {
+	op := req.Op
+	if op == "" {
+		op = ">="
+	}
+	return fmt.Sprintf("%s%s%g", req.Ratio, op, req.Min)
+}
+
+// ParseRequirement parses "name>=value" or "name<=value", optionally
+// suffixed "@procs" (sets MinGOMAXPROCS) — the cmd/benchreport
+// -require syntax.
 func ParseRequirement(s string) (Requirement, error) {
-	name, rest, ok := strings.Cut(s, ">=")
+	op := ">="
+	name, rest, ok := strings.Cut(s, op)
+	if !ok {
+		op = "<="
+		name, rest, ok = strings.Cut(s, op)
+	}
 	if !ok || name == "" {
-		return Requirement{}, fmt.Errorf("benchreport: requirement %q, want NAME>=VALUE or NAME>=VALUE@PROCS", s)
+		return Requirement{}, fmt.Errorf("benchreport: requirement %q, want NAME>=VALUE, NAME<=VALUE or either with @PROCS", s)
 	}
 	valueStr, procsStr, hasProcs := strings.Cut(rest, "@")
 	value, err := strconv.ParseFloat(valueStr, 64)
 	if err != nil {
 		return Requirement{}, fmt.Errorf("benchreport: requirement %q: bad value: %w", s, err)
 	}
-	req := Requirement{Ratio: name, Min: value}
+	req := Requirement{Ratio: name, Min: value, Op: op}
 	if hasProcs {
 		procs, err := strconv.Atoi(procsStr)
 		if err != nil {
@@ -177,8 +198,16 @@ func (req Requirement) Check(r *Report) (enforced bool, err error) {
 	if !ok {
 		return true, fmt.Errorf("benchreport: requirement on unknown ratio %q", req.Ratio)
 	}
-	if ratio.Value < req.Min {
-		return true, fmt.Errorf("benchreport: ratio %s = %.2f, required >= %.2f", req.Ratio, ratio.Value, req.Min)
+	failed := ratio.Value < req.Min
+	if req.Op == "<=" {
+		failed = ratio.Value > req.Min
+	}
+	if failed {
+		op := req.Op
+		if op == "" {
+			op = ">="
+		}
+		return true, fmt.Errorf("benchreport: ratio %s = %.4g, required %s %.4g", req.Ratio, ratio.Value, op, req.Min)
 	}
 	return true, nil
 }

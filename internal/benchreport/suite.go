@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"regexp"
 	"runtime"
@@ -165,6 +166,63 @@ func solverSpec(strategy string) Spec {
 				}
 				return nil
 			}, func() {}, nil
+		},
+	}
+}
+
+// anytimeSpec builds one anytime-lane scenario: the SLA-dense n=30
+// wide instance (2^30 candidates, ~4000x beyond what the exact lane
+// enumerates in the same time) solved under the acceptance budget of
+// 500ms wall on whatever cores the host grants. The measurement is
+// the usual ns/op; the certificate of the last run rides along in
+// Extra, and the derived *_n30_gap quality ratios floor it in CI —
+// the suite fails loudly if an anytime strategy stops certifying
+// near-optimality within budget, not just if it gets slower.
+func anytimeSpec(strategy string) Spec {
+	var last optimize.Result
+	var lastNs int64
+	return Spec{
+		Name:    fmt.Sprintf("solver/%s/n=30", strategy),
+		Group:   "solver",
+		Tracked: true,
+		Setup: func(string) (runFunc, func(), error) {
+			p := optimize.BenchProblem(optimize.BenchWideN, optimize.BenchSLAWidePercent)
+			cfg := optimize.SolverConfig{
+				Strategy: strategy,
+				Budget:   optimize.Budget{Wall: 500 * time.Millisecond},
+			}
+			return func(iters int) error {
+				for i := 0; i < iters; i++ {
+					start := time.Now()
+					res, err := optimize.SolveConfig(context.Background(), p, cfg)
+					if err != nil {
+						return err
+					}
+					lastNs = time.Since(start).Nanoseconds()
+					last = res
+				}
+				return nil
+			}, func() {}, nil
+		},
+		Extra: func() map[string]float64 {
+			extra := map[string]float64{
+				"bound_usd":      last.Bound.Dollars(),
+				"time_to_gap_ms": float64(lastNs) / 1e6,
+			}
+			// An infinite gap (no lower bound proven) is left out rather
+			// than serialized: JSON has no Inf, and a missing "gap" key
+			// fails the -require floor with an unknown-ratio error, which
+			// is the right kind of loud.
+			if !math.IsInf(last.Gap, 1) {
+				extra["gap"] = last.Gap
+			}
+			if last.BudgetExhausted {
+				extra["budget_exhausted"] = 1
+			}
+			if last.Optimal {
+				extra["optimal"] = 1
+			}
+			return extra
 		},
 	}
 }
@@ -410,6 +468,8 @@ func Suite() []Spec {
 		solverSpec(optimize.StrategyPruned),
 		solverSpec(optimize.StrategyParallelPruned),
 		solverSpec(optimize.StrategyBranchAndBound),
+		anytimeSpec(optimize.StrategyBeam),
+		anytimeSpec(optimize.StrategyBounded),
 		supersetIndexSpec("pointer", false), supersetIndexSpec("flat", false),
 		prunedDeepSpec(), supersetIndexSpec("pointer", true),
 		appendSpec(false), appendSpec(true),
@@ -438,6 +498,20 @@ var ratioSpecs = []Ratio{
 	{Name: "group_commit_speedup", Numerator: "jobstore/append/fsync-concurrent", Denominator: "jobstore/append/group-commit", HigherIsBetter: true},
 	{Name: "cache_hit_speedup", Numerator: "cache/miss/n=19", Denominator: "cache/hit/n=19", HigherIsBetter: true},
 	{Name: "obs_overhead_headroom", Numerator: "obs/uninstrumented/n=16", Denominator: "obs/instrumented/n=16", HigherIsBetter: true},
+}
+
+// qualityRatios are derived quality (not speed) figures: each lifts
+// one Extra key of one scenario into the ratio table so requirements
+// can floor it — Extra itself is invisible to comparisons. They carry
+// HigherIsBetter: false (a shrinking certified gap is improvement),
+// so Compare never gates them; the -require ceiling does.
+var qualityRatios = []struct {
+	Name     string
+	Scenario string
+	Key      string
+}{
+	{Name: "beam_n30_gap", Scenario: "solver/beam/n=30", Key: "gap"},
+	{Name: "bounded_n30_gap", Scenario: "solver/bounded/n=30", Key: "gap"},
 }
 
 // Options configures one suite run.
@@ -503,6 +577,20 @@ func Run(opts Options) (Report, error) {
 		rs.Value = float64(num.NsPerOp) / float64(den.NsPerOp)
 		logf("%-32s %12.2fx  (%s / %s)", rs.Name, rs.Value, rs.Numerator, rs.Denominator)
 		report.Ratios = append(report.Ratios, rs)
+	}
+
+	for _, qs := range qualityRatios {
+		sc, ok := report.Scenario(qs.Scenario)
+		if !ok {
+			continue
+		}
+		value, ok := sc.Extra[qs.Key]
+		if !ok {
+			continue
+		}
+		r := Ratio{Name: qs.Name, Numerator: qs.Scenario, Denominator: "extra:" + qs.Key, Value: value}
+		logf("%-32s %12.4f   (%s %s)", r.Name, r.Value, qs.Scenario, qs.Key)
+		report.Ratios = append(report.Ratios, r)
 	}
 	return report, nil
 }

@@ -121,12 +121,25 @@ type Request struct {
 	// layer to its single classic mechanism, giving k = 2.
 	AllowedTechs map[string][]string
 
-	// Strategy names the optimize solver the search runs on: one of
-	// optimize.Strategies() ("exhaustive", "pruned", "branch-and-bound",
-	// "parallel-pruned", "auto"). Empty falls back to the engine's
-	// default, then to "auto". Every strategy is exact, so the choice
-	// only moves the latency and the evaluated/skipped effort split.
+	// Strategy names the optimize solver the search runs on, one of
+	// optimize.Strategies(). Empty falls back to the engine's default,
+	// then to "auto".
+	//
+	// Deprecated alias: Strategy is the flat spelling of Solver.Strategy
+	// and remains fully supported — normalize folds it into the nested
+	// Solver spec, so the two spellings compile identically and share
+	// one cache address. Setting both to different names is a
+	// contradiction Validate rejects.
 	Strategy string
+
+	// Solver is the nested solver specification: the strategy plus the
+	// anytime lane's budget and knobs (beam width, discrepancy budget,
+	// epsilon). The zero value means "auto with no limits", exactly the
+	// empty flat Strategy. Exact strategies reject an evaluation cap and
+	// turn a wall budget into a deadline; the approximate strategies
+	// (beam, lds, bounded) honor both budget kinds and certify their
+	// optimality gap in SearchStats.
+	Solver optimize.SolverConfig
 
 	// Pricing selects how the full card-pricing pass enumerates the
 	// k^n options: PricingParallel shards it across GOMAXPROCS
@@ -189,6 +202,13 @@ func (r Request) Validate() error {
 	if !optimize.ValidStrategy(r.Strategy) {
 		return fmt.Errorf("broker: unknown strategy %q (choose from %v, or leave empty for auto)",
 			r.Strategy, optimize.Strategies())
+	}
+	if r.Strategy != "" && r.Solver.Strategy != "" && r.Strategy != r.Solver.Strategy {
+		return fmt.Errorf("broker: strategy %q contradicts solver.strategy %q (set one, or make them agree)",
+			r.Strategy, r.Solver.Strategy)
+	}
+	if err := r.Solver.Validate(); err != nil {
+		return fmt.Errorf("broker: %w", err)
 	}
 	if !ValidPricing(r.Pricing) {
 		return fmt.Errorf("broker: unknown pricing mode %q (choose %q, %q or %q, or leave empty for the engine default)",
@@ -286,9 +306,12 @@ func New(cat *catalog.Catalog, params ParamSource, opts ...EngineOption) (*Engin
 }
 
 // strategyFor resolves the solver strategy for one request: the
-// request's choice, else the engine default, else auto (the empty
-// string, which optimize.Solve resolves to auto).
+// request's choice (nested spelling first), else the engine default,
+// else auto (the empty string, which optimize.Solve resolves to auto).
 func (e *Engine) strategyFor(req Request) string {
+	if req.Solver.Strategy != "" {
+		return req.Solver.Strategy
+	}
 	if req.Strategy != "" {
 		return req.Strategy
 	}

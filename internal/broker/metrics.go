@@ -1,9 +1,11 @@
 package broker
 
 import (
+	"math"
 	"sync"
 
 	"uptimebroker/internal/obs"
+	"uptimebroker/internal/optimize"
 	"uptimebroker/internal/reccache"
 )
 
@@ -20,14 +22,19 @@ type engineMetrics struct {
 	solvers map[string]*solverMetrics
 }
 
-// solverMetrics is one strategy's run/throughput series.
+// solverMetrics is one strategy's run/throughput series. The gap gauge
+// and budget counter exist only for the approximate strategies — exact
+// runs have no certificate to report, and a permanent 0% gap series
+// for "pruned" would read as a claim it never makes.
 type solverMetrics struct {
-	runs         *obs.Counter
-	evaluated    *obs.Counter
-	skipped      *obs.Counter
-	coverLookups *obs.Counter
-	clipped      *obs.Counter
-	seconds      *obs.Histogram
+	runs            *obs.Counter
+	evaluated       *obs.Counter
+	skipped         *obs.Counter
+	coverLookups    *obs.Counter
+	clipped         *obs.Counter
+	seconds         *obs.Histogram
+	gap             *obs.Gauge
+	budgetExhausted *obs.Counter
 }
 
 // solverFor returns the strategy's series, creating them on first use.
@@ -48,6 +55,10 @@ func (m *engineMetrics) solverFor(strategy string) *solverMetrics {
 		clipped:      m.reg.Counter("solver_clipped_total", "Candidates clipped by a covering SLA-meeting assignment, per strategy.", l),
 		seconds:      m.reg.Histogram("solver_run_seconds", "End-to-end recommendation search time per strategy.", obs.ExponentialBuckets(0.0001, 4, 12), l),
 	}
+	if optimize.ApproximateStrategy(strategy) {
+		s.gap = m.reg.Gauge("solver_gap", "Certified relative optimality gap of the last approximate run, per strategy (0 = proven optimal).", l)
+		s.budgetExhausted = m.reg.Counter("solver_budget_exhausted_total", "Approximate runs stopped by their wall-clock or evaluation budget, per strategy.", l)
+	}
 	m.solvers[strategy] = s
 	return s
 }
@@ -56,16 +67,26 @@ func (m *engineMetrics) solverFor(strategy string) *solverMetrics {
 // evaluations across pricing and search, the strategy's search
 // statistics (including superset-index lookups and cover clips), and
 // the run's wall time. One bulk add per run — the per-candidate hot
-// loop stays uninstrumented.
-func (m *engineMetrics) observeRun(strategy string, evaluated, skipped, coverLookups, clipped int64, seconds float64) {
+// loop stays uninstrumented. Approximate runs additionally publish
+// their certified gap (skipped when infinite — a gauge cannot render
+// "no bound proven") and count budget-stopped runs.
+func (m *engineMetrics) observeRun(stats SearchStats, evaluated int64, seconds float64) {
 	m.evaluations.Add(evaluated)
-	s := m.solverFor(strategy)
+	s := m.solverFor(stats.Strategy)
 	s.runs.Inc()
 	s.evaluated.Add(evaluated)
-	s.skipped.Add(skipped)
-	s.coverLookups.Add(coverLookups)
-	s.clipped.Add(clipped)
+	s.skipped.Add(int64(stats.Skipped))
+	s.coverLookups.Add(int64(stats.CoverLookups))
+	s.clipped.Add(int64(stats.Clipped))
 	s.seconds.Observe(seconds)
+	if stats.Approximate && s.gap != nil {
+		if !math.IsInf(stats.Gap, 1) {
+			s.gap.Set(stats.Gap)
+		}
+		if stats.BudgetExhausted {
+			s.budgetExhausted.Inc()
+		}
+	}
 }
 
 // InstrumentMetrics attaches the engine to a metrics registry,

@@ -27,8 +27,13 @@ import (
 //   - as-is entries naming the baseline ("") are dropped: a missing
 //     entry already means "no HA" (nil AsIs stays nil — no incumbent
 //     at all is a different request than an all-baseline incumbent),
-//   - the solver strategy is resolved through the engine default down
-//     to "auto", the concrete spelling optimize resolves "" to.
+//   - the solver spec is canonicalized to one spelling: the deprecated
+//     flat Strategy and the nested Solver.Strategy are merged (nested
+//     wins when both are set; Validate has already rejected real
+//     contradictions), resolved through the engine default down to
+//     "auto", and written back to BOTH fields — downstream code and
+//     the cache key see a single spelling no matter which alias the
+//     caller used.
 //
 // The pricing mode is deliberately NOT canonicalized into the key
 // material: every mode produces byte-identical results, so requests
@@ -66,12 +71,23 @@ func (e *Engine) normalize(req Request) Request {
 		}
 		req.AsIs = asIs
 	}
-	if req.Strategy == "" {
-		req.Strategy = e.defaultStrategy
+	if req.Strategy != "" && req.Solver.Strategy != "" && req.Strategy != req.Solver.Strategy {
+		// Contradicting spellings are left untouched rather than
+		// silently resolved: Validate (run by compile before any
+		// search) rejects the request, which is the only correct
+		// answer when the caller said two different things.
+		return req
 	}
-	if req.Strategy == "" {
-		req.Strategy = "auto"
+	if req.Solver.Strategy == "" {
+		req.Solver.Strategy = req.Strategy
 	}
+	if req.Solver.Strategy == "" {
+		req.Solver.Strategy = e.defaultStrategy
+	}
+	if req.Solver.Strategy == "" {
+		req.Solver.Strategy = "auto"
+	}
+	req.Strategy = req.Solver.Strategy
 	return req
 }
 
@@ -114,6 +130,15 @@ func (e *Engine) cacheKey(kind string, req Request) string {
 		}
 	}
 	fmt.Fprintf(h, "strategy=%q", req.Strategy)
+	// The solver knobs are hashed only when one is set, so every
+	// pre-existing key — and every nested spelling that only names a
+	// strategy — stays byte-identical to the flat spelling's address.
+	if s := req.Solver; s.Budget.Wall != 0 || s.Budget.MaxEvaluations != 0 ||
+		s.BeamWidth != 0 || s.MaxDiscrepancies != 0 || s.Epsilon != 0 {
+		fmt.Fprintf(h, "|solver=%d,%d,%d,%d,%x",
+			int64(s.Budget.Wall), s.Budget.MaxEvaluations,
+			s.BeamWidth, s.MaxDiscrepancies, math.Float64bits(s.Epsilon))
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 

@@ -185,6 +185,29 @@ type SearchStats struct {
 	// Strategy is the concrete solver that ran: "auto" requests echo
 	// what the heuristic resolved to.
 	Strategy string `json:"strategy"`
+
+	// Approximate reports whether the solver was from the anytime lane
+	// (beam, lds, bounded): the fields below are populated only then,
+	// and omitted entirely for exact runs.
+	Approximate bool `json:"approximate,omitempty"`
+
+	// Bound is the certified admissible lower bound on the optimal
+	// monthly TCO an approximate run proved.
+	Bound cost.Money `json:"bound,omitempty"`
+
+	// Gap is the certified relative optimality gap,
+	// (incumbent − bound) / bound; 0 means proven optimal. Infinite
+	// when the run could not prove any positive bound (wire layers omit
+	// it then).
+	Gap float64 `json:"gap,omitempty"`
+
+	// Optimal reports that an approximate run closed its gap to zero —
+	// the incumbent is a proven optimum despite the approximate lane.
+	Optimal bool `json:"optimal,omitempty"`
+
+	// BudgetExhausted reports that the run stopped on its wall-clock or
+	// evaluation budget rather than finishing its enumeration.
+	BudgetExhausted bool `json:"budget_exhausted,omitempty"`
 }
 
 // Recommendation is the brokerage's answer: every option card plus the
@@ -293,8 +316,9 @@ func (e *Engine) recommend(ctx context.Context, req Request) (*Recommendation, e
 	if err != nil {
 		return nil, err
 	}
-	strategy := e.strategyFor(req)
-	resolved, err := optimize.ResolveStrategy(c.problem, strategy)
+	cfg := req.Solver
+	cfg.Strategy = e.strategyFor(req)
+	resolved, err := optimize.ResolveConfig(c.problem, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -356,12 +380,15 @@ func (e *Engine) recommend(ctx context.Context, req Request) (*Recommendation, e
 		Search:   SearchStats{SpaceSize: space},
 	}
 
-	if resolved == optimize.StrategyExhaustive {
+	fused := resolved == optimize.StrategyExhaustive && cfg.Budget.IsZero()
+	if fused {
 		// Fused: the exhaustive search is the pricing pass, so one
 		// streaming enumeration serves both and its statistics are
 		// known by construction. Progress maps onto the combined 2·k^n
 		// space watchers already expect, and the strategy hook still
-		// hears the resolved choice.
+		// hears the resolved choice. A budgeted run takes the two-pass
+		// shape instead, so SolveConfig owns the budget semantics
+		// (deadline for exact strategies, refusal of an evaluation cap).
 		optimize.ReportStrategy(ctx, resolved)
 		if err := runPricing(doubleProgress(ctx, int64(space))); err != nil {
 			return nil, err
@@ -373,7 +400,7 @@ func (e *Engine) recommend(ctx context.Context, req Request) (*Recommendation, e
 		if err := runPricing(pricingCtx); err != nil {
 			return nil, err
 		}
-		searched, err := optimize.Solve(solverCtx, c.problem, strategy)
+		searched, err := optimize.SolveConfig(solverCtx, c.problem, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -382,6 +409,11 @@ func (e *Engine) recommend(ctx context.Context, req Request) (*Recommendation, e
 		rec.Search.CoverLookups = searched.CoverLookups
 		rec.Search.Clipped = searched.Clipped
 		rec.Search.Strategy = searched.Strategy
+		rec.Search.Approximate = searched.Approximate
+		rec.Search.Bound = searched.Bound
+		rec.Search.Gap = searched.Gap
+		rec.Search.Optimal = searched.Optimal
+		rec.Search.BudgetExhausted = searched.BudgetExhausted
 	}
 
 	merged := priceState{bestPos: -1, minRisk: -1, asIs: -1}
@@ -413,11 +445,10 @@ func (e *Engine) recommend(ctx context.Context, req Request) (*Recommendation, e
 		// pruning strategies, the solver's own evaluations) — the
 		// per-candidate loop above stays uninstrumented by design.
 		evals := int64(space)
-		if resolved != optimize.StrategyExhaustive {
+		if !fused {
 			evals += int64(rec.Search.Evaluated)
 		}
-		m.observeRun(rec.Search.Strategy, evals, int64(rec.Search.Skipped),
-			int64(rec.Search.CoverLookups), int64(rec.Search.Clipped), time.Since(start).Seconds())
+		m.observeRun(rec.Search, evals, time.Since(start).Seconds())
 	}
 	return rec, nil
 }

@@ -56,7 +56,7 @@ type Client struct {
 	retries  int
 	backoff  time.Duration
 	pollBase time.Duration
-	strategy string
+	solver   *SolverConfigDTO
 	pricing  string
 }
 
@@ -103,12 +103,44 @@ func WithPollInterval(d time.Duration) ClientOption {
 	}
 }
 
+// WithSolverConfig sets a default solver specification stamped onto
+// every outgoing recommendation-type request (Recommend, Pareto,
+// SubmitJob, RecommendBatch) that does not make any solver choice
+// itself. A request naming a strategy — flat or nested — or carrying
+// its own solver object is sent untouched; the server default remains
+// "auto" with no limits.
+func WithSolverConfig(cfg SolverConfigDTO) ClientOption {
+	return func(c *Client) { c.solver = &cfg }
+}
+
+// WithBudget sets a default anytime budget — a wall-clock cap and/or
+// an evaluation cap, zero meaning unlimited — merged into the
+// client's default solver spec. Composes with WithStrategy and
+// WithSolverConfig in any order (later strategy options keep the
+// budget, and vice versa).
+func WithBudget(wall time.Duration, maxEvaluations int64) ClientOption {
+	return func(c *Client) {
+		if c.solver == nil {
+			c.solver = &SolverConfigDTO{}
+		}
+		c.solver.BudgetMS = wall.Milliseconds()
+		c.solver.MaxEvaluations = maxEvaluations
+	}
+}
+
 // WithStrategy sets a default solver strategy stamped onto every
-// outgoing recommendation-type request (Recommend, Pareto, SubmitJob,
-// RecommendBatch) that does not name one itself. A per-request
-// Strategy field always wins; the server default remains "auto".
+// outgoing recommendation-type request that does not make a solver
+// choice itself. It delegates to the same default spec as
+// WithSolverConfig and WithBudget, so the three compose. A
+// per-request strategy always wins; the server default remains
+// "auto".
 func WithStrategy(strategy string) ClientOption {
-	return func(c *Client) { c.strategy = strategy }
+	return func(c *Client) {
+		if c.solver == nil {
+			c.solver = &SolverConfigDTO{}
+		}
+		c.solver.Strategy = strategy
+	}
 }
 
 // WithPricing sets a default card-pricing mode ("parallel",
@@ -120,11 +152,16 @@ func WithPricing(mode string) ClientOption {
 	return func(c *Client) { c.pricing = mode }
 }
 
-// withDefaults returns req with the client's default strategy and
-// pricing mode applied where the request leaves the choice open.
+// withDefaults returns req with the client's default solver spec and
+// pricing mode applied where the request leaves the choice open. The
+// solver default applies wholesale or not at all: a request that names
+// a flat strategy or carries any nested spec already made its choice,
+// and half-merging a client budget under it would change semantics the
+// caller spelled out.
 func (c *Client) withDefaults(req RecommendationRequest) RecommendationRequest {
-	if req.Strategy == "" {
-		req.Strategy = c.strategy
+	if req.Strategy == "" && req.Solver == nil && c.solver != nil {
+		cfg := *c.solver
+		req.Solver = &cfg
 	}
 	if req.Pricing == "" {
 		req.Pricing = c.pricing

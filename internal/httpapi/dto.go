@@ -5,13 +5,17 @@
 package httpapi
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"math"
 	"time"
 
 	"uptimebroker/internal/broker"
 	"uptimebroker/internal/catalog"
 	"uptimebroker/internal/cost"
 	"uptimebroker/internal/jobs"
+	"uptimebroker/internal/optimize"
 	"uptimebroker/internal/reccache"
 	"uptimebroker/internal/topology"
 )
@@ -33,12 +37,25 @@ type RecommendationRequest struct {
 	// AllowedTechs optionally restricts per-component HA choices.
 	AllowedTechs map[string][]string `json:"allowed_techs,omitempty"`
 
-	// Strategy optionally names the solver the search runs on:
-	// "exhaustive", "pruned", "branch-and-bound", "parallel-pruned" or
-	// "auto" (the default). Every strategy returns the same
-	// recommendation; the choice trades latency against the effort
-	// statistics echoed in the response's "search" member.
+	// Strategy optionally names the solver the search runs on — any of
+	// the exact strategies ("exhaustive", "pruned", "branch-and-bound",
+	// "parallel-pruned"), the anytime strategies ("beam", "lds",
+	// "bounded") or "auto" (the default).
+	//
+	// Deprecated alias: Strategy is the flat spelling of
+	// Solver.Strategy and remains fully supported — the server folds it
+	// into the nested spec, so both spellings validate, solve and cache
+	// identically. Naming different strategies in both places is
+	// rejected.
 	Strategy string `json:"strategy,omitempty"`
+
+	// Solver is the nested solver specification: the strategy plus the
+	// anytime lane's budget and knobs. Absent means "auto with no
+	// limits", exactly the empty flat Strategy. Unknown fields inside
+	// the object are rejected (problem code "invalid_solver") rather
+	// than silently ignored — a mistyped budget knob must not turn an
+	// approximate run into an unbounded one.
+	Solver *SolverConfigDTO `json:"solver,omitempty"`
 
 	// Pricing optionally selects how the full card-pricing pass
 	// enumerates the k^n options: "parallel" (shard across the
@@ -61,10 +78,92 @@ func (r RecommendationRequest) ToBroker() broker.Request {
 		Strategy:     r.Strategy,
 		Pricing:      r.Pricing,
 	}
+	if r.Solver != nil {
+		req.Solver = r.Solver.ToOptimize()
+	}
 	if r.AsIs != nil {
 		req.AsIs = broker.Plan(r.AsIs)
 	}
 	return req
+}
+
+// SolverConfigDTO is the wire form of optimize.SolverConfig: the
+// nested "solver" member of a recommendation request. The zero value
+// means "auto with no limits".
+type SolverConfigDTO struct {
+	// Strategy names the solver, one of the exact or anytime
+	// strategies, or "auto"/"" for the heuristic pick.
+	Strategy string `json:"strategy,omitempty"`
+
+	// BudgetMS caps the search's wall-clock time in milliseconds.
+	// Approximate strategies stop at the deadline and certify what they
+	// have; exact strategies treat it as a hard deadline (the request
+	// fails when it fires). Zero means unlimited.
+	BudgetMS int64 `json:"budget_ms,omitempty"`
+
+	// MaxEvaluations caps how many candidates the search prices. Only
+	// the approximate strategies accept it; an exact strategy cannot
+	// honor a cap and rejects the request. Zero means unlimited.
+	MaxEvaluations int64 `json:"max_evaluations,omitempty"`
+
+	// BeamWidth is the beam strategy's per-level survivor count
+	// (default 64). Setting it with any other explicit strategy is
+	// rejected.
+	BeamWidth int `json:"beam_width,omitempty"`
+
+	// MaxDiscrepancies is the lds strategy's discrepancy budget
+	// (default 4). Setting it with any other explicit strategy is
+	// rejected.
+	MaxDiscrepancies int `json:"max_discrepancies,omitempty"`
+
+	// Epsilon is the bounded strategy's admissible suboptimality
+	// fraction in [0, 1] (default 0.05): the search may skip subtrees
+	// that cannot beat the incumbent by more than this factor, and the
+	// returned plan is certified within (1+epsilon) of optimal. Setting
+	// it with any other explicit strategy is rejected.
+	Epsilon float64 `json:"epsilon,omitempty"`
+}
+
+// SolverSpecError marks a request-body decode failure located inside
+// the "solver" object, so the server can answer with the
+// "invalid_solver" problem code instead of the generic body-parse one.
+type SolverSpecError struct{ Err error }
+
+// Error implements error.
+func (e *SolverSpecError) Error() string { return "solver: " + e.Err.Error() }
+
+// Unwrap exposes the underlying decode error.
+func (e *SolverSpecError) Unwrap() error { return e.Err }
+
+// UnmarshalJSON decodes the solver spec strictly: unknown fields are
+// an error, not a silent drop. Every other wire type tolerates unknown
+// fields for forward compatibility; here a typo ("beamwidth",
+// "budget") would change solve semantics without any signal, so the
+// object is the one place the API is strict.
+func (d *SolverConfigDTO) UnmarshalJSON(data []byte) error {
+	type plain SolverConfigDTO // drop methods to avoid recursing
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var p plain
+	if err := dec.Decode(&p); err != nil {
+		return &SolverSpecError{Err: err}
+	}
+	*d = SolverConfigDTO(p)
+	return nil
+}
+
+// ToOptimize converts the wire spec to the domain spec.
+func (d SolverConfigDTO) ToOptimize() optimize.SolverConfig {
+	return optimize.SolverConfig{
+		Strategy: d.Strategy,
+		Budget: optimize.Budget{
+			Wall:           time.Duration(d.BudgetMS) * time.Millisecond,
+			MaxEvaluations: d.MaxEvaluations,
+		},
+		BeamWidth:        d.BeamWidth,
+		MaxDiscrepancies: d.MaxDiscrepancies,
+		Epsilon:          d.Epsilon,
+	}
 }
 
 // ChoiceDTO is one component's HA selection.
@@ -96,6 +195,30 @@ type SearchStatsDTO struct {
 	CoverLookups int    `json:"cover_lookups,omitempty"`
 	Clipped      int    `json:"clipped,omitempty"`
 	Strategy     string `json:"strategy,omitempty"`
+
+	// Approximate marks a run on one of the anytime strategies (beam,
+	// lds, bounded). The certificate members below are present exactly
+	// when it is true — exact runs omit the whole group, keeping their
+	// wire form byte-identical to pre-anytime responses.
+	Approximate bool `json:"approximate,omitempty"`
+
+	// BoundUSD is the certified lower bound on any plan's monthly TCO:
+	// no assignment, searched or not, can cost less.
+	BoundUSD *float64 `json:"bound_usd,omitempty"`
+
+	// Gap is the certified relative optimality gap,
+	// (incumbent − bound) / bound. 0 means proven optimal. Omitted
+	// when no positive lower bound was proven (the gap is unbounded).
+	Gap *float64 `json:"gap,omitempty"`
+
+	// Optimal reports whether the returned plan is proven optimal
+	// (gap exactly zero).
+	Optimal *bool `json:"optimal,omitempty"`
+
+	// BudgetExhausted reports whether the run stopped on its
+	// wall-clock or evaluation budget rather than finishing the
+	// strategy's full sweep.
+	BudgetExhausted *bool `json:"budget_exhausted,omitempty"`
 }
 
 // RecommendationResponse is the wire form of broker.Recommendation.
@@ -150,15 +273,36 @@ func FromRecommendation(rec *broker.Recommendation) RecommendationResponse {
 		MinRiskOption:  rec.MinRiskOption,
 		AsIsOption:     rec.AsIsOption,
 		SavingsPercent: rec.SavingsFraction * 100,
-		Search: SearchStatsDTO{
-			SpaceSize:    rec.Search.SpaceSize,
-			Evaluated:    rec.Search.Evaluated,
-			Skipped:      rec.Search.Skipped,
-			CoverLookups: rec.Search.CoverLookups,
-			Clipped:      rec.Search.Clipped,
-			Strategy:     rec.Search.Strategy,
-		},
+		Search:         fromSearchStats(rec.Search),
 	}
+}
+
+// fromSearchStats converts search statistics to wire form, attaching
+// the anytime certificate only when the run was approximate.
+func fromSearchStats(s broker.SearchStats) SearchStatsDTO {
+	dto := SearchStatsDTO{
+		SpaceSize:    s.SpaceSize,
+		Evaluated:    s.Evaluated,
+		Skipped:      s.Skipped,
+		CoverLookups: s.CoverLookups,
+		Clipped:      s.Clipped,
+		Strategy:     s.Strategy,
+	}
+	if !s.Approximate {
+		return dto
+	}
+	dto.Approximate = true
+	bound := s.Bound.Dollars()
+	dto.BoundUSD = &bound
+	if !math.IsInf(s.Gap, 1) {
+		gap := s.Gap
+		dto.Gap = &gap
+	}
+	optimal := s.Optimal
+	dto.Optimal = &optimal
+	exhausted := s.BudgetExhausted
+	dto.BudgetExhausted = &exhausted
+	return dto
 }
 
 // TechnologyDTO is the wire form of a catalog technology.

@@ -15,6 +15,7 @@ const ProblemContentType = "application/problem+json"
 const (
 	CodeInvalidBody       = "invalid_body"        // request body is not valid JSON
 	CodeInvalidRequest    = "invalid_request"     // request is well-formed JSON but semantically invalid
+	CodeInvalidSolver     = "invalid_solver"      // the "solver" object has unknown or malformed fields
 	CodeNotFound          = "not_found"           // no such route or resource
 	CodeMethodNotAllowed  = "method_not_allowed"  // route exists, method does not
 	CodeRateLimited       = "rate_limited"        // token bucket empty
@@ -61,6 +62,7 @@ type Problem struct {
 var problemTitles = map[string]string{
 	CodeInvalidBody:       "Request body is not valid JSON",
 	CodeInvalidRequest:    "Request failed validation",
+	CodeInvalidSolver:     "Solver specification rejected",
 	CodeNotFound:          "Resource not found",
 	CodeMethodNotAllowed:  "Method not allowed",
 	CodeRateLimited:       "Too many requests",

@@ -422,10 +422,17 @@ func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, status int, v
 }
 
 // decodeBody decodes a JSON request body, writing the problem itself
-// on failure.
+// on failure. Failures inside a request's "solver" object — the one
+// strictly decoded member — get their own code so clients can tell a
+// mistyped solver knob from a malformed body.
 func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
-		s.problem(w, r, CodeInvalidBody, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
+		code := CodeInvalidBody
+		var solverErr *SolverSpecError
+		if errors.As(err, &solverErr) {
+			code = CodeInvalidSolver
+		}
+		s.problem(w, r, code, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
 		return false
 	}
 	return true

@@ -1,0 +1,463 @@
+package optimize
+
+import (
+	"context"
+	"errors"
+	"sort"
+
+	"uptimebroker/internal/cost"
+)
+
+// The anytime lane: three approximate strategies that accept spaces
+// the exact lane refuses and budgets the exact lane cannot honor, and
+// that certify what they return — every result carries an admissible
+// lower bound on the optimal TCO (bound.go's Pareto-frontier
+// relaxation, tightened further when a search can prove completeness)
+// and the relative gap it implies for the incumbent. The exact solvers
+// double as oracles: the randomized soundness tests check the reported
+// bound never exceeds the true optimum at small n.
+
+// errSearchBudget unwinds an approximate search when its budget runs
+// out; the catch site certifies what was found so far.
+var errSearchBudget = errors.New("optimize: search budget exhausted")
+
+// beamMember is one alive node of the beam: a complete assignment
+// (clustered choices up to maxIdx, baseline beyond) with its
+// evaluation.
+type beamMember struct {
+	a      Assignment
+	total  cost.Money
+	uptime float64
+	meets  bool
+	maxIdx int // highest clustered component; successors extend past it
+}
+
+// beamLess orders beam members for the width cut: lower TCO first,
+// ties broken by higher uptime, then by smaller maxIdx — successors
+// only extend past maxIdx, so among equally-good members the ones with
+// the most extension room survive the cut (on symmetric instances
+// every same-level member ties on cost, and keeping tail-clustered
+// ones would strand the beam with nothing to expand) — then
+// lexicographic assignment for determinism.
+func beamLess(x, y *beamMember) bool {
+	if x.total != y.total {
+		return x.total < y.total
+	}
+	if x.uptime != y.uptime {
+		return x.uptime > y.uptime
+	}
+	if x.maxIdx != y.maxIdx {
+		return x.maxIdx < y.maxIdx
+	}
+	for i := range x.a {
+		if x.a[i] != y.a[i] {
+			return x.a[i] < y.a[i]
+		}
+	}
+	return false
+}
+
+// beamSearch is the fixed-width level-order beam over the incremental
+// cursor: level ℓ holds assignments with exactly ℓ clustered
+// components, each level keeps the width best members by TCO, and —
+// Section III.C's argument — members that already meet the SLA are not
+// extended, because every superset costs at least as much while its
+// penalty stays zero. If no level ever dropped a member to the width
+// cap, the enumeration was complete and the incumbent is certified
+// optimal; otherwise the certificate falls back to the root relaxation
+// bound.
+func (p *Problem) beamSearch(ctx context.Context, cfg SolverConfig) (Result, error) {
+	ev, err := newEvaluatorShape(p)
+	if err != nil {
+		return Result{}, err
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+	}
+	width := cfg.BeamWidth
+	if width <= 0 {
+		width = DefaultBeamWidth
+	}
+	root := p.rootLowerBound(p.tailFrontiers())
+
+	var res Result
+	cc := canceler{ctx: ctx}
+	bt := newBudgetTracker(cfg.Budget)
+	pt := newProgressTicker(ctx, p)
+	cur := ev.NewCursor()
+	n := len(p.Components)
+
+	evalMember := func(a Assignment, maxIdx int) beamMember {
+		cur.Sync(a)
+		res.observeCursor(cur, p.SLA)
+		pt.advance(1)
+		bt.spend()
+		return beamMember{a: a, total: cur.TCO().Total(), uptime: cur.Uptime(), meets: cur.MeetsSLA(), maxIdx: maxIdx}
+	}
+
+	// Level 0 is the all-baseline assignment, evaluated before any
+	// budget check so even a zero-headroom budget yields an incumbent.
+	beam := []beamMember{evalMember(make(Assignment, n), -1)}
+
+	complete := true // no member was ever dropped to the width cap
+	exhausted := false
+levels:
+	for level := 1; level <= n; level++ {
+		var next []beamMember
+		for m := range beam {
+			member := &beam[m]
+			if member.meets {
+				continue
+			}
+			for i := member.maxIdx + 1; i < n; i++ {
+				for v := 1; v < len(p.Components[i].Variants); v++ {
+					if err := cc.check(); err != nil {
+						return Result{}, err
+					}
+					if bt.exceeded() {
+						exhausted = true
+						break levels
+					}
+					a := member.a.Clone()
+					a[i] = v
+					next = append(next, evalMember(a, i))
+				}
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		sort.Slice(next, func(i, j int) bool { return beamLess(&next[i], &next[j]) })
+		if len(next) > width {
+			next = next[:width]
+			complete = false
+		}
+		beam = next
+	}
+	pt.done()
+	bound := root
+	if complete && !exhausted {
+		bound = res.Best.TCO.Total()
+	}
+	res.certify(bound, exhausted)
+	return res, nil
+}
+
+// ldsSearch is limited-discrepancy search over the greedy ordering:
+// a hill climb on the incremental cursor finds the greedy assignment,
+// one-swap probes rank each component's variants by how the deviation
+// prices out, and a depth-first pass then revisits the space allowing
+// a bounded total discrepancy from the greedy preference — taking a
+// component's j-th ranked variant consumes j discrepancy units, so the
+// search widens around the greedy solution in order of how much it
+// disagrees with it. A discrepancy budget at or above the maximum
+// possible weight makes the pass a complete enumeration, which the
+// certificate then reflects; otherwise the bound is the root
+// relaxation.
+func (p *Problem) ldsSearch(ctx context.Context, cfg SolverConfig) (Result, error) {
+	ev, err := newEvaluatorShape(p)
+	if err != nil {
+		return Result{}, err
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+	}
+	maxDisc := cfg.MaxDiscrepancies
+	if maxDisc <= 0 {
+		maxDisc = DefaultMaxDiscrepancies
+	}
+	root := p.rootLowerBound(p.tailFrontiers())
+
+	var res Result
+	cc := canceler{ctx: ctx}
+	bt := newBudgetTracker(cfg.Budget)
+	pt := newProgressTicker(ctx, p)
+	cur := ev.NewCursor()
+	n := len(p.Components)
+
+	eval := func(a Assignment) cost.Money {
+		cur.Sync(a)
+		res.observeCursor(cur, p.SLA)
+		pt.advance(1)
+		bt.spend()
+		return cur.TCO().Total()
+	}
+
+	finish := func(exhausted bool, complete bool) (Result, error) {
+		pt.done()
+		bound := root
+		if complete && !exhausted {
+			bound = res.Best.TCO.Total()
+		}
+		res.certify(bound, exhausted)
+		return res, nil
+	}
+
+	// Phase 1: the greedy hill climb (Greedy re-done on the cursor —
+	// the method itself validates against the exact-space cap). The
+	// all-baseline start is evaluated before any budget check.
+	g := make(Assignment, n)
+	gTotal := eval(g)
+	for {
+		if err := cc.check(); err != nil {
+			return Result{}, err
+		}
+		improved := false
+		bi, bv := -1, -1
+		for i := 0; i < n; i++ {
+			old := g[i]
+			for v := range p.Components[i].Variants {
+				if v == old {
+					continue
+				}
+				if bt.exceeded() {
+					return finish(true, false)
+				}
+				g[i] = v
+				if total := eval(g); total < gTotal {
+					gTotal, bi, bv, improved = total, i, v, true
+				}
+			}
+			g[i] = old
+		}
+		if !improved {
+			break
+		}
+		g[bi] = bv
+	}
+
+	// Phase 2: rank each component's variants by the one-swap probe
+	// from the greedy assignment; the greedy choice itself is always
+	// preference 0.
+	type ranked struct {
+		v     int
+		total cost.Money
+	}
+	pref := make([][]int, n)
+	maxWeight := 0
+	for i := 0; i < n; i++ {
+		k := len(p.Components[i].Variants)
+		alts := make([]ranked, 0, k-1)
+		old := g[i]
+		for v := 0; v < k; v++ {
+			if v == old {
+				continue
+			}
+			if bt.exceeded() {
+				return finish(true, false)
+			}
+			g[i] = v
+			alts = append(alts, ranked{v: v, total: eval(g)})
+		}
+		g[i] = old
+		sort.Slice(alts, func(a, b int) bool {
+			if alts[a].total != alts[b].total {
+				return alts[a].total < alts[b].total
+			}
+			return alts[a].v < alts[b].v
+		})
+		order := make([]int, 0, k)
+		order = append(order, old)
+		for _, r := range alts {
+			order = append(order, r.v)
+		}
+		pref[i] = order
+		// The deepest deviation at this component is its last-ranked
+		// variant, at weight k-1.
+		maxWeight += k - 1
+	}
+
+	// Phase 3: depth-first over the preference orders with the
+	// discrepancy budget.
+	a := make(Assignment, n)
+	var dfs func(idx, disc int) error
+	dfs = func(idx, disc int) error {
+		if err := cc.check(); err != nil {
+			return err
+		}
+		if idx == n {
+			if bt.exceeded() {
+				return errSearchBudget
+			}
+			eval(a)
+			return nil
+		}
+		for j, v := range pref[idx] {
+			if j > disc {
+				break
+			}
+			a[idx] = v
+			if err := dfs(idx+1, disc-j); err != nil {
+				return err
+			}
+		}
+		a[idx] = pref[idx][0]
+		return nil
+	}
+	exhausted := false
+	if err := dfs(0, maxDisc); err != nil {
+		if !errors.Is(err, errSearchBudget) {
+			return Result{}, err
+		}
+		exhausted = true
+	}
+	// A budget covering every possible deviation makes the DFS a full
+	// enumeration.
+	return finish(exhausted, maxDisc >= maxWeight)
+}
+
+// boundedSearch is weighted branch-and-bound: the exact search's
+// depth-first walk, but clipping any subtree that cannot beat the
+// incumbent by more than a (1+ε) factor, with the admissible
+// completion bound computed from the suffix Pareto frontiers (cost
+// committed so far, plus each frontier point's cost and the penalty at
+// its best-case uptime — far tighter than the exact search's
+// cheapest-tail bound, which is zero whenever baselines are free).
+// Leaves that survive the bound still pass through the PR 8 flat arena
+// met-trie: supersets of recorded SLA-meeting assignments are clipped
+// by the exact Section III.C argument, which ε does not weaken. The
+// exact search's cost-tie lookup gate does not survive ε-clipping, so
+// the lookup is gated on level alone.
+//
+// A completed run certifies bound = max(root relaxation, incumbent /
+// (1+ε)): every clipped completion was worse than incumbent/(1+ε) at
+// clip time, and incumbents only improve, so the final incumbent is
+// within a (1+ε) factor of the true optimum. A budget-stopped run
+// falls back to the root relaxation bound, which is admissible
+// regardless of how much of the walk ran.
+func (p *Problem) boundedSearch(ctx context.Context, cfg SolverConfig) (Result, error) {
+	ev, err := newEvaluatorShape(p)
+	if err != nil {
+		return Result{}, err
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+	}
+	eps := cfg.Epsilon
+	if eps <= 0 {
+		eps = DefaultEpsilon
+	}
+	mult := 1 + eps
+	frontiers := p.tailFrontiers()
+	root := p.rootLowerBound(frontiers)
+
+	n := len(p.Components)
+	target := p.SLA.Target()
+	var res Result
+	cc := canceler{ctx: ctx}
+	bt := newBudgetTracker(cfg.Budget)
+	pt := newProgressTicker(ctx, p)
+	ix := newFlatMetIndex(p)
+	cur := ev.NewCursor()
+	a := make(Assignment, n)
+	var committed int64
+	lo := 0
+	lvl := 0 // clustered components in a[:idx]
+
+	var walk func(idx int, upCommitted float64) error
+	walk = func(idx int, upCommitted float64) error {
+		if res.Evaluated > 0 {
+			lb := frontierBound(p.SLA, frontiers[idx], committed, upCommitted)
+			if float64(lb)*mult > float64(res.Best.TCO.Total()) {
+				lbMeet, canMeet := frontierMeetBound(frontiers[idx], committed, upCommitted, target)
+				canImproveNoPenalty := canMeet &&
+					!(res.NoPenaltyFound && float64(lbMeet)*mult > float64(res.BestNoPenalty.TCO.Total()))
+				if !canImproveNoPenalty {
+					// Clip-dominated tails may never reach another
+					// evaluated leaf, so cancellation is polled here too.
+					if err := cc.check(); err != nil {
+						return err
+					}
+					clipped := p.subtreeSize(idx)
+					res.Skipped += clipped
+					pt.advance(int64(clipped))
+					return nil
+				}
+			}
+		}
+		if idx == n {
+			if err := cc.check(); err != nil {
+				return err
+			}
+			// The budget gate opens only after the first evaluation, so
+			// every run has a root incumbent to certify even when the wall
+			// budget was already spent on entry.
+			if res.Evaluated > 0 && bt.exceeded() {
+				return errSearchBudget
+			}
+			if res.Evaluated > 0 && lvl > ix.minLevel {
+				// lo accumulates the lowest digit changed since the last
+				// *performed* lookup — gated-out leaves must keep
+				// widening the hint, so it only resets here.
+				changedFrom := lo
+				lo = n
+				res.CoverLookups++
+				if ix.coversFrom(a, changedFrom) {
+					res.Skipped++
+					res.Clipped++
+					pt.advance(1)
+					return nil
+				}
+			}
+			cur.Sync(a)
+			res.observeCursor(cur, p.SLA)
+			pt.advance(1)
+			bt.spend()
+			if cur.MeetsSLA() {
+				ix.insert(a)
+			}
+			return nil
+		}
+		for v := range p.Components[idx].Variants {
+			if a[idx] != v {
+				a[idx] = v
+				if idx < lo {
+					lo = idx
+				}
+			}
+			variant := p.Components[idx].Variants[v]
+			delta := int64(variant.MonthlyCost)
+			committed += delta
+			if v != 0 {
+				lvl++
+			}
+			if err := walk(idx+1, upCommitted*variant.Cluster.UpProbability()); err != nil {
+				return err
+			}
+			if v != 0 {
+				lvl--
+			}
+			committed -= delta
+		}
+		if a[idx] != 0 {
+			a[idx] = 0
+			if idx < lo {
+				lo = idx
+			}
+		}
+		return nil
+	}
+	exhausted := false
+	if err := walk(0, 1); err != nil {
+		if !errors.Is(err, errSearchBudget) {
+			return Result{}, err
+		}
+		exhausted = true
+	}
+	pt.done()
+	bound := root
+	if !exhausted {
+		// Truncation rounds the certified bound down, never up.
+		if b := cost.Money(float64(res.Best.TCO.Total()) / mult); b > bound {
+			bound = b
+		}
+	}
+	res.certify(bound, exhausted)
+	return res, nil
+}

@@ -29,11 +29,29 @@ type Evaluator struct {
 	costs []cost.Money
 }
 
-// NewEvaluator validates and compiles the problem.
+// NewEvaluator validates and compiles the problem, enforcing the
+// exact-lane MaxCandidates cap.
 func NewEvaluator(p *Problem) (*Evaluator, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	return compileEvaluator(p), nil
+}
+
+// newEvaluatorShape compiles without the MaxCandidates cap: the
+// approximate searches bound their own work (beam width, discrepancy
+// budget, evaluation/wall budgets), so the space size is not a memory
+// or time hazard for them.
+func newEvaluatorShape(p *Problem) (*Evaluator, error) {
+	if err := p.validateShape(); err != nil {
+		return nil, err
+	}
+	return compileEvaluator(p), nil
+}
+
+// compileEvaluator derives the flat tables from an already-validated
+// problem.
+func compileEvaluator(p *Problem) *Evaluator {
 	n := len(p.Components)
 	e := &Evaluator{
 		p:     p,
@@ -62,7 +80,7 @@ func NewEvaluator(p *Problem) (*Evaluator, error) {
 			e.costs[e.off[i]+v] = variant.MonthlyCost
 		}
 	}
-	return e, nil
+	return e
 }
 
 // Problem returns the compiled problem.

@@ -133,10 +133,11 @@ func TestCursorAdvanceWrapStaysConsistent(t *testing.T) {
 
 // TestSolversMatchScratchOracle re-runs the strategy-equivalence
 // property against the from-scratch reference implementation: every
-// registered solver now prices through the compiled evaluator, and
-// ExhaustiveScratch is the one path that still re-derives every
+// registered exact solver now prices through the compiled evaluator,
+// and ExhaustiveScratch is the one path that still re-derives every
 // candidate with Problem.Evaluate — agreement here means the
-// incremental rewiring changed nothing observable, bit for bit.
+// incremental rewiring changed nothing observable, bit for bit. The
+// approximate strategies answer to the certified-gap tests instead.
 func TestSolversMatchScratchOracle(t *testing.T) {
 	rng := rand.New(rand.NewSource(20170611))
 	for trial := 0; trial < 60; trial++ {
@@ -146,6 +147,9 @@ func TestSolversMatchScratchOracle(t *testing.T) {
 			t.Fatalf("trial %d: ExhaustiveScratch: %v", trial, err)
 		}
 		for _, strategy := range Strategies() {
+			if ApproximateStrategy(strategy) {
+				continue
+			}
 			res, err := Solve(context.Background(), p, strategy)
 			if err != nil {
 				t.Fatalf("trial %d: Solve(%s): %v", trial, strategy, err)

@@ -15,6 +15,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 
 	"uptimebroker/internal/availability"
 	"uptimebroker/internal/cost"
@@ -59,18 +60,47 @@ type Problem struct {
 // enumerates k^n candidates and the paper notes n is usually under 10.
 // Larger spaces must use the pruned or branch-and-bound searches, and
 // even those refuse spaces beyond this bound to keep memory and time
-// predictable.
+// predictable. Only the approximate strategies (beam, lds, bounded) go
+// past it: their work is bounded by beam width, discrepancy budget and
+// the evaluation/wall budget rather than by k^n.
 const MaxCandidates = 1 << 26
 
-// Validate reports whether the problem is well-formed and solvable.
+// maxShapeCandidates is the hard ceiling even the approximate lane
+// enforces: past it the int64 space-size bookkeeping (progress bars,
+// clipped-subtree accounting) would overflow.
+const maxShapeCandidates = 1 << 50
+
+// Validate reports whether the problem is well-formed and solvable by
+// the exact strategies: the per-component shape invariants plus the
+// MaxCandidates space cap.
 func (p *Problem) Validate() error {
+	if err := p.validateShape(); err != nil {
+		return err
+	}
+	space := 1
+	for _, comp := range p.Components {
+		if space > MaxCandidates/len(comp.Variants) {
+			return fmt.Errorf("optimize: search space exceeds %d candidates", MaxCandidates)
+		}
+		space *= len(comp.Variants)
+	}
+	return nil
+}
+
+// validateShape checks everything Validate does except the
+// MaxCandidates cap: SLA validity and the per-component invariants
+// (valid clusters, non-negative costs, baseline-cheapest ordering that
+// makes superset pruning sound). The approximate solvers validate
+// through it so they can take spaces the exact lane refuses, up to the
+// bookkeeping ceiling.
+func (p *Problem) validateShape() error {
 	if len(p.Components) == 0 {
 		return errors.New("optimize: problem has no components")
 	}
 	if err := p.SLA.Validate(); err != nil {
 		return fmt.Errorf("optimize: %w", err)
 	}
-	space := 1
+	space := int64(1)
 	for i, comp := range p.Components {
 		if len(comp.Variants) == 0 {
 			return fmt.Errorf("optimize: component %d (%q) has no variants", i, comp.Name)
@@ -88,10 +118,10 @@ func (p *Problem) Validate() error {
 					comp.Name, v.Label)
 			}
 		}
-		if space > MaxCandidates/len(comp.Variants) {
-			return fmt.Errorf("optimize: search space exceeds %d candidates", MaxCandidates)
+		if space > maxShapeCandidates/int64(len(comp.Variants)) {
+			return fmt.Errorf("optimize: search space exceeds %d candidates", int64(maxShapeCandidates))
 		}
-		space *= len(comp.Variants)
+		space *= int64(len(comp.Variants))
 	}
 	return nil
 }
@@ -238,6 +268,63 @@ type Result struct {
 	// result when it came through Solve ("auto" resolves to the
 	// strategy the heuristic picked); empty for direct method calls.
 	Strategy string
+
+	// Approximate reports the result came from the anytime lane (beam,
+	// lds, bounded): Best is an incumbent rather than a proven optimum,
+	// and the certificate fields below are populated. Exact runs leave
+	// all of them zero.
+	Approximate bool
+
+	// Bound is the certified admissible lower bound on the optimal
+	// TCO: no candidate in the space — searched or not — costs less.
+	// Only meaningful when Approximate is set.
+	Bound cost.Money
+
+	// Gap is the certified relative optimality gap,
+	// (incumbent − bound) / bound: the incumbent provably costs at most
+	// (1+Gap) times the true optimum. Zero means the incumbent is
+	// proven optimal. When Bound is zero while the incumbent is not,
+	// the relative gap is undefined and reported as +Inf (the wire
+	// layer omits it). Only meaningful when Approximate is set.
+	Gap float64
+
+	// Optimal reports the gap closed to zero: the incumbent is a
+	// proven optimum despite coming from an approximate strategy
+	// (the search completed without dropping any candidate, or the
+	// bound tightened onto the incumbent).
+	Optimal bool
+
+	// BudgetExhausted reports the search stopped on its wall-clock or
+	// evaluation budget rather than running its strategy to completion.
+	BudgetExhausted bool
+}
+
+// certify stamps the approximate-lane certificate onto a result: the
+// admissible lower bound, the relative gap it implies for the
+// incumbent, and whether the search ran out of budget. Admissible
+// bounds never exceed the incumbent (which is a real candidate, so its
+// total is at least the optimum); the clamp only guards float edge
+// cases in callers' bound arithmetic.
+func (r *Result) certify(bound cost.Money, budgetExhausted bool) {
+	r.Approximate = true
+	r.BudgetExhausted = budgetExhausted
+	if bound < 0 {
+		bound = 0
+	}
+	inc := r.Best.TCO.Total()
+	if bound > inc {
+		bound = inc
+	}
+	r.Bound = bound
+	switch {
+	case inc == bound:
+		r.Gap = 0
+		r.Optimal = true
+	case bound > 0:
+		r.Gap = float64(inc-bound) / float64(bound)
+	default:
+		r.Gap = math.Inf(1)
+	}
 }
 
 func (r *Result) observe(c Candidate, sla cost.SLA) {

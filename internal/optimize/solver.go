@@ -10,11 +10,12 @@ import (
 )
 
 // Solver is one search algorithm over a Problem. Every registered
-// solver is exact — identical Best/BestNoPenalty for the same problem
-// (a property the equivalence tests enforce on randomized instances) —
-// and uniformly supports context cancellation, WithProgress hooks and
-// WithStrategyReport hooks; they differ only in how much of the space
-// they touch and how they spend cores doing it.
+// solver uniformly supports context cancellation, WithProgress hooks
+// and WithStrategyReport hooks. The exact strategies return identical
+// Best/BestNoPenalty for the same problem (a property the equivalence
+// tests enforce on randomized instances); the approximate lane's
+// strategies (see ApproximateStrategy) instead certify how far their
+// incumbent can be from optimal through the Result's Bound/Gap fields.
 type Solver interface {
 	// Name is the strategy's registry key, e.g. "pruned".
 	Name() string
@@ -22,6 +23,20 @@ type Solver interface {
 	// Solve runs the search. The context carries cancellation plus the
 	// optional progress/strategy hooks.
 	Solve(ctx context.Context, p *Problem) (Result, error)
+}
+
+// ConfigSolver is the config-aware face of a Solver: strategies that
+// honor budgets and the approximate-lane knobs implement it, and
+// SolveConfig dispatches through it when present. Solve remains the
+// zero-config entry (equivalent to SolveConfig with a zero
+// SolverConfig carrying the strategy name).
+type ConfigSolver interface {
+	Solver
+
+	// SolveConfig runs the search under the given configuration. The
+	// config's Strategy field is advisory here — dispatch already
+	// happened — but the budget and knobs must be honored.
+	SolveConfig(ctx context.Context, p *Problem, cfg SolverConfig) (Result, error)
 }
 
 // Built-in strategy names.
@@ -47,11 +62,39 @@ const (
 	// deterministic merge).
 	StrategyParallelPruned = "parallel-pruned"
 
-	// StrategyAuto picks a concrete strategy from the space size and a
-	// cheap SLA-attainability probe; it is the default everywhere a
-	// strategy is selectable.
+	// StrategyAuto picks a concrete strategy from the space size, the
+	// budget and a cheap SLA-attainability probe; it is the default
+	// everywhere a strategy is selectable.
 	StrategyAuto = "auto"
+
+	// StrategyBeam is the fixed-width level-order beam over the
+	// incremental cursor: approximate, budget-aware, certifying its
+	// optimality gap against the Pareto-relaxation bound (exactly
+	// optimal when the width never dropped a candidate).
+	StrategyBeam = "beam"
+
+	// StrategyLDS is limited-discrepancy search around the greedy
+	// assignment: approximate, budget-aware, strongest when the greedy
+	// ordering is nearly right and a few corrections suffice.
+	StrategyLDS = "lds"
+
+	// StrategyBounded is weighted branch-and-bound with an
+	// ε-admissible clip over the suffix Pareto-frontier bound: a
+	// completed run certifies the incumbent within a (1+ε) factor of
+	// optimal, typically much closer.
+	StrategyBounded = "bounded"
 )
+
+// ApproximateStrategy reports whether the named strategy belongs to
+// the anytime lane: its results are certified incumbents (Result's
+// Approximate/Bound/Gap fields populated) rather than proven optima.
+func ApproximateStrategy(name string) bool {
+	switch name {
+	case StrategyBeam, StrategyLDS, StrategyBounded:
+		return true
+	}
+	return false
+}
 
 // solverFunc adapts a function to the Solver interface.
 type solverFunc struct {
@@ -62,6 +105,20 @@ type solverFunc struct {
 func (s solverFunc) Name() string { return s.name }
 func (s solverFunc) Solve(ctx context.Context, p *Problem) (Result, error) {
 	return s.fn(ctx, p)
+}
+
+// configSolverFunc adapts a config-aware function to ConfigSolver.
+type configSolverFunc struct {
+	name string
+	fn   func(ctx context.Context, p *Problem, cfg SolverConfig) (Result, error)
+}
+
+func (s configSolverFunc) Name() string { return s.name }
+func (s configSolverFunc) Solve(ctx context.Context, p *Problem) (Result, error) {
+	return s.fn(ctx, p, SolverConfig{})
+}
+func (s configSolverFunc) SolveConfig(ctx context.Context, p *Problem, cfg SolverConfig) (Result, error) {
+	return s.fn(ctx, p, cfg)
 }
 
 // registry holds the named strategies. The built-ins register at init;
@@ -84,6 +141,15 @@ func init() {
 	mustRegister(solverFunc{StrategyParallelPruned, func(ctx context.Context, p *Problem) (Result, error) {
 		return p.ParallelPrunedContext(ctx, 0)
 	}})
+	mustRegister(configSolverFunc{StrategyBeam, func(ctx context.Context, p *Problem, cfg SolverConfig) (Result, error) {
+		return p.beamSearch(ctx, cfg)
+	}})
+	mustRegister(configSolverFunc{StrategyLDS, func(ctx context.Context, p *Problem, cfg SolverConfig) (Result, error) {
+		return p.ldsSearch(ctx, cfg)
+	}})
+	mustRegister(configSolverFunc{StrategyBounded, func(ctx context.Context, p *Problem, cfg SolverConfig) (Result, error) {
+		return p.boundedSearch(ctx, cfg)
+	}})
 	mustRegister(autoSolver{})
 }
 
@@ -94,9 +160,10 @@ func mustRegister(s Solver) {
 }
 
 // RegisterSolver adds a named strategy to the registry. Registered
-// solvers must be exact (same optimum as exhaustive) for the brokerage
-// layers to treat strategy purely as a performance knob. Duplicate or
-// empty names are an error.
+// solvers must either be exact (same optimum as exhaustive) or mark
+// their results Approximate with an admissible Bound, so the brokerage
+// layers can tell a proven optimum from a certified incumbent.
+// Duplicate or empty names are an error.
 func RegisterSolver(s Solver) error {
 	if s == nil || s.Name() == "" {
 		return fmt.Errorf("optimize: solver must have a name")
@@ -150,21 +217,31 @@ func solverByName(name string) (Solver, error) {
 
 // ResolveStrategy reports the concrete solver a Solve call with this
 // strategy would run on the given problem: "" and "auto" resolve
-// through the heuristic (which needs a valid problem), anything else
-// echoes the registered name. Layers that can answer a request
+// through the heuristic (which needs a valid problem shape), anything
+// else echoes the registered name. Layers that can answer a request
 // without a separate solver pass — the broker's fused streaming
 // Recommend when the resolved strategy is exhaustive — use it to make
 // that call before starting the enumeration.
 func ResolveStrategy(p *Problem, strategy string) (string, error) {
-	s, err := solverByName(strategy)
+	return ResolveConfig(p, SolverConfig{Strategy: strategy})
+}
+
+// ResolveConfig is ResolveStrategy for a full solver config: the auto
+// heuristic additionally weighs the budget, the approximate-lane knobs
+// and the space size against MaxCandidates.
+func ResolveConfig(p *Problem, cfg SolverConfig) (string, error) {
+	if err := cfg.Validate(); err != nil {
+		return "", err
+	}
+	s, err := solverByName(cfg.Strategy)
 	if err != nil {
 		return "", err
 	}
 	if auto, ok := s.(autoSolver); ok {
-		if err := p.Validate(); err != nil {
+		if err := p.validateShape(); err != nil {
 			return "", err
 		}
-		s = auto.pick(p)
+		s = auto.pickConfig(p, cfg)
 	}
 	return s.Name(), nil
 }
@@ -175,18 +252,45 @@ func ResolveStrategy(p *Problem, strategy string) (string, error) {
 // before the enumeration starts, which is how the async job surface
 // echoes the choice into live progress.
 func Solve(ctx context.Context, p *Problem, strategy string) (Result, error) {
-	s, err := solverByName(strategy)
+	return SolveConfig(ctx, p, SolverConfig{Strategy: strategy})
+}
+
+// SolveConfig is Solve for a full solver config: budgets and the
+// approximate-lane knobs reach strategies that implement ConfigSolver
+// directly. For exact strategies a wall budget becomes a context
+// deadline; an explicit exact strategy cannot honor an evaluation cap
+// and is refused (auto under an evaluation cap routes to the
+// approximate lane instead whenever the cap could bind).
+func SolveConfig(ctx context.Context, p *Problem, cfg SolverConfig) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	s, err := solverByName(cfg.Strategy)
 	if err != nil {
 		return Result{}, err
 	}
-	if auto, ok := s.(autoSolver); ok {
-		if err := p.Validate(); err != nil {
+	auto, isAuto := s.(autoSolver)
+	if isAuto {
+		if err := p.validateShape(); err != nil {
 			return Result{}, err
 		}
-		s = auto.pick(p)
+		s = auto.pickConfig(p, cfg)
 	}
 	reportStrategy(ctx, s.Name())
-	res, err := s.Solve(ctx, p)
+	var res Result
+	if cs, ok := s.(ConfigSolver); ok {
+		res, err = cs.SolveConfig(ctx, p, cfg)
+	} else {
+		if cfg.Budget.MaxEvaluations > 0 && !isAuto {
+			return Result{}, fmt.Errorf("optimize: strategy %q is exact and cannot honor max_evaluations; use an approximate strategy or auto", s.Name())
+		}
+		if cfg.Budget.Wall > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, cfg.Budget.Wall)
+			defer cancel()
+		}
+		res, err = s.Solve(ctx, p)
+	}
 	if err != nil {
 		return Result{}, err
 	}
@@ -197,10 +301,15 @@ func Solve(ctx context.Context, p *Problem, strategy string) (Result, error) {
 // Auto-selection thresholds: unattainable spaces at or below
 // autoSmallSpace go exhaustive (the clip bookkeeping costs more than
 // it saves on a handful of candidates); attainable spaces at or above
-// autoParallelSpace get the sharded level search.
+// autoParallelSpace get the sharded level search; under a wall budget,
+// spaces above autoApproximateSpace go to the anytime lane (an exact
+// run that large may not fit an arbitrary deadline, and the
+// approximate lane degrades to a certified incumbent instead of an
+// error when it doesn't).
 const (
-	autoSmallSpace    = 1 << 10
-	autoParallelSpace = 1 << 15
+	autoSmallSpace       = 1 << 10
+	autoParallelSpace    = 1 << 15
+	autoApproximateSpace = 1 << 22
 )
 
 // autoSolver picks a concrete strategy from the problem's shape:
@@ -222,10 +331,10 @@ type autoSolver struct{}
 func (autoSolver) Name() string { return StrategyAuto }
 
 func (a autoSolver) Solve(ctx context.Context, p *Problem) (Result, error) {
-	if err := p.Validate(); err != nil {
+	if err := p.validateShape(); err != nil {
 		return Result{}, err
 	}
-	s := a.pick(p)
+	s := a.pickConfig(p, SolverConfig{})
 	res, err := s.Solve(ctx, p)
 	if err != nil {
 		return Result{}, err
@@ -234,8 +343,39 @@ func (a autoSolver) Solve(ctx context.Context, p *Problem) (Result, error) {
 	return res, nil
 }
 
-// pick resolves the concrete strategy for an already-validated
-// problem.
+// pickConfig resolves the concrete strategy for a shape-validated
+// problem under a config. An explicit approximate knob expresses
+// intent and picks its strategy outright; otherwise the approximate
+// lane answers whenever the exact one cannot — the space exceeds
+// MaxCandidates, an evaluation cap could bind, or a wall budget meets
+// a space too large to promise an exact finish — with beam for
+// attainable SLAs (superset pruning keeps its levels shallow) and
+// bounded for unattainable ones (only the cost bound can clip).
+// Within the exact lane the PR 1–8 rules are unchanged.
+func (a autoSolver) pickConfig(p *Problem, cfg SolverConfig) Solver {
+	switch {
+	case cfg.BeamWidth > 0:
+		return mustSolver(StrategyBeam)
+	case cfg.MaxDiscrepancies > 0:
+		return mustSolver(StrategyLDS)
+	case cfg.Epsilon > 0:
+		return mustSolver(StrategyBounded)
+	}
+	space := p.SpaceSize()
+	approximate := space > MaxCandidates ||
+		(cfg.Budget.MaxEvaluations > 0 && cfg.Budget.MaxEvaluations < int64(space)) ||
+		(cfg.Budget.Wall > 0 && space > autoApproximateSpace)
+	if approximate {
+		if p.slaAttainable() {
+			return mustSolver(StrategyBeam)
+		}
+		return mustSolver(StrategyBounded)
+	}
+	return a.pick(p)
+}
+
+// pick resolves the exact-lane strategy for an already-validated
+// problem within the MaxCandidates cap.
 func (autoSolver) pick(p *Problem) Solver {
 	var name string
 	switch {
@@ -249,9 +389,14 @@ func (autoSolver) pick(p *Problem) Solver {
 	default:
 		name = StrategyPruned
 	}
+	return mustSolver(name)
+}
+
+// mustSolver resolves a built-in by name; the built-ins cannot be
+// unregistered, so failure is unreachable.
+func mustSolver(name string) Solver {
 	s, err := solverByName(name)
 	if err != nil {
-		// The built-ins cannot be unregistered; this is unreachable.
 		panic(err)
 	}
 	return s

@@ -114,8 +114,18 @@ type (
 	// one from Engine.Compile.
 	Problem = optimize.Problem
 	// SolverResult is a Solver's outcome: the optimum under both
-	// orderings plus effort statistics.
+	// orderings plus effort statistics — and, for the anytime
+	// strategies, the certified bound/gap/optimal certificate.
 	SolverResult = optimize.Result
+	// SolverConfig is the nested solver specification carried by
+	// Request.Solver: the strategy plus the anytime lane's budget and
+	// knobs (beam width, discrepancy budget, epsilon). The zero value
+	// means "auto with no limits".
+	SolverConfig = optimize.SolverConfig
+	// SolverBudget caps a search's wall-clock time and/or candidate
+	// evaluations (SolverConfig.Budget); the approximate strategies
+	// stop at the cap and certify what they have.
+	SolverBudget = optimize.Budget
 	// Candidate is one fully evaluated deployment option.
 	Candidate = optimize.Candidate
 	// Assignment selects one variant index per component.
@@ -202,6 +212,9 @@ type (
 	// RecommendationRequest is the wire form of a brokerage request —
 	// what the HTTP client's Recommend/SubmitJob/RecommendBatch take.
 	RecommendationRequest = httpapi.RecommendationRequest
+	// SolverConfigDTO is the wire form of SolverConfig — the nested
+	// "solver" member of a RecommendationRequest.
+	SolverConfigDTO = httpapi.SolverConfigDTO
 	// RecommendationResponse is the wire form of a brokerage answer.
 	RecommendationResponse = httpapi.RecommendationResponse
 	// OptionCardDTO is the wire form of one solution option.
@@ -255,17 +268,23 @@ const (
 	ProviderStratus      = catalog.ProviderStratus
 )
 
-// Solver strategy names, selectable per request (Request.Strategy /
-// the wire "strategy" field), per engine (WithDefaultStrategy), per
-// client (WithStrategy) and per uptimectl invocation (-strategy).
-// Every strategy is exact; they differ only in latency and effort
-// statistics.
+// Solver strategy names, selectable per request (Request.Solver /
+// the wire "solver" object, or the deprecated flat "strategy" field),
+// per engine (WithDefaultStrategy), per client (WithStrategy /
+// WithSolverConfig) and per uptimectl invocation (-strategy). The
+// first four are exact — they differ only in latency and effort
+// statistics. Beam, LDS and Bounded are the anytime lane: they honor
+// wall-clock and evaluation budgets and certify the optimality gap of
+// what they return (SearchStats.Bound/Gap/Optimal).
 const (
 	StrategyAuto           = optimize.StrategyAuto
 	StrategyExhaustive     = optimize.StrategyExhaustive
 	StrategyPruned         = optimize.StrategyPruned
 	StrategyBranchAndBound = optimize.StrategyBranchAndBound
 	StrategyParallelPruned = optimize.StrategyParallelPruned
+	StrategyBeam           = optimize.StrategyBeam
+	StrategyLDS            = optimize.StrategyLDS
+	StrategyBounded        = optimize.StrategyBounded
 )
 
 // Card-pricing modes, selectable per request (Request.Pricing / the
@@ -459,8 +478,22 @@ func WithRetryBackoff(d time.Duration) ClientOption { return httpapi.WithRetryBa
 func WithPollInterval(d time.Duration) ClientOption { return httpapi.WithPollInterval(d) }
 
 // WithStrategy stamps a default solver strategy onto every outgoing
-// recommendation-type request that does not name one.
+// recommendation-type request that makes no solver choice of its own;
+// it composes with WithSolverConfig and WithBudget.
 func WithStrategy(strategy string) ClientOption { return httpapi.WithStrategy(strategy) }
+
+// WithSolverConfig stamps a default nested solver spec — strategy,
+// budget and anytime knobs — onto every outgoing recommendation-type
+// request that makes no solver choice of its own.
+func WithSolverConfig(cfg SolverConfigDTO) ClientOption { return httpapi.WithSolverConfig(cfg) }
+
+// WithBudget stamps a default anytime budget (wall-clock cap and/or
+// evaluation cap, zero meaning unlimited) onto every outgoing
+// recommendation-type request that makes no solver choice of its own;
+// it composes with WithStrategy and WithSolverConfig.
+func WithBudget(wall time.Duration, maxEvaluations int64) ClientOption {
+	return httpapi.WithBudget(wall, maxEvaluations)
+}
 
 // WithPricing stamps a default card-pricing mode (PricingParallel,
 // PricingSequential or PricingAuto) onto every outgoing
@@ -483,7 +516,7 @@ func WithLimit(n int) ListOption { return httpapi.WithLimit(n) }
 // WireRequest converts a domain Request to the wire form the HTTP
 // client sends — the bridge between in-process and over-the-wire use.
 func WireRequest(req Request) RecommendationRequest {
-	return RecommendationRequest{
+	out := RecommendationRequest{
 		Base:              req.Base,
 		SLAPercent:        req.SLA.UptimePercent,
 		PenaltyPerHourUSD: req.SLA.Penalty.PerHour.Dollars(),
@@ -491,6 +524,17 @@ func WireRequest(req Request) RecommendationRequest {
 		AllowedTechs:      req.AllowedTechs,
 		Strategy:          req.Strategy,
 	}
+	if s := req.Solver; s != (SolverConfig{}) {
+		out.Solver = &SolverConfigDTO{
+			Strategy:         s.Strategy,
+			BudgetMS:         s.Budget.Wall.Milliseconds(),
+			MaxEvaluations:   s.Budget.MaxEvaluations,
+			BeamWidth:        s.BeamWidth,
+			MaxDiscrepancies: s.MaxDiscrepancies,
+			Epsilon:          s.Epsilon,
+		}
+	}
+	return out
 }
 
 // Uptime evaluates the analytic uptime U_s (Equation 4) of a clustered
