@@ -111,6 +111,7 @@ func run(args []string) error {
 		trustProxy      = fs.Bool("trust-proxy", false, "key per-client limits on the rightmost X-Forwarded-For entry (only behind a trusted proxy)")
 		jobTTL          = fs.Duration("job-ttl", 15*time.Minute, "how long finished async jobs stay pollable")
 		jobWorkers      = fs.Int("job-workers", 0, "async job worker pool size (0 = GOMAXPROCS)")
+		maxQueueWait    = fs.Duration("max-queue-wait", 0, "shed job submissions with 429 + Retry-After when the estimated queue wait exceeds this (0 disables)")
 		dataDir         = fs.String("data-dir", "", "directory for the durable job store WAL + snapshots (empty = in-memory jobs)")
 		snapInterval    = fs.Duration("snapshot-interval", time.Minute, "how often the job WAL is compacted into a snapshot (with -data-dir)")
 		fsync           = fs.Bool("fsync", false, "fsync every job WAL append for power-loss durability (with -data-dir)")
@@ -209,6 +210,9 @@ func run(args []string) error {
 	}
 	if *jobWorkers > 0 {
 		opts = append(opts, httpapi.WithJobWorkers(*jobWorkers))
+	}
+	if *maxQueueWait > 0 {
+		opts = append(opts, httpapi.WithJobMaxQueueWait(*maxQueueWait))
 	}
 	if *dataDir != "" {
 		opts = append(opts, httpapi.WithJobDir(*dataDir), httpapi.WithJobSnapshotInterval(*snapInterval))

@@ -337,6 +337,9 @@ func cmdMetrics(ctx context.Context, client *httpapi.Client) error {
 	if err != nil {
 		return err
 	}
+	if m.Jobs.Degraded {
+		fmt.Println("store: DEGRADED — read-only after a storage failure; submissions refused, reads still serving")
+	}
 	fmt.Printf("jobs: %d submitted, %d done, %d failed, %d cancelled, queue depth %d\n",
 		m.Jobs.Submitted, m.Jobs.Done, m.Jobs.Failed, m.Jobs.Cancelled, m.Jobs.QueueDepth)
 	fmt.Printf("catalog epoch: %d\n", m.CatalogEpoch)

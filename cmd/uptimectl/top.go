@@ -78,6 +78,10 @@ func renderTop(w *os.File, server string, snap obs.Snapshot, prev *obs.Snapshot)
 		uptime = time.Duration(age * float64(time.Second)).Round(time.Second).String()
 	}
 	line("uptimebroker top — %s   up %s   %s", server, uptime, snap.Time.Format("15:04:05"))
+	if snap.Value("store_degraded") > 0 {
+		// Inverse video so the fail-stop latch is impossible to miss.
+		line("\x1b[7m DEGRADED \x1b[0m  job store latched read-only after a storage failure — submissions refused, reads still serving")
+	}
 	line("")
 
 	line("jobs     %3.0f running  %3.0f queued   %.1f done/s   %.0f submitted  %.0f done  %.0f failed",

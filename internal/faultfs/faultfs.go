@@ -1,0 +1,113 @@
+// Package faultfs is the injectable filesystem seam under the
+// durability layer. Storage code that opens, writes, syncs, renames
+// and truncates files does so through the FS interface instead of the
+// os package, which makes failure a first-class, testable input:
+//
+//   - OS returns the real filesystem, byte-for-byte what the os
+//     package does plus SyncDir (the parent-directory fsync POSIX
+//     requires for a rename to survive power loss).
+//   - Mem is a simulated disk that distinguishes written state from
+//     durable (synced) state, so a test can crash it at any point and
+//     recover from exactly what a power loss would have left behind —
+//     including torn tails and un-fsynced renames.
+//   - Injector wraps any FS with scripted faults: fail the Nth fsync,
+//     short-write at byte K, ENOSPC after M bytes, and a crash point
+//     that halts the simulated process at every write/sync/rename
+//     boundary.
+//
+// The jobstore's write-ahead log accepts an FS via
+// jobstore.WithFS, which is how the crash-enumeration suite walks
+// every crash point of an append/compact/recover workload and how
+// degraded-mode tests latch the store with deterministic storage
+// failures.
+package faultfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// File is the handle surface storage code needs: sequential reads,
+// writes, fsync, truncate and seek. *os.File satisfies it.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+
+	// Name returns the path the file was opened as.
+	Name() string
+
+	// Sync flushes the file's data (and its own metadata) to stable
+	// storage. On the simulated disk it is the durability boundary:
+	// only synced bytes survive a crash.
+	Sync() error
+
+	// Truncate changes the file's size. Like any metadata change it is
+	// durable only after a Sync.
+	Truncate(size int64) error
+
+	// Seek repositions the handle's offset.
+	Seek(offset int64, whence int) (int64, error)
+}
+
+// FS is the filesystem seam: every operation the durability layer
+// performs on the filesystem namespace.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics (O_CREATE,
+	// O_APPEND, O_TRUNC, O_RDONLY, O_WRONLY honored).
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+
+	// CreateTemp creates a new unique file in dir, os.CreateTemp
+	// semantics.
+	CreateTemp(dir, pattern string) (File, error)
+
+	// Rename atomically replaces newpath with oldpath. The rename is
+	// visible immediately but durable across power loss only after
+	// SyncDir on the parent directory.
+	Rename(oldpath, newpath string) error
+
+	// Remove deletes name.
+	Remove(name string) error
+
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(path string, perm fs.FileMode) error
+
+	// SyncDir fsyncs the directory itself, making completed namespace
+	// changes (renames) durable.
+	SyncDir(path string) error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+// OS returns the real filesystem: the os package behind the FS
+// interface, plus SyncDir as an open-fsync-close of the directory.
+func OS() FS { return osFS{} }
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	syncErr := d.Sync()
+	closeErr := d.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}

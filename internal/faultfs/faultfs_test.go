@@ -1,0 +1,268 @@
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"uptimebroker/internal/obs"
+)
+
+func writeString(t *testing.T, f File, s string) {
+	t.Helper()
+	if _, err := f.Write([]byte(s)); err != nil {
+		t.Fatalf("write %q: %v", s, err)
+	}
+}
+
+func readAll(t *testing.T, fsys FS, name string) string {
+	t.Helper()
+	f, err := fsys.OpenFile(name, os.O_RDONLY, 0)
+	if err != nil {
+		t.Fatalf("open %s: %v", name, err)
+	}
+	defer f.Close()
+	b, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatalf("read %s: %v", name, err)
+	}
+	return string(b)
+}
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fsys := OS()
+	name := filepath.Join(dir, "f")
+	f, err := fsys.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeString(t, f, "hello")
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	if got := readAll(t, fsys, name); got != "hello" {
+		t.Fatalf("content = %q", got)
+	}
+	renamed := filepath.Join(dir, "g")
+	if err := fsys.Rename(name, renamed); err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, fsys, renamed); got != "hello" {
+		t.Fatalf("content after rename = %q", got)
+	}
+}
+
+func TestMemCrashDropUnsynced(t *testing.T) {
+	m := NewMem()
+	if err := m.MkdirAll("d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.OpenFile("d/f", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeString(t, f, "synced|")
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	writeString(t, f, "lost")
+
+	img := m.Crash(CrashDropUnsynced)
+	if got, _ := img.ReadFile("d/f"); string(got) != "synced|" {
+		t.Fatalf("drop-unsynced content = %q, want synced prefix only", got)
+	}
+	img = m.Crash(CrashKeepUnsynced)
+	if got, _ := img.ReadFile("d/f"); string(got) != "synced|lost" {
+		t.Fatalf("keep-unsynced content = %q", got)
+	}
+	img = m.Crash(CrashTornTail)
+	if got, _ := img.ReadFile("d/f"); string(got) != "synced|lo" {
+		t.Fatalf("torn-tail content = %q, want half the unsynced tail", got)
+	}
+	// The original survives crash derivation untouched.
+	if got, _ := m.ReadFile("d/f"); string(got) != "synced|lost" {
+		t.Fatalf("original content disturbed: %q", got)
+	}
+}
+
+func TestMemRenameDurableOnlyAfterSyncDir(t *testing.T) {
+	m := NewMem()
+	if err := m.MkdirAll("d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	old, _ := m.OpenFile("d/old", os.O_CREATE|os.O_WRONLY, 0o644)
+	writeString(t, old, "previous")
+	_ = old.Sync()
+	_ = old.Close()
+
+	tmp, _ := m.CreateTemp("d", ".snap-*.json")
+	writeString(t, tmp, "replacement")
+	_ = tmp.Sync()
+	_ = tmp.Close()
+	if err := m.Rename(tmp.Name(), "d/old"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Live view sees the rename immediately.
+	if got, _ := m.ReadFile("d/old"); string(got) != "replacement" {
+		t.Fatalf("live content = %q", got)
+	}
+	// Power loss before SyncDir: the old name still holds the old file,
+	// and the temp file survives under its temp name.
+	img := m.Crash(CrashDropUnsynced)
+	if got, _ := img.ReadFile("d/old"); string(got) != "previous" {
+		t.Fatalf("pre-SyncDir crash content = %q, want old file", got)
+	}
+	// After SyncDir the rename is durable.
+	if err := m.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	img = m.Crash(CrashDropUnsynced)
+	if got, _ := img.ReadFile("d/old"); string(got) != "replacement" {
+		t.Fatalf("post-SyncDir crash content = %q, want new file", got)
+	}
+}
+
+func TestMemTruncateAndSeek(t *testing.T) {
+	m := NewMem()
+	f, _ := m.OpenFile("f", os.O_CREATE|os.O_RDWR, 0o644)
+	writeString(t, f, "0123456789")
+	if err := f.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	if pos, err := f.Seek(0, io.SeekStart); err != nil || pos != 0 {
+		t.Fatalf("seek: %d, %v", pos, err)
+	}
+	b, err := io.ReadAll(f)
+	if err != nil || string(b) != "0123" {
+		t.Fatalf("after truncate: %q, %v", b, err)
+	}
+}
+
+func TestInjectorCrashAtHaltsEverything(t *testing.T) {
+	m := NewMem()
+	in := NewInjector(m, CrashAt(2))
+	f, err := in.OpenFile("f", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("a")); err != nil { // boundary 1
+		t.Fatalf("first write should succeed: %v", err)
+	}
+	if _, err := f.Write([]byte("b")); !errors.Is(err, ErrCrashed) { // boundary 2
+		t.Fatalf("second write err = %v, want ErrCrashed", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("sync after crash err = %v", err)
+	}
+	if _, err := in.OpenFile("g", os.O_CREATE, 0o644); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("open after crash err = %v", err)
+	}
+	if !in.Crashed() {
+		t.Fatal("Crashed() = false")
+	}
+	// The halted write never reached the disk.
+	if got, _ := m.ReadFile("f"); string(got) != "a" {
+		t.Fatalf("content = %q, want %q", got, "a")
+	}
+}
+
+func TestInjectorFailSyncCountsFileAndDirSyncs(t *testing.T) {
+	m := NewMem()
+	_ = m.MkdirAll("d", 0o755)
+	boom := errors.New("boom")
+	in := NewInjector(m, FailSync(2, boom))
+	f, _ := in.OpenFile("d/f", os.O_CREATE|os.O_WRONLY, 0o644)
+	if err := f.Sync(); err != nil { // sync 1
+		t.Fatalf("first sync: %v", err)
+	}
+	if err := in.SyncDir("d"); !errors.Is(err, boom) { // sync 2
+		t.Fatalf("second sync err = %v, want boom", err)
+	}
+	if err := f.Sync(); err != nil { // sync 3: one-shot fault
+		t.Fatalf("third sync: %v", err)
+	}
+	if in.Faults() != 1 {
+		t.Fatalf("Faults() = %d", in.Faults())
+	}
+}
+
+func TestInjectorShortWrite(t *testing.T) {
+	m := NewMem()
+	in := NewInjector(m, ShortWriteAt(3))
+	f, _ := in.OpenFile("f", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if _, err := f.Write([]byte("ab")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("cdef")) // crosses byte 3
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("err = %v, want short write", err)
+	}
+	if n != 1 {
+		t.Fatalf("n = %d, want 1 (bytes up to offset 3)", n)
+	}
+	if got, _ := m.ReadFile("f"); string(got) != "abc" {
+		t.Fatalf("content = %q, want %q", got, "abc")
+	}
+	// One-shot: the next write goes through whole.
+	if _, err := f.Write([]byte("gh")); err != nil {
+		t.Fatalf("write after short write: %v", err)
+	}
+	if got, _ := m.ReadFile("f"); string(got) != "abcgh" {
+		t.Fatalf("content = %q", got)
+	}
+}
+
+func TestInjectorENOSPCPersists(t *testing.T) {
+	m := NewMem()
+	reg := obs.NewRegistry()
+	in := NewInjector(m, ENOSPCAfter(4), WithRegistry(reg))
+	f, _ := in.OpenFile("f", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if _, err := f.Write([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("defg"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err = %v, want ENOSPC", err)
+	}
+	if n != 1 {
+		t.Fatalf("n = %d, want 1 (the byte that still fit)", n)
+	}
+	// The disk stays full.
+	if _, err := f.Write([]byte("h")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("later write err = %v, want ENOSPC", err)
+	}
+	if in.Faults() != 2 {
+		t.Fatalf("Faults() = %d, want 2", in.Faults())
+	}
+	snap := reg.Snapshot()
+	if got := snap.Value("faults_injected_total"); got != 2 {
+		t.Fatalf("faults_injected_total = %v, want 2", got)
+	}
+}
+
+func TestInjectorOpsCountsMutationBoundaries(t *testing.T) {
+	m := NewMem()
+	_ = m.MkdirAll("d", 0o755)
+	in := NewInjector(m)
+	f, _ := in.OpenFile("d/f", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	_, _ = f.Write([]byte("x")) // 1
+	_ = f.Sync()                // 2
+	_ = f.Truncate(0)           // 3
+	_ = in.Rename("d/f", "d/g") // 4
+	_ = in.SyncDir("d")         // 5
+	_ = f.Close()               // not a boundary
+	if got := in.Ops(); got != 5 {
+		t.Fatalf("Ops() = %d, want 5", got)
+	}
+}

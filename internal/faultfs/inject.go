@@ -1,0 +1,340 @@
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"sync"
+	"syscall"
+
+	"uptimebroker/internal/obs"
+)
+
+// ErrCrashed is returned by every operation once an Injector's crash
+// point has fired: the simulated process has halted mid-workload and
+// nothing more reaches the disk. Recovery happens on a fresh FS (for
+// Mem, the image returned by Crash), never through the dead injector.
+var ErrCrashed = errors.New("faultfs: simulated crash")
+
+// ErrShortWrite marks an injected partial write. It wraps
+// io.ErrShortWrite so callers can classify it generically.
+var ErrShortWrite = fmt.Errorf("faultfs: injected short write: %w", io.ErrShortWrite)
+
+// ErrNoSpace marks an injected disk-full condition. It wraps
+// syscall.ENOSPC so errors.Is(err, syscall.ENOSPC) holds, exactly as
+// it would for the real thing.
+var ErrNoSpace = fmt.Errorf("faultfs: injected disk full: %w", syscall.ENOSPC)
+
+// Injector wraps an FS with scripted faults. The mutation boundaries —
+// Write, Sync, SyncDir, Rename, Truncate — are numbered in execution
+// order (1-based), which gives tests two deterministic levers:
+//
+//   - CrashAt(n) halts the simulated process at boundary n: the
+//     operation does not execute, and every later call on any file
+//     fails with ErrCrashed. Walking n over a workload's full
+//     boundary count enumerates every possible crash point.
+//   - FailSync / ShortWriteAt / ENOSPCAfter return errors without
+//     halting, for exercising error-path handling (degraded-mode
+//     latching) rather than power loss.
+//
+// An Injector is safe for concurrent use if the wrapped FS is.
+type Injector struct {
+	inner FS
+
+	mu      sync.Mutex
+	crashed bool
+	ops     int   // mutation boundaries seen so far
+	syncs   int   // Sync + SyncDir calls seen so far
+	bytes   int64 // cumulative bytes handed to Write
+
+	crashAt     int // halt at this boundary; 0 = never
+	failSyncN   int // fail this (1-based) sync; 0 = never
+	failSyncErr error
+	shortAt     int64 // cut the write crossing this byte offset; -1 = never
+	enospcAfter int64 // fail writes past this many bytes; -1 = never
+
+	faults  int64
+	counter *obs.Counter
+}
+
+// InjectorOption configures an Injector.
+type InjectorOption func(*Injector)
+
+// CrashAt halts the simulated process at the n-th (1-based) mutation
+// boundary: that operation and everything after it fail with
+// ErrCrashed and never reach the wrapped FS.
+func CrashAt(n int) InjectorOption {
+	return func(in *Injector) { in.crashAt = n }
+}
+
+// FailSync makes the n-th (1-based) Sync or SyncDir call return err
+// without flushing. Later syncs succeed again — fsync failure is a
+// one-shot event the durability layer must treat as fatal on its own.
+func FailSync(n int, err error) InjectorOption {
+	return func(in *Injector) { in.failSyncN = n; in.failSyncErr = err }
+}
+
+// ShortWriteAt cuts the write that crosses cumulative byte offset k:
+// only the prefix up to k reaches the disk and the call reports
+// ErrShortWrite. One-shot; subsequent writes succeed, which is
+// exactly the hole a fail-stop latch must close.
+func ShortWriteAt(k int64) InjectorOption {
+	return func(in *Injector) { in.shortAt = k }
+}
+
+// ENOSPCAfter fails any write past cumulative byte offset m with
+// ErrNoSpace, applying the prefix that still fits. Unlike
+// ShortWriteAt the condition persists: the disk stays full.
+func ENOSPCAfter(m int64) InjectorOption {
+	return func(in *Injector) { in.enospcAfter = m }
+}
+
+// WithRegistry counts every injected fault on the registry's
+// faults_injected_total counter.
+func WithRegistry(reg *obs.Registry) InjectorOption {
+	return func(in *Injector) {
+		in.counter = reg.Counter("faults_injected_total",
+			"Storage faults injected by the faultfs harness (tests and drills).")
+	}
+}
+
+// NewInjector wraps inner with the scripted faults given by opts.
+func NewInjector(inner FS, opts ...InjectorOption) *Injector {
+	in := &Injector{inner: inner, shortAt: -1, enospcAfter: -1}
+	for _, o := range opts {
+		o(in)
+	}
+	return in
+}
+
+// Ops reports how many mutation boundaries the workload has crossed.
+// A fault-free run's total is the crash-enumeration domain: CrashAt
+// of every value in [1, Ops()] visits every boundary.
+func (in *Injector) Ops() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.ops
+}
+
+// Faults reports how many faults have been injected.
+func (in *Injector) Faults() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.faults
+}
+
+// Crashed reports whether the crash point has fired.
+func (in *Injector) Crashed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// fault records one injected fault. Callers hold in.mu.
+func (in *Injector) fault() {
+	in.faults++
+	if in.counter != nil {
+		in.counter.Inc()
+	}
+}
+
+// boundary numbers one mutation op and fires the crash point. Callers
+// must not hold in.mu.
+func (in *Injector) boundary() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return ErrCrashed
+	}
+	in.ops++
+	if in.crashAt > 0 && in.ops >= in.crashAt {
+		in.crashed = true
+		in.fault()
+		return ErrCrashed
+	}
+	return nil
+}
+
+// halted reports a crash for non-mutation ops (open, read, remove…),
+// which fail after the crash but are not numbered boundaries.
+func (in *Injector) halted() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// OpenFile implements FS.
+func (in *Injector) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if err := in.halted(); err != nil {
+		return nil, err
+	}
+	f, err := in.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, f: f}, nil
+}
+
+// CreateTemp implements FS.
+func (in *Injector) CreateTemp(dir, pattern string) (File, error) {
+	if err := in.halted(); err != nil {
+		return nil, err
+	}
+	f, err := in.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, f: f}, nil
+}
+
+// Rename implements FS; a mutation boundary.
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if err := in.boundary(); err != nil {
+		return err
+	}
+	return in.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (in *Injector) Remove(name string) error {
+	if err := in.halted(); err != nil {
+		return err
+	}
+	return in.inner.Remove(name)
+}
+
+// MkdirAll implements FS.
+func (in *Injector) MkdirAll(path string, perm fs.FileMode) error {
+	if err := in.halted(); err != nil {
+		return err
+	}
+	return in.inner.MkdirAll(path, perm)
+}
+
+// SyncDir implements FS; a mutation boundary and a sync.
+func (in *Injector) SyncDir(path string) error {
+	if err := in.boundary(); err != nil {
+		return err
+	}
+	if err := in.syncFault(); err != nil {
+		return err
+	}
+	return in.inner.SyncDir(path)
+}
+
+// syncFault fires FailSync for file and directory syncs alike.
+func (in *Injector) syncFault() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.syncs++
+	if in.failSyncN > 0 && in.syncs == in.failSyncN {
+		in.fault()
+		return in.failSyncErr
+	}
+	return nil
+}
+
+// injFile routes a handle's mutations through the injector.
+type injFile struct {
+	in *Injector
+	f  File
+}
+
+func (h *injFile) Name() string { return h.f.Name() }
+
+func (h *injFile) Write(p []byte) (int, error) {
+	if err := h.in.boundary(); err != nil {
+		return 0, err
+	}
+	keep, failErr := h.in.writeFault(len(p))
+	if keep < len(p) {
+		n := 0
+		if keep > 0 {
+			n, _ = h.f.Write(p[:keep])
+		}
+		return n, failErr
+	}
+	n, err := h.f.Write(p)
+	h.in.noteBytes(n - keep) // keep already accounted; reconcile actual
+	return n, err
+}
+
+// writeFault decides how much of a len-p write survives injection and
+// accounts the surviving bytes. Returns the byte count to apply and
+// the error to report when it is short.
+func (in *Injector) writeFault(p int) (int, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	start, end := in.bytes, in.bytes+int64(p)
+	if in.enospcAfter >= 0 && end > in.enospcAfter {
+		keep := in.enospcAfter - start
+		if keep < 0 {
+			keep = 0
+		}
+		in.bytes += keep
+		in.fault()
+		return int(keep), ErrNoSpace
+	}
+	if in.shortAt >= 0 && start <= in.shortAt && in.shortAt < end {
+		keep := in.shortAt - start
+		in.shortAt = -1 // one-shot
+		in.bytes += keep
+		in.fault()
+		return int(keep), ErrShortWrite
+	}
+	in.bytes = end
+	return p, nil
+}
+
+// noteBytes reconciles the cumulative byte counter when the inner
+// write applied a different count than pre-accounted.
+func (in *Injector) noteBytes(delta int) {
+	if delta == 0 {
+		return
+	}
+	in.mu.Lock()
+	in.bytes += int64(delta)
+	in.mu.Unlock()
+}
+
+func (h *injFile) Read(p []byte) (int, error) {
+	if err := h.in.halted(); err != nil {
+		return 0, err
+	}
+	return h.f.Read(p)
+}
+
+func (h *injFile) Sync() error {
+	if err := h.in.boundary(); err != nil {
+		return err
+	}
+	if err := h.in.syncFault(); err != nil {
+		return err
+	}
+	return h.f.Sync()
+}
+
+func (h *injFile) Truncate(size int64) error {
+	if err := h.in.boundary(); err != nil {
+		return err
+	}
+	return h.f.Truncate(size)
+}
+
+func (h *injFile) Seek(offset int64, whence int) (int64, error) {
+	if err := h.in.halted(); err != nil {
+		return 0, err
+	}
+	return h.f.Seek(offset, whence)
+}
+
+func (h *injFile) Close() error {
+	if err := h.in.halted(); err != nil {
+		return err
+	}
+	return h.f.Close()
+}

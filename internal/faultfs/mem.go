@@ -1,0 +1,341 @@
+package faultfs
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"sync"
+)
+
+// CrashMode selects what a simulated power loss does to state that was
+// written but never fsynced. Enumerating all modes at every crash
+// point covers the disk's full freedom: a correct durability layer
+// must recover a consistent prefix under every one of them.
+type CrashMode int
+
+const (
+	// CrashDropUnsynced is the adversarial disk: every byte written
+	// since the file's last Sync is gone, and namespace changes
+	// (renames) since the last SyncDir never happened. Anything the
+	// layer acknowledged as durable must still survive this.
+	CrashDropUnsynced CrashMode = iota
+
+	// CrashKeepUnsynced is the lucky disk: everything written made it
+	// out of the page cache before the power died. Recovery must
+	// absorb the extra, unacknowledged state.
+	CrashKeepUnsynced
+
+	// CrashTornTail keeps unsynced state but tears each file's
+	// unsynced byte tail in half — the signature of a crash mid-write.
+	// Recovery must detect and discard the torn fragment without
+	// surfacing garbage.
+	CrashTornTail
+)
+
+// String names the mode for test output.
+func (m CrashMode) String() string {
+	switch m {
+	case CrashDropUnsynced:
+		return "drop-unsynced"
+	case CrashKeepUnsynced:
+		return "keep-unsynced"
+	case CrashTornTail:
+		return "torn-tail"
+	}
+	return fmt.Sprintf("crash-mode-%d", int(m))
+}
+
+// CrashModes lists every simulated power-loss outcome, for tests that
+// enumerate them all.
+var CrashModes = []CrashMode{CrashDropUnsynced, CrashKeepUnsynced, CrashTornTail}
+
+// memFile is one simulated file: its live content and the prefix-of-
+// history snapshot taken at the last Sync (what a power loss keeps).
+type memFile struct {
+	data   []byte
+	synced []byte
+}
+
+// Mem is an in-memory filesystem that models a disk's durability
+// semantics rather than just its namespace:
+//
+//   - Write changes live state only; Sync copies it to durable state.
+//   - Rename is atomic and immediately visible, but survives a crash
+//     only after SyncDir on the parent directory.
+//   - File creation and removal are modeled as immediately durable
+//     (the common journaling-filesystem behavior), keeping the model
+//     focused on the two failure classes that actually bite
+//     write-ahead logs: lost/torn appends and un-fsynced renames.
+//
+// Crash derives the post-power-loss filesystem under a CrashMode; the
+// recovered image is a fresh Mem whose live and durable state agree.
+type Mem struct {
+	mu      sync.Mutex
+	files   map[string]*memFile // live namespace
+	disk    map[string]*memFile // namespace as of the last SyncDir
+	dirs    map[string]bool
+	tempSeq int
+}
+
+// NewMem returns an empty simulated disk.
+func NewMem() *Mem {
+	return &Mem{
+		files: make(map[string]*memFile),
+		disk:  make(map[string]*memFile),
+		dirs:  make(map[string]bool),
+	}
+}
+
+// Crash simulates a power loss and returns the filesystem a restart
+// would find, per mode. The receiver is left untouched, so one run
+// can be crashed under every mode.
+func (m *Mem) Crash(mode CrashMode) *Mem {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	names := m.disk
+	if mode != CrashDropUnsynced {
+		// The lucky disk flushed namespace changes too.
+		names = m.files
+	}
+	img := NewMem()
+	for d := range m.dirs {
+		img.dirs[d] = true
+	}
+	for name, f := range names {
+		var content []byte
+		switch mode {
+		case CrashDropUnsynced:
+			content = append([]byte(nil), f.synced...)
+		case CrashKeepUnsynced:
+			content = append([]byte(nil), f.data...)
+		case CrashTornTail:
+			content = tornContent(f)
+		}
+		nf := &memFile{data: content, synced: append([]byte(nil), content...)}
+		img.files[name] = nf
+		img.disk[name] = nf
+	}
+	return img
+}
+
+// tornContent keeps the synced prefix whole and cuts any unsynced
+// appended tail in half — a torn final write. Unsynced truncations
+// (data shorter than synced) survive whole, like CrashKeepUnsynced.
+func tornContent(f *memFile) []byte {
+	if len(f.data) <= len(f.synced) {
+		return append([]byte(nil), f.data...)
+	}
+	tail := f.data[len(f.synced):]
+	keep := len(f.synced) + len(tail)/2
+	return append([]byte(nil), f.data[:keep]...)
+}
+
+// OpenFile implements FS.
+func (m *Mem) OpenFile(name string, flag int, _ fs.FileMode) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		if flag&os.O_CREATE == 0 {
+			return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+		}
+		f = &memFile{}
+		m.files[name] = f
+		m.disk[name] = f
+	}
+	if flag&os.O_TRUNC != 0 {
+		f.data = nil
+	}
+	return &memHandle{fs: m, f: f, name: name, flag: flag}, nil
+}
+
+// CreateTemp implements FS with deterministic names, so runs are
+// byte-for-byte reproducible across crash enumerations.
+func (m *Mem) CreateTemp(dir, pattern string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tempSeq++
+	name := dir + "/" + replaceStar(pattern, m.tempSeq)
+	if _, exists := m.files[name]; exists {
+		return nil, &fs.PathError{Op: "createtemp", Path: name, Err: fs.ErrExist}
+	}
+	f := &memFile{}
+	m.files[name] = f
+	m.disk[name] = f
+	return &memHandle{fs: m, f: f, name: name, flag: os.O_RDWR}, nil
+}
+
+// replaceStar substitutes the os.CreateTemp wildcard with a sequence
+// number (appending when the pattern has no wildcard, like os does).
+func replaceStar(pattern string, seq int) string {
+	for i := len(pattern) - 1; i >= 0; i-- {
+		if pattern[i] == '*' {
+			return fmt.Sprintf("%s%d%s", pattern[:i], seq, pattern[i+1:])
+		}
+	}
+	return fmt.Sprintf("%s%d", pattern, seq)
+}
+
+// Rename implements FS: atomic and immediately visible, durable only
+// after SyncDir.
+func (m *Mem) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[oldpath]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldpath, Err: fs.ErrNotExist}
+	}
+	delete(m.files, oldpath)
+	m.files[newpath] = f
+	return nil
+}
+
+// Remove implements FS.
+func (m *Mem) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(m.files, name)
+	delete(m.disk, name)
+	return nil
+}
+
+// MkdirAll implements FS.
+func (m *Mem) MkdirAll(path string, _ fs.FileMode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dirs[path] = true
+	return nil
+}
+
+// SyncDir implements FS: the live namespace becomes the durable one.
+func (m *Mem) SyncDir(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.dirs[path] {
+		return &fs.PathError{Op: "syncdir", Path: path, Err: fs.ErrNotExist}
+	}
+	m.disk = make(map[string]*memFile, len(m.files))
+	for name, f := range m.files {
+		m.disk[name] = f
+	}
+	return nil
+}
+
+// ReadFile returns a file's live content (a test convenience).
+func (m *Mem) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return nil, &fs.PathError{Op: "read", Path: name, Err: fs.ErrNotExist}
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+// memHandle is one open handle on a memFile.
+type memHandle struct {
+	fs     *Mem
+	f      *memFile
+	name   string
+	flag   int
+	off    int64
+	closed bool
+}
+
+func (h *memHandle) Name() string { return h.name }
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	if h.flag&os.O_APPEND != 0 {
+		h.off = int64(len(h.f.data))
+	}
+	end := h.off + int64(len(p))
+	if int64(len(h.f.data)) < end {
+		grown := make([]byte, end)
+		copy(grown, h.f.data)
+		h.f.data = grown
+	}
+	copy(h.f.data[h.off:end], p)
+	h.off = end
+	return len(p), nil
+}
+
+func (h *memHandle) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	if h.off >= int64(len(h.f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[h.off:])
+	h.off += int64(n)
+	return n, nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return fs.ErrClosed
+	}
+	h.f.synced = append([]byte(nil), h.f.data...)
+	return nil
+}
+
+func (h *memHandle) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return fs.ErrClosed
+	}
+	switch {
+	case size <= int64(len(h.f.data)):
+		h.f.data = h.f.data[:size]
+	default:
+		grown := make([]byte, size)
+		copy(grown, h.f.data)
+		h.f.data = grown
+	}
+	return nil
+}
+
+func (h *memHandle) Seek(offset int64, whence int) (int64, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	switch whence {
+	case io.SeekStart:
+		h.off = offset
+	case io.SeekCurrent:
+		h.off += offset
+	case io.SeekEnd:
+		h.off = int64(len(h.f.data)) + offset
+	default:
+		return 0, fmt.Errorf("faultfs: bad whence %d", whence)
+	}
+	if h.off < 0 {
+		h.off = 0
+		return 0, fmt.Errorf("faultfs: negative seek")
+	}
+	return h.off, nil
+}
+
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.closed = true
+	return nil
+}

@@ -5,8 +5,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -35,6 +37,11 @@ type APIError struct {
 	// Method and Path locate the failing call.
 	Method string
 	Path   string
+
+	// RetryAfter is the server-directed wait from a Retry-After
+	// header (429/503 responses), zero when absent. The retry loop
+	// honors it in place of its own backoff.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -687,6 +694,63 @@ func retryableStatus(status int) bool {
 	return false
 }
 
+// maxRetryDelay caps any single wait between attempts — exponential
+// growth and server-directed Retry-After alike — so a long retry
+// budget cannot park a caller for minutes.
+const maxRetryDelay = 30 * time.Second
+
+// retryDelay computes the wait before retry number attempt (1-based).
+// The base doubles per attempt with the shift capped so it cannot
+// overflow time.Duration, the result clamps to maxRetryDelay, and full
+// jitter draws uniformly from (0, d] so synchronized clients spread
+// out instead of reconverging on the server in lockstep.
+func (c *Client) retryDelay(attempt int) time.Duration {
+	shift := attempt - 1
+	if shift > 20 { // 100ms << 20 is already over maxRetryDelay
+		shift = 20
+	}
+	d := c.backoff << shift
+	if d <= 0 || d > maxRetryDelay {
+		d = maxRetryDelay
+	}
+	return time.Duration(rand.Int63n(int64(d))) + 1
+}
+
+// serverRetryAfter extracts a server-directed wait from the previous
+// attempt's error, zero when the server did not name one.
+func serverRetryAfter(err error) time.Duration {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) && apiErr.RetryAfter > 0 {
+		if apiErr.RetryAfter > maxRetryDelay {
+			return maxRetryDelay
+		}
+		return apiErr.RetryAfter
+	}
+	return 0
+}
+
+// parseRetryAfter reads a Retry-After response header: delta-seconds
+// or an HTTP-date, per RFC 9110 §10.2.3. Zero when absent or
+// malformed.
+func parseRetryAfter(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
 // do performs one round trip with JSON bodies in both directions,
 // retrying idempotent calls per the client's retry policy.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
@@ -708,11 +772,17 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			backoff := c.backoff << (attempt - 1)
+			// A server-directed Retry-After beats the local backoff:
+			// the server knows when capacity returns, the client is
+			// guessing.
+			delay := serverRetryAfter(lastErr)
+			if delay == 0 {
+				delay = c.retryDelay(attempt)
+			}
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
-			case <-time.After(backoff):
+			case <-time.After(delay):
 			}
 		}
 		retry, err := c.roundTrip(ctx, method, path, payload, out)
@@ -754,9 +824,10 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, payload []b
 
 	if resp.StatusCode >= 400 {
 		apiErr := &APIError{
-			Status: resp.StatusCode,
-			Method: method,
-			Path:   path,
+			Status:     resp.StatusCode,
+			Method:     method,
+			Path:       path,
+			RetryAfter: parseRetryAfter(resp),
 		}
 		var prob Problem
 		if decodeErr := json.NewDecoder(resp.Body).Decode(&prob); decodeErr == nil {

@@ -1,0 +1,285 @@
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"uptimebroker/internal/broker"
+	"uptimebroker/internal/catalog"
+	"uptimebroker/internal/faultfs"
+	"uptimebroker/internal/jobs"
+)
+
+// newFaultedServer builds a broker stack whose job store journals
+// through fsys (an injector over an in-memory disk), so tests can
+// script storage failures under the full HTTP surface.
+func newFaultedServer(t *testing.T, fsys faultfs.FS, opts ...ServerOption) (*httptest.Server, *Server, *Client) {
+	t.Helper()
+	cat := catalog.Default()
+	engine, err := broker.New(cat, broker.CatalogParams{Catalog: cat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := append([]ServerOption{WithJobDir("data"), WithJobFS(fsys), WithJobFsync()}, opts...)
+	srv, err := NewServer(engine, nil, nil, all...)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	t.Cleanup(srv.Close)
+	client, err := NewClient(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts, srv, client
+}
+
+// TestDegradedEndToEnd is the graceful-degradation contract: after an
+// injected fsync failure latches the job store, job submission returns
+// 503 store_degraded, /readyz flips to 503, and the synchronous
+// recommend route keeps serving 200s flagged with X-Degraded: store.
+func TestDegradedEndToEnd(t *testing.T) {
+	mem := faultfs.NewMem()
+	inj := faultfs.NewInjector(mem, faultfs.FailSync(1, errors.New("fsync: device error")))
+	ts, srv, client := newFaultedServer(t, inj)
+	ctx := context.Background()
+
+	// Healthy before the fault fires.
+	resp, err := ts.Client().Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz before fault = %d, want 200", resp.StatusCode)
+	}
+
+	// The first submission's WAL fsync fails: the store latches and
+	// the submission is refused with the degraded code.
+	_, err = client.SubmitJob(ctx, JobKindRecommend, caseStudyWire())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable || apiErr.Code != CodeStoreDegraded {
+		t.Fatalf("submit over failing storage = %v, want 503 %s", err, CodeStoreDegraded)
+	}
+
+	// The readiness probe now steers traffic away.
+	resp, err = ts.Client().Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prob Problem
+	if err := json.NewDecoder(resp.Body).Decode(&prob); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || prob.Code != CodeStoreDegraded {
+		t.Fatalf("readyz after latch = %d code %q, want 503 %s", resp.StatusCode, prob.Code, CodeStoreDegraded)
+	}
+
+	// Synchronous recommendations keep serving, flagged degraded.
+	body, err := json.Marshal(caseStudyWire())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		resp, err := ts.Client().Post(ts.URL+"/v1/recommendations", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("recommend %d on degraded store = %d, want 200", i, resp.StatusCode)
+		}
+		if got := resp.Header.Get("X-Degraded"); got != "store" {
+			t.Fatalf("recommend %d X-Degraded = %q, want store", i, got)
+		}
+	}
+
+	// The latch is visible on the metrics surface.
+	if v := srv.registry.Snapshot().Value("store_degraded"); v != 1 {
+		t.Fatalf("store_degraded gauge = %v, want 1", v)
+	}
+	if inj.Faults() == 0 {
+		t.Fatal("no faults recorded by the injector")
+	}
+}
+
+// TestLoadShedding: with a queue-wait bound configured, a submission
+// arriving behind a backlog is shed with 429 load_shed and a
+// Retry-After the client surfaces on its APIError.
+func TestLoadShedding(t *testing.T) {
+	cat := catalog.Default()
+	engine, err := broker.New(cat, broker.CatalogParams{Catalog: cat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(engine, nil, nil, WithJobWorkers(1), WithJobMaxQueueWait(time.Nanosecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Close()
+	client, err := NewClient(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Seed run history: one completed job gives the estimator its mean.
+	waitState := func(id string, want jobs.State) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			snap, err := srv.jobs.Get(id)
+			if err == nil && snap.State == want {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("job %s never reached %s", id, want)
+	}
+	seed, err := srv.jobs.Submit("seed", nil, func(ctx context.Context) (any, error) {
+		time.Sleep(5 * time.Millisecond)
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(seed.ID, jobs.StateDone)
+
+	// Occupy the single worker and put one job behind it.
+	release := make(chan struct{})
+	blocker := func(ctx context.Context) (any, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	}
+	defer close(release)
+	running, err := srv.jobs.Submit("block", nil, blocker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(running.ID, jobs.StateRunning)
+	if _, err := srv.jobs.Submit("queued", nil, blocker); err != nil {
+		t.Fatal(err)
+	}
+
+	// Estimated wait (~5ms) is over the 1ns bound: shed.
+	_, err = client.SubmitJob(context.Background(), JobKindRecommend, caseStudyWire())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests || apiErr.Code != CodeLoadShed {
+		t.Fatalf("submit behind backlog = %v, want 429 %s", err, CodeLoadShed)
+	}
+	if apiErr.RetryAfter < time.Second {
+		t.Fatalf("shed RetryAfter = %v, want >= 1s", apiErr.RetryAfter)
+	}
+	if v := srv.registry.Snapshot().Value("http_load_shed_total"); v != 1 {
+		t.Fatalf("http_load_shed_total = %v, want 1", v)
+	}
+}
+
+// TestClientHonorsRetryAfter: a 429 naming Retry-After: 1 must hold
+// the retry back a full second even when the local backoff is a
+// millisecond.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	var gap atomic.Int64
+	var first atomic.Int64
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			first.Store(time.Now().UnixNano())
+			w.Header().Set("Retry-After", "1")
+			writeProblem(w, NewProblem(CodeRateLimited, http.StatusTooManyRequests, "slow down"))
+		default:
+			gap.Store(time.Now().UnixNano() - first.Load())
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write([]byte(`{"status":"ok"}`))
+		}
+	}))
+	defer flaky.Close()
+
+	client, err := NewClient(flaky.URL, flaky.Client(), WithRetries(2), WithRetryBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Health(context.Background()); err != nil {
+		t.Fatalf("Health = %v", err)
+	}
+	if got := time.Duration(gap.Load()); got < 900*time.Millisecond {
+		t.Fatalf("retry waited %v, want >= ~1s from Retry-After", got)
+	}
+}
+
+// TestRetryDelayBounds: the backoff shift cannot overflow on deep
+// attempt counts, every delay stays within (0, maxRetryDelay], and a
+// server-directed Retry-After clamps to the same cap.
+func TestRetryDelayBounds(t *testing.T) {
+	c := &Client{backoff: 100 * time.Millisecond}
+	for _, attempt := range []int{1, 2, 10, 20, 63, 64, 1000} {
+		d := c.retryDelay(attempt)
+		if d <= 0 || d > maxRetryDelay {
+			t.Fatalf("retryDelay(%d) = %v, want in (0, %v]", attempt, d, maxRetryDelay)
+		}
+	}
+	if got := serverRetryAfter(&APIError{RetryAfter: 45 * time.Second}); got != maxRetryDelay {
+		t.Fatalf("serverRetryAfter(45s) = %v, want clamp to %v", got, maxRetryDelay)
+	}
+	if got := serverRetryAfter(errors.New("plain")); got != 0 {
+		t.Fatalf("serverRetryAfter(non-API error) = %v, want 0", got)
+	}
+}
+
+// TestParseRetryAfter covers both RFC 9110 forms and the junk cases.
+func TestParseRetryAfter(t *testing.T) {
+	mk := func(v string) *http.Response {
+		h := http.Header{}
+		if v != "" {
+			h.Set("Retry-After", v)
+		}
+		return &http.Response{Header: h}
+	}
+	if got := parseRetryAfter(mk("7")); got != 7*time.Second {
+		t.Fatalf("delta-seconds = %v, want 7s", got)
+	}
+	date := time.Now().Add(10 * time.Second).UTC().Format(http.TimeFormat)
+	if got := parseRetryAfter(mk(date)); got <= 0 || got > 10*time.Second {
+		t.Fatalf("http-date = %v, want in (0, 10s]", got)
+	}
+	past := time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)
+	for name, v := range map[string]string{"absent": "", "junk": "soon", "negative": "-3", "past-date": past} {
+		if got := parseRetryAfter(mk(v)); got != 0 {
+			t.Fatalf("%s = %v, want 0", name, got)
+		}
+	}
+}
+
+// TestRetryAfterSeconds: durations render as whole seconds, rounded
+// up, floored at 1.
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "1"},
+		{5 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{1500 * time.Millisecond, "2"},
+		{30 * time.Second, "30"},
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.d); got != c.want {
+			t.Fatalf("retryAfterSeconds(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}

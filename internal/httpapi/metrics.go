@@ -77,12 +77,21 @@ func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleReady implements GET /readyz: 200 once the job store is open
-// and recovery is complete, 503 before that and after Close. Load
-// balancers and replica supervisors gate traffic on it; /healthz stays
-// the pure liveness probe.
+// and recovery is complete, 503 before that, after Close, and after the
+// store latches its fail-stop degraded state. Load balancers and
+// replica supervisors gate traffic on it, so a degraded replica stops
+// receiving new work while a healthy one exists; /healthz stays the
+// pure liveness probe (a degraded process is alive — it still serves
+// reads and synchronous routes).
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	if !s.ready.Load() {
 		s.problem(w, r, CodeUnavailable, http.StatusServiceUnavailable, "job store not ready")
+		return
+	}
+	if err := s.jobs.Degraded(); err != nil {
+		s.markDegraded(w)
+		s.problem(w, r, CodeStoreDegraded, http.StatusServiceUnavailable,
+			"job store is degraded to read-only: "+err.Error())
 		return
 	}
 	s.writeJSON(w, r, http.StatusOK, map[string]string{"status": "ready"})

@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"math"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -190,6 +192,23 @@ func exempt(mw Middleware, paths ...string) Middleware {
 	}
 }
 
+// retryAfterSeconds renders a wait duration as a Retry-After header
+// value: whole seconds rounded up, never below 1 (RFC 9110 allows 0,
+// but a 0 invites an immediate identical retry).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// rateRetryAfter is the Retry-After for a drained token bucket: the
+// time one token takes to refill at the configured rate.
+func rateRetryAfter(rate float64) string {
+	return retryAfterSeconds(time.Duration(float64(time.Second) / rate))
+}
+
 // RateLimit rejects requests beyond rate requests/second (bucket
 // depth burst) with a rate_limited problem. rate <= 0 disables the
 // limiter.
@@ -323,7 +342,7 @@ func perClientRateLimitBuckets(buckets *clientBuckets, trustProxy bool) Middlewa
 				p := NewProblem(CodeRateLimited, http.StatusTooManyRequests,
 					fmt.Sprintf("per-client rate limit of %g requests/second exceeded", rate))
 				p.RequestID = RequestIDFrom(r.Context())
-				w.Header().Set("Retry-After", "1")
+				w.Header().Set("Retry-After", rateRetryAfter(rate))
 				writeProblem(w, p)
 				return
 			}
@@ -347,7 +366,7 @@ func rateLimitClock(rate float64, burst int, now func() time.Time) Middleware {
 				p := NewProblem(CodeRateLimited, http.StatusTooManyRequests,
 					fmt.Sprintf("rate limit of %g requests/second exceeded", rate))
 				p.RequestID = RequestIDFrom(r.Context())
-				w.Header().Set("Retry-After", "1")
+				w.Header().Set("Retry-After", rateRetryAfter(rate))
 				writeProblem(w, p)
 				return
 			}

@@ -28,6 +28,8 @@ const (
 	CodeUnavailable       = "service_unavailable" // server shutting down
 	CodeCancelled         = "cancelled"           // job cancelled before completing
 	CodeRestartLost       = "restart_lost"        // job was mid-run when the broker restarted
+	CodeStoreDegraded     = "store_degraded"      // job store latched read-only after a storage failure
+	CodeLoadShed          = "load_shed"           // queue wait over the bound; retry later
 )
 
 // Problem is the RFC 9457 error body used on every non-2xx response,
@@ -73,6 +75,8 @@ var problemTitles = map[string]string{
 	CodeTelemetryError:    "Telemetry store error",
 	CodeInternal:          "Internal server error",
 	CodeUnavailable:       "Service unavailable",
+	CodeStoreDegraded:     "Job store degraded to read-only",
+	CodeLoadShed:          "Server shedding load",
 }
 
 // NewProblem builds a Problem for a code/status/detail triple.

@@ -13,6 +13,7 @@ import (
 
 	"uptimebroker/internal/broker"
 	"uptimebroker/internal/catalog"
+	"uptimebroker/internal/faultfs"
 	"uptimebroker/internal/jobs"
 	"uptimebroker/internal/jobstore"
 	"uptimebroker/internal/obs"
@@ -38,6 +39,8 @@ type serverConfig struct {
 	jobSnapInterval time.Duration
 	jobFsync        bool
 	jobGroupCommit  bool
+	jobFS           faultfs.FS
+	maxQueueWait    time.Duration
 	ssePing         time.Duration
 	registry        *obs.Registry
 	metricsInterval time.Duration
@@ -112,6 +115,23 @@ func WithJobGroupCommit() ServerOption {
 	return func(c *serverConfig) { c.jobGroupCommit = true }
 }
 
+// WithJobFS routes the durable job store's disk access through fsys
+// instead of the real filesystem — the fault-injection seam
+// (faultfs.Mem, faultfs.Injector) for degraded-mode and crash tests.
+// Only meaningful with WithJobDir; production wiring omits it.
+func WithJobFS(fsys faultfs.FS) ServerOption {
+	return func(c *serverConfig) { c.jobFS = fsys }
+}
+
+// WithJobMaxQueueWait sheds load on job submissions: when the
+// estimated queue wait (mean run time × queue depth ÷ workers)
+// exceeds d, POST /v2/jobs answers 429 load_shed with a Retry-After
+// instead of accepting work it cannot start in time. d <= 0 (the
+// default) disables shedding.
+func WithJobMaxQueueWait(d time.Duration) ServerOption {
+	return func(c *serverConfig) { c.maxQueueWait = d }
+}
+
 // WithSSEPingInterval sets how often the /v2/jobs/{id}/events stream
 // emits ": ping" keep-alive comments while a job is quiet (default
 // 15s), so idle proxies do not reap long streams. SSE parsers discard
@@ -180,6 +200,11 @@ type Server struct {
 	registry        *obs.Registry
 	metricsInterval time.Duration
 
+	// maxQueueWait is the load-shedding bound on the estimated job
+	// queue wait (0 = no shedding); loadShed counts shed submissions.
+	maxQueueWait time.Duration
+	loadShed     *obs.Counter
+
 	// ready flips true once the job store is open and recovery is
 	// complete, and back to false on Close — what GET /readyz reports.
 	ready atomic.Bool
@@ -242,7 +267,10 @@ func NewServer(engine *broker.Engine, store *telemetry.Store, logger *log.Logger
 		ssePing:         cfg.ssePing,
 		registry:        reg,
 		metricsInterval: cfg.metricsInterval,
+		maxQueueWait:    cfg.maxQueueWait,
 	}
+	s.loadShed = reg.Counter("http_load_shed_total",
+		"Job submissions refused because the estimated queue wait exceeded the bound.")
 	if cfg.jobDir != "" {
 		fileOpts := []jobstore.FileOption{jobstore.WithMetricsRegistry(reg)}
 		if cfg.jobFsync {
@@ -250,6 +278,9 @@ func NewServer(engine *broker.Engine, store *telemetry.Store, logger *log.Logger
 		}
 		if cfg.jobGroupCommit {
 			fileOpts = append(fileOpts, jobstore.WithGroupCommit())
+		}
+		if cfg.jobFS != nil {
+			fileOpts = append(fileOpts, jobstore.WithFS(cfg.jobFS))
 		}
 		backend, err := jobstore.OpenFile(cfg.jobDir, fileOpts...)
 		if err != nil {
@@ -442,6 +473,17 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, r, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// markDegraded advertises serve-through on a latched job store: the
+// synchronous recommend/pareto routes keep answering (cache included)
+// while persistence is read-only, and X-Degraded: store tells clients
+// the response came from a broker in that state. Must run before the
+// status line is written.
+func (s *Server) markDegraded(w http.ResponseWriter) {
+	if s.jobs.Degraded() != nil {
+		w.Header().Set("X-Degraded", "store")
+	}
+}
+
 // cacheStatusContext wires the engine's cache-report hook into the
 // response: the X-Cache header is set the moment the engine resolves
 // the request (synchronously, before any handler writes the status
@@ -462,6 +504,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
+	s.markDegraded(w)
 	ctx, cacheStatus := cacheStatusContext(w, r)
 	rec, err := s.engine.Recommend(ctx, req.ToBroker())
 	if err != nil {
@@ -478,6 +521,7 @@ func (s *Server) handlePareto(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
+	s.markDegraded(w)
 	// The frontier response is a bare card array with no envelope for
 	// a cache member; X-Cache alone carries the disposition.
 	ctx, _ := cacheStatusContext(w, r)
@@ -644,6 +688,7 @@ func (s *Server) handleScenarioRecommend(w http.ResponseWriter, r *http.Request)
 		s.problem(w, r, CodeNotFound, http.StatusNotFound, err.Error())
 		return
 	}
+	s.markDegraded(w)
 	ctx, cacheStatus := cacheStatusContext(w, r)
 	rec, err := s.engine.Recommend(ctx, sc.Request)
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 
 	"uptimebroker/internal/broker"
 	"uptimebroker/internal/jobs"
+	"uptimebroker/internal/jobstore"
 )
 
 // Job kinds accepted by POST /v2/jobs.
@@ -215,6 +216,19 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Load shedding: refuse work the pool cannot start within the
+	// bound instead of queueing it into a wait the client would have
+	// timed out of anyway. Retry-After carries the current estimate.
+	if s.maxQueueWait > 0 {
+		if wait := s.jobs.EstimatedQueueWait(); wait > s.maxQueueWait {
+			s.loadShed.Inc()
+			w.Header().Set("Retry-After", retryAfterSeconds(wait))
+			s.problem(w, r, CodeLoadShed, http.StatusTooManyRequests,
+				fmt.Sprintf("estimated queue wait %s exceeds the %s bound; retry later", wait.Round(time.Millisecond), s.maxQueueWait))
+			return
+		}
+	}
+
 	fn, err := s.jobFn(req.Kind, req.Request)
 	if err != nil {
 		s.problem(w, r, CodeInvalidRequest, http.StatusBadRequest, err.Error())
@@ -231,6 +245,13 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 
 	snap, err := s.jobs.Submit(req.Kind, payload, fn)
 	switch {
+	case errors.Is(err, jobstore.ErrDegraded):
+		// Fail-stop persistence: the journal cannot record the job, so
+		// accepting it would hand out work that vanishes on restart.
+		// Synchronous routes keep serving; only submission closes.
+		s.problem(w, r, CodeStoreDegraded, http.StatusServiceUnavailable,
+			"job store is degraded to read-only after a storage failure; synchronous routes remain available")
+		return
 	case errors.Is(err, jobs.ErrQueueFull):
 		s.problem(w, r, CodeQueueFull, http.StatusServiceUnavailable, "job queue is at capacity; retry later")
 		return
@@ -462,6 +483,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, rr := range req.Requests {
 		breqs[i] = rr.ToBroker()
 	}
+	s.markDegraded(w)
 	items := s.engine.RecommendBatch(r.Context(), breqs)
 
 	resp := BatchResponse{Results: make([]BatchItemDTO, len(items))}

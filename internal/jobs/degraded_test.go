@@ -1,0 +1,90 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"uptimebroker/internal/faultfs"
+	"uptimebroker/internal/jobstore"
+)
+
+// TestStoreLatchesDegradedOnBackendFailure: a storage failure during
+// a submission's journal append must refuse that submission with
+// jobstore.ErrDegraded, latch the store, refuse later submissions up
+// front, and keep reads serving.
+func TestStoreLatchesDegradedOnBackendFailure(t *testing.T) {
+	mem := faultfs.NewMem()
+	boom := errors.New("fsync: device error")
+	inj := faultfs.NewInjector(mem, faultfs.FailSync(1, boom))
+	backend, err := jobstore.OpenFile("data", jobstore.WithFS(inj), jobstore.WithFsync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(backend, nil, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if s.Degraded() != nil {
+		t.Fatal("store born degraded")
+	}
+	fn := func(ctx context.Context) (any, error) { return "ok", nil }
+	_, err = s.Submit("recommend", nil, fn)
+	if !errors.Is(err, jobstore.ErrDegraded) {
+		t.Fatalf("submit over failing storage = %v, want ErrDegraded", err)
+	}
+	if s.Degraded() == nil {
+		t.Fatal("store not latched after failed journal append")
+	}
+	if !s.Metrics().Degraded {
+		t.Fatal("Metrics().Degraded = false after latch")
+	}
+	// The withdrawn job is not visible anywhere.
+	if jl := s.List(); len(jl) != 0 {
+		t.Fatalf("withdrawn submission still listed: %+v", jl)
+	}
+	if got := s.Metrics().Submitted; got != 0 {
+		t.Fatalf("Submitted = %d after withdrawn submission", got)
+	}
+	// Subsequent submissions are refused up front.
+	if _, err := s.Submit("recommend", nil, fn); !errors.Is(err, jobstore.ErrDegraded) {
+		t.Fatalf("submit after latch = %v, want ErrDegraded", err)
+	}
+	// Reads still serve.
+	if _, err := s.Get("job-00000001"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get on degraded store = %v, want plain ErrNotFound", err)
+	}
+}
+
+// TestEstimatedQueueWait: the estimate is mean run time × depth ÷
+// workers, and zero without history or queue.
+func TestEstimatedQueueWait(t *testing.T) {
+	s := NewStore(WithWorkers(1))
+	defer s.Close()
+
+	if d := s.EstimatedQueueWait(); d != 0 {
+		t.Fatalf("empty store estimate = %v, want 0", d)
+	}
+
+	// Manufacture history and depth directly: one completed run of
+	// 100ms and three queued jobs on one worker → 300ms estimate.
+	s.mu.Lock()
+	s.runsCompleted = 1
+	s.metrics.RunLatency = 100 * time.Millisecond
+	s.metrics.QueueDepth = 3
+	s.mu.Unlock()
+
+	if d := s.EstimatedQueueWait(); d != 300*time.Millisecond {
+		t.Fatalf("estimate = %v, want 300ms", d)
+	}
+
+	s.mu.Lock()
+	s.metrics.QueueDepth = 0
+	s.mu.Unlock()
+	if d := s.EstimatedQueueWait(); d != 0 {
+		t.Fatalf("estimate with empty queue = %v, want 0", d)
+	}
+}

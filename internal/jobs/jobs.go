@@ -151,6 +151,12 @@ type Metrics struct {
 	// affected transitions.
 	PersistErrors int64 `json:"persist_errors"`
 
+	// Degraded reports that the persistence backend has latched into
+	// its fail-stop read-only state (jobstore.ErrDegraded): new
+	// submissions are refused, while polls, results and synchronous
+	// serving continue. It never clears without a restart.
+	Degraded bool `json:"store_degraded"`
+
 	// QueueLatency is the cumulative queued→running wait across all
 	// started jobs; RunLatency the cumulative running→finished time
 	// across all finished jobs. Divide by the respective counters for
@@ -223,6 +229,14 @@ type Store struct {
 	backend      jobstore.Backend
 	resolver     Resolver
 	snapInterval time.Duration
+
+	// degraded latches the backend's fail-stop error the first time an
+	// append or compaction reports jobstore.ErrDegraded. Under mu.
+	degraded error
+
+	// runsCompleted counts jobs that finished a run (the denominator
+	// for the mean run time RunLatency accumulates). Under mu.
+	runsCompleted int64
 
 	metrics Metrics
 
@@ -331,6 +345,13 @@ func (s *Store) registerMetrics(reg *obs.Registry) {
 		func() float64 { return float64(s.Metrics().QueueDepth) })
 	reg.GaugeFunc("jobs_running", "Jobs currently executing.",
 		func() float64 { return float64(s.Metrics().Running) })
+	reg.GaugeFunc("store_degraded", "1 when the persistent job store has latched read-only after a storage failure.",
+		func() float64 {
+			if s.Metrics().Degraded {
+				return 1
+			}
+			return 0
+		})
 	s.queueWait = reg.Histogram("jobs_queue_wait_seconds",
 		"Time jobs spent queued before a worker picked them up.", obs.DefBuckets)
 	s.runSeconds = reg.Histogram("jobs_run_seconds",
@@ -446,6 +467,14 @@ func (s *Store) Submit(kind string, payload []byte, fn Fn) (Snapshot, error) {
 		s.mu.Unlock()
 		return Snapshot{}, ErrClosed
 	}
+	if s.degraded != nil {
+		// Fail-stop: a latched backend cannot journal the submission,
+		// so accepting it would hand out work that silently vanishes on
+		// restart. Reads and already-accepted jobs keep serving.
+		err := s.degraded
+		s.mu.Unlock()
+		return Snapshot{}, err
+	}
 	s.seq++
 	j := &job{
 		snap: Snapshot{
@@ -475,9 +504,51 @@ func (s *Store) Submit(kind string, payload []byte, fn Fn) (Snapshot, error) {
 		Kind:    kind,
 		Payload: payload,
 	})
+	if s.degraded != nil {
+		// This very submission latched the backend: its event is not in
+		// the journal, so withdraw the job instead of acknowledging it.
+		// The ID stays burned (seq must never regress once journaling
+		// may have partially happened) and the queue entry becomes a
+		// no-op via the cancelled flag.
+		j.cancelled = true
+		delete(s.jobs, j.snap.ID)
+		s.metrics.Submitted--
+		s.metrics.QueueDepth--
+		err := s.degraded
+		s.mu.Unlock()
+		return Snapshot{}, err
+	}
 	snap := j.snap
 	s.mu.Unlock()
 	return snap, nil
+}
+
+// Degraded returns the backend's latched fail-stop error, or nil
+// while persistence is healthy (or for a purely in-memory store). A
+// degraded store refuses new submissions but keeps serving reads,
+// running jobs and results.
+func (s *Store) Degraded() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded
+}
+
+// EstimatedQueueWait predicts how long a submission enqueued now
+// would wait for a worker: mean observed run time × queue depth ÷
+// worker count. Zero when the queue is empty or no run has finished
+// yet. The HTTP layer sheds load when this exceeds its bound.
+func (s *Store) EstimatedQueueWait() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.metrics.QueueDepth <= 0 || s.runsCompleted == 0 {
+		return 0
+	}
+	avg := s.metrics.RunLatency / time.Duration(s.runsCompleted)
+	workers := s.workers
+	if workers < 1 {
+		workers = 1
+	}
+	return avg * time.Duration(s.metrics.QueueDepth) / time.Duration(workers)
 }
 
 // Get returns the job's current snapshot.
@@ -548,7 +619,9 @@ func laterThan(a, b Snapshot) bool {
 func (s *Store) Metrics() Metrics {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.metrics
+	m := s.metrics
+	m.Degraded = s.degraded != nil
+	return m
 }
 
 // Sweep removes finished jobs older than the TTL and returns how many
@@ -667,6 +740,7 @@ func (s *Store) runOne(id string) {
 	j.snap.FinishedAt = s.now()
 	s.metrics.Running--
 	s.metrics.RunLatency += j.snap.FinishedAt.Sub(j.snap.StartedAt)
+	s.runsCompleted++
 	if s.runSeconds != nil {
 		s.runSeconds.ObserveSeconds(j.snap.FinishedAt.Sub(j.snap.StartedAt).Seconds())
 	}

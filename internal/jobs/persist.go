@@ -195,13 +195,18 @@ func Open(backend jobstore.Backend, resolver Resolver, opts ...Option) (*Store, 
 }
 
 // appendLocked journals one event, counting (but not propagating)
-// backend failures: the in-memory store keeps serving.
+// backend failures: the in-memory store keeps serving. A backend that
+// has latched its fail-stop state (jobstore.ErrDegraded) additionally
+// latches the store, which refuses further submissions.
 func (s *Store) appendLocked(ev jobstore.Event) {
 	if s.backend == nil {
 		return
 	}
 	if err := s.backend.Append(ev); err != nil {
 		s.metrics.PersistErrors++
+		if s.degraded == nil && errors.Is(err, jobstore.ErrDegraded) {
+			s.degraded = err
+		}
 	}
 }
 
@@ -263,6 +268,9 @@ func (s *Store) Compact() {
 	if err := s.backend.Compact(); err != nil {
 		s.mu.Lock()
 		s.metrics.PersistErrors++
+		if s.degraded == nil && errors.Is(err, jobstore.ErrDegraded) {
+			s.degraded = err
+		}
 		s.mu.Unlock()
 	}
 }

@@ -1,0 +1,240 @@
+package jobstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"uptimebroker/internal/faultfs"
+)
+
+func submittedEvent(i int) Event {
+	t0 := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	return Event{
+		Type: EventSubmitted,
+		Time: t0.Add(time.Duration(i) * time.Second),
+		ID:   "j" + string(rune('0'+i)),
+		Seq:  uint64(i + 1),
+		Kind: "recommend",
+	}
+}
+
+// TestAppendENOSPCLatchesDegraded: a disk-full mid-append must return
+// ENOSPC, latch the store read-only, and leave the acked prefix
+// recoverable on restart — the partial line is dropped by replay.
+func TestAppendENOSPCLatchesDegraded(t *testing.T) {
+	mem := faultfs.NewMem()
+	// Let roughly two records through, then the disk fills.
+	first, err := json.Marshal(submittedEvent(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	limit := int64(2*len(first) + 10)
+	inj := faultfs.NewInjector(mem, faultfs.ENOSPCAfter(limit))
+
+	f, err := OpenFile("data", WithFS(inj), WithFsync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acked []Event
+	var failErr error
+	for i := 0; i < 6; i++ {
+		ev := submittedEvent(i)
+		if err := f.Append(ev); err != nil {
+			failErr = err
+			break
+		}
+		acked = append(acked, ev)
+	}
+	if failErr == nil {
+		t.Fatal("no append failed despite full disk")
+	}
+	if !errors.Is(failErr, syscall.ENOSPC) {
+		t.Fatalf("failure = %v, want ENOSPC", failErr)
+	}
+	if !errors.Is(failErr, ErrDegraded) {
+		t.Fatalf("failure = %v, want ErrDegraded latch", failErr)
+	}
+	if f.Degraded() == nil {
+		t.Fatal("Degraded() = nil after write failure")
+	}
+	// Latched: later appends and compactions refuse without touching
+	// the disk, reads still work.
+	if err := f.Append(submittedEvent(7)); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("append after latch = %v, want ErrDegraded", err)
+	}
+	if err := f.Compact(); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("compact after latch = %v, want ErrDegraded", err)
+	}
+	if _, err := f.Load(); err != nil {
+		t.Fatalf("load after latch: %v", err)
+	}
+	_ = f.Close()
+
+	// Restart on the same (still live) filesystem: every acked event is
+	// there; the torn partial record never surfaces.
+	f2, err := OpenFile("data", WithFS(mem))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer f2.Close()
+	snap, err := f2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := newState()
+	for _, ev := range acked {
+		st.apply(ev)
+	}
+	got, _ := json.Marshal(snap)
+	want, _ := json.Marshal(st.snapshot())
+	if !bytes.Equal(got, want) {
+		t.Fatalf("recovered %s\nwant %s", got, want)
+	}
+}
+
+// TestFsyncFailureThenRestartRecovery: an fsync error fails the
+// append that needed it and latches the store; after a power loss
+// that drops every unsynced byte, all previously acked events are
+// still recovered.
+func TestFsyncFailureThenRestartRecovery(t *testing.T) {
+	mem := faultfs.NewMem()
+	boom := errors.New("io error: media gone")
+	inj := faultfs.NewInjector(mem, faultfs.FailSync(3, boom))
+
+	f, err := OpenFile("data", WithFS(inj), WithFsync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acked []Event
+	var failErr error
+	for i := 0; i < 5; i++ {
+		ev := submittedEvent(i)
+		if err := f.Append(ev); err != nil {
+			failErr = err
+			break
+		}
+		acked = append(acked, ev)
+	}
+	if len(acked) != 2 {
+		t.Fatalf("acked %d appends, want 2 before sync 3 fails", len(acked))
+	}
+	if !errors.Is(failErr, boom) || !errors.Is(failErr, ErrDegraded) {
+		t.Fatalf("failure = %v, want boom wrapped in ErrDegraded", failErr)
+	}
+	_ = f.Close()
+
+	// Power loss: unsynced bytes (including the write whose fsync
+	// failed) are gone. The acked prefix survives.
+	img := mem.Crash(faultfs.CrashDropUnsynced)
+	f2, err := OpenFile("data", WithFS(img))
+	if err != nil {
+		t.Fatalf("reopen after power loss: %v", err)
+	}
+	defer f2.Close()
+	snap, err := f2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := newState()
+	for _, ev := range acked {
+		st.apply(ev)
+	}
+	got, _ := json.Marshal(snap)
+	want, _ := json.Marshal(st.snapshot())
+	if !bytes.Equal(got, want) {
+		t.Fatalf("recovered %s\nwant %s", got, want)
+	}
+}
+
+// TestGroupCommitFlushFailureWakesAllWriters: when the leader's
+// shared flush fails, every parked writer must wake with an error
+// (not hang, not falsely ack) and the store must latch degraded.
+func TestGroupCommitFlushFailureWakesAllWriters(t *testing.T) {
+	mem := faultfs.NewMem()
+	boom := errors.New("flush failed under leader")
+	inj := faultfs.NewInjector(mem, faultfs.FailSync(1, boom))
+
+	f, err := OpenFile("data", WithFS(inj), WithGroupCommit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	const writers = 8
+	errs := make([]error, writers)
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = f.Append(submittedEvent(i))
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("parked writers never woke after flush failure")
+	}
+
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("writer %d acked despite the only flush failing", i)
+		}
+		if !errors.Is(err, ErrDegraded) {
+			t.Fatalf("writer %d error = %v, want ErrDegraded", i, err)
+		}
+	}
+	if f.Degraded() == nil {
+		t.Fatal("store not latched degraded after flush failure")
+	}
+}
+
+// TestCompactDiskFailureLatches: compaction hitting a full disk while
+// writing the snapshot latches the store like any other write error.
+func TestCompactDiskFailureLatches(t *testing.T) {
+	mem := faultfs.NewMem()
+	f, err := OpenFile("data", WithFS(mem))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Append(submittedEvent(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Fill the disk before the snapshot encode: route subsequent I/O
+	// through a fresh injector sharing the same Mem is not possible on
+	// an open backend, so instead reopen through an injector with the
+	// budget already spent by the WAL line.
+	_ = f.Close()
+
+	inj := faultfs.NewInjector(mem, faultfs.ENOSPCAfter(0))
+	f2, err := OpenFile("data", WithFS(inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	err = f2.Compact()
+	if !errors.Is(err, syscall.ENOSPC) || !errors.Is(err, ErrDegraded) {
+		t.Fatalf("compact on full disk = %v, want ENOSPC + ErrDegraded", err)
+	}
+	if err := f2.Append(submittedEvent(1)); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("append after compact failure = %v, want ErrDegraded", err)
+	}
+	// The journal on disk is untouched: a restart recovers event 0.
+	f3, err := OpenFile("data", WithFS(mem))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f3.Close()
+	snap, _ := f3.Load()
+	if len(snap.Jobs) != 1 || snap.Jobs[0].ID != "j0" {
+		t.Fatalf("recovered %+v, want the one acked job", snap.Jobs)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"uptimebroker/internal/faultfs"
 	"uptimebroker/internal/obs"
 )
 
@@ -22,6 +23,15 @@ const (
 	// fileSnapshotVersion guards the snapshot format.
 	fileSnapshotVersion = 1
 )
+
+// ErrDegraded is the fail-stop latch: once any WAL write, fsync or
+// compaction disk operation fails, the backend refuses all further
+// mutations and every Append/Compact returns an error wrapping this
+// sentinel (alongside the original cause). Appending past a partial
+// write would interleave new records after a torn one, so the only
+// safe behavior is read-only until an operator restarts onto healthy
+// storage. The in-memory state remains consistent and readable.
+var ErrDegraded = errors.New("jobstore: storage degraded; store is read-only")
 
 // fileSnapshot is the on-disk snapshot envelope.
 type fileSnapshot struct {
@@ -41,13 +51,23 @@ type fileSnapshot struct {
 // per-append latency cost the package benchmarks quantify, and
 // WithGroupCommit keeps the same durability while coalescing
 // concurrent appends into shared flushes.
+//
+// All filesystem access goes through a faultfs.FS (the real one by
+// default; WithFS injects a simulated or faulty one), and any
+// write/sync error latches the backend into the ErrDegraded
+// read-only state.
 type File struct {
 	mu    sync.Mutex
 	dir   string
-	wal   *os.File
+	fs    faultfs.FS
+	wal   faultfs.File
 	st    *state
 	fsync bool
 	group bool
+
+	// degraded, once set, is returned by every subsequent mutation. It
+	// wraps ErrDegraded and the original disk error. Guarded by mu.
+	degraded error
 
 	// writeSeq counts records written to the WAL, under mu; the group
 	// committer flushes up to a high-water mark of it.
@@ -100,6 +120,18 @@ func WithGroupCommit() FileOption {
 	return func(f *File) { f.group = true }
 }
 
+// WithFS routes all of the backend's filesystem access through fsys
+// instead of the real disk. This is the fault-injection seam: tests
+// hand in a faultfs.Mem (crash simulation) or faultfs.Injector
+// (scripted errors); production code omits it.
+func WithFS(fsys faultfs.FS) FileOption {
+	return func(f *File) {
+		if fsys != nil {
+			f.fs = fsys
+		}
+	}
+}
+
 // WithMetricsRegistry publishes WAL latency histograms on reg:
 // jobstore_wal_append_seconds times whole appends (including any wait
 // for a group-commit flush), jobstore_wal_fsync_seconds times the
@@ -125,16 +157,22 @@ func OpenFile(dir string, opts ...FileOption) (*File, error) {
 	if dir == "" {
 		return nil, errors.New("jobstore: empty data directory")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	f := &File{dir: dir, fs: faultfs.OS()}
+	f.gc.cond.L = &f.gc.Mutex
+	for _, opt := range opts {
+		opt(f)
+	}
+
+	if err := f.fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("jobstore: creating data dir: %w", err)
 	}
 
 	st := newState()
 	snapPath := filepath.Join(dir, snapshotName)
-	if f, err := os.Open(snapPath); err == nil {
+	if sf, err := f.fs.OpenFile(snapPath, os.O_RDONLY, 0); err == nil {
 		var snap fileSnapshot
-		decodeErr := json.NewDecoder(f).Decode(&snap)
-		_ = f.Close()
+		decodeErr := json.NewDecoder(sf).Decode(&snap)
+		_ = sf.Close()
 		if decodeErr != nil {
 			return nil, fmt.Errorf("jobstore: decoding snapshot %s: %w", snapPath, decodeErr)
 		}
@@ -147,18 +185,15 @@ func OpenFile(dir string, opts ...FileOption) (*File, error) {
 	}
 
 	walPath := filepath.Join(dir, walName)
-	if err := replayWAL(walPath, st); err != nil {
+	if err := replayWAL(f.fs, walPath, st); err != nil {
 		return nil, err
 	}
-	wal, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	wal, err := f.fs.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("jobstore: opening WAL: %w", err)
 	}
-	f := &File{dir: dir, wal: wal, st: st}
-	f.gc.cond.L = &f.gc.Mutex
-	for _, opt := range opts {
-		opt(f)
-	}
+	f.wal = wal
+	f.st = st
 	return f, nil
 }
 
@@ -166,8 +201,8 @@ func OpenFile(dir string, opts ...FileOption) (*File, error) {
 // the first malformed line: anything after a torn write is garbage by
 // definition, and losing the torn tail is exactly the durability the
 // journal promises.
-func replayWAL(path string, st *state) error {
-	f, err := os.Open(path)
+func replayWAL(fsys faultfs.FS, path string, st *state) error {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
 	}
@@ -193,6 +228,27 @@ func replayWAL(path string, st *state) error {
 		return fmt.Errorf("jobstore: reading WAL: %w", err)
 	}
 	return nil
+}
+
+// Degraded returns the latched degraded error, or nil while the
+// backend is healthy. Once non-nil it never clears: recovery is a
+// restart onto healthy storage.
+func (f *File) Degraded() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.degraded
+}
+
+// latchLocked records the first disk failure and flips the backend
+// read-only. The returned (and stored) error wraps both the original
+// cause and ErrDegraded, so errors.Is works against either. Callers
+// hold f.mu.
+func (f *File) latchLocked(op string, cause error) error {
+	if f.degraded != nil {
+		return f.degraded
+	}
+	f.degraded = fmt.Errorf("jobstore: %s: %w; %w", op, cause, ErrDegraded)
+	return f.degraded
 }
 
 // Append implements Backend: one JSON line per event.
@@ -221,16 +277,27 @@ func (f *File) append(ev Event) error {
 		f.mu.Unlock()
 		return errors.New("jobstore: backend closed")
 	}
-	if _, err := f.wal.Write(line); err != nil {
+	if f.degraded != nil {
+		err := f.degraded
 		f.mu.Unlock()
-		return fmt.Errorf("jobstore: appending event: %w", err)
+		return err
+	}
+	if _, err := f.wal.Write(line); err != nil {
+		// A failed write may have left a partial line; appending after
+		// it would corrupt every later record. Latch fail-stop.
+		err = f.latchLocked("appending event", err)
+		f.mu.Unlock()
+		return err
 	}
 	f.writeSeq++
 	seq := f.writeSeq
 	if f.fsync && !f.group {
 		if err := f.syncWAL(f.wal); err != nil {
+			// The kernel may have dropped the unflushed pages; nothing
+			// written from here on is trustworthy. Latch fail-stop.
+			err = f.latchLocked("syncing WAL", err)
 			f.mu.Unlock()
-			return fmt.Errorf("jobstore: syncing WAL: %w", err)
+			return err
 		}
 	}
 	f.st.apply(ev)
@@ -243,7 +310,7 @@ func (f *File) append(ev Event) error {
 }
 
 // syncWAL flushes the WAL, timing the call when instrumented.
-func (f *File) syncWAL(wal *os.File) error {
+func (f *File) syncWAL(wal faultfs.File) error {
 	if f.fsyncSeconds == nil {
 		return wal.Sync()
 	}
@@ -257,7 +324,8 @@ func (f *File) syncWAL(wal *os.File) error {
 // flush itself when no one else is mid-flush. While one leader is in
 // Sync, later appends keep writing and parking; the next leader's
 // single Sync then covers the whole accumulated batch, which is the
-// group-commit coalescing.
+// group-commit coalescing. A failed flush latches the backend
+// degraded and wakes every parked writer with the error.
 func (f *File) awaitFlush(seq uint64) error {
 	g := &f.gc
 	g.Lock()
@@ -281,12 +349,17 @@ func (f *File) awaitFlush(seq uint64) error {
 			f.mu.Lock()
 			high := f.writeSeq
 			wal := f.wal
+			deg := f.degraded
 			f.mu.Unlock()
 			var err error
-			if wal == nil {
+			if deg != nil {
+				err = deg
+			} else if wal == nil {
 				err = errors.New("jobstore: backend closed")
 			} else if serr := f.syncWAL(wal); serr != nil {
-				err = fmt.Errorf("jobstore: syncing WAL: %w", serr)
+				f.mu.Lock()
+				err = f.latchLocked("syncing WAL", serr)
+				f.mu.Unlock()
 			}
 
 			g.Lock()
@@ -307,49 +380,72 @@ func (f *File) awaitFlush(seq uint64) error {
 }
 
 // Compact implements Backend: write the folded state to a temp file
-// in the same directory, rename it into place, then truncate the
-// WAL. The rename is the commit point — a crash between rename and
+// in the same directory, rename it into place, fsync the directory so
+// the rename survives power loss, then truncate and re-fsync the WAL.
+// The durable rename is the commit point — a crash between rename and
 // truncate replays WAL events that the snapshot already contains,
-// which the fold absorbs (replay is idempotent per event). The
-// backend's own mutex orders it against concurrent Appends, so the
-// caller holds no lock across this disk work.
+// which the fold absorbs (replay is idempotent per event), and a
+// crash before the directory fsync simply leaves the old snapshot
+// governing, with the WAL still intact behind it. The backend's own
+// mutex orders it against concurrent Appends, so the caller holds no
+// lock across this disk work.
 func (f *File) Compact() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.wal == nil {
 		return errors.New("jobstore: backend closed")
 	}
+	if f.degraded != nil {
+		return f.degraded
+	}
 	snap := f.st.snapshot()
 
-	tmp, err := os.CreateTemp(f.dir, ".jobs-snapshot-*.json")
+	tmp, err := f.fs.CreateTemp(f.dir, ".jobs-snapshot-*.json")
 	if err != nil {
-		return fmt.Errorf("jobstore: creating temp snapshot: %w", err)
+		return f.latchLocked("creating temp snapshot", err)
 	}
 	tmpName := tmp.Name()
-	defer func() { _ = os.Remove(tmpName) }() // no-op after rename
+	defer func() { _ = f.fs.Remove(tmpName) }() // no-op after rename
 	enc := json.NewEncoder(tmp)
 	if err := enc.Encode(fileSnapshot{Version: fileSnapshotVersion, Snapshot: snap}); err != nil {
 		_ = tmp.Close()
-		return fmt.Errorf("jobstore: encoding snapshot: %w", err)
+		return f.latchLocked("encoding snapshot", err)
 	}
 	if f.fsync || f.group {
 		if err := tmp.Sync(); err != nil {
 			_ = tmp.Close()
-			return fmt.Errorf("jobstore: syncing snapshot: %w", err)
+			return f.latchLocked("syncing snapshot", err)
 		}
 	}
 	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("jobstore: closing temp snapshot: %w", err)
+		return f.latchLocked("closing temp snapshot", err)
 	}
-	if err := os.Rename(tmpName, filepath.Join(f.dir, snapshotName)); err != nil {
-		return fmt.Errorf("jobstore: installing snapshot: %w", err)
+	if err := f.fs.Rename(tmpName, filepath.Join(f.dir, snapshotName)); err != nil {
+		return f.latchLocked("installing snapshot", err)
+	}
+	if f.fsync || f.group {
+		// POSIX renames are durable only once the parent directory's
+		// entry reaches disk; without this, power loss after the WAL
+		// truncate below could resurrect the old snapshot with the new
+		// WAL gone.
+		if err := f.fs.SyncDir(f.dir); err != nil {
+			return f.latchLocked("syncing data dir", err)
+		}
 	}
 
 	if err := f.wal.Truncate(0); err != nil {
-		return fmt.Errorf("jobstore: truncating WAL: %w", err)
+		return f.latchLocked("truncating WAL", err)
+	}
+	if f.fsync || f.group {
+		// Make the truncation itself durable; otherwise a crash can
+		// replay pre-compaction records on top of the new snapshot's
+		// future appends.
+		if err := f.syncWAL(f.wal); err != nil {
+			return f.latchLocked("syncing truncated WAL", err)
+		}
 	}
 	if _, err := f.wal.Seek(0, io.SeekStart); err != nil {
-		return fmt.Errorf("jobstore: rewinding WAL: %w", err)
+		return f.latchLocked("rewinding WAL", err)
 	}
 	return nil
 }
